@@ -1,0 +1,32 @@
+//! End-to-end simulated training runs (the unit of every paper experiment).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sync_switch_core::{ClusterManager, SimBackend, SyncSwitchPolicy};
+use sync_switch_workloads::ExperimentSetup;
+
+fn bench_e2e(c: &mut Criterion) {
+    let setup = ExperimentSetup::one();
+    for (name, policy) in [
+        ("bsp", SyncSwitchPolicy::static_bsp(8)),
+        ("asp", SyncSwitchPolicy::static_asp(8)),
+        ("sync_switch", SyncSwitchPolicy::paper_policy(&setup)),
+    ] {
+        c.bench_function(&format!("e2e_setup1_{name}"), |bench| {
+            bench.iter(|| {
+                let mut backend = SimBackend::new(&setup, 42);
+                black_box(
+                    ClusterManager::new(policy.clone())
+                        .run(&mut backend, &setup)
+                        .expect("run completes"),
+                )
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_e2e
+}
+criterion_main!(benches);

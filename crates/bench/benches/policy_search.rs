@@ -1,0 +1,41 @@
+//! Binary-search tuner cost: full Algorithm 1 over the analytic oracle and
+//! one Monte-Carlo search-setting simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sync_switch_core::{
+    simulate_search_setting, AnalyticOracle, BinarySearchTuner, SearchSetting,
+};
+use sync_switch_workloads::ExperimentSetup;
+
+fn bench_search(c: &mut Criterion) {
+    let setup = ExperimentSetup::one();
+    c.bench_function("binary_search_analytic", |bench| {
+        bench.iter(|| {
+            let mut oracle = AnalyticOracle::new(&setup, 7);
+            black_box(
+                BinarySearchTuner::new()
+                    .with_target(0.919)
+                    .search(&mut oracle)
+                    .expect("search succeeds"),
+            )
+        })
+    });
+    c.bench_function("search_mc_100_trials", |bench| {
+        bench.iter(|| {
+            black_box(simulate_search_setting(
+                &setup,
+                SearchSetting::baseline(),
+                100,
+                0.01,
+                7,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_search
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Real parameter-server throughput: BSP vs ASP segments on worker threads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sync_switch_nn::{Dataset, Network};
+use sync_switch_ps::{Trainer, TrainerConfig};
+use sync_switch_workloads::SyncProtocol;
+
+fn make_trainer(workers: usize) -> Trainer {
+    let data = Dataset::gaussian_blobs(4, 100, 8, 0.35, 1);
+    let (train, test) = data.split(0.25);
+    Trainer::new(
+        Network::mlp(8, &[32], 4, 1),
+        train,
+        test,
+        TrainerConfig::new(workers, 8, 0.05, 0.9).with_seed(1),
+    )
+}
+
+fn bench_ps(c: &mut Criterion) {
+    for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+        c.bench_function(&format!("ps_{protocol}_4workers_50steps"), |bench| {
+            bench.iter_batched(
+                || make_trainer(4),
+                |mut t| {
+                    t.run_segment(protocol, 50).expect("segment completes");
+                    t
+                },
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = bench_ps
+}
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Cluster-simulator performance: simulated training units per second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sync_switch_cluster::ClusterSim;
+use sync_switch_workloads::ExperimentSetup;
+
+fn bench_sim(c: &mut Criterion) {
+    let setup = ExperimentSetup::one();
+    c.bench_function("sim_bsp_8000_units", |bench| {
+        bench.iter(|| {
+            let mut sim = ClusterSim::new(&setup, 1);
+            black_box(sim.run_bsp(8_000))
+        })
+    });
+    c.bench_function("sim_asp_8000_units", |bench| {
+        bench.iter(|| {
+            let mut sim = ClusterSim::new(&setup, 1);
+            black_box(sim.run_asp(8_000))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_sim
+}
+criterion_main!(benches);

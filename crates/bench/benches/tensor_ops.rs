@@ -1,0 +1,30 @@
+//! Micro-benchmarks of the tensor substrate (matmul dominates training).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sync_switch_tensor::Tensor;
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = Tensor::from_vec((0..128 * 64).map(|i| (i as f32 * 0.13).sin()).collect(), &[128, 64]);
+    let b = Tensor::from_vec((0..64 * 32).map(|i| (i as f32 * 0.29).cos()).collect(), &[64, 32]);
+    c.bench_function("matmul_128x64x32", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("t_matmul_128x64x32", |bench| {
+        let d = Tensor::full(&[128, 32], 0.5);
+        bench.iter(|| black_box(a.t_matmul(&d)))
+    });
+    let mut p = Tensor::full(&[64 * 512], 0.1);
+    let g = Tensor::full(&[64 * 512], 0.01);
+    c.bench_function("axpy_32k", |bench| {
+        bench.iter(|| {
+            p.axpy(black_box(-0.1), &g);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3));
+    targets = bench_tensor
+}
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates the Sync-Switch paper's tables and figures.
+//!
+//! ```text
+//! repro all            # every exhibit
+//! repro fig11 table2   # specific exhibits
+//! repro --list         # available ids
+//! ```
+//!
+//! Rendered text goes to stdout; JSON payloads are written to `results/`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sync_switch_bench::exhibits;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [--list] [--out DIR] <exhibit id | all>...");
+        eprintln!("exhibits: {}", exhibits::all_ids().join(", "));
+        return ExitCode::from(2);
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in exhibits::all_ids() {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--out" {
+            match iter.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            ids.push(arg);
+        }
+    }
+    if ids.iter().any(|i| i == "all") {
+        ids = exhibits::all_ids().iter().map(|s| s.to_string()).collect();
+    }
+    for id in &ids {
+        if !exhibits::all_ids().contains(&id.as_str()) {
+            eprintln!("unknown exhibit '{id}'; use --list");
+            return ExitCode::from(2);
+        }
+    }
+
+    for id in &ids {
+        let started = std::time::Instant::now();
+        let exhibit = exhibits::run(id);
+        exhibit.print();
+        if let Err(e) = exhibit.save(&out_dir) {
+            eprintln!("warning: could not save {id}: {e}");
+        }
+        eprintln!("[{id} regenerated in {:.1}s]", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,103 @@
+//! Paper Fig. 2: benefits of synchronization switching — test-accuracy
+//! curves and total training time for BSP, ASP, switching at 25%, and
+//! switching at 50% (ResNet32/CIFAR-10, 8 workers).
+
+use serde_json::json;
+use sync_switch_core::SyncSwitchPolicy;
+use sync_switch_workloads::ExperimentSetup;
+
+use crate::output::{fmt_min, Exhibit};
+use crate::runner::{repeat_reports, RunSummary};
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig2", "Benefits of synchronization switching (setup 1)");
+    let setup = ExperimentSetup::one();
+
+    let configs: Vec<(&str, SyncSwitchPolicy)> = vec![
+        ("BSP", SyncSwitchPolicy::static_bsp(8)),
+        ("ASP", SyncSwitchPolicy::static_asp(8)),
+        ("Switching 25%", SyncSwitchPolicy::new(0.25, 8)),
+        ("Switching 50%", SyncSwitchPolicy::new(0.50, 8)),
+    ];
+
+    let summaries: Vec<(&str, RunSummary)> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, (name, p))| (*name, repeat_reports(&setup, p, 0xF1602 + 37 * i as u64)))
+        .collect();
+
+    ex.line("(a) Test accuracy over steps (best run, every 8k steps):");
+    let mut rows = Vec::new();
+    let steps: Vec<u64> = (0..=8).map(|i| i * 8_000).collect();
+    for (name, s) in &summaries {
+        let best = s.best().expect("setup 1 runs complete");
+        let mut row = vec![name.to_string()];
+        for &target in &steps {
+            let acc = best
+                .evals
+                .iter()
+                .min_by_key(|e| e.step.abs_diff(target))
+                .map(|e| e.accuracy)
+                .unwrap_or(0.0);
+            row.push(format!("{acc:.3}"));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("config".to_string())
+        .chain(steps.iter().map(|s| format!("{}k", s / 1000)))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    ex.table(&header_refs, &rows);
+
+    ex.line("");
+    ex.line("(b) Total training time (mean of 5 runs):");
+    let bsp_time = summaries[0].1.mean_time_s();
+    let mut rows = Vec::new();
+    for (name, s) in &summaries {
+        let t = s.mean_time_s();
+        rows.push(vec![
+            name.to_string(),
+            fmt_min(t),
+            format!("{:.1}%", 100.0 * t / bsp_time),
+            format!("{:.3}", s.mean_accuracy().unwrap_or(0.0)),
+        ]);
+    }
+    ex.table(&["config", "time (min)", "vs BSP", "accuracy"], &rows);
+
+    let t25 = summaries[2].1.mean_time_s();
+    let t50 = summaries[3].1.mean_time_s();
+    ex.line("");
+    ex.line(format!(
+        "Switching@25% cuts total time by {:.1}% vs BSP (paper: ~63.5%); \
+         25% vs 50% saves {:.1}% (paper: 37.5%).",
+        100.0 * (1.0 - t25 / bsp_time),
+        100.0 * (1.0 - t25 / t50),
+    ));
+
+    ex.json = json!({
+        "setup": 1,
+        "series": summaries.iter().map(|(name, s)| json!({
+            "config": name,
+            "mean_time_s": s.mean_time_s(),
+            "mean_accuracy": s.mean_accuracy(),
+            "best_curve": s.best().map(|b| b.accuracy_curve()),
+        })).collect::<Vec<_>>(),
+        "reduction_25_vs_bsp": 1.0 - t25 / bsp_time,
+        "reduction_25_vs_50": 1.0 - t25 / t50,
+        "paper": {"reduction_25_vs_bsp": 0.635, "reduction_25_vs_50": 0.375},
+    });
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig2_reductions_match_paper_shape() {
+        let ex = super::run();
+        let r = ex.json["reduction_25_vs_bsp"].as_f64().unwrap();
+        assert!((r - 0.635).abs() < 0.08, "25% reduction {r}");
+        let r2 = ex.json["reduction_25_vs_50"].as_f64().unwrap();
+        assert!((r2 - 0.375).abs() < 0.08, "25-vs-50 reduction {r2}");
+    }
+}

@@ -1,0 +1,105 @@
+//! Paper Fig. 4: BSP vs ASP training throughput — (a) all three setups
+//! without stragglers (ASP fails on setup 3); (b) setup 1 under
+//! straggler configurations {0, 1+10ms, 2+10ms, 1+30ms, 2+30ms}.
+
+use serde_json::json;
+use sync_switch_cluster::{ClusterSim, StragglerScenario};
+use sync_switch_workloads::{ExperimentSetup, SetupId};
+
+use crate::output::Exhibit;
+
+/// Measures steady-state cluster throughput (images/s) for both protocols.
+fn throughputs(setup: &ExperimentSetup, scenario: StragglerScenario, seed: u64) -> (f64, f64) {
+    let batch = setup.workload.hyper.batch_size;
+    let mut bsp = ClusterSim::new(setup, seed);
+    bsp.set_scenario(scenario.clone());
+    let b = bsp.run_bsp(4_000).cluster_images_per_sec(batch);
+    let mut asp = ClusterSim::new(setup, seed);
+    asp.set_scenario(scenario);
+    let a = asp.run_asp(4_000).cluster_images_per_sec(batch);
+    (b, a)
+}
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig4", "Training throughput: BSP vs ASP");
+
+    ex.line("(a) Without stragglers:");
+    let mut rows = Vec::new();
+    let mut panel_a = Vec::new();
+    for id in SetupId::all() {
+        let setup = ExperimentSetup::from_id(id);
+        let (bsp, asp) = throughputs(&setup, StragglerScenario::none(), 0xF1604);
+        // ASP on setup 3 diverges in practice — throughput is moot.
+        let asp_display = if id == SetupId::Three {
+            "Fail".to_string()
+        } else {
+            format!("{asp:.0}")
+        };
+        rows.push(vec![
+            id.to_string(),
+            format!("{bsp:.0}"),
+            asp_display,
+            format!("{:.2}x", asp / bsp),
+        ]);
+        panel_a.push(json!({
+            "setup": id.index(),
+            "bsp_img_s": bsp,
+            "asp_img_s": asp,
+            "asp_over_bsp": asp / bsp,
+            "asp_fails": id == SetupId::Three,
+        }));
+    }
+    ex.table(&["setup", "BSP img/s", "ASP img/s", "ASP/BSP"], &rows);
+
+    ex.line("");
+    ex.line("(b) Setup 1 with (constant) stragglers:");
+    let setup1 = ExperimentSetup::one();
+    let scenarios: Vec<(&str, StragglerScenario)> = vec![
+        ("0 + 0ms", StragglerScenario::none()),
+        ("1 + 10ms", StragglerScenario::constant(1, 0.010)),
+        ("2 + 10ms", StragglerScenario::constant(2, 0.010)),
+        ("1 + 30ms", StragglerScenario::constant(1, 0.030)),
+        ("2 + 30ms", StragglerScenario::constant(2, 0.030)),
+    ];
+    let mut rows = Vec::new();
+    let mut panel_b = Vec::new();
+    for (name, sc) in scenarios {
+        let (bsp, asp) = throughputs(&setup1, sc, 0xF1604);
+        rows.push(vec![
+            name.to_string(),
+            format!("{bsp:.0}"),
+            format!("{asp:.0}"),
+        ]);
+        panel_b.push(json!({"scenario": name, "bsp_img_s": bsp, "asp_img_s": asp}));
+    }
+    ex.table(&["stragglers", "BSP img/s", "ASP img/s"], &rows);
+    ex.line("");
+    ex.line("Paper: ASP up to 6.59x faster than BSP; BSP collapses under added latency while ASP barely moves.");
+
+    ex.json = json!({"panel_a": panel_a, "panel_b": panel_b});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig4_ratio_bands() {
+        let ex = super::run();
+        let a = ex.json["panel_a"].as_array().unwrap();
+        let r1 = a[0]["asp_over_bsp"].as_f64().unwrap();
+        let r2 = a[1]["asp_over_bsp"].as_f64().unwrap();
+        assert!((5.0..8.2).contains(&r1), "setup1 ratio {r1} (paper 6.59)");
+        assert!((1.4..2.5).contains(&r2), "setup2 ratio {r2} (paper ~1.86)");
+
+        // Straggler panel: BSP throughput drops sharply with 30ms latency,
+        // ASP loses little.
+        let b = ex.json["panel_b"].as_array().unwrap();
+        let bsp_clean = b[0]["bsp_img_s"].as_f64().unwrap();
+        let bsp_30 = b[3]["bsp_img_s"].as_f64().unwrap();
+        let asp_clean = b[0]["asp_img_s"].as_f64().unwrap();
+        let asp_30 = b[3]["asp_img_s"].as_f64().unwrap();
+        assert!(bsp_30 < 0.7 * bsp_clean, "BSP {bsp_clean} -> {bsp_30}");
+        assert!(asp_30 > 0.8 * asp_clean, "ASP {asp_clean} -> {asp_30}");
+    }
+}

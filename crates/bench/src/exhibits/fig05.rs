@@ -1,0 +1,81 @@
+//! Paper Fig. 5: impact of synchronicity — (a) converged accuracy by
+//! protocol order (BSP, BSP→ASP, ASP→BSP, ASP at a 50% split); (b)
+//! converged accuracy vs the percentage of BSP training (the knee).
+
+use serde_json::json;
+use sync_switch_core::SyncSwitchPolicy;
+use sync_switch_workloads::ExperimentSetup;
+
+use crate::output::Exhibit;
+use crate::runner::{mean_std, repeat_reports, run_order, OrderKind, RUNS};
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig5", "Impact of synchronicity (setup 1)");
+    let setup = ExperimentSetup::one();
+
+    ex.line("(a) Order of synchronicity (50% split, 5 runs each):");
+    let mut rows = Vec::new();
+    let mut panel_a = Vec::new();
+    for order in [
+        OrderKind::Bsp,
+        OrderKind::BspThenAsp,
+        OrderKind::AspThenBsp,
+        OrderKind::Asp,
+    ] {
+        let accs: Vec<f64> = (0..RUNS)
+            .filter_map(|i| run_order(&setup, order, 0.5, 0xF1605 + i * 131).0)
+            .collect();
+        let (mean, std) = mean_std(&accs);
+        rows.push(vec![
+            order.to_string(),
+            format!("{mean:.3}"),
+            format!("±{std:.3}"),
+        ]);
+        panel_a.push(json!({"order": order.to_string(), "mean": mean, "std": std}));
+    }
+    ex.table(&["order", "accuracy", "std"], &rows);
+
+    ex.line("");
+    ex.line("(b) Converged accuracy vs BSP proportion:");
+    let fractions = [0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0];
+    let mut rows = Vec::new();
+    let mut panel_b = Vec::new();
+    for &f in &fractions {
+        let s = repeat_reports(&setup, &SyncSwitchPolicy::new(f, 8), 0xF1605);
+        let mean = s.mean_accuracy().unwrap_or(0.0);
+        rows.push(vec![format!("{:.0}%", f * 100.0), format!("{mean:.3}")]);
+        panel_b.push(json!({"bsp_fraction": f, "accuracy": mean}));
+    }
+    ex.table(&["BSP %", "accuracy"], &rows);
+    ex.line("");
+    ex.line("Paper: accuracy rises with BSP fraction then plateaus at the knee — more BSP does not help beyond it.");
+
+    ex.json = json!({"panel_a": panel_a, "panel_b": panel_b});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig5_orders_and_knee() {
+        let ex = super::run();
+        let a = ex.json["panel_a"].as_array().unwrap();
+        let bsp = a[0]["mean"].as_f64().unwrap();
+        let bsp_asp = a[1]["mean"].as_f64().unwrap();
+        let asp_bsp = a[2]["mean"].as_f64().unwrap();
+        let asp = a[3]["mean"].as_f64().unwrap();
+        // BSP→ASP ≈ BSP; ASP→BSP trails; ASP lowest band.
+        assert!((bsp - bsp_asp).abs() < 0.008, "BSP {bsp} vs BSP→ASP {bsp_asp}");
+        assert!(bsp_asp > asp_bsp, "BSP→ASP {bsp_asp} vs ASP→BSP {asp_bsp}");
+        assert!(bsp > asp + 0.015, "BSP {bsp} vs ASP {asp}");
+
+        // Panel b: monotone-ish rise then plateau.
+        let b = ex.json["panel_b"].as_array().unwrap();
+        let at0 = b[0]["accuracy"].as_f64().unwrap();
+        let at50 = b[6]["accuracy"].as_f64().unwrap();
+        let at100 = b[9]["accuracy"].as_f64().unwrap();
+        assert!(at50 > at0 + 0.015);
+        assert!((at100 - at50).abs() < 0.008, "plateau: {at50} vs {at100}");
+    }
+}

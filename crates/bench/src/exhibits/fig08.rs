@@ -1,0 +1,76 @@
+//! Paper Fig. 8: hyper-parameter configuration comparison — (a) BSP
+//! throughput vs batch-size configuration (global `n·B` = 1024 vs the
+//! unscaled user batch 128); (b) converged accuracy for the five
+//! momentum-scaling variants after the switch.
+
+use serde_json::json;
+use sync_switch_cluster::ClusterSim;
+use sync_switch_convergence::MomentumScaling;
+use sync_switch_core::SyncSwitchPolicy;
+use sync_switch_workloads::ExperimentSetup;
+
+use crate::output::Exhibit;
+use crate::runner::repeat_reports;
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig8", "Hyper-parameter configurations (setup 1)");
+    let setup = ExperimentSetup::one();
+
+    ex.line("(a) BSP batch-size scaling (throughput):");
+    let mut rows = Vec::new();
+    let mut panel_a = Vec::new();
+    // Global batch 1024 = the config policy's n·B (128/worker); global 128
+    // = the unscaled user value (16/worker).
+    for (label, per_worker) in [("1024", 128usize), ("128", 16usize)] {
+        let mut sim = ClusterSim::new(&setup, 0xF1608);
+        sim.set_batch(per_worker);
+        let stats = sim.run_bsp(4_000);
+        let thr = stats.cluster_images_per_sec(per_worker);
+        rows.push(vec![label.to_string(), format!("{thr:.0}")]);
+        panel_a.push(json!({"global_batch": label, "throughput_img_s": thr}));
+    }
+    ex.table(&["BSP global batch", "img/s"], &rows);
+
+    ex.line("");
+    ex.line("(b) Momentum scaling after the switch (converged accuracy):");
+    let mut rows = Vec::new();
+    let mut panel_b = Vec::new();
+    for variant in MomentumScaling::all() {
+        let policy = SyncSwitchPolicy::paper_policy(&setup).with_momentum_scaling(variant);
+        let s = repeat_reports(&setup, &policy, 0xF1608);
+        let mean = s.mean_accuracy().unwrap_or(0.0);
+        rows.push(vec![
+            variant.to_string(),
+            format!("{mean:.3}"),
+            format!("±{:.3}", s.std_accuracy()),
+        ]);
+        panel_b.push(json!({"variant": variant.to_string(), "accuracy": mean}));
+    }
+    ex.table(&["momentum scaling", "accuracy", "std"], &rows);
+    ex.line("");
+    ex.line("Paper: keeping the BSP momentum (Baseline) is best; differences up to ~5 accuracy points.");
+
+    ex.json = json!({"panel_a": panel_a, "panel_b": panel_b});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig8_shapes() {
+        let ex = super::run();
+        let a = ex.json["panel_a"].as_array().unwrap();
+        let big = a[0]["throughput_img_s"].as_f64().unwrap();
+        let small = a[1]["throughput_img_s"].as_f64().unwrap();
+        assert!(big / small > 1.8, "batch scaling {big}/{small}");
+
+        let b = ex.json["panel_b"].as_array().unwrap();
+        let get = |i: usize| b[i]["accuracy"].as_f64().unwrap();
+        let (baseline, zero, fixed, nonlinear, linear) = (get(0), get(1), get(2), get(3), get(4));
+        assert!(baseline > fixed && fixed > nonlinear && nonlinear > linear && linear > zero,
+            "ordering: {baseline} {fixed} {nonlinear} {linear} {zero}");
+        assert!((baseline - zero) > 0.035 && (baseline - zero) < 0.075,
+            "max spread {} (paper ~5%)", baseline - zero);
+    }
+}

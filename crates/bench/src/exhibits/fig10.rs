@@ -1,0 +1,106 @@
+//! Paper Fig. 10: end-to-end comparison — normalized training time and
+//! converged accuracy for BSP, ASP, and Sync-Switch across all setups.
+
+use serde_json::json;
+use sync_switch_core::SyncSwitchPolicy;
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup, SetupId};
+
+use crate::output::{fmt_acc, Exhibit};
+use crate::runner::repeat_reports;
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig10", "End-to-end performance comparison");
+
+    let mut rows_time = Vec::new();
+    let mut rows_acc = Vec::new();
+    let mut payload = Vec::new();
+    for id in SetupId::all() {
+        let setup = ExperimentSetup::from_id(id);
+        let n = setup.cluster_size;
+        let calib = CalibrationTargets::for_setup(id);
+
+        let bsp = repeat_reports(&setup, &SyncSwitchPolicy::static_bsp(n), 0xF1610);
+        let asp = repeat_reports(&setup, &SyncSwitchPolicy::static_asp(n), 0xF1610);
+        let ss = repeat_reports(&setup, &SyncSwitchPolicy::paper_policy(&setup), 0xF1610);
+
+        let bsp_t = bsp.mean_time_s();
+        let asp_frac = if asp.all_diverged() {
+            None
+        } else {
+            asp.mean_completed_time_s().map(|t| t / bsp_t)
+        };
+        let ss_frac = ss.mean_completed_time_s().map(|t| t / bsp_t);
+
+        rows_time.push(vec![
+            id.to_string(),
+            "1.000".to_string(),
+            asp_frac.map_or("Fail".into(), |f| format!("{f:.3}")),
+            ss_frac.map_or("Fail".into(), |f| format!("{f:.3}")),
+            format!(
+                "paper: {} / {:.3}",
+                calib
+                    .asp_time_fraction
+                    .map_or("Fail".to_string(), |f| format!("{f:.3}")),
+                calib.sync_switch_time_fraction
+            ),
+        ]);
+        rows_acc.push(vec![
+            id.to_string(),
+            fmt_acc(bsp.mean_accuracy()),
+            fmt_acc(asp.mean_accuracy()),
+            fmt_acc(ss.mean_accuracy()),
+            format!(
+                "paper: {:.3} / {} / {:.3}",
+                calib.bsp_accuracy,
+                calib
+                    .asp_accuracy
+                    .map_or("Fail".to_string(), |a| format!("{a:.3}")),
+                calib.sync_switch_accuracy
+            ),
+        ]);
+        payload.push(json!({
+            "setup": id.index(),
+            "bsp": {"time_frac": 1.0, "accuracy": bsp.mean_accuracy()},
+            "asp": {"time_frac": asp_frac, "accuracy": asp.mean_accuracy(),
+                    "diverged": asp.all_diverged()},
+            "sync_switch": {"time_frac": ss_frac, "accuracy": ss.mean_accuracy()},
+        }));
+    }
+
+    ex.line("(a) Total training time normalized to BSP:");
+    ex.table(&["setup", "BSP", "ASP", "Sync-Switch", "reference"], &rows_time);
+    ex.line("");
+    ex.line("(b) Converged accuracy:");
+    ex.table(&["setup", "BSP", "ASP", "Sync-Switch", "reference"], &rows_acc);
+
+    ex.json = json!({"setups": payload});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig10_endpoints() {
+        let ex = super::run();
+        let s = ex.json["setups"].as_array().unwrap();
+
+        // Setup 1: SS time ~0.195 of BSP, accuracy ≈ BSP, ASP lowest.
+        let ss1 = s[0]["sync_switch"]["time_frac"].as_f64().unwrap();
+        assert!((0.14..0.28).contains(&ss1), "setup1 SS time frac {ss1}");
+        let acc_bsp = s[0]["bsp"]["accuracy"].as_f64().unwrap();
+        let acc_ss = s[0]["sync_switch"]["accuracy"].as_f64().unwrap();
+        let acc_asp = s[0]["asp"]["accuracy"].as_f64().unwrap();
+        assert!(acc_bsp - acc_ss < 0.01);
+        assert!(acc_ss > acc_asp + 0.012);
+
+        // Setup 2: SS time ~0.6 of BSP.
+        let ss2 = s[1]["sync_switch"]["time_frac"].as_f64().unwrap();
+        assert!((0.42..0.72).contains(&ss2), "setup2 SS time frac {ss2}");
+
+        // Setup 3: ASP diverges, SS survives at ~0.54 of BSP.
+        assert!(s[2]["asp"]["diverged"].as_bool().unwrap());
+        let ss3 = s[2]["sync_switch"]["time_frac"].as_f64().unwrap();
+        assert!((0.45..0.65).contains(&ss3), "setup3 SS time frac {ss3}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Paper Fig. 11: detailed performance of experiment setup 1 — training
+//! loss curves, test-accuracy curves, and converged accuracy / training
+//! time across switch timings {0, 3.125, 6.25, 12.5, 25, 50, 100}%.
+
+use serde_json::json;
+use sync_switch_core::SyncSwitchPolicy;
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup, SetupId};
+
+use crate::output::{fmt_min, Exhibit};
+use crate::runner::{repeat_reports, RunSummary};
+
+/// Shared harness for the per-setup detail figures (11, 12, 13).
+pub fn detail_figure(
+    id: &str,
+    setup_id: SetupId,
+    fractions: &[f64],
+    seed: u64,
+) -> Exhibit {
+    let setup = ExperimentSetup::from_id(setup_id);
+    let calib = CalibrationTargets::for_setup(setup_id);
+    let n = setup.cluster_size;
+    let mut ex = Exhibit::new(
+        id,
+        &format!(
+            "Performance of {} ({} on {}, {} workers)",
+            setup_id, setup.workload.model.name, setup.workload.dataset.name, n
+        ),
+    );
+
+    // Sweep switch timings (the paper's panels c/d).
+    let summaries: Vec<(f64, RunSummary)> = fractions
+        .iter()
+        .map(|&f| (f, repeat_reports(&setup, &SyncSwitchPolicy::new(f, n), seed)))
+        .collect();
+
+    // Panels a/b: curves for BSP, ASP (or the first failing fraction), and
+    // the paper policy.
+    let policy_fraction = calib.policy_fraction();
+    let curves: Vec<(&str, Option<&RunSummary>)> = vec![
+        ("BSP", summaries.iter().find(|(f, _)| *f == 1.0).map(|(_, s)| s)),
+        ("ASP", summaries.iter().find(|(f, _)| *f == 0.0).map(|(_, s)| s)),
+        (
+            "Sync-Switch",
+            summaries
+                .iter()
+                .find(|(f, _)| (*f - policy_fraction).abs() < 1e-9)
+                .map(|(_, s)| s),
+        ),
+    ];
+    ex.line("(a/b) Training loss and test accuracy (best run) at checkpoints:");
+    let total = setup.workload.hyper.total_steps;
+    let probes: Vec<u64> = (0..=8).map(|i| i * total / 8).collect();
+    let mut rows = Vec::new();
+    for (name, summary) in &curves {
+        let Some(s) = summary else { continue };
+        match s.best() {
+            Some(best) => {
+                let mut loss_row = vec![format!("{name} loss")];
+                let mut acc_row = vec![format!("{name} acc")];
+                for &p in &probes {
+                    let e = best
+                        .evals
+                        .iter()
+                        .min_by_key(|e| e.step.abs_diff(p))
+                        .expect("non-empty evals");
+                    loss_row.push(format!("{:.4}", e.loss));
+                    acc_row.push(format!("{:.3}", e.accuracy));
+                }
+                rows.push(loss_row);
+                rows.push(acc_row);
+            }
+            None => {
+                rows.push(vec![format!("{name}"), "diverged".into()]);
+            }
+        }
+    }
+    let header: Vec<String> = std::iter::once("series".to_string())
+        .chain(probes.iter().map(|s| format!("{}k", s / 1000)))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    ex.table(&header_refs, &rows);
+
+    ex.line("");
+    ex.line("(c/d) Converged accuracy and total training time vs switch timing:");
+    let mut rows = Vec::new();
+    let mut sweep = Vec::new();
+    for (f, s) in &summaries {
+        let label = if *f == 0.0 {
+            "0% (ASP)".to_string()
+        } else if *f == 1.0 {
+            "100% (BSP)".to_string()
+        } else {
+            format!("{:.3}%", f * 100.0)
+        };
+        let acc = if s.all_diverged() {
+            "Fail".to_string()
+        } else {
+            format!("{:.3}", s.mean_accuracy().unwrap_or(0.0))
+        };
+        let time = s
+            .mean_completed_time_s()
+            .map_or("Fail".into(), fmt_min);
+        rows.push(vec![label, acc, time]);
+        sweep.push(json!({
+            "fraction": f,
+            "accuracy": if s.all_diverged() { None } else { s.mean_accuracy() },
+            "accuracy_std": s.std_accuracy(),
+            "time_s": s.mean_completed_time_s(),
+            "diverged": s.all_diverged(),
+        }));
+    }
+    ex.table(&["switch timing", "accuracy", "time (min)"], &rows);
+
+    // Headline numbers.
+    let bsp = summaries
+        .iter()
+        .find(|(f, _)| *f == 1.0)
+        .map(|(_, s)| s)
+        .expect("sweep includes BSP");
+    let ss = summaries
+        .iter()
+        .find(|(f, _)| (*f - policy_fraction).abs() < 1e-9)
+        .map(|(_, s)| s)
+        .expect("sweep includes the paper policy");
+    let saving = 1.0
+        - ss.mean_completed_time_s().unwrap_or(f64::NAN) / bsp.mean_time_s();
+    ex.line("");
+    ex.line(format!(
+        "Policy P ({:.3}%): accuracy {:.3} vs BSP {:.3}; training-time saving {:.1}% \
+         (paper: {:.1}%).",
+        policy_fraction * 100.0,
+        ss.mean_accuracy().unwrap_or(0.0),
+        bsp.mean_accuracy().unwrap_or(0.0),
+        100.0 * saving,
+        100.0 * (1.0 - calib.sync_switch_time_fraction),
+    ));
+
+    ex.json = json!({
+        "setup": setup_id.index(),
+        "policy_fraction": policy_fraction,
+        "sweep": sweep,
+        "time_saving_vs_bsp": saving,
+        "paper_time_saving": 1.0 - calib.sync_switch_time_fraction,
+        "curves": curves.iter().filter_map(|(name, s)| {
+            s.and_then(|s| s.best()).map(|best| json!({
+                "name": name,
+                "accuracy_curve": best.accuracy_curve(),
+                "loss_curve": best.loss_curve(),
+            }))
+        }).collect::<Vec<_>>(),
+    });
+    ex
+}
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    detail_figure(
+        "fig11",
+        SetupId::One,
+        &[0.0, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0],
+        0xF1611,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig11_shape() {
+        let ex = super::run();
+        let sweep = ex.json["sweep"].as_array().unwrap();
+        // Timing has minimal accuracy impact between 6.25% and 50%
+        // but big time impact (paper's key observation).
+        let acc_at = |i: usize| sweep[i]["accuracy"].as_f64().unwrap();
+        let time_at = |i: usize| sweep[i]["time_s"].as_f64().unwrap();
+        // indices: 0=0%,1=3.125,2=6.25,3=12.5,4=25,5=50,6=100
+        assert!((acc_at(2) - acc_at(5)).abs() < 0.008, "plateau 6.25–50%");
+        assert!(time_at(5) > 2.0 * time_at(2), "time grows with BSP share");
+        // Below the knee accuracy drops measurably.
+        assert!(acc_at(2) - acc_at(1) > 0.008, "3.125% below knee");
+        // ~80% time saving at the policy point (paper: 80.5%).
+        let saving = ex.json["time_saving_vs_bsp"].as_f64().unwrap();
+        assert!((0.72..0.88).contains(&saving), "saving {saving}");
+    }
+}

@@ -1,0 +1,35 @@
+//! Paper Fig. 12: detailed performance of experiment setup 2
+//! (ResNet50/CIFAR-100, 8 workers) with switch timings
+//! {0, 6.25, 12.5, 25, 50, 100}%.
+
+use sync_switch_workloads::SetupId;
+
+use crate::exhibits::fig11::detail_figure;
+use crate::output::Exhibit;
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    detail_figure(
+        "fig12",
+        SetupId::Two,
+        &[0.0, 0.0625, 0.125, 0.25, 0.5, 1.0],
+        0xF1612,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig12_shape() {
+        let ex = super::run();
+        let sweep = ex.json["sweep"].as_array().unwrap();
+        let acc_at = |i: usize| sweep[i]["accuracy"].as_f64().unwrap();
+        // indices: 0=0%,1=6.25,2=12.5,3=25,4=50,5=100
+        // Knee at 12.5%: accuracy there ≈ BSP, 6.25% trails.
+        assert!(acc_at(5) - acc_at(2) < 0.012, "12.5% near BSP");
+        assert!(acc_at(2) - acc_at(1) > 0.008, "6.25% below knee");
+        // ~40% time saving (paper: 39.9%).
+        let saving = ex.json["time_saving_vs_bsp"].as_f64().unwrap();
+        assert!((0.28..0.55).contains(&saving), "saving {saving}");
+    }
+}

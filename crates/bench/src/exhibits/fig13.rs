@@ -1,0 +1,33 @@
+//! Paper Fig. 13: experiment setup 3 (ResNet32/CIFAR-10, 16 workers) —
+//! ASP and every switch timing before the first learning-rate decay (50%)
+//! diverge; Sync-Switch at 50% completes with BSP-level accuracy.
+
+use sync_switch_workloads::SetupId;
+
+use crate::exhibits::fig11::detail_figure;
+use crate::output::Exhibit;
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    detail_figure("fig13", SetupId::Three, &[0.0, 0.25, 0.5, 1.0], 0xF1613)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig13_divergence_region() {
+        let ex = super::run();
+        let sweep = ex.json["sweep"].as_array().unwrap();
+        // 0% and 25% diverge; 50% and 100% complete.
+        assert!(sweep[0]["diverged"].as_bool().unwrap(), "ASP must diverge");
+        assert!(sweep[1]["diverged"].as_bool().unwrap(), "25% must diverge");
+        assert!(!sweep[2]["diverged"].as_bool().unwrap(), "50% must complete");
+        assert!(!sweep[3]["diverged"].as_bool().unwrap(), "BSP must complete");
+        let acc50 = sweep[2]["accuracy"].as_f64().unwrap();
+        let acc100 = sweep[3]["accuracy"].as_f64().unwrap();
+        assert!((acc50 - acc100).abs() < 0.01, "SS {acc50} vs BSP {acc100}");
+        // ~46% time saving at 50% (paper: 46.4%).
+        let saving = ex.json["time_saving_vs_bsp"].as_f64().unwrap();
+        assert!((0.36..0.56).contains(&saving), "saving {saving}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Paper Fig. 14: cross-examination — applying each setup's policy
+//! (P1 = 6.25%, P2 = 12.5%, P3 = 50%) to every experiment setup.
+
+use serde_json::json;
+use sync_switch_core::SyncSwitchPolicy;
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup, SetupId};
+
+use crate::output::{fmt_min, Exhibit};
+use crate::runner::repeat_reports;
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig14", "Cross-examination of Sync-Switch policies");
+
+    let policies: Vec<(String, f64)> = SetupId::all()
+        .iter()
+        .map(|&id| {
+            (
+                format!("Policy {}", id.index()),
+                CalibrationTargets::for_setup(id).policy_fraction(),
+            )
+        })
+        .collect();
+
+    let mut rows_time = Vec::new();
+    let mut rows_acc = Vec::new();
+    let mut payload = Vec::new();
+    for id in SetupId::all() {
+        let setup = ExperimentSetup::from_id(id);
+        let mut time_row = vec![id.to_string()];
+        let mut acc_row = vec![id.to_string()];
+        for (pname, fraction) in &policies {
+            let policy = SyncSwitchPolicy::new(*fraction, setup.cluster_size);
+            let s = repeat_reports(&setup, &policy, 0xF1614);
+            let (time, acc) = if s.all_diverged() {
+                ("Fail".to_string(), "Fail".to_string())
+            } else {
+                (
+                    s.mean_completed_time_s().map_or("Fail".into(), fmt_min),
+                    format!("{:.3}", s.mean_accuracy().unwrap_or(0.0)),
+                )
+            };
+            time_row.push(time);
+            acc_row.push(acc);
+            payload.push(json!({
+                "setup": id.index(),
+                "policy": pname,
+                "fraction": fraction,
+                "accuracy": if s.all_diverged() { None } else { s.mean_accuracy() },
+                "time_s": s.mean_completed_time_s(),
+                "diverged": s.all_diverged(),
+            }));
+        }
+        rows_time.push(time_row);
+        rows_acc.push(acc_row);
+    }
+
+    ex.line("(a) Total training time in minutes (policy × setup):");
+    ex.table(&["setup", "Policy 1", "Policy 2", "Policy 3"], &rows_time);
+    ex.line("");
+    ex.line("(b) Converged accuracy:");
+    ex.table(&["setup", "Policy 1", "Policy 2", "Policy 3"], &rows_acc);
+    ex.line("");
+    ex.line(
+        "Paper: wrong policies cost time (P3 on setup 1 ≈ 3× P1's time) or fail \
+         outright (P1/P2 on setup 3 diverge); the matched policy is required.",
+    );
+
+    ex.json = json!({"grid": payload});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig14_cross_effects() {
+        let ex = super::run();
+        let grid = ex.json["grid"].as_array().unwrap();
+        let cell = |setup: u64, policy: &str| {
+            grid.iter()
+                .find(|c| {
+                    c["setup"].as_u64() == Some(setup) && c["policy"].as_str() == Some(policy)
+                })
+                .unwrap()
+        };
+        // P1 and P2 on setup 3 diverge (switch before the first decay).
+        assert!(cell(3, "Policy 1")["diverged"].as_bool().unwrap());
+        assert!(cell(3, "Policy 2")["diverged"].as_bool().unwrap());
+        assert!(!cell(3, "Policy 3")["diverged"].as_bool().unwrap());
+        // P3 on setup 1 converges fine but costs ~3× P1's time.
+        let t_p1 = cell(1, "Policy 1")["time_s"].as_f64().unwrap();
+        let t_p3 = cell(1, "Policy 3")["time_s"].as_f64().unwrap();
+        assert!((2.2..4.0).contains(&(t_p3 / t_p1)), "ratio {}", t_p3 / t_p1);
+        // P2 on setup 1: similar accuracy, longer time (paper: +33%).
+        let t_p2 = cell(1, "Policy 2")["time_s"].as_f64().unwrap();
+        assert!((1.15..1.6).contains(&(t_p2 / t_p1)), "ratio {}", t_p2 / t_p1);
+        let a_p1 = cell(1, "Policy 1")["accuracy"].as_f64().unwrap();
+        let a_p2 = cell(1, "Policy 2")["accuracy"].as_f64().unwrap();
+        assert!((a_p1 - a_p2).abs() < 0.008);
+    }
+}

@@ -1,0 +1,132 @@
+//! Paper Fig. 15: straggler-aware policy comparison — converged accuracy
+//! and normalized training time for the baseline (straggler-agnostic),
+//! greedy, and elastic policies under two transient-straggler scenarios.
+
+use serde_json::json;
+use sync_switch_cluster::StragglerScenario;
+use sync_switch_core::{OnlinePolicyKind, SyncSwitchPolicy};
+use sync_switch_workloads::ExperimentSetup;
+
+use crate::output::Exhibit;
+use crate::runner::{mean_std, run_report_with_scenario, RUNS};
+
+/// Builds the two scenarios of §VI-B3, timed to land inside setup 1's BSP
+/// phase (~580 s at the 6.25% policy).
+fn scenarios() -> Vec<(&'static str, StragglerScenario)> {
+    vec![
+        // Scenario 1 (mild): 1 straggler × 1 occurrence @ 10 ms.
+        ("scenario 1 (mild)", StragglerScenario::mild(150.0)),
+        // Scenario 2 (moderate): 2 stragglers × 4 occurrences @ 30 ms.
+        ("scenario 2 (moderate)", StragglerScenario::moderate(60.0, 150.0)),
+    ]
+}
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig15", "Straggler-aware policies (setup 1)");
+    let setup = ExperimentSetup::one();
+
+    let mut payload = Vec::new();
+    for (scenario_name, scenario) in scenarios() {
+        ex.line(format!("{scenario_name}:"));
+        let mut rows = Vec::new();
+        let mut baseline_time = 0.0;
+        for online in OnlinePolicyKind::all() {
+            let policy = SyncSwitchPolicy::paper_policy(&setup).with_online(online);
+            let reports: Vec<_> = (0..RUNS)
+                .map(|i| {
+                    run_report_with_scenario(
+                        &setup,
+                        &policy,
+                        scenario.clone(),
+                        0xF1615 + i * 101,
+                    )
+                })
+                .collect();
+            let accs: Vec<f64> = reports
+                .iter()
+                .filter_map(|r| r.converged_accuracy)
+                .collect();
+            let times: Vec<f64> = reports.iter().map(|r| r.total_time_s).collect();
+            let (acc, acc_std) = mean_std(&accs);
+            let (time, _) = mean_std(&times);
+            if online == OnlinePolicyKind::Baseline {
+                baseline_time = time;
+            }
+            let switches =
+                reports.iter().map(|r| r.switches.len()).sum::<usize>() as f64 / RUNS as f64;
+            let evictions =
+                reports.iter().map(|r| r.removed_workers.len()).sum::<usize>() as f64
+                    / RUNS as f64;
+            rows.push(vec![
+                online.to_string(),
+                format!("{acc:.3}±{acc_std:.3}"),
+                format!("{:.3}", time / baseline_time),
+                format!("{switches:.1}"),
+                format!("{evictions:.1}"),
+            ]);
+            payload.push(json!({
+                "scenario": scenario_name,
+                "policy": online.to_string(),
+                "accuracy": acc,
+                "normalized_time": time / baseline_time,
+                "mean_switches": switches,
+                "mean_evictions": evictions,
+            }));
+        }
+        ex.table(
+            &["policy", "accuracy", "norm. time", "switches", "evictions"],
+            &rows,
+        );
+        ex.line("");
+    }
+    ex.line(
+        "Paper: greedy costs ~2% accuracy (two extra switches); elastic preserves \
+         accuracy and is ~1.1x faster than the baseline under moderate stragglers.",
+    );
+
+    ex.json = json!({"cells": payload});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig15_policy_effects() {
+        let ex = super::run();
+        let cells = ex.json["cells"].as_array().unwrap();
+        let cell = |scenario: &str, policy: &str| {
+            cells
+                .iter()
+                .find(|c| {
+                    c["scenario"].as_str().unwrap().starts_with(scenario)
+                        && c["policy"].as_str() == Some(policy)
+                })
+                .unwrap()
+        };
+        // Moderate scenario: elastic preserves accuracy and beats baseline
+        // on time; greedy loses accuracy.
+        let base = cell("scenario 2", "Baseline");
+        let greedy = cell("scenario 2", "Greedy");
+        let elastic = cell("scenario 2", "Elastic");
+        let base_acc = base["accuracy"].as_f64().unwrap();
+        let greedy_acc = greedy["accuracy"].as_f64().unwrap();
+        let elastic_acc = elastic["accuracy"].as_f64().unwrap();
+        assert!(
+            base_acc - greedy_acc > 0.008,
+            "greedy should lose accuracy: {base_acc} vs {greedy_acc}"
+        );
+        assert!(
+            (base_acc - elastic_acc).abs() < 0.008,
+            "elastic preserves accuracy: {base_acc} vs {elastic_acc}"
+        );
+        let elastic_time = elastic["normalized_time"].as_f64().unwrap();
+        assert!(
+            elastic_time < 1.0,
+            "elastic should beat the baseline: {elastic_time}"
+        );
+        // Elastic actually evicted someone; greedy actually switched extra.
+        assert!(elastic["mean_evictions"].as_f64().unwrap() >= 1.0);
+        assert!(greedy["mean_switches"].as_f64().unwrap() > 1.5);
+    }
+}

@@ -1,0 +1,111 @@
+//! Paper Fig. 16: search cost vs attempts-per-setting trade-off for the
+//! three search-settings families (ground truth `bn = n`, recurring,
+//! `bn = 1`), across all setups. A setting is "successful" when it finds
+//! the ground-truth timing with ≥ 99% probability.
+
+use serde_json::json;
+use sync_switch_core::{simulate_search_setting, SearchSetting};
+use sync_switch_workloads::{ExperimentSetup, SetupId};
+
+use crate::output::Exhibit;
+
+const TRIALS: usize = 400;
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("fig16", "Search cost and performance trade-off");
+
+    let families: Vec<(&str, Box<dyn Fn(usize) -> SearchSetting>)> = vec![
+        (
+            "bn=n (ground truth)",
+            Box::new(|n| SearchSetting {
+                recurring: false,
+                bsp_runs: n,
+                candidate_runs: n,
+            }),
+        ),
+        (
+            "recurring",
+            Box::new(|n| SearchSetting {
+                recurring: true,
+                bsp_runs: 0,
+                candidate_runs: n,
+            }),
+        ),
+        (
+            "bn=1",
+            Box::new(|n| SearchSetting {
+                recurring: false,
+                bsp_runs: 1,
+                candidate_runs: n,
+            }),
+        ),
+    ];
+
+    let mut payload = Vec::new();
+    for id in SetupId::all() {
+        let setup = ExperimentSetup::from_id(id);
+        ex.line(format!("{id} (cost in BSP trainings; * = success ≥ 99%):"));
+        let mut rows = Vec::new();
+        for (family, make) in &families {
+            let mut row = vec![family.to_string()];
+            for attempts in 1..=5 {
+                let r = simulate_search_setting(&setup, make(attempts), TRIALS, 0.01, 0xF1616);
+                let marker = if r.success_probability >= 0.99 { "*" } else { "" };
+                row.push(format!("{:.2}{}", r.search_cost, marker));
+                payload.push(json!({
+                    "setup": id.index(),
+                    "family": family,
+                    "attempts": attempts,
+                    "cost": r.search_cost,
+                    "success": r.success_probability,
+                }));
+            }
+            rows.push(row);
+        }
+        ex.table(&["family", "1", "2", "3", "4", "5"], &rows);
+        ex.line("");
+    }
+    ex.line("Paper: cost grows linearly with attempts; recurring jobs are the cheapest family; low-attempt settings lose reliability.");
+
+    ex.json = json!({"points": payload});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fig16_cost_monotone_in_attempts() {
+        let ex = super::run();
+        let points = ex.json["points"].as_array().unwrap();
+        let cost = |setup: u64, family: &str, attempts: u64| {
+            points
+                .iter()
+                .find(|p| {
+                    p["setup"].as_u64() == Some(setup)
+                        && p["family"].as_str() == Some(family)
+                        && p["attempts"].as_u64() == Some(attempts)
+                })
+                .unwrap()["cost"]
+                .as_f64()
+                .unwrap()
+        };
+        for setup in 1..=3u64 {
+            for family in ["bn=n (ground truth)", "recurring", "bn=1"] {
+                for a in 1..5u64 {
+                    assert!(
+                        cost(setup, family, a) < cost(setup, family, a + 1),
+                        "cost should grow with attempts ({setup}, {family}, {a})"
+                    );
+                }
+            }
+            // Recurring is cheapest at every attempt count.
+            for a in 1..=5u64 {
+                assert!(cost(setup, "recurring", a) < cost(setup, "bn=n (ground truth)", a));
+            }
+        }
+        // Fig. 16a anchor: setup 1 ground-truth family at 5 attempts ≈ 12.7.
+        let c = cost(1, "bn=n (ground truth)", 5);
+        assert!((11.0..14.5).contains(&c), "anchor cost {c}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Paper Table I: summary of experiment setups, timing policies, and
+//! throughput / TTA speedups of Sync-Switch vs ASP and BSP.
+
+use serde_json::json;
+use sync_switch_core::SyncSwitchPolicy;
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup, SetupId};
+
+use crate::output::Exhibit;
+use crate::runner::repeat_reports;
+
+/// Runs the exhibit.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new(
+        "table1",
+        "Experiment setups, timing policies, and speedups",
+    );
+
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for id in SetupId::all() {
+        let setup = ExperimentSetup::from_id(id);
+        let n = setup.cluster_size;
+        let calib = CalibrationTargets::for_setup(id);
+
+        let bsp = repeat_reports(&setup, &SyncSwitchPolicy::static_bsp(n), 0xAB1E1);
+        let asp = repeat_reports(&setup, &SyncSwitchPolicy::static_asp(n), 0xAB1E1);
+        let ss = repeat_reports(&setup, &SyncSwitchPolicy::paper_policy(&setup), 0xAB1E1);
+
+        let batch = setup.workload.hyper.batch_size;
+        let thr = |s: &crate::runner::RunSummary| -> Option<f64> {
+            let ok: Vec<f64> = s
+                .reports
+                .iter()
+                .filter(|r| r.completed())
+                .map(|r| r.throughput_images_per_sec(batch))
+                .collect();
+            (!ok.is_empty()).then(|| ok.iter().sum::<f64>() / ok.len() as f64)
+        };
+        let ss_thr = thr(&ss).expect("sync-switch completes");
+        let bsp_thr = thr(&bsp).expect("bsp completes");
+        let asp_thr = thr(&asp);
+
+        let thr_vs_asp = asp_thr.map(|a| ss_thr / a);
+        let thr_vs_bsp = ss_thr / bsp_thr;
+        let tta_vs_bsp = match (ss.mean_tta_s(), bsp.mean_tta_s()) {
+            (Some(s), Some(b)) => Some(b / s),
+            _ => None,
+        };
+
+        rows.push(vec![
+            id.index().to_string(),
+            format!(
+                "{}, {}",
+                setup.workload.model.name, setup.workload.dataset.name
+            ),
+            format!("{n}, K80"),
+            format!("P{}: ([BSP, ASP], {:.3}%)", id.index(), calib.policy_fraction() * 100.0),
+            thr_vs_asp.map_or("failed".into(), |x| format!("{x:.2}X")),
+            format!("{thr_vs_bsp:.2}X"),
+            "N/A".to_string(),
+            tta_vs_bsp.map_or("N/A".into(), |x| format!("{x:.2}X")),
+        ]);
+        payload.push(json!({
+            "setup": id.index(),
+            "policy_fraction": calib.policy_fraction(),
+            "throughput_vs_asp": thr_vs_asp,
+            "throughput_vs_bsp": thr_vs_bsp,
+            "tta_vs_bsp": tta_vs_bsp,
+            "paper": {
+                "throughput_vs_bsp": calib.throughput_speedup_vs_bsp,
+                "tta_vs_bsp": calib.tta_speedup_vs_bsp,
+            },
+        }));
+    }
+    ex.table(
+        &[
+            "setup",
+            "workload",
+            "cluster",
+            "policy",
+            "thr vs ASP",
+            "thr vs BSP",
+            "TTA vs ASP",
+            "TTA vs BSP",
+        ],
+        &rows,
+    );
+    ex.line("");
+    ex.line("Paper: 0.78X/5.13X/3.99X (setup 1), 0.89X/1.66X/1.60X (setup 2), failed/1.87X/1.08X (setup 3).");
+
+    ex.json = json!({"rows": payload});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn table1_speedup_bands() {
+        let ex = super::run();
+        let rows = ex.json["rows"].as_array().unwrap();
+
+        // Setup 1: throughput speedup vs BSP ≈ 5.13X, vs ASP < 1.
+        let t1 = rows[0]["throughput_vs_bsp"].as_f64().unwrap();
+        assert!((3.8..6.4).contains(&t1), "setup1 thr vs BSP {t1}");
+        let a1 = rows[0]["throughput_vs_asp"].as_f64().unwrap();
+        assert!((0.6..1.0).contains(&a1), "setup1 thr vs ASP {a1}");
+        let tta1 = rows[0]["tta_vs_bsp"].as_f64().unwrap();
+        assert!((2.5..6.5).contains(&tta1), "setup1 TTA {tta1} (paper 3.99)");
+
+        // Setup 2: ~1.66X vs BSP.
+        let t2 = rows[1]["throughput_vs_bsp"].as_f64().unwrap();
+        assert!((1.3..2.2).contains(&t2), "setup2 thr vs BSP {t2}");
+
+        // Setup 3: ASP failed; ~1.87X vs BSP.
+        assert!(rows[2]["throughput_vs_asp"].is_null());
+        let t3 = rows[2]["throughput_vs_bsp"].as_f64().unwrap();
+        assert!((1.5..2.3).contains(&t3), "setup3 thr vs BSP {t3}");
+    }
+}

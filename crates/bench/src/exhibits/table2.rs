@@ -1,0 +1,157 @@
+//! Paper Table II (and the full per-setup grids of Tables IV/V/VI):
+//! binary-search cost analysis over 1000 Monte-Carlo trials per setting.
+
+use serde_json::json;
+use sync_switch_core::{simulate_search_setting, SearchCostRow, SearchSetting};
+use sync_switch_workloads::{ExperimentSetup, SetupId};
+
+use crate::output::Exhibit;
+
+const TRIALS: usize = 1000;
+const BETA: f64 = 0.01;
+
+fn row_to_strings(r: &SearchCostRow) -> Vec<String> {
+    vec![
+        r.setting.to_string(),
+        format!("{:.2}X", r.search_cost),
+        format!("{:.2}", r.amortized_recurrences),
+        format!("{:.2}X", r.effective_training),
+        format!("{:.1}%", 100.0 * r.success_probability),
+    ]
+}
+
+fn row_to_json(setup: SetupId, r: &SearchCostRow) -> serde_json::Value {
+    json!({
+        "setup": setup.index(),
+        "setting": r.setting.to_string(),
+        "recurring": r.setting.recurring,
+        "bsp_runs": r.setting.bsp_runs,
+        "candidate_runs": r.setting.candidate_runs,
+        "search_cost": r.search_cost,
+        "amortized": r.amortized_recurrences,
+        "effective_training": r.effective_training,
+        "success_probability": r.success_probability,
+    })
+}
+
+/// Runs paper Table II: the three representative settings per setup.
+pub fn run() -> Exhibit {
+    let mut ex = Exhibit::new("table2", "Binary search cost analysis (β = 0.01)");
+    let selected: Vec<(SetupId, Vec<SearchSetting>)> = vec![
+        (
+            SetupId::One,
+            vec![
+                SearchSetting::baseline(),
+                SearchSetting { recurring: false, bsp_runs: 3, candidate_runs: 3 },
+                SearchSetting { recurring: true, bsp_runs: 0, candidate_runs: 3 },
+            ],
+        ),
+        (
+            SetupId::Two,
+            vec![
+                SearchSetting::baseline(),
+                SearchSetting { recurring: false, bsp_runs: 4, candidate_runs: 4 },
+                SearchSetting { recurring: true, bsp_runs: 0, candidate_runs: 4 },
+            ],
+        ),
+        (
+            SetupId::Three,
+            vec![
+                SearchSetting::baseline(),
+                SearchSetting { recurring: false, bsp_runs: 3, candidate_runs: 3 },
+                SearchSetting { recurring: true, bsp_runs: 0, candidate_runs: 1 },
+            ],
+        ),
+    ];
+
+    let mut payload = Vec::new();
+    let mut rows = Vec::new();
+    for (id, settings) in selected {
+        let setup = ExperimentSetup::from_id(id);
+        for setting in settings {
+            let r = simulate_search_setting(&setup, setting, TRIALS, BETA, 0xAB1E2);
+            let mut cells = vec![format!("Exp.{}", id.index())];
+            cells.extend(row_to_strings(&r));
+            rows.push(cells);
+            payload.push(row_to_json(id, &r));
+        }
+    }
+    ex.table(
+        &["setup", "setting", "cost", "amortization", "effective", "success"],
+        &rows,
+    );
+    ex.line("");
+    ex.line("Paper Table II anchors: (Exp.1, No,5,5) = 12.71X / 15.79 / 1.97X / 100%; (Exp.3, Yes,0,1) = 0.54X / 1.16 / 1.87X / 100%.");
+
+    ex.json = json!({"rows": payload});
+    ex
+}
+
+/// Runs a full per-setup grid (paper Tables IV, V, VI).
+pub fn run_full(setup_id: SetupId, exhibit_id: &str) -> Exhibit {
+    let setup = ExperimentSetup::from_id(setup_id);
+    let mut ex = Exhibit::new(
+        exhibit_id,
+        &format!("Cost and performance analysis for {setup_id}"),
+    );
+    let mut rows = Vec::new();
+    let mut payload = Vec::new();
+    for setting in SearchSetting::table_rows() {
+        let r = simulate_search_setting(&setup, setting, TRIALS, BETA, 0xAB1E2);
+        rows.push(row_to_strings(&r));
+        payload.push(row_to_json(setup_id, &r));
+    }
+    ex.table(
+        &["setting", "cost", "amortization", "effective", "success"],
+        &rows,
+    );
+    ex.json = json!({"rows": payload});
+    ex
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_anchor_rows() {
+        let ex = run();
+        let rows = ex.json["rows"].as_array().unwrap();
+        let find = |setup: u64, setting: &str| {
+            rows.iter()
+                .find(|r| {
+                    r["setup"].as_u64() == Some(setup) && r["setting"].as_str() == Some(setting)
+                })
+                .unwrap()
+        };
+        // (Exp.1, No, 5, 5): paper 12.71X / 15.79 / 1.97X / 100%.
+        let r = find(1, "(No, 5, 5)");
+        assert!((11.0..14.5).contains(&r["search_cost"].as_f64().unwrap()));
+        assert!((13.0..19.0).contains(&r["amortized"].as_f64().unwrap()));
+        assert!((1.6..2.4).contains(&r["effective_training"].as_f64().unwrap()));
+        assert!(r["success_probability"].as_f64().unwrap() > 0.9);
+        // (Exp.3, Yes, 0, 1): paper 0.54X / 1.16 / 1.87X / 100%.
+        let r = find(3, "(Yes, 0, 1)");
+        assert!((0.4..0.8).contains(&r["search_cost"].as_f64().unwrap()));
+        assert!(r["success_probability"].as_f64().unwrap() > 0.95);
+    }
+
+    #[test]
+    fn full_grid_has_14_rows_and_monotone_cost() {
+        let ex = run_full(SetupId::One, "table4");
+        let rows = ex.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 14);
+        // Within the (No, n, n) family, cost decreases as runs decrease.
+        let costs: Vec<f64> = rows[..5]
+            .iter()
+            .map(|r| r["search_cost"].as_f64().unwrap())
+            .collect();
+        for w in costs.windows(2) {
+            assert!(w[0] > w[1], "costs must decrease: {costs:?}");
+        }
+        // Success probability decreases from (No,5,5) to (No,1,1).
+        let s55 = rows[0]["success_probability"].as_f64().unwrap();
+        let s11 = rows[4]["success_probability"].as_f64().unwrap();
+        assert!(s55 > s11, "success {s55} vs {s11}");
+    }
+}

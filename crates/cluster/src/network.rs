@@ -1,0 +1,128 @@
+//! Network and synchronization-cost model.
+//!
+//! ## Calibration
+//!
+//! Constants are fitted so the simulated ASP-over-BSP throughput ratios
+//! match the paper (Table I / Fig. 4): ≈6.6× for ResNet32 on 8 workers,
+//! ≈1.9× for ResNet50 on 8 workers, ≈14× for ResNet32 on 16 workers.
+//!
+//! * `BSP_COORD_*`: TensorFlow's synchronous-replica coordination cost per
+//!   barrier round (session-run fan-out, per-variable synchronization,
+//!   barrier bookkeeping). Grows superlinearly with cluster size, which is
+//!   what makes BSP collapse at 16 workers in the paper.
+//! * `ASP_APPLY_S_PER_MPARAM`: serialization cost of applying dense updates
+//!   at the PSs under ASP, per million parameters — negligible for ResNet32,
+//!   substantial for ResNet50 (this is why ASP's edge shrinks to ~1.9× for
+//!   the larger model).
+
+use sync_switch_workloads::ModelSpec;
+
+/// Cluster network + synchronization cost model for a collocated
+/// PS/worker deployment (one parameter shard per node).
+#[derive(Debug, Clone)]
+pub struct NetworkModel {
+    /// Per-NIC bandwidth, bytes/second.
+    pub bandwidth_bps: f64,
+    /// Per-message base latency, seconds.
+    pub base_latency_s: f64,
+}
+
+impl NetworkModel {
+    /// BSP coordination cost constants: `c0 + c1·n + c2·n²` seconds/round.
+    pub const BSP_COORD_C0: f64 = 0.05;
+    /// Linear coordination term (per worker).
+    pub const BSP_COORD_C1: f64 = 0.085;
+    /// Quadratic coordination term (incast/synchronization contention).
+    pub const BSP_COORD_C2: f64 = 0.0035;
+    /// ASP server-side dense-update application cost, s per 10⁶ params.
+    pub const ASP_APPLY_S_PER_MPARAM: f64 = 0.0068;
+
+    /// GCP-era defaults: ~2 GB/s effective NIC bandwidth, 0.5 ms latency.
+    pub fn gcp_default() -> Self {
+        NetworkModel {
+            bandwidth_bps: 2.0e9,
+            base_latency_s: 0.0005,
+        }
+    }
+
+    /// Time for one worker to exchange (push gradients + pull parameters)
+    /// with the sharded PSs; the local shard (1/n of the volume) is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn exchange_time_s(&self, model: &ModelSpec, n: usize) -> f64 {
+        assert!(n > 0, "cluster size must be positive");
+        let remote_fraction = (n - 1) as f64 / n as f64;
+        let bytes = 2.0 * model.param_bytes() as f64 * remote_fraction;
+        bytes / self.bandwidth_bps + 2.0 * self.base_latency_s
+    }
+
+    /// BSP per-round coordination cost for `n` active workers.
+    pub fn bsp_coordination_s(&self, n: usize) -> f64 {
+        let nf = n as f64;
+        Self::BSP_COORD_C0 + Self::BSP_COORD_C1 * nf + Self::BSP_COORD_C2 * nf * nf
+    }
+
+    /// ASP per-push server-side apply overhead for a model.
+    pub fn asp_apply_overhead_s(&self, model: &ModelSpec) -> f64 {
+        Self::ASP_APPLY_S_PER_MPARAM * model.param_count as f64 / 1e6
+    }
+
+    /// Extra per-step delay experienced by a straggler whose every message
+    /// suffers `added_latency_s`: TensorFlow issues (at least) one RPC round
+    /// per trainable variable, and these serialize on the slow link.
+    pub fn straggler_step_penalty_s(&self, model: &ModelSpec, added_latency_s: f64) -> f64 {
+        model.variable_count as f64 * added_latency_s
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::gcp_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_time_scales_with_model_size() {
+        let net = NetworkModel::gcp_default();
+        let small = net.exchange_time_s(&ModelSpec::resnet32(), 8);
+        let big = net.exchange_time_s(&ModelSpec::resnet50(), 8);
+        assert!(big > 20.0 * small, "small {small}, big {big}");
+        // ResNet32: ~1.6 ms for 2 × 1.86 MB × 7/8 at 2 GB/s.
+        assert!((0.001..0.005).contains(&small), "{small}");
+    }
+
+    #[test]
+    fn coordination_grows_superlinearly() {
+        let net = NetworkModel::gcp_default();
+        let c8 = net.bsp_coordination_s(8);
+        let c16 = net.bsp_coordination_s(16);
+        assert!(c16 > 2.0 * c8, "c8 {c8}, c16 {c16}");
+        assert!((0.8..1.2).contains(&c8), "c8 {c8}");
+        assert!((2.0..2.8).contains(&c16), "c16 {c16}");
+    }
+
+    #[test]
+    fn straggler_penalty_matches_fig4_scale() {
+        let net = NetworkModel::gcp_default();
+        // 10 ms per message over 36 variables ≈ 0.36 s per step.
+        let p10 = net.straggler_step_penalty_s(&ModelSpec::resnet32(), 0.010);
+        assert!((0.3..0.45).contains(&p10), "{p10}");
+        let p30 = net.straggler_step_penalty_s(&ModelSpec::resnet32(), 0.030);
+        assert!((p30 - 3.0 * p10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asp_apply_overhead_by_model() {
+        let net = NetworkModel::gcp_default();
+        let small = net.asp_apply_overhead_s(&ModelSpec::resnet32());
+        let big = net.asp_apply_overhead_s(&ModelSpec::resnet50());
+        assert!(small < 0.005, "{small}");
+        assert!((0.1..0.25).contains(&big), "{big}");
+    }
+}

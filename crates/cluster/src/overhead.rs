@@ -1,0 +1,178 @@
+//! Cluster initialization and protocol-switch overhead model (paper
+//! Table III).
+//!
+//! The paper measures, for 8- and 16-node K80 clusters:
+//!
+//! | Cluster | Actuator | Init (s) | Switching (s) |
+//! |---|---|---|---|
+//! | 8  | Sequential | 157 | 90 |
+//! | 8  | Parallel   |  90 | 36 |
+//! | 16 | Sequential | 268 | 165 |
+//! | 16 | Parallel   | 128 | 53 |
+//!
+//! The model below decomposes both costs into a fixed setup term, a
+//! per-node term (serialized for the sequential actuator, rate-limited for
+//! the parallel one), and the slowest node; constants are fitted to the
+//! table.
+
+use sync_switch_sim::{DetRng, LogNormal, Normal, Sample, SimTime};
+
+/// Whether configuration actions are propagated one node at a time or
+/// fanned out in parallel (Sync-Switch's actuator does the latter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActuatorMode {
+    /// One node at a time (vanilla scripts).
+    Sequential,
+    /// Fan-out with per-node rate limiting (Sync-Switch).
+    Parallel,
+}
+
+/// One sampled overhead measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadSample {
+    /// Time to bring the cluster up (VM boot, TensorFlow start).
+    pub init: SimTime,
+    /// Time to switch synchronization protocols
+    /// (checkpoint + propagate + restart).
+    pub switch: SimTime,
+}
+
+/// Stochastic model of cluster-management overheads.
+#[derive(Debug, Clone)]
+pub struct OverheadModel {
+    node_init: LogNormal,
+    node_task: Normal,
+    rng: DetRng,
+}
+
+impl OverheadModel {
+    /// Fixed cluster bring-up cost before touching nodes, seconds.
+    const INIT_SETUP_S: f64 = 15.0;
+    /// Parallel-init per-node rate-limit cost (cloud API), seconds.
+    const INIT_PARALLEL_PER_NODE_S: f64 = 6.0;
+    /// Checkpoint cost common to both actuators, seconds.
+    const SWITCH_CHECKPOINT_S: f64 = 10.0;
+    /// Parallel-switch per-node propagation cost, seconds.
+    const SWITCH_PARALLEL_PER_NODE_S: f64 = 1.5;
+
+    /// Creates the model with a deterministic sampling stream.
+    pub fn new(seed: u64) -> Self {
+        OverheadModel {
+            // Mean 16 s per node init, right-skewed like real VM boots.
+            node_init: LogNormal::with_mean(16.0, 0.25),
+            // ~9.5 s per node to push config + relaunch the training task.
+            node_task: Normal::new(9.5, 1.5),
+            rng: DetRng::new(seed).derive("overhead", 0),
+        }
+    }
+
+    /// Samples the init + switch overhead for a cluster of `n` nodes under
+    /// the given actuator mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample(&mut self, n: usize, mode: ActuatorMode) -> OverheadSample {
+        assert!(n > 0, "cluster must have nodes");
+        let inits: Vec<f64> = (0..n).map(|_| self.node_init.sample(&mut self.rng)).collect();
+        let tasks: Vec<f64> = (0..n)
+            .map(|_| self.node_task.sample(&mut self.rng).max(1.0))
+            .collect();
+        let (init, switch) = match mode {
+            ActuatorMode::Sequential => (
+                Self::INIT_SETUP_S + inits.iter().sum::<f64>(),
+                Self::SWITCH_CHECKPOINT_S + tasks.iter().sum::<f64>(),
+            ),
+            ActuatorMode::Parallel => {
+                let max_init = inits.iter().cloned().fold(0.0, f64::max);
+                let max_task = tasks.iter().cloned().fold(0.0, f64::max);
+                (
+                    Self::INIT_SETUP_S + Self::INIT_PARALLEL_PER_NODE_S * n as f64 + max_init,
+                    Self::SWITCH_CHECKPOINT_S
+                        + Self::SWITCH_PARALLEL_PER_NODE_S * n as f64
+                        + max_task,
+                )
+            }
+        };
+        OverheadSample {
+            init: SimTime::from_secs(init),
+            switch: SimTime::from_secs(switch),
+        }
+    }
+
+    /// Mean of `trials` samples (smoother numbers for the Table III
+    /// harness).
+    pub fn mean_sample(&mut self, n: usize, mode: ActuatorMode, trials: usize) -> OverheadSample {
+        assert!(trials > 0, "need at least one trial");
+        let mut init = 0.0;
+        let mut switch = 0.0;
+        for _ in 0..trials {
+            let s = self.sample(n, mode);
+            init += s.init.as_secs();
+            switch += s.switch.as_secs();
+        }
+        OverheadSample {
+            init: SimTime::from_secs(init / trials as f64),
+            switch: SimTime::from_secs(switch / trials as f64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn within(actual: f64, target: f64, tol: f64) -> bool {
+        (actual - target).abs() / target <= tol
+    }
+
+    #[test]
+    fn table3_8_nodes() {
+        let mut m = OverheadModel::new(1);
+        let seq = m.mean_sample(8, ActuatorMode::Sequential, 50);
+        let par = m.mean_sample(8, ActuatorMode::Parallel, 50);
+        assert!(within(seq.init.as_secs(), 157.0, 0.15), "{:?}", seq.init);
+        assert!(within(par.init.as_secs(), 90.0, 0.15), "{:?}", par.init);
+        assert!(within(seq.switch.as_secs(), 90.0, 0.15), "{:?}", seq.switch);
+        assert!(within(par.switch.as_secs(), 36.0, 0.20), "{:?}", par.switch);
+    }
+
+    #[test]
+    fn table3_16_nodes() {
+        let mut m = OverheadModel::new(2);
+        let seq = m.mean_sample(16, ActuatorMode::Sequential, 50);
+        let par = m.mean_sample(16, ActuatorMode::Parallel, 50);
+        assert!(within(seq.init.as_secs(), 268.0, 0.15), "{:?}", seq.init);
+        assert!(within(par.init.as_secs(), 128.0, 0.15), "{:?}", par.init);
+        assert!(within(seq.switch.as_secs(), 165.0, 0.15), "{:?}", seq.switch);
+        assert!(within(par.switch.as_secs(), 53.0, 0.20), "{:?}", par.switch);
+    }
+
+    #[test]
+    fn parallel_beats_sequential_and_scales_sublinearly() {
+        let mut m = OverheadModel::new(3);
+        let seq8 = m.mean_sample(8, ActuatorMode::Sequential, 20);
+        let par8 = m.mean_sample(8, ActuatorMode::Parallel, 20);
+        let par16 = m.mean_sample(16, ActuatorMode::Parallel, 20);
+        assert!(par8.init < seq8.init);
+        assert!(par8.switch < seq8.switch);
+        // Doubling the cluster far less than doubles the parallel cost.
+        assert!(par16.switch.as_secs() < 2.0 * par8.switch.as_secs());
+    }
+
+    #[test]
+    fn switch_overhead_is_tens_of_seconds() {
+        // Paper: "switching overhead can be as low as 36 seconds, about
+        // 1.7% of the total training time".
+        let mut m = OverheadModel::new(4);
+        let par = m.mean_sample(8, ActuatorMode::Parallel, 20);
+        assert!((20.0..60.0).contains(&par.switch.as_secs()));
+    }
+
+    #[test]
+    fn determinism() {
+        let a = OverheadModel::new(7).sample(8, ActuatorMode::Parallel);
+        let b = OverheadModel::new(7).sample(8, ActuatorMode::Parallel);
+        assert_eq!(a, b);
+    }
+}

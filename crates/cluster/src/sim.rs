@@ -1,0 +1,514 @@
+//! The cluster simulator: BSP rounds, ASP event-driven progress.
+
+use sync_switch_sim::{DetRng, EventQueue, SimTime};
+use sync_switch_workloads::ExperimentSetup;
+
+use crate::gpu::ComputeModel;
+use crate::network::NetworkModel;
+use crate::straggler::StragglerScenario;
+
+/// Statistics of one simulated chunk of training steps.
+#[derive(Debug, Clone)]
+pub struct ChunkStats {
+    /// Workload units completed (ASP-sized steps; one BSP round = `n`
+    /// active-worker units).
+    pub units: u64,
+    /// Virtual time the chunk took.
+    pub elapsed: SimTime,
+    /// Per-worker *own-work* throughput in images/s — what a per-node
+    /// profiler reports, and what the straggler detector consumes. Zero for
+    /// inactive (removed) workers.
+    pub per_worker_images_per_sec: Vec<f64>,
+    /// Mean measured gradient staleness (0 under BSP).
+    pub mean_staleness: f64,
+}
+
+impl ChunkStats {
+    /// Cluster-level throughput in images/s for this chunk.
+    pub fn cluster_images_per_sec(&self, batch: usize) -> f64 {
+        if self.elapsed.as_secs() <= 0.0 {
+            return 0.0;
+        }
+        (self.units as f64 * batch as f64) / self.elapsed.as_secs()
+    }
+}
+
+/// Discrete-event simulator of one training cluster.
+///
+/// Time is virtual; a full 64 K-step job simulates in milliseconds. The
+/// simulator exposes exactly the handles Sync-Switch's policies need:
+/// chunked BSP/ASP execution, per-worker throughput (for straggler
+/// detection), elastic worker removal, and straggler scenarios.
+#[derive(Debug, Clone)]
+pub struct ClusterSim {
+    compute: ComputeModel,
+    network: NetworkModel,
+    n_workers: usize,
+    active: Vec<bool>,
+    scenario: StragglerScenario,
+    per_worker_batch: usize,
+    now: SimTime,
+    units_done: u64,
+    rngs: Vec<DetRng>,
+}
+
+impl ClusterSim {
+    /// Builds a simulator for an experiment setup with the paper's
+    /// per-worker batch size.
+    pub fn new(setup: &ExperimentSetup, seed: u64) -> Self {
+        let root = DetRng::new(seed);
+        let n = setup.cluster_size;
+        ClusterSim {
+            compute: ComputeModel::new(setup.workload.model.clone(), setup.gpu),
+            network: NetworkModel::gcp_default(),
+            n_workers: n,
+            active: vec![true; n],
+            scenario: StragglerScenario::none(),
+            per_worker_batch: setup.workload.hyper.batch_size,
+            now: SimTime::ZERO,
+            units_done: 0,
+            rngs: (0..n).map(|w| root.derive("worker", w as u64)).collect(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total workload units completed so far.
+    pub fn units_done(&self) -> u64 {
+        self.units_done
+    }
+
+    /// Number of workers configured (including removed ones).
+    pub fn cluster_size(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Number of currently active workers.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Per-worker batch size currently in effect.
+    pub fn batch(&self) -> usize {
+        self.per_worker_batch
+    }
+
+    /// Sets the per-worker batch size (configuration policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn set_batch(&mut self, batch: usize) {
+        assert!(batch > 0, "batch must be positive");
+        self.per_worker_batch = batch;
+    }
+
+    /// Installs a straggler scenario.
+    pub fn set_scenario(&mut self, scenario: StragglerScenario) {
+        self.scenario = scenario;
+    }
+
+    /// The installed scenario.
+    pub fn scenario(&self) -> &StragglerScenario {
+        &self.scenario
+    }
+
+    /// Advances virtual time without doing work (switch/init overheads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not a valid duration.
+    pub fn advance(&mut self, dt: SimTime) {
+        assert!(dt.is_valid_duration(), "advance requires a duration");
+        self.now += dt;
+    }
+
+    /// Removes a worker from the cluster (elastic policy). Returns `false`
+    /// if it was already inactive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range or removal would empty the
+    /// cluster.
+    pub fn remove_worker(&mut self, worker: usize) -> bool {
+        assert!(worker < self.n_workers, "worker {worker} out of range");
+        if !self.active[worker] {
+            return false;
+        }
+        assert!(self.active_count() > 1, "cannot remove the last worker");
+        self.active[worker] = false;
+        true
+    }
+
+    /// Restores all removed workers (elastic policy after BSP budget met).
+    pub fn restore_all(&mut self) {
+        self.active.iter_mut().for_each(|a| *a = true);
+    }
+
+    /// Worker indices currently experiencing a straggler episode.
+    pub fn active_stragglers_now(&self) -> Vec<usize> {
+        self.scenario.active_stragglers(self.now)
+    }
+
+    /// Whether a worker is currently active (not removed).
+    pub(crate) fn is_active(&self, worker: usize) -> bool {
+        self.active[worker]
+    }
+
+    /// Samples one worker's own-work step time (crate-internal: shared with
+    /// the SSP extension).
+    pub(crate) fn sample_own_step_time(&mut self, worker: usize, asp: bool) -> f64 {
+        self.own_step_time(worker, asp)
+    }
+
+    /// Sets the clock directly (crate-internal: SSP event processing).
+    pub(crate) fn set_now_for_ssp(&mut self, t: SimTime) {
+        self.now = t;
+    }
+
+    /// Adds completed units (crate-internal: SSP accounting).
+    pub(crate) fn add_units_done(&mut self, units: u64) {
+        self.units_done += units;
+    }
+
+    /// One worker's own-work time for a step at the current virtual time:
+    /// compute + PS exchange + any straggler penalty.
+    fn own_step_time(&mut self, worker: usize, asp: bool) -> f64 {
+        let batch = self.per_worker_batch;
+        let compute = {
+            let rng = &mut self.rngs[worker];
+            self.compute.sample_time_s(batch, rng)
+        };
+        let exchange = self
+            .network
+            .exchange_time_s(self.compute.model(), self.n_workers);
+        let added = self.scenario.added_latency(worker, self.now);
+        let straggle = if added > 0.0 {
+            self.network
+                .straggler_step_penalty_s(self.compute.model(), added)
+        } else {
+            0.0
+        };
+        let apply = if asp {
+            self.network.asp_apply_overhead_s(self.compute.model())
+        } else {
+            0.0
+        };
+        compute + exchange + straggle + apply
+    }
+
+    /// Runs BSP rounds until at least `units` workload units complete.
+    ///
+    /// Each round: every active worker computes one mini-batch; the round
+    /// takes the *slowest* worker's time plus the coordination cost; `n_a`
+    /// units complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or no workers are active.
+    pub fn run_bsp(&mut self, units: u64) -> ChunkStats {
+        assert!(units > 0, "units must be positive");
+        let active: Vec<usize> = (0..self.n_workers).filter(|&w| self.active[w]).collect();
+        assert!(!active.is_empty(), "no active workers");
+        let n_a = active.len() as u64;
+        let rounds = units.div_ceil(n_a);
+        let coord = self.network.bsp_coordination_s(active.len());
+        let batch = self.per_worker_batch as f64;
+
+        let mut own_work_time = vec![0.0f64; self.n_workers];
+        let mut own_steps = vec![0u64; self.n_workers];
+        let start = self.now;
+        for _ in 0..rounds {
+            let mut slowest = 0.0f64;
+            for &w in &active {
+                let t = self.own_step_time(w, false);
+                own_work_time[w] += t;
+                own_steps[w] += 1;
+                slowest = slowest.max(t);
+            }
+            self.now += SimTime::from_secs(slowest + coord);
+        }
+        let done = rounds * n_a;
+        self.units_done += done;
+
+        let per_worker = (0..self.n_workers)
+            .map(|w| {
+                if own_steps[w] == 0 {
+                    0.0
+                } else {
+                    own_steps[w] as f64 * batch / own_work_time[w]
+                }
+            })
+            .collect();
+        ChunkStats {
+            units: done,
+            elapsed: self.now - start,
+            per_worker_images_per_sec: per_worker,
+            mean_staleness: 0.0,
+        }
+    }
+
+    /// Runs ASP until `units` pushes complete, event-driven: each worker
+    /// progresses at its own pace; staleness is the number of other pushes
+    /// applied between a worker's pull and its push.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or no workers are active.
+    pub fn run_asp(&mut self, units: u64) -> ChunkStats {
+        assert!(units > 0, "units must be positive");
+        let active: Vec<usize> = (0..self.n_workers).filter(|&w| self.active[w]).collect();
+        assert!(!active.is_empty(), "no active workers");
+        let batch = self.per_worker_batch as f64;
+        let start = self.now;
+
+        // Event payload: (worker, version at pull).
+        let mut queue: EventQueue<(usize, u64)> = EventQueue::new();
+        // Seed the queue at the current time.
+        let mut pushes: u64 = 0;
+        let base_now = self.now;
+        let mut own_work_time = vec![0.0f64; self.n_workers];
+        let mut own_steps = vec![0u64; self.n_workers];
+        let mut staleness_sum: u64 = 0;
+
+        // EventQueue starts its clock at zero; offset by base_now.
+        for &w in &active {
+            let t = self.own_step_time(w, true);
+            own_work_time[w] += t;
+            queue.schedule(SimTime::from_secs(t), (w, 0));
+        }
+        let mut last = SimTime::ZERO;
+        while pushes < units {
+            let (t, (w, pulled)) = queue.pop().expect("asp queue never empties mid-run");
+            last = t;
+            pushes += 1;
+            staleness_sum += pushes - 1 - pulled;
+            own_steps[w] += 1;
+            if pushes < units {
+                // Straggler windows are evaluated at the worker's current
+                // virtual time.
+                self.now = base_now + t;
+                let dt = self.own_step_time(w, true);
+                own_work_time[w] += dt;
+                queue.schedule(t + SimTime::from_secs(dt), (w, pushes));
+            }
+        }
+        self.now = base_now + last;
+        self.units_done += units;
+
+        let per_worker = (0..self.n_workers)
+            .map(|w| {
+                if own_steps[w] == 0 {
+                    0.0
+                } else {
+                    own_steps[w] as f64 * batch / own_work_time[w]
+                }
+            })
+            .collect();
+        ChunkStats {
+            units,
+            elapsed: self.now - start,
+            per_worker_images_per_sec: per_worker,
+            mean_staleness: staleness_sum as f64 / units as f64,
+        }
+    }
+
+    /// Analytic expected BSP round time (mean over sampled rounds) for the
+    /// current configuration — used by the fast search-cost simulator.
+    pub fn expected_bsp_round_s(&self) -> f64 {
+        let mut probe = self.clone();
+        probe.scenario = StragglerScenario::none();
+        let stats = probe.run_bsp(2000 * probe.active_count() as u64);
+        stats.elapsed.as_secs() / (stats.units as f64 / probe.active_count() as f64)
+    }
+
+    /// Analytic expected ASP time per workload unit.
+    pub fn expected_asp_unit_s(&self) -> f64 {
+        let mut probe = self.clone();
+        probe.scenario = StragglerScenario::none();
+        let stats = probe.run_asp(4000);
+        stats.elapsed.as_secs() / stats.units as f64
+    }
+
+    /// ASP-over-BSP cluster-throughput ratio for the current configuration.
+    pub fn asp_over_bsp_throughput(&self) -> f64 {
+        let bsp_unit = self.expected_bsp_round_s() / self.active_count() as f64;
+        bsp_unit / self.expected_asp_unit_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sync_switch_workloads::SetupId;
+
+    fn sim(setup: SetupId, seed: u64) -> ClusterSim {
+        ClusterSim::new(&ExperimentSetup::from_id(setup), seed)
+    }
+
+    #[test]
+    fn bsp_unit_accounting() {
+        let mut s = sim(SetupId::One, 1);
+        let stats = s.run_bsp(64);
+        assert_eq!(stats.units, 64); // 8 rounds × 8 workers
+        assert_eq!(s.units_done(), 64);
+        assert!(stats.elapsed.as_secs() > 0.0);
+    }
+
+    #[test]
+    fn bsp_rounds_round_up() {
+        let mut s = sim(SetupId::One, 2);
+        let stats = s.run_bsp(60); // needs 8 rounds → 64 units
+        assert_eq!(stats.units, 64);
+    }
+
+    #[test]
+    fn asp_staleness_near_cluster_size() {
+        let mut s = sim(SetupId::One, 3);
+        let stats = s.run_asp(4000);
+        // Homogeneous workers: staleness concentrates at n−1 = 7.
+        assert!(
+            (stats.mean_staleness - 7.0).abs() < 0.5,
+            "mean staleness {}",
+            stats.mean_staleness
+        );
+    }
+
+    #[test]
+    fn throughput_ratio_setup1_matches_paper_band() {
+        let s = sim(SetupId::One, 4);
+        let r = s.asp_over_bsp_throughput();
+        // Paper: 6.59×; accept ±20%.
+        assert!((5.3..7.9).contains(&r), "setup1 ASP/BSP ratio {r}");
+    }
+
+    #[test]
+    fn throughput_ratio_setup2_matches_paper_band() {
+        let s = sim(SetupId::Two, 5);
+        let r = s.asp_over_bsp_throughput();
+        // Paper: ≈1.86×; accept ±25%.
+        assert!((1.4..2.4).contains(&r), "setup2 ASP/BSP ratio {r}");
+    }
+
+    #[test]
+    fn throughput_ratio_setup3_matches_paper_band() {
+        let s = sim(SetupId::Three, 6);
+        let r = s.asp_over_bsp_throughput();
+        // Paper: ≈13.9× (implied by Fig. 10a); accept ±25%.
+        assert!((10.4..17.4).contains(&r), "setup3 ASP/BSP ratio {r}");
+    }
+
+    #[test]
+    fn bsp_total_time_setup1_in_paper_range() {
+        // 64 K units ≈ 8 K rounds ≈ 150–220 minutes (paper Fig. 11d: ~190).
+        let s = sim(SetupId::One, 7);
+        let round = s.expected_bsp_round_s();
+        let total_min = round * 8000.0 / 60.0;
+        assert!(
+            (120.0..260.0).contains(&total_min),
+            "BSP total {total_min} min"
+        );
+    }
+
+    #[test]
+    fn straggler_slows_bsp_but_not_asp_much() {
+        let mut clean = sim(SetupId::One, 8);
+        let bsp_clean = clean.run_bsp(800).elapsed.as_secs();
+        let asp_clean = clean.run_asp(800).elapsed.as_secs();
+
+        let mut slow = sim(SetupId::One, 8);
+        slow.set_scenario(StragglerScenario::constant(1, 0.010));
+        let bsp_slow = slow.run_bsp(800).elapsed.as_secs();
+        let asp_slow = slow.run_asp(800).elapsed.as_secs();
+
+        let bsp_hit = bsp_slow / bsp_clean;
+        let asp_hit = asp_slow / asp_clean;
+        assert!(bsp_hit > 1.25, "BSP should suffer: {bsp_hit}");
+        assert!(asp_hit < 1.15, "ASP should shrug it off: {asp_hit}");
+    }
+
+    #[test]
+    fn straggler_visible_in_worker_profile() {
+        let mut s = sim(SetupId::One, 9);
+        s.set_scenario(StragglerScenario::constant(1, 0.010));
+        let stats = s.run_bsp(160);
+        let straggler = stats.per_worker_images_per_sec[0];
+        let healthy = stats.per_worker_images_per_sec[3];
+        assert!(
+            straggler < healthy * 0.5,
+            "straggler {straggler} vs healthy {healthy}"
+        );
+    }
+
+    #[test]
+    fn elastic_removal_speeds_up_straggled_bsp() {
+        let mut with_straggler = sim(SetupId::One, 10);
+        with_straggler.set_scenario(StragglerScenario::constant(1, 0.030));
+        let slow = with_straggler.run_bsp(700).elapsed.as_secs();
+
+        let mut removed = sim(SetupId::One, 10);
+        removed.set_scenario(StragglerScenario::constant(1, 0.030));
+        removed.remove_worker(0);
+        let fast = removed.run_bsp(700).elapsed.as_secs();
+        assert!(
+            fast < slow * 0.75,
+            "removal should help: {fast} vs {slow}"
+        );
+        removed.restore_all();
+        assert_eq!(removed.active_count(), 8);
+    }
+
+    #[test]
+    fn transient_episode_expires() {
+        let mut s = sim(SetupId::One, 11);
+        s.set_scenario(StragglerScenario::mild(0.0));
+        assert_eq!(s.active_stragglers_now(), vec![0]);
+        s.advance(SimTime::from_secs(150.0));
+        assert!(s.active_stragglers_now().is_empty());
+    }
+
+    #[test]
+    fn batch_size_throughput_scaling_fig8a() {
+        // Larger global batch amortizes the per-round coordination cost
+        // (paper Fig. 8a: up to ~2× throughput difference).
+        let mut big = sim(SetupId::One, 12);
+        big.set_batch(128);
+        let t_big = big.run_bsp(1024);
+        let thr_big = t_big.cluster_images_per_sec(128);
+
+        let mut small = sim(SetupId::One, 12);
+        small.set_batch(16); // global batch 128 instead of 1024
+        let t_small = small.run_bsp(1024);
+        let thr_small = t_small.cluster_images_per_sec(16);
+        assert!(
+            thr_big / thr_small > 1.8,
+            "batch scaling ratio {}",
+            thr_big / thr_small
+        );
+    }
+
+    #[test]
+    fn determinism_for_fixed_seed() {
+        let mut a = sim(SetupId::One, 42);
+        let mut b = sim(SetupId::One, 42);
+        let ra = a.run_bsp(80);
+        let rb = b.run_bsp(80);
+        assert_eq!(ra.elapsed, rb.elapsed);
+        let ra = a.run_asp(500);
+        let rb = b.run_asp(500);
+        assert_eq!(ra.elapsed, rb.elapsed);
+        assert_eq!(ra.mean_staleness, rb.mean_staleness);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot remove the last worker")]
+    fn cannot_empty_cluster() {
+        let mut s = sim(SetupId::One, 13);
+        for w in 0..8 {
+            s.remove_worker(w);
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Stale Synchronous Parallel (SSP) simulation — an extension substrate.
+//!
+//! The paper positions SSP/DSSP between BSP and ASP (Fig. 1) and notes that
+//! "Sync-Switch is agnostic to the underlying synchronization protocols
+//! (for example switching from SSP to ASP)". This module provides SSP with
+//! staleness bound `s`: a worker may run at most `s` iterations ahead of
+//! the slowest worker; within the window, updates apply asynchronously.
+//! `s = 0` degenerates to lock-step; `s → ∞` recovers ASP.
+
+use sync_switch_sim::{EventQueue, SimTime};
+
+use crate::sim::{ChunkStats, ClusterSim};
+
+impl ClusterSim {
+    /// Runs SSP with iteration-staleness bound `bound` until `units` pushes
+    /// complete. Event-driven like ASP, but a worker whose iteration count
+    /// exceeds `min(iterations) + bound` blocks until the slowest worker
+    /// catches up.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units == 0` or no workers are active.
+    pub fn run_ssp(&mut self, units: u64, bound: u64) -> ChunkStats {
+        assert!(units > 0, "units must be positive");
+        let active: Vec<usize> = (0..self.cluster_size())
+            .filter(|&w| self.is_active(w))
+            .collect();
+        assert!(!active.is_empty(), "no active workers");
+        let batch = self.batch() as f64;
+        let start = self.now();
+        let base_now = self.now();
+
+        let n = self.cluster_size();
+        let mut iterations = vec![0u64; n];
+        let mut own_work_time = vec![0.0f64; n];
+        let mut own_steps = vec![0u64; n];
+        let mut blocked: Vec<usize> = Vec::new();
+        let mut queue: EventQueue<(usize, u64)> = EventQueue::new();
+        let mut pushes: u64 = 0;
+        let mut staleness_sum: u64 = 0;
+
+        for &w in &active {
+            let dt = self.sample_own_step_time(w, true);
+            own_work_time[w] += dt;
+            queue.schedule(SimTime::from_secs(dt), (w, 0));
+        }
+
+        let min_iter = |iters: &[u64], active: &[usize]| -> u64 {
+            active.iter().map(|&w| iters[w]).min().unwrap_or(0)
+        };
+
+        let mut last = SimTime::ZERO;
+        while pushes < units {
+            let (t, (w, pulled)) = queue.pop().expect("ssp queue never empties mid-run");
+            last = t;
+            pushes += 1;
+            staleness_sum += pushes - 1 - pulled;
+            own_steps[w] += 1;
+            let before_min = min_iter(&iterations, &active);
+            iterations[w] += 1;
+
+            if pushes >= units {
+                break;
+            }
+            self.set_now_for_ssp(base_now + t);
+
+            // Schedule this worker's next step if within the bound.
+            if iterations[w] <= min_iter(&iterations, &active) + bound {
+                let dt = self.sample_own_step_time(w, true);
+                own_work_time[w] += dt;
+                queue.schedule(t + SimTime::from_secs(dt), (w, pushes));
+            } else {
+                blocked.push(w);
+            }
+
+            // If the floor advanced, release blocked workers now allowed.
+            let after_min = min_iter(&iterations, &active);
+            if after_min > before_min && !blocked.is_empty() {
+                let released: Vec<usize> = blocked
+                    .iter()
+                    .copied()
+                    .filter(|&b| iterations[b] <= after_min + bound)
+                    .collect();
+                blocked.retain(|b| !released.contains(b));
+                for b in released {
+                    let dt = self.sample_own_step_time(b, true);
+                    own_work_time[b] += dt;
+                    queue.schedule(t + SimTime::from_secs(dt), (b, pushes));
+                }
+            }
+        }
+        self.set_now_for_ssp(base_now + last);
+        self.add_units_done(units);
+
+        let per_worker = (0..n)
+            .map(|w| {
+                if own_steps[w] == 0 {
+                    0.0
+                } else {
+                    own_steps[w] as f64 * batch / own_work_time[w]
+                }
+            })
+            .collect();
+        ChunkStats {
+            units,
+            elapsed: self.now() - start,
+            per_worker_images_per_sec: per_worker,
+            mean_staleness: staleness_sum as f64 / pushes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::straggler::StragglerScenario;
+    use sync_switch_workloads::ExperimentSetup;
+
+    fn sim(seed: u64) -> ClusterSim {
+        ClusterSim::new(&ExperimentSetup::one(), seed)
+    }
+
+    #[test]
+    fn huge_bound_recovers_asp_behaviour() {
+        let mut ssp = sim(1);
+        let mut asp = sim(1);
+        let s = ssp.run_ssp(2_000, 1_000_000);
+        let a = asp.run_asp(2_000);
+        assert_eq!(s.elapsed, a.elapsed, "unbounded SSP must equal ASP");
+        assert_eq!(s.mean_staleness, a.mean_staleness);
+    }
+
+    #[test]
+    fn ssp_throughput_sits_between_bsp_and_asp_under_stragglers() {
+        let mk = |seed| {
+            let mut s = sim(seed);
+            s.set_scenario(StragglerScenario::constant(1, 0.010));
+            s
+        };
+        let bsp = mk(2).run_bsp(2_000).elapsed.as_secs();
+        let ssp = mk(2).run_ssp(2_000, 3).elapsed.as_secs();
+        let asp = mk(2).run_asp(2_000).elapsed.as_secs();
+        assert!(
+            asp < ssp && ssp < bsp,
+            "ordering violated: asp {asp}, ssp {ssp}, bsp {bsp}"
+        );
+    }
+
+    #[test]
+    fn tight_bound_throttles_fast_workers_with_straggler() {
+        // With a straggler and bound 1, fast workers must repeatedly wait:
+        // cluster time approaches the straggler's pace.
+        let mut tight = sim(3);
+        tight.set_scenario(StragglerScenario::constant(1, 0.030));
+        let t_tight = tight.run_ssp(1_000, 1).elapsed.as_secs();
+        let mut loose = sim(3);
+        loose.set_scenario(StragglerScenario::constant(1, 0.030));
+        let t_loose = loose.run_ssp(1_000, 64).elapsed.as_secs();
+        assert!(
+            t_tight > 1.5 * t_loose,
+            "tight bound should throttle: {t_tight} vs {t_loose}"
+        );
+    }
+
+    #[test]
+    fn staleness_grows_with_bound() {
+        let homogeneous = |bound| sim(4).run_ssp(4_000, bound).mean_staleness;
+        let s1 = homogeneous(1);
+        let s64 = homogeneous(64);
+        assert!(s1 <= s64, "staleness must not shrink with bound: {s1} vs {s64}");
+        // Unbounded staleness on 8 homogeneous workers ≈ 7.
+        assert!((s64 - 7.0).abs() < 0.5, "{s64}");
+    }
+
+    #[test]
+    fn units_accounting_matches() {
+        let mut s = sim(5);
+        let stats = s.run_ssp(777, 4);
+        assert_eq!(stats.units, 777);
+        assert_eq!(s.units_done(), 777);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = sim(6).run_ssp(1_500, 3);
+        let b = sim(6).run_ssp(1_500, 3);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.mean_staleness, b.mean_staleness);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the cluster simulator.
+
+use proptest::prelude::*;
+use sync_switch_cluster::{ClusterSim, StragglerScenario};
+use sync_switch_sim::SimTime;
+use sync_switch_workloads::{ExperimentSetup, SetupId};
+
+fn setup_for(idx: usize) -> ExperimentSetup {
+    ExperimentSetup::from_id([SetupId::One, SetupId::Two, SetupId::Three][idx % 3])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Virtual time is monotone and unit accounting is exact across
+    /// arbitrary interleavings of BSP and ASP chunks.
+    #[test]
+    fn time_and_units_monotone(
+        setup_idx in 0usize..3,
+        seed in 0u64..1000,
+        chunks in proptest::collection::vec((0usize..2, 1u64..500), 1..12),
+    ) {
+        let setup = setup_for(setup_idx);
+        let mut sim = ClusterSim::new(&setup, seed);
+        let mut last_now = sim.now();
+        let mut expected_units = 0u64;
+        for (kind, units) in chunks {
+            let stats = if kind == 0 {
+                sim.run_bsp(units)
+            } else {
+                sim.run_asp(units)
+            };
+            prop_assert!(stats.units >= units);
+            prop_assert!(stats.elapsed.as_secs() > 0.0);
+            prop_assert!(sim.now() >= last_now);
+            expected_units += stats.units;
+            last_now = sim.now();
+        }
+        prop_assert_eq!(sim.units_done(), expected_units);
+    }
+
+    /// BSP rounds complete a whole multiple of the active worker count.
+    #[test]
+    fn bsp_units_are_round_multiples(seed in 0u64..500, units in 1u64..300, removed in 0usize..4) {
+        let setup = ExperimentSetup::one();
+        let mut sim = ClusterSim::new(&setup, seed);
+        for w in 0..removed {
+            sim.remove_worker(w);
+        }
+        let active = sim.active_count() as u64;
+        let stats = sim.run_bsp(units);
+        prop_assert_eq!(stats.units % active, 0);
+        prop_assert!(stats.units >= units && stats.units < units + active);
+    }
+
+    /// ASP staleness is bounded by active workers − 1 on a homogeneous
+    /// cluster (each in-flight step can overlap at most n−1 pushes).
+    #[test]
+    fn asp_staleness_bounded(seed in 0u64..500, units in 50u64..2000) {
+        let setup = ExperimentSetup::one();
+        let mut sim = ClusterSim::new(&setup, seed);
+        let stats = sim.run_asp(units);
+        let n = sim.active_count() as f64;
+        prop_assert!(stats.mean_staleness <= n - 1.0 + 1e-9);
+        prop_assert!(stats.mean_staleness >= 0.0);
+    }
+
+    /// Stragglers can only slow BSP down, never speed it up.
+    #[test]
+    fn stragglers_never_speed_up_bsp(seed in 0u64..200, latency_ms in 1.0f64..50.0) {
+        let setup = ExperimentSetup::one();
+        let mut clean = ClusterSim::new(&setup, seed);
+        let t_clean = clean.run_bsp(400).elapsed;
+        let mut slow = ClusterSim::new(&setup, seed);
+        slow.set_scenario(StragglerScenario::constant(1, latency_ms / 1e3));
+        let t_slow = slow.run_bsp(400).elapsed;
+        prop_assert!(t_slow >= t_clean, "{t_slow:?} < {t_clean:?}");
+    }
+
+    /// `advance` shifts the clock by exactly the requested duration.
+    #[test]
+    fn advance_is_exact(seed in 0u64..200, dt in 0.0f64..1e5) {
+        let setup = ExperimentSetup::one();
+        let mut sim = ClusterSim::new(&setup, seed);
+        let before = sim.now();
+        sim.advance(SimTime::from_secs(dt));
+        prop_assert_eq!(sim.now(), before + SimTime::from_secs(dt));
+    }
+
+    /// Removing and restoring workers round-trips the active count.
+    #[test]
+    fn remove_restore_roundtrip(workers_to_remove in proptest::collection::btree_set(0usize..8, 0..7)) {
+        let setup = ExperimentSetup::one();
+        let mut sim = ClusterSim::new(&setup, 1);
+        for &w in &workers_to_remove {
+            sim.remove_worker(w);
+        }
+        prop_assert_eq!(sim.active_count(), 8 - workers_to_remove.len());
+        sim.restore_all();
+        prop_assert_eq!(sim.active_count(), 8);
+    }
+}

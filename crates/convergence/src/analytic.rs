@@ -1,0 +1,153 @@
+//! Closed-form converged-accuracy statistics.
+//!
+//! The Monte-Carlo search-cost simulator (paper §VI-C1 simulates its binary
+//! search "using all our training logs") needs thousands of converged
+//! accuracies per second; this module provides the closed form of the
+//! trajectory model's endpoint so those simulations don't need to integrate
+//! full trajectories.
+
+use sync_switch_workloads::{CalibrationTargets, SetupId};
+
+/// Distribution of the converged accuracy for a BSP→ASP run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyStats {
+    /// Expected converged accuracy.
+    pub mean: f64,
+    /// Run-to-run standard deviation.
+    pub sigma: f64,
+    /// Whether this configuration diverges instead of converging.
+    pub diverges: bool,
+}
+
+/// Shape exponent of the logistic damage curve.
+///
+/// Stale-gradient damage over workload fraction follows
+/// `D(f) = gap / (1 + (f / f0)^p)` — a sharp knee rather than a gentle
+/// exponential. The constants are chosen so that, with β = 0.01 and the
+/// per-setup run sigmas, (a) the *noiseless* binary search of Algorithm 1
+/// returns exactly the paper's timing policies (6.25 % / 12.5 % / 50 %),
+/// (b) damage at the knee is small enough that R = 5 searches accept it
+/// with ≈100 % probability (paper Table II baselines), and (c) the probe
+/// one binary-search level below the knee is rejected with high margin.
+pub const DAMAGE_SHAPE_P: f64 = 7.5;
+
+/// Midpoint of the logistic damage curve for a setup.
+pub fn damage_f0(calib: &CalibrationTargets) -> f64 {
+    calib.knee_fraction / 1.35
+}
+
+/// Residual stale-gradient damage when the first `f` of the workload runs
+/// under BSP: `gap / (1 + (f / f0)^p)`.
+pub fn damage_at(calib: &CalibrationTargets, f: f64) -> f64 {
+    let f0 = damage_f0(calib);
+    if f <= 0.0 {
+        return calib.asp_accuracy_gap();
+    }
+    calib.asp_accuracy_gap() / (1.0 + (f / f0).powf(DAMAGE_SHAPE_P))
+}
+
+/// Converged-accuracy statistics when the first `bsp_fraction` of the
+/// workload runs under BSP and the remainder under ASP.
+///
+/// # Panics
+///
+/// Panics if `bsp_fraction` is outside `[0, 1]`.
+pub fn converged_accuracy_stats(setup: SetupId, bsp_fraction: f64) -> AccuracyStats {
+    assert!(
+        (0.0..=1.0).contains(&bsp_fraction),
+        "fraction must be in [0,1], got {bsp_fraction}"
+    );
+    let calib = CalibrationTargets::for_setup(setup);
+    if bsp_fraction >= 1.0 {
+        return AccuracyStats {
+            mean: calib.bsp_accuracy,
+            sigma: calib.accuracy_sigma,
+            diverges: false,
+        };
+    }
+    if let Some(div_below) = calib.divergence_below_fraction {
+        if bsp_fraction < div_below {
+            return AccuracyStats {
+                mean: 0.1,
+                sigma: 0.0,
+                diverges: true,
+            };
+        }
+    }
+    let damage = damage_at(&calib, bsp_fraction);
+    AccuracyStats {
+        mean: calib.bsp_accuracy - damage,
+        sigma: calib.accuracy_sigma,
+        diverges: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_asp_hits_asp_accuracy() {
+        let s = converged_accuracy_stats(SetupId::One, 0.0);
+        assert!((s.mean - 0.892).abs() < 1e-9);
+        assert!(!s.diverges);
+    }
+
+    #[test]
+    fn pure_bsp_hits_bsp_accuracy() {
+        let s = converged_accuracy_stats(SetupId::One, 1.0);
+        assert_eq!(s.mean, 0.919);
+    }
+
+    #[test]
+    fn knee_point_is_within_noise_of_bsp() {
+        let calib = CalibrationTargets::for_setup(SetupId::One);
+        let s = converged_accuracy_stats(SetupId::One, calib.knee_fraction);
+        assert!(
+            calib.bsp_accuracy - s.mean < 0.006,
+            "knee accuracy {} too far below BSP {}",
+            s.mean,
+            calib.bsp_accuracy
+        );
+        // Just below the knee the damage is detectably larger (outside the
+        // binary search's acceptance band).
+        let below = converged_accuracy_stats(SetupId::One, calib.knee_fraction / 2.0);
+        assert!(calib.bsp_accuracy - below.mean > 0.010);
+    }
+
+    #[test]
+    fn accuracy_is_monotone_in_bsp_fraction() {
+        let fractions = [0.0, 0.03125, 0.0625, 0.125, 0.25, 0.5, 1.0];
+        let mut prev = 0.0;
+        for &f in &fractions {
+            let s = converged_accuracy_stats(SetupId::Two, f);
+            assert!(
+                s.mean >= prev,
+                "accuracy must be monotone: {} < {prev} at f={f}",
+                s.mean
+            );
+            prev = s.mean;
+        }
+    }
+
+    #[test]
+    fn setup3_diverges_below_half() {
+        assert!(converged_accuracy_stats(SetupId::Three, 0.0).diverges);
+        assert!(converged_accuracy_stats(SetupId::Three, 0.25).diverges);
+        assert!(converged_accuracy_stats(SetupId::Three, 0.49).diverges);
+        let ok = converged_accuracy_stats(SetupId::Three, 0.5);
+        assert!(!ok.diverges);
+        assert!((ok.mean - 0.923).abs() < 0.002);
+    }
+
+    #[test]
+    fn setup2_knee_at_one_eighth() {
+        let calib = CalibrationTargets::for_setup(SetupId::Two);
+        // At the knee, damage sits inside the β = 0.01 acceptance band;
+        // at half the knee it falls outside, so the search rejects it.
+        let at_knee = converged_accuracy_stats(SetupId::Two, 0.125);
+        assert!(calib.bsp_accuracy - at_knee.mean < 0.010);
+        let at_6 = converged_accuracy_stats(SetupId::Two, 0.0625);
+        assert!(calib.bsp_accuracy - at_6.mean > 0.012);
+    }
+}

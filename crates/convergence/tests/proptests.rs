@@ -1,0 +1,146 @@
+//! Property-based tests of the convergence surrogate.
+
+use proptest::prelude::*;
+use sync_switch_convergence::{
+    converged_accuracy_stats, damage_at, MomentumScaling, PhaseInput, TrajectoryModel,
+};
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup, SetupId, SyncProtocol};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Residual damage is monotone non-increasing in the BSP fraction and
+    /// bounded by the full BSP−ASP gap.
+    #[test]
+    fn damage_monotone_and_bounded(f1 in 0.0f64..=1.0, f2 in 0.0f64..=1.0, setup_idx in 0usize..2) {
+        let calib = CalibrationTargets::for_setup([SetupId::One, SetupId::Two][setup_idx]);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let d_lo = damage_at(&calib, lo);
+        let d_hi = damage_at(&calib, hi);
+        prop_assert!(d_hi <= d_lo + 1e-12);
+        prop_assert!(d_lo <= calib.asp_accuracy_gap() + 1e-12);
+        prop_assert!(d_hi >= 0.0);
+    }
+
+    /// Damage accrual telescopes: running ASP over [a,b] then [b,c] accrues
+    /// the same damage as running it over [a,c] in one chunk.
+    #[test]
+    fn damage_accrual_telescopes(seed in 0u64..500, split in 1u64..9) {
+        let setup = ExperimentSetup::one();
+        let total = setup.workload.hyper.total_steps;
+        let a = total / 10;
+        let c = total / 2;
+        let b = a + (c - a) * split / 10;
+
+        let run = |splits: &[u64]| {
+            let mut t = TrajectoryModel::new(&setup, seed);
+            t.advance(a, &PhaseInput::bsp());
+            let mut prev = a;
+            for &point in splits {
+                t.advance(point - prev, &PhaseInput::asp(7.0));
+                prev = point;
+            }
+            t.advance(c - prev, &PhaseInput::asp(7.0));
+            t.current_ceiling()
+        };
+        let one_chunk = run(&[]);
+        let two_chunks = run(&[b]);
+        prop_assert!((one_chunk - two_chunks).abs() < 1e-9);
+    }
+
+    /// The trajectory's evaluation accuracy never leaves [0, 1] and the
+    /// training loss stays positive and finite for non-divergent runs.
+    #[test]
+    fn trajectory_outputs_bounded(seed in 0u64..500, asp_fraction in 0.0f64..=1.0) {
+        let setup = ExperimentSetup::one();
+        let mut t = TrajectoryModel::new(&setup, seed);
+        let total = t.total_steps();
+        let switch = ((1.0 - asp_fraction) * total as f64) as u64;
+        while t.step() < total {
+            let steps = 2000.min(total - t.step());
+            let input = if t.step() < switch {
+                PhaseInput::bsp()
+            } else {
+                PhaseInput::asp(7.0)
+            };
+            t.advance(steps, &input);
+            let acc = t.eval_accuracy();
+            prop_assert!((0.0..=1.0).contains(&acc), "accuracy {acc}");
+            prop_assert!(t.training_loss() > 0.0 && t.training_loss().is_finite());
+        }
+    }
+
+    /// Setup 3 divergence is triggered by ASP before the first decay for
+    /// every seed, never after it.
+    #[test]
+    fn setup3_divergence_boundary(seed in 0u64..300) {
+        let setup = ExperimentSetup::three();
+        // ASP starting exactly at the first decay never diverges.
+        let mut safe = TrajectoryModel::new(&setup, seed);
+        safe.advance(32_000, &PhaseInput::bsp());
+        safe.advance(32_000, &PhaseInput::asp(15.0));
+        prop_assert!(!safe.is_diverged());
+
+        // Sustained ASP before the decay always diverges.
+        let mut unsafe_run = TrajectoryModel::new(&setup, seed);
+        let mut diverged = false;
+        for _ in 0..16 {
+            unsafe_run.advance(2_000, &PhaseInput::asp(15.0));
+            if unsafe_run.is_diverged() {
+                diverged = true;
+                break;
+            }
+        }
+        prop_assert!(diverged, "early ASP on 16 workers must diverge");
+    }
+
+    /// Momentum-scaling penalties are consistent between the closed form
+    /// and the trajectory ceiling for every variant and cluster size.
+    #[test]
+    fn momentum_penalty_consistency(n_idx in 0usize..2, variant_idx in 0usize..5) {
+        let setup = if n_idx == 0 {
+            ExperimentSetup::one()
+        } else {
+            ExperimentSetup::three()
+        };
+        let variant = MomentumScaling::all()[variant_idx];
+        let mut with = TrajectoryModel::new(&setup, 42);
+        let mut without = TrajectoryModel::new(&setup, 42);
+        with.apply_momentum_variant(variant);
+        without.apply_momentum_variant(MomentumScaling::Baseline);
+        let diff = without.current_ceiling() - with.current_ceiling();
+        prop_assert!((diff - variant.accuracy_penalty(setup.cluster_size)).abs() < 1e-12);
+    }
+
+    /// Closed-form statistics agree with full trajectories at the endpoint
+    /// (within noise) for arbitrary switch fractions on setup 1.
+    #[test]
+    fn analytic_matches_trajectory(frac_pct in 0u32..=100) {
+        let f = f64::from(frac_pct) / 100.0;
+        let setup = ExperimentSetup::one();
+        let stats = converged_accuracy_stats(SetupId::One, f);
+        // Average five trajectory endpoints.
+        let mut sum = 0.0;
+        for seed in 0..5u64 {
+            let mut t = TrajectoryModel::new(&setup, 1000 + seed);
+            let total = t.total_steps();
+            let switch = (f * total as f64) as u64;
+            while t.step() < total {
+                let steps = 2000.min(total - t.step());
+                let input = if t.step() < switch {
+                    PhaseInput::bsp()
+                } else {
+                    PhaseInput::asp(7.0)
+                };
+                t.advance(steps, &input);
+            }
+            sum += t.current_ceiling();
+        }
+        let mean = sum / 5.0;
+        prop_assert!(
+            (mean - stats.mean).abs() < 4.0 * stats.sigma,
+            "trajectory {mean} vs analytic {}",
+            stats.mean
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for the policy engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced while orchestrating a training job.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The run diverged (non-finite / runaway loss) — the failure mode of
+    /// ASP in paper experiment setup 3.
+    Diverged {
+        /// Global step at which divergence was detected.
+        step: u64,
+    },
+    /// A policy is internally inconsistent (e.g. a switch fraction outside
+    /// `[0, 1]`).
+    InvalidPolicy(String),
+    /// The execution backend reported a failure.
+    Backend(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Diverged { step } => write!(f, "training diverged at step {step}"),
+            CoreError::InvalidPolicy(msg) => write!(f, "invalid policy: {msg}"),
+            CoreError::Backend(msg) => write!(f, "backend failure: {msg}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            CoreError::Diverged { step: 9 }.to_string(),
+            "training diverged at step 9"
+        );
+        assert!(CoreError::InvalidPolicy("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<CoreError>();
+    }
+}

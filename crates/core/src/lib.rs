@@ -1,0 +1,54 @@
+//! # Sync-Switch core: adaptive hybrid parameter-synchronization policies
+//!
+//! The primary contribution of the paper, as a reusable library:
+//!
+//! * **Protocol policy** ([`policy`]): always BSP first, then ASP.
+//! * **Timing policy** ([`timing`]): *when* to switch — offline, found by
+//!   the binary search of paper Algorithm 1 over trial trainings; online,
+//!   adjusted by straggler-aware policies.
+//! * **Configuration policy** ([`config`]): *how* to adjust batch size
+//!   (`n·B` ↔ `B`), learning rate (`n·η` ↔ `η`, the linear scaling rule),
+//!   and momentum on a switch.
+//! * **Online policies** ([`online`]): greedy (switch early on stragglers)
+//!   and elastic (evict stragglers until the BSP budget is met).
+//! * **Straggler detection** ([`detector`]): sliding-window per-worker
+//!   throughput vs. the cluster mean minus one standard deviation.
+//! * **Orchestration** ([`manager`]): the cluster manager that drives any
+//!   [`TrainingBackend`] through a full job, producing a
+//!   [`TrainingReport`] with converged accuracy, total time, TTA, and the
+//!   full evaluation timeline.
+//! * **Search-cost analysis** ([`search_sim`]): the Monte-Carlo simulation
+//!   behind the paper's Tables II / IV / V / VI and Fig. 16.
+//!
+//! Two backends implement [`TrainingBackend`]: [`SimBackend`] (cluster
+//! simulator + convergence surrogate, used for all paper-scale experiments)
+//! and — in the `sync-switch` facade crate — a real multi-threaded
+//! parameter-server backend for laptop-scale runs.
+
+pub mod backend;
+pub mod config;
+pub mod detector;
+pub mod error;
+pub mod manager;
+pub mod online;
+pub mod policy;
+pub mod report;
+pub mod search_sim;
+pub mod timing;
+
+pub use backend::{BackendChunk, SimBackend, TrainingBackend};
+pub use config::{AdjustedConfig, ConfigPolicy};
+pub use detector::StragglerDetector;
+pub use error::CoreError;
+pub use manager::ClusterManager;
+pub use online::OnlinePolicyKind;
+pub use policy::SyncSwitchPolicy;
+pub use report::{SwitchRecord, TrainingReport};
+pub use search_sim::{simulate_search_setting, SearchCostRow, SearchSetting};
+pub use timing::{
+    AnalyticOracle, BinarySearchTuner, NoiselessOracle, SearchOutcome, SimOracle, TimingPolicy,
+    TrainingOracle, TrialResult,
+};
+
+// Re-export the protocol type for downstream convenience.
+pub use sync_switch_workloads::SyncProtocol;

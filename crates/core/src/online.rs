@@ -1,0 +1,57 @@
+//! Online straggler-aware policies (paper §IV-B2).
+
+use serde::{Deserialize, Serialize};
+
+/// Which online policy reacts to detected transient stragglers.
+///
+/// Both policies only act *before* the offline switch point: "any transient
+/// straggler-oriented policies only need to react before the switch timing
+/// … once a training session is switched to ASP, we consider it immune from
+/// the impact of transient stragglers."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OnlinePolicyKind {
+    /// Straggler-agnostic: ride out the slowdown under BSP.
+    Baseline,
+    /// Switch to ASP while a straggler is present; switch back to BSP once
+    /// the cluster is clean and the BSP budget is unmet. Incurs extra
+    /// switch overhead and early-ASP exposure (the paper finds it degrades
+    /// accuracy by ~2% and rejects it).
+    Greedy,
+    /// Evict detected stragglers and finish the BSP budget on the smaller
+    /// cluster; restore the full cluster for the ASP phase. The paper's
+    /// recommended policy (preserves accuracy, ~1.1× speedup).
+    Elastic,
+}
+
+impl OnlinePolicyKind {
+    /// All variants in evaluation order (paper Fig. 15).
+    pub fn all() -> [OnlinePolicyKind; 3] {
+        [
+            OnlinePolicyKind::Baseline,
+            OnlinePolicyKind::Greedy,
+            OnlinePolicyKind::Elastic,
+        ]
+    }
+}
+
+impl std::fmt::Display for OnlinePolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            OnlinePolicyKind::Baseline => "Baseline",
+            OnlinePolicyKind::Greedy => "Greedy",
+            OnlinePolicyKind::Elastic => "Elastic",
+        };
+        write!(f, "{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_all() {
+        assert_eq!(OnlinePolicyKind::Elastic.to_string(), "Elastic");
+        assert_eq!(OnlinePolicyKind::all().len(), 3);
+    }
+}

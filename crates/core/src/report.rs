@@ -1,0 +1,181 @@
+//! Training reports: the measured outcome of one orchestrated job.
+
+use serde::{Deserialize, Serialize};
+
+use sync_switch_workloads::{SetupId, SyncProtocol};
+
+use crate::online::OnlinePolicyKind;
+
+/// One accuracy/loss evaluation point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalPoint {
+    /// Global step of the evaluation.
+    pub step: u64,
+    /// Time since training start, seconds.
+    pub time_s: f64,
+    /// Top-1 test accuracy.
+    pub accuracy: f64,
+    /// Training loss.
+    pub loss: f64,
+}
+
+/// One executed protocol switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SwitchRecord {
+    /// Step at which the switch happened.
+    pub step: u64,
+    /// Time since training start, seconds.
+    pub time_s: f64,
+    /// Protocol switched from.
+    pub from: SyncProtocol,
+    /// Protocol switched to.
+    pub to: SyncProtocol,
+    /// Overhead of the switch (checkpoint + propagate + restart), seconds.
+    pub overhead_s: f64,
+}
+
+/// The complete record of one training job run under Sync-Switch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Which experiment setup was run.
+    pub setup: SetupId,
+    /// The BSP fraction of the timing policy in force.
+    pub policy_fraction: f64,
+    /// The online policy in force.
+    pub online: OnlinePolicyKind,
+    /// Accuracy/loss evaluations over the run.
+    pub evals: Vec<EvalPoint>,
+    /// Protocol switches (including online-policy switches).
+    pub switches: Vec<SwitchRecord>,
+    /// Elastic-policy worker evictions as `(step, worker)`.
+    pub removed_workers: Vec<(u64, usize)>,
+    /// Converged test accuracy (`None` when the run diverged).
+    pub converged_accuracy: Option<f64>,
+    /// Time at which the convergence criterion first held, seconds.
+    pub converged_time_s: Option<f64>,
+    /// Total training time for the full workload, seconds.
+    pub total_time_s: f64,
+    /// Total workload in steps.
+    pub total_steps: u64,
+    /// Steps executed under BSP.
+    pub bsp_steps: u64,
+    /// Steps executed under ASP.
+    pub asp_steps: u64,
+    /// Time-to-accuracy: first time the accuracy threshold was reached.
+    pub tta_s: Option<f64>,
+    /// The accuracy threshold used for TTA.
+    pub tta_target: f64,
+    /// Step at which the run diverged, if it did.
+    pub diverged_at: Option<u64>,
+    /// Training loss at the end of the run.
+    pub final_loss: f64,
+}
+
+impl TrainingReport {
+    /// Mean cluster throughput over the run, in images/s, given the
+    /// per-step batch size `B` (each workload unit consumes one mini-batch).
+    pub fn throughput_images_per_sec(&self, batch: usize) -> f64 {
+        if self.total_time_s <= 0.0 {
+            return 0.0;
+        }
+        (self.total_steps as f64 * batch as f64) / self.total_time_s
+    }
+
+    /// Total switch overhead across the run, seconds.
+    pub fn total_switch_overhead_s(&self) -> f64 {
+        self.switches.iter().map(|s| s.overhead_s).sum()
+    }
+
+    /// Fraction of the run spent on switch overhead.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_time_s <= 0.0 {
+            return 0.0;
+        }
+        self.total_switch_overhead_s() / self.total_time_s
+    }
+
+    /// Whether the run completed without divergence.
+    pub fn completed(&self) -> bool {
+        self.diverged_at.is_none()
+    }
+
+    /// The accuracy trajectory as `(step, accuracy)` pairs.
+    pub fn accuracy_curve(&self) -> Vec<(u64, f64)> {
+        self.evals.iter().map(|e| (e.step, e.accuracy)).collect()
+    }
+
+    /// The loss trajectory as `(step, loss)` pairs.
+    pub fn loss_curve(&self) -> Vec<(u64, f64)> {
+        self.evals.iter().map(|e| (e.step, e.loss)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> TrainingReport {
+        TrainingReport {
+            setup: SetupId::One,
+            policy_fraction: 0.0625,
+            online: OnlinePolicyKind::Baseline,
+            evals: vec![
+                EvalPoint {
+                    step: 2000,
+                    time_s: 100.0,
+                    accuracy: 0.5,
+                    loss: 1.0,
+                },
+                EvalPoint {
+                    step: 4000,
+                    time_s: 150.0,
+                    accuracy: 0.9,
+                    loss: 0.1,
+                },
+            ],
+            switches: vec![SwitchRecord {
+                step: 4000,
+                time_s: 120.0,
+                from: SyncProtocol::Bsp,
+                to: SyncProtocol::Asp,
+                overhead_s: 36.0,
+            }],
+            removed_workers: vec![],
+            converged_accuracy: Some(0.917),
+            converged_time_s: Some(1500.0),
+            total_time_s: 1800.0,
+            total_steps: 64_000,
+            bsp_steps: 4_000,
+            asp_steps: 60_000,
+            tta_s: Some(1400.0),
+            tta_target: 0.913,
+            diverged_at: None,
+            final_loss: 0.01,
+        }
+    }
+
+    #[test]
+    fn throughput_and_overhead() {
+        let r = sample_report();
+        let thr = r.throughput_images_per_sec(128);
+        assert!((thr - 64_000.0 * 128.0 / 1800.0).abs() < 1e-9);
+        assert_eq!(r.total_switch_overhead_s(), 36.0);
+        assert!((r.overhead_fraction() - 0.02).abs() < 1e-9);
+        assert!(r.completed());
+    }
+
+    #[test]
+    fn curves_extract() {
+        let r = sample_report();
+        assert_eq!(r.accuracy_curve(), vec![(2000, 0.5), (4000, 0.9)]);
+        assert_eq!(r.loss_curve()[1], (4000, 0.1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = sample_report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TrainingReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

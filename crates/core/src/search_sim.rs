@@ -1,0 +1,296 @@
+//! Monte-Carlo analysis of the binary-search cost (paper §VI-C1,
+//! Tables II / IV / V / VI, Fig. 16).
+//!
+//! The paper "uses all our training logs and simulates each search setting
+//! 1000 times with the accuracy threshold of 0.01"; here the logs are the
+//! calibrated closed-form accuracy/time distributions.
+
+use serde::{Deserialize, Serialize};
+
+use sync_switch_sim::DetRng;
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup};
+
+use crate::timing::{AnalyticOracle, BinarySearchTuner, NoiselessOracle, TrainingOracle};
+
+/// One search setting: `(job recurrence, number of BSP trainings, number of
+/// candidate policy trainings)` — the row keys of Tables II / IV–VI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SearchSetting {
+    /// Whether the job is recurring (target accuracy known from history).
+    pub recurring: bool,
+    /// Pilot BSP runs used to establish the target accuracy.
+    pub bsp_runs: usize,
+    /// Runs per candidate switch timing.
+    pub candidate_runs: usize,
+}
+
+impl SearchSetting {
+    /// The paper's baseline setting `(No, 5, 5)`.
+    pub fn baseline() -> Self {
+        SearchSetting {
+            recurring: false,
+            bsp_runs: 5,
+            candidate_runs: 5,
+        }
+    }
+
+    /// All settings evaluated in paper Tables IV–VI, in row order.
+    pub fn table_rows() -> Vec<SearchSetting> {
+        let mut rows = Vec::new();
+        for n in (1..=5).rev() {
+            rows.push(SearchSetting {
+                recurring: false,
+                bsp_runs: n,
+                candidate_runs: n,
+            });
+        }
+        for n in (2..=5).rev() {
+            rows.push(SearchSetting {
+                recurring: false,
+                bsp_runs: 1,
+                candidate_runs: n,
+            });
+        }
+        for n in (1..=5).rev() {
+            rows.push(SearchSetting {
+                recurring: true,
+                bsp_runs: 0,
+                candidate_runs: n,
+            });
+        }
+        rows
+    }
+}
+
+impl std::fmt::Display for SearchSetting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "({}, {}, {})",
+            if self.recurring { "Yes" } else { "No" },
+            self.bsp_runs,
+            self.candidate_runs
+        )
+    }
+}
+
+/// Aggregated Monte-Carlo result for one search setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchCostRow {
+    /// The setting simulated.
+    pub setting: SearchSetting,
+    /// Mean search cost, in multiples of one full BSP training.
+    pub search_cost: f64,
+    /// Number of job recurrences needed to amortize the search cost via
+    /// the per-job time saved by the found policy.
+    pub amortized_recurrences: f64,
+    /// Valid training sessions produced per BSP-training-equivalent of
+    /// search cost ("Effective Training vs BSP").
+    pub effective_training: f64,
+    /// Probability the search returns the ground-truth switch timing.
+    pub success_probability: f64,
+}
+
+/// Runs the Monte-Carlo analysis of one search setting.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or the setting has neither a known target nor
+/// pilot runs.
+pub fn simulate_search_setting(
+    setup: &ExperimentSetup,
+    setting: SearchSetting,
+    trials: usize,
+    beta: f64,
+    seed: u64,
+) -> SearchCostRow {
+    assert!(trials > 0, "need at least one trial");
+    assert!(
+        setting.recurring || setting.bsp_runs > 0,
+        "non-recurring settings need pilot runs"
+    );
+    let calib = CalibrationTargets::for_setup(setup.id);
+
+    // Ground truth: the noiseless search with the exact target.
+    let ground_truth = {
+        let mut oracle = NoiselessOracle(AnalyticOracle::new(setup, seed));
+        let tuner = BinarySearchTuner {
+            beta,
+            max_settings: 5,
+            runs_per_setting: 1,
+            bsp_runs: 0,
+            target_accuracy: Some(calib.bsp_accuracy),
+        };
+        tuner
+            .search(&mut oracle)
+            .expect("noiseless search cannot fail")
+            .timing
+            .switch_fraction
+    };
+
+    let per_job_saving = 1.0 - calib.time_fraction_at(ground_truth);
+    let rng = DetRng::new(seed).derive("search-sim", setup.id.index() as u64);
+
+    let mut total_cost = 0.0;
+    let mut total_effective = 0.0;
+    let mut successes = 0usize;
+    for t in 0..trials {
+        let mut oracle = CountingOracle {
+            inner: AnalyticOracle::new(setup, rng.derive("trial", t as u64).seed()),
+            valid_sessions: 0,
+            target: calib.bsp_accuracy,
+            beta,
+        };
+        let tuner = BinarySearchTuner {
+            beta,
+            max_settings: 5,
+            runs_per_setting: setting.candidate_runs,
+            bsp_runs: setting.bsp_runs,
+            target_accuracy: setting.recurring.then_some(calib.bsp_accuracy),
+        };
+        let outcome = tuner.search(&mut oracle).expect("search cannot fail here");
+        total_cost += outcome.search_cost_vs_bsp;
+        total_effective += oracle.valid_sessions as f64 / outcome.search_cost_vs_bsp;
+        if (outcome.timing.switch_fraction - ground_truth).abs() < 1e-9 {
+            successes += 1;
+        }
+    }
+
+    let mean_cost = total_cost / trials as f64;
+    SearchCostRow {
+        setting,
+        search_cost: mean_cost,
+        amortized_recurrences: mean_cost / per_job_saving,
+        effective_training: total_effective / trials as f64,
+        success_probability: successes as f64 / trials as f64,
+    }
+}
+
+/// Oracle wrapper counting *valid* training sessions — runs whose true mean
+/// accuracy lies within `target ± β` (they produce usable models, the
+/// "Effective Training" numerator of Table II).
+struct CountingOracle {
+    inner: AnalyticOracle,
+    valid_sessions: usize,
+    target: f64,
+    beta: f64,
+}
+
+impl TrainingOracle for CountingOracle {
+    fn run_trial(&mut self, fraction: f64) -> crate::timing::TrialResult {
+        let noiseless = self.inner.noiseless_trial(fraction);
+        let r = self.inner.run_trial(fraction);
+        if let Some(true_mean) = noiseless.accuracy {
+            if (true_mean - self.target).abs() <= self.beta {
+                self.valid_sessions += 1;
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sync_switch_workloads::SetupId;
+
+    fn row(setup: SetupId, setting: SearchSetting) -> SearchCostRow {
+        simulate_search_setting(
+            &ExperimentSetup::from_id(setup),
+            setting,
+            400,
+            0.01,
+            42,
+        )
+    }
+
+    #[test]
+    fn baseline_setup1_matches_table2() {
+        let r = row(SetupId::One, SearchSetting::baseline());
+        // Paper: cost 12.71×, amortized 15.79, effective 1.97×, success 100%.
+        assert!((11.0..14.5).contains(&r.search_cost), "cost {}", r.search_cost);
+        assert!(
+            (13.0..19.0).contains(&r.amortized_recurrences),
+            "amortized {}",
+            r.amortized_recurrences
+        );
+        assert!(
+            (1.6..2.4).contains(&r.effective_training),
+            "effective {}",
+            r.effective_training
+        );
+        assert!(r.success_probability > 0.90, "success {}", r.success_probability);
+    }
+
+    #[test]
+    fn recurring_setup1_is_cheaper() {
+        let rec = row(
+            SetupId::One,
+            SearchSetting {
+                recurring: true,
+                bsp_runs: 0,
+                candidate_runs: 3,
+            },
+        );
+        // Paper (Yes, 0, 3): cost 4.63×, effective 2.59×, success 100%.
+        assert!((4.0..5.6).contains(&rec.search_cost), "cost {}", rec.search_cost);
+        assert!(rec.effective_training > 2.0, "effective {}", rec.effective_training);
+        assert!(rec.success_probability > 0.90);
+    }
+
+    #[test]
+    fn fewer_runs_lower_cost_lower_success() {
+        let r5 = row(SetupId::One, SearchSetting::baseline());
+        let r1 = row(
+            SetupId::One,
+            SearchSetting {
+                recurring: false,
+                bsp_runs: 1,
+                candidate_runs: 1,
+            },
+        );
+        assert!(r1.search_cost < r5.search_cost / 3.0);
+        assert!(
+            r1.success_probability < r5.success_probability,
+            "1-run success {} should trail 5-run {}",
+            r1.success_probability,
+            r5.success_probability
+        );
+        // Paper (No,1,1): 56.8% success — noisy single runs misjudge.
+        assert!(
+            (0.25..0.9).contains(&r1.success_probability),
+            "success {}",
+            r1.success_probability
+        );
+    }
+
+    #[test]
+    fn setup3_search_is_cheap_and_reliable() {
+        // Diverged probes cost almost nothing and are always rejected, so
+        // setup-3 searches are cheap and 100% successful (paper Table VI).
+        let r = row(
+            SetupId::Three,
+            SearchSetting {
+                recurring: true,
+                bsp_runs: 0,
+                candidate_runs: 1,
+            },
+        );
+        assert!((0.4..0.8).contains(&r.search_cost), "cost {}", r.search_cost);
+        assert!(r.success_probability > 0.99);
+        assert!(
+            (1.2..2.2).contains(&r.effective_training),
+            "effective {}",
+            r.effective_training
+        );
+    }
+
+    #[test]
+    fn table_rows_cover_paper_grid() {
+        let rows = SearchSetting::table_rows();
+        assert_eq!(rows.len(), 14);
+        assert_eq!(rows[0], SearchSetting::baseline());
+        assert!(rows.iter().any(|s| s.recurring && s.candidate_runs == 1));
+        assert_eq!(SearchSetting::baseline().to_string(), "(No, 5, 5)");
+    }
+}

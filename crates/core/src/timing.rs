@@ -1,0 +1,459 @@
+//! Timing policy and the offline binary-search tuner (paper Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+use sync_switch_convergence::converged_accuracy_stats;
+use sync_switch_sim::DetRng;
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup};
+
+use crate::backend::SimBackend;
+use crate::error::CoreError;
+use crate::manager::ClusterManager;
+use crate::policy::SyncSwitchPolicy;
+
+/// When to switch from BSP to ASP, as a fraction of the total workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingPolicy {
+    /// BSP fraction of the workload in `[0, 1]`; 0 = pure ASP, 1 = pure
+    /// BSP.
+    pub switch_fraction: f64,
+}
+
+impl TimingPolicy {
+    /// A timing policy switching after `fraction` of the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn at_fraction(fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "switch fraction must be in [0,1], got {fraction}"
+        );
+        TimingPolicy {
+            switch_fraction: fraction,
+        }
+    }
+
+    /// The switch step for a workload of `total_steps`.
+    pub fn switch_step(&self, total_steps: u64) -> u64 {
+        (self.switch_fraction * total_steps as f64).round() as u64
+    }
+}
+
+/// Outcome of one trial training during the search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// Converged accuracy; `None` when the run diverged.
+    pub accuracy: Option<f64>,
+    /// Total training time normalized to a full-BSP run.
+    pub time_vs_bsp: f64,
+}
+
+/// Anything that can run a trial training at a given BSP fraction: the full
+/// simulation pipeline, a live cluster, or a fast analytic sampler.
+pub trait TrainingOracle {
+    /// Runs one trial with the first `fraction` of the workload under BSP.
+    fn run_trial(&mut self, fraction: f64) -> TrialResult;
+}
+
+/// Record of one probed switch fraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbeRecord {
+    /// Fraction probed.
+    pub fraction: f64,
+    /// Converged accuracies of the R runs (diverged runs omitted).
+    pub accuracies: Vec<f64>,
+    /// Number of diverged runs.
+    pub diverged_runs: usize,
+    /// Whether the probe was accepted (mean within `A ± β`).
+    pub accepted: bool,
+}
+
+/// Result of the binary search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchOutcome {
+    /// The found timing policy (the final `upper` of Algorithm 1).
+    pub timing: TimingPolicy,
+    /// Target accuracy `A` used for acceptance.
+    pub target_accuracy: f64,
+    /// Every probe in order.
+    pub probes: Vec<ProbeRecord>,
+    /// Total search cost in BSP-training-equivalents (sum of normalized
+    /// trial times, including the runs that established `A`).
+    pub search_cost_vs_bsp: f64,
+}
+
+/// Paper Algorithm 1: binary search over switch timings.
+///
+/// For a given workload, finds a switching point whose converged accuracy
+/// is within `β` of the BSP target while switching as early as possible.
+/// The paper's pseudo-code accumulates `α′` across iterations — an evident
+/// typo; we reset the accumulator per probed setting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinarySearchTuner {
+    /// Accuracy acceptance margin `β` (paper uses 0.01 in §VI-C1).
+    pub beta: f64,
+    /// Number of settings `M` to explore.
+    pub max_settings: usize,
+    /// Runs `R` per probed setting.
+    pub runs_per_setting: usize,
+    /// Runs used to establish the target accuracy `A` when it is not
+    /// provided (the full-BSP pilot runs).
+    pub bsp_runs: usize,
+    /// Known target accuracy `A` (recurring jobs provide it from history).
+    pub target_accuracy: Option<f64>,
+}
+
+impl Default for BinarySearchTuner {
+    fn default() -> Self {
+        BinarySearchTuner {
+            beta: 0.01,
+            max_settings: 5,
+            runs_per_setting: 5,
+            bsp_runs: 5,
+            target_accuracy: None,
+        }
+    }
+}
+
+impl BinarySearchTuner {
+    /// Creates a tuner with the paper's defaults (β = 0.01, M = 5, R = 5).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the runs per setting (and pilot runs) — the cost/robustness
+    /// trade-off of Tables IV–VI.
+    pub fn with_runs(mut self, bsp_runs: usize, candidate_runs: usize) -> Self {
+        self.bsp_runs = bsp_runs;
+        self.runs_per_setting = candidate_runs;
+        self
+    }
+
+    /// Provides a known target accuracy (recurring jobs).
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target_accuracy = Some(target);
+        self
+    }
+
+    /// Runs the search against an oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidPolicy`] when the configuration cannot
+    /// establish a target accuracy (no target and zero BSP runs).
+    pub fn search<O: TrainingOracle>(&self, oracle: &mut O) -> Result<SearchOutcome, CoreError> {
+        let mut cost = 0.0;
+        let target = match self.target_accuracy {
+            Some(a) => a,
+            None => {
+                if self.bsp_runs == 0 {
+                    return Err(CoreError::InvalidPolicy(
+                        "need a target accuracy or at least one BSP pilot run".into(),
+                    ));
+                }
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for _ in 0..self.bsp_runs {
+                    let r = oracle.run_trial(1.0);
+                    cost += r.time_vs_bsp;
+                    if let Some(a) = r.accuracy {
+                        sum += a;
+                        count += 1;
+                    }
+                }
+                if count == 0 {
+                    return Err(CoreError::Backend(
+                        "all BSP pilot runs failed to converge".into(),
+                    ));
+                }
+                sum / count as f64
+            }
+        };
+
+        let mut upper = 1.0f64;
+        let mut lower = 0.0f64;
+        let mut probes = Vec::with_capacity(self.max_settings);
+        for _ in 0..self.max_settings {
+            let fraction = (upper + lower) / 2.0;
+            let mut accs = Vec::with_capacity(self.runs_per_setting);
+            let mut diverged = 0usize;
+            for _ in 0..self.runs_per_setting {
+                let r = oracle.run_trial(fraction);
+                cost += r.time_vs_bsp;
+                match r.accuracy {
+                    Some(a) => accs.push(a),
+                    None => diverged += 1,
+                }
+            }
+            // A setting with any diverged run cannot satisfy the accuracy
+            // constraint.
+            let accepted = if diverged > 0 || accs.is_empty() {
+                false
+            } else {
+                let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+                (mean - target).abs() <= self.beta
+            };
+            probes.push(ProbeRecord {
+                fraction,
+                accuracies: accs,
+                diverged_runs: diverged,
+                accepted,
+            });
+            if accepted {
+                upper = fraction;
+            } else {
+                lower = fraction;
+            }
+        }
+
+        Ok(SearchOutcome {
+            timing: TimingPolicy::at_fraction(upper),
+            target_accuracy: target,
+            probes,
+            search_cost_vs_bsp: cost,
+        })
+    }
+}
+
+/// Oracle running full simulated trainings through the manager pipeline.
+#[derive(Debug)]
+pub struct SimOracle {
+    setup: ExperimentSetup,
+    seed: u64,
+    trials: u64,
+    bsp_reference_s: f64,
+}
+
+impl SimOracle {
+    /// Creates an oracle for a setup; trial seeds derive from `seed`.
+    pub fn new(setup: &ExperimentSetup, seed: u64) -> Self {
+        SimOracle {
+            setup: setup.clone(),
+            seed,
+            trials: 0,
+            bsp_reference_s: 0.0,
+        }
+    }
+
+    fn bsp_reference(&mut self) -> f64 {
+        if self.bsp_reference_s == 0.0 {
+            let policy = SyncSwitchPolicy::static_bsp(self.setup.cluster_size);
+            let mut backend = SimBackend::new(&self.setup, self.seed.wrapping_add(999_983));
+            let report = ClusterManager::new(policy)
+                .run(&mut backend, &self.setup)
+                .expect("BSP reference run cannot fail");
+            self.bsp_reference_s = report.total_time_s;
+        }
+        self.bsp_reference_s
+    }
+}
+
+impl TrainingOracle for SimOracle {
+    fn run_trial(&mut self, fraction: f64) -> TrialResult {
+        let reference = self.bsp_reference();
+        self.trials += 1;
+        let seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(self.trials);
+        let policy = SyncSwitchPolicy::new(fraction, self.setup.cluster_size);
+        let mut backend = SimBackend::new(&self.setup, seed);
+        match ClusterManager::new(policy).run(&mut backend, &self.setup) {
+            Ok(report) => TrialResult {
+                accuracy: if report.diverged_at.is_some() {
+                    None
+                } else {
+                    report.converged_accuracy
+                },
+                time_vs_bsp: report.total_time_s / reference,
+            },
+            Err(_) => TrialResult {
+                accuracy: None,
+                time_vs_bsp: 0.05,
+            },
+        }
+    }
+}
+
+/// Fast oracle sampling from the closed-form accuracy/time models — the
+/// paper's own search-cost methodology ("we use all our training logs and
+/// simulate each search setting 1000 times", §VI-C1).
+#[derive(Debug, Clone)]
+pub struct AnalyticOracle {
+    calib: CalibrationTargets,
+    rng: DetRng,
+    /// Normalized cost of a run that diverges (detected within the first
+    /// few hundred steps).
+    pub divergence_cost: f64,
+    /// Normalized per-run overhead (switching, checkpointing).
+    pub overhead_cost: f64,
+}
+
+impl AnalyticOracle {
+    /// Creates an analytic oracle for a setup.
+    pub fn new(setup: &ExperimentSetup, seed: u64) -> Self {
+        AnalyticOracle {
+            calib: CalibrationTargets::for_setup(setup.id),
+            rng: DetRng::new(seed).derive("analytic-oracle", setup.id.index() as u64),
+            divergence_cost: 0.015,
+            overhead_cost: 0.005,
+        }
+    }
+
+    /// Deterministic mean-only trial (no run-to-run noise) — used to define
+    /// the search's ground truth.
+    pub fn noiseless_trial(&self, fraction: f64) -> TrialResult {
+        let stats = converged_accuracy_stats(self.calib.setup, fraction);
+        if stats.diverges {
+            TrialResult {
+                accuracy: None,
+                time_vs_bsp: self.divergence_cost,
+            }
+        } else {
+            TrialResult {
+                accuracy: Some(stats.mean),
+                time_vs_bsp: self.calib.time_fraction_at(fraction) + self.overhead_cost,
+            }
+        }
+    }
+}
+
+impl TrainingOracle for AnalyticOracle {
+    fn run_trial(&mut self, fraction: f64) -> TrialResult {
+        let stats = converged_accuracy_stats(self.calib.setup, fraction);
+        if stats.diverges {
+            return TrialResult {
+                accuracy: None,
+                time_vs_bsp: self.divergence_cost,
+            };
+        }
+        let acc = stats.mean + stats.sigma * self.rng.standard_normal();
+        TrialResult {
+            accuracy: Some(acc),
+            time_vs_bsp: self.calib.time_fraction_at(fraction) + self.overhead_cost,
+        }
+    }
+}
+
+/// A wrapper oracle that returns noiseless means — the ground truth of the
+/// Monte-Carlo success-probability analysis.
+#[derive(Debug, Clone)]
+pub struct NoiselessOracle(pub AnalyticOracle);
+
+impl TrainingOracle for NoiselessOracle {
+    fn run_trial(&mut self, fraction: f64) -> TrialResult {
+        self.0.noiseless_trial(fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sync_switch_workloads::SetupId;
+
+    fn ground_truth(setup: &ExperimentSetup) -> f64 {
+        let oracle = AnalyticOracle::new(setup, 0);
+        let mut noiseless = NoiselessOracle(oracle);
+        let tuner = BinarySearchTuner::new().with_target(
+            CalibrationTargets::for_setup(setup.id).bsp_accuracy,
+        );
+        tuner
+            .search(&mut noiseless)
+            .unwrap()
+            .timing
+            .switch_fraction
+    }
+
+    #[test]
+    fn timing_policy_step_computation() {
+        let t = TimingPolicy::at_fraction(0.0625);
+        assert_eq!(t.switch_step(64_000), 4_000);
+        assert_eq!(TimingPolicy::at_fraction(0.0).switch_step(64_000), 0);
+        assert_eq!(TimingPolicy::at_fraction(1.0).switch_step(64_000), 64_000);
+    }
+
+    #[test]
+    fn noiseless_search_recovers_paper_policies() {
+        // P1 = 6.25 %, P2 = 12.5 %, P3 = 50 % (paper Table I).
+        assert_eq!(ground_truth(&ExperimentSetup::one()), 0.0625);
+        assert_eq!(ground_truth(&ExperimentSetup::two()), 0.125);
+        assert_eq!(ground_truth(&ExperimentSetup::three()), 0.5);
+    }
+
+    #[test]
+    fn search_probes_at_most_m_settings() {
+        let setup = ExperimentSetup::one();
+        let mut oracle = AnalyticOracle::new(&setup, 1);
+        let outcome = BinarySearchTuner::new()
+            .with_target(0.919)
+            .search(&mut oracle)
+            .unwrap();
+        assert_eq!(outcome.probes.len(), 5);
+        // First probe is always the midpoint 50%.
+        assert_eq!(outcome.probes[0].fraction, 0.5);
+    }
+
+    #[test]
+    fn search_cost_matches_table2_baseline() {
+        // Setting (No, 5, 5) on setup 1 costs ≈ 12.7× BSP (paper Table II).
+        let setup = ExperimentSetup::one();
+        let mut oracle = AnalyticOracle::new(&setup, 2);
+        let outcome = BinarySearchTuner::new().search(&mut oracle).unwrap();
+        assert!(
+            (11.0..14.5).contains(&outcome.search_cost_vs_bsp),
+            "cost {}",
+            outcome.search_cost_vs_bsp
+        );
+    }
+
+    #[test]
+    fn recurring_job_skips_pilot_runs() {
+        let setup = ExperimentSetup::one();
+        let mut oracle = AnalyticOracle::new(&setup, 3);
+        let outcome = BinarySearchTuner::new()
+            .with_target(0.919)
+            .search(&mut oracle)
+            .unwrap();
+        // (Yes, 0, 5) ≈ 7.7× BSP (paper Table II).
+        assert!(
+            (6.8..8.8).contains(&outcome.search_cost_vs_bsp),
+            "cost {}",
+            outcome.search_cost_vs_bsp
+        );
+    }
+
+    #[test]
+    fn divergent_settings_are_rejected() {
+        let setup = ExperimentSetup::three();
+        let mut oracle = AnalyticOracle::new(&setup, 4);
+        let outcome = BinarySearchTuner::new()
+            .with_target(0.923)
+            .search(&mut oracle)
+            .unwrap();
+        assert_eq!(outcome.timing.switch_fraction, 0.5);
+        // Probes below 50% all diverged.
+        for p in &outcome.probes {
+            if p.fraction < 0.5 {
+                assert!(!p.accepted);
+                assert_eq!(p.diverged_runs, 5);
+            }
+        }
+        let _ = SetupId::Three;
+    }
+
+    #[test]
+    fn no_target_and_no_pilots_is_an_error() {
+        let setup = ExperimentSetup::one();
+        let mut oracle = AnalyticOracle::new(&setup, 5);
+        let tuner = BinarySearchTuner::new().with_runs(0, 5);
+        assert!(tuner.search(&mut oracle).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn bad_fraction_panics() {
+        let _ = TimingPolicy::at_fraction(1.2);
+    }
+}

@@ -1,0 +1,332 @@
+//! Deterministic synthetic datasets with data-parallel sharding.
+//!
+//! The paper trains on CIFAR-10/100; this substrate substitutes procedurally
+//! generated classification data of configurable difficulty (documented in
+//! `DESIGN.md`). What matters for Sync-Switch is that workers train on
+//! *disjoint shards* with real SGD dynamics, which these datasets provide.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use sync_switch_tensor::Tensor;
+
+/// An in-memory labelled dataset: `[n, dim]` features plus integer labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    x: Tensor,
+    y: Vec<usize>,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Builds a dataset from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not 2-D, row count differs from `y.len()`, or a
+    /// label is out of range.
+    pub fn from_parts(x: Tensor, y: Vec<usize>, classes: usize) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/label count mismatch");
+        assert!(classes > 0, "classes must be positive");
+        assert!(
+            y.iter().all(|&l| l < classes),
+            "label out of range for {classes} classes"
+        );
+        Dataset { x, y, classes }
+    }
+
+    /// Gaussian blobs: class `c` is an isotropic Gaussian around a random
+    /// unit-ish center; `spread` controls overlap (and therefore achievable
+    /// accuracy). Fully determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `spread` is not positive.
+    pub fn gaussian_blobs(
+        classes: usize,
+        per_class: usize,
+        dim: usize,
+        spread: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(classes > 0 && per_class > 0 && dim > 0, "empty dataset");
+        assert!(spread > 0.0, "spread must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f64>> = (0..classes)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let n = classes * per_class;
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        // Interleave classes so contiguous shards stay class-balanced.
+        for i in 0..per_class {
+            for (c, center) in centers.iter().enumerate() {
+                let _ = i;
+                for &cj in center {
+                    data.push((cj + spread * normal(&mut rng)) as f32);
+                }
+                labels.push(c);
+            }
+        }
+        Dataset {
+            x: Tensor::from_vec(data, &[n, dim]),
+            y: labels,
+            classes,
+        }
+    }
+
+    /// Procedural "images": each class is a distinct spatial pattern
+    /// (stripes / checkers / gradients at class-dependent frequency and
+    /// orientation) over a `side × side` grid plus Gaussian pixel noise.
+    /// A stand-in for CIFAR with controllable difficulty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero or `noise` is negative.
+    pub fn synthetic_images(
+        classes: usize,
+        per_class: usize,
+        side: usize,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(classes > 0 && per_class > 0 && side > 0, "empty dataset");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = side * side;
+        let n = classes * per_class;
+        let mut data = Vec::with_capacity(n * dim);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..per_class {
+            for c in 0..classes {
+                let _ = i;
+                let freq = 1.0 + (c % 4) as f64;
+                let angle = (c as f64) * std::f64::consts::PI / classes as f64;
+                let (ca, sa) = (angle.cos(), angle.sin());
+                let phase = rng.gen_range(0.0..std::f64::consts::TAU);
+                for r in 0..side {
+                    for col in 0..side {
+                        let u = (r as f64 / side as f64 - 0.5) * ca
+                            + (col as f64 / side as f64 - 0.5) * sa;
+                        let signal = (freq * std::f64::consts::TAU * u + phase).sin();
+                        data.push((signal + noise * normal(&mut rng)) as f32);
+                    }
+                }
+                labels.push(c);
+            }
+        }
+        Dataset {
+            x: Tensor::from_vec(data, &[n, dim]),
+            y: labels,
+            classes,
+        }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty (never true for validated constructors).
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Features tensor.
+    pub fn features(&self) -> &Tensor {
+        &self.x
+    }
+
+    /// Labels slice.
+    pub fn labels(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Extracts the rows at `indices` as a `(features, labels)` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of bounds or `indices` is empty.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        assert!(!indices.is_empty(), "batch must be non-empty");
+        let dim = self.dim();
+        let mut data = Vec::with_capacity(indices.len() * dim);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            assert!(i < self.len(), "index {i} out of bounds");
+            data.extend_from_slice(&self.x.data()[i * dim..(i + 1) * dim]);
+            labels.push(self.y[i]);
+        }
+        (Tensor::from_vec(data, &[indices.len(), dim]), labels)
+    }
+
+    /// Draws a uniformly random batch of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`.
+    pub fn sample_batch<R: Rng>(&self, batch_size: usize, rng: &mut R) -> (Tensor, Vec<usize>) {
+        assert!(batch_size > 0, "batch size must be positive");
+        let indices: Vec<usize> = (0..batch_size).map(|_| rng.gen_range(0..self.len())).collect();
+        self.batch(&indices)
+    }
+
+    /// Returns worker `k`'s shard under `n`-way data parallelism (contiguous
+    /// block partition, as when the training data are "partitioned and
+    /// offloaded to the workers", paper §II-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= n`, `n == 0`, or the dataset has fewer rows than `n`.
+    pub fn shard(&self, k: usize, n: usize) -> Dataset {
+        assert!(n > 0 && k < n, "invalid shard {k}/{n}");
+        assert!(self.len() >= n, "dataset smaller than shard count");
+        let per = self.len() / n;
+        let start = k * per;
+        let end = if k == n - 1 { self.len() } else { start + per };
+        let indices: Vec<usize> = (start..end).collect();
+        let (x, y) = self.batch(&indices);
+        Dataset {
+            x,
+            y,
+            classes: self.classes,
+        }
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of rows held out
+    /// from the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the split would leave either side empty.
+    pub fn split(&self, test_fraction: f64) -> (Dataset, Dataset) {
+        let test_n = ((self.len() as f64) * test_fraction).round() as usize;
+        assert!(
+            test_n > 0 && test_n < self.len(),
+            "split leaves an empty side"
+        );
+        let train_idx: Vec<usize> = (0..self.len() - test_n).collect();
+        let test_idx: Vec<usize> = (self.len() - test_n..self.len()).collect();
+        let (tx, ty) = self.batch(&train_idx);
+        let (ex, ey) = self.batch(&test_idx);
+        (
+            Dataset {
+                x: tx,
+                y: ty,
+                classes: self.classes,
+            },
+            Dataset {
+                x: ex,
+                y: ey,
+                classes: self.classes,
+            },
+        )
+    }
+}
+
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_shape_and_determinism() {
+        let a = Dataset::gaussian_blobs(3, 10, 4, 0.2, 5);
+        let b = Dataset::gaussian_blobs(3, 10, 4, 0.2, 5);
+        assert_eq!(a.len(), 30);
+        assert_eq!(a.dim(), 4);
+        assert_eq!(a.features().data(), b.features().data());
+        let c = Dataset::gaussian_blobs(3, 10, 4, 0.2, 6);
+        assert_ne!(a.features().data(), c.features().data());
+    }
+
+    #[test]
+    fn images_have_class_structure() {
+        let d = Dataset::synthetic_images(4, 8, 8, 0.05, 1);
+        assert_eq!(d.len(), 32);
+        assert_eq!(d.dim(), 64);
+        assert_eq!(d.classes(), 4);
+        assert!(d.labels().iter().all(|&l| l < 4));
+    }
+
+    #[test]
+    fn batch_extracts_rows() {
+        let d = Dataset::gaussian_blobs(2, 5, 3, 0.1, 0);
+        let (x, y) = d.batch(&[0, 9]);
+        assert_eq!(x.shape(), &[2, 3]);
+        assert_eq!(y[0], d.labels()[0]);
+        assert_eq!(y[1], d.labels()[9]);
+        assert_eq!(&x.data()[0..3], &d.features().data()[0..3]);
+    }
+
+    #[test]
+    fn shards_partition_the_data() {
+        let d = Dataset::gaussian_blobs(4, 25, 3, 0.1, 2);
+        let n = 4;
+        let shards: Vec<Dataset> = (0..n).map(|k| d.shard(k, n)).collect();
+        let total: usize = shards.iter().map(|s| s.len()).sum();
+        assert_eq!(total, d.len());
+        // Class interleaving keeps shards balanced.
+        for s in &shards {
+            for c in 0..4 {
+                let count = s.labels().iter().filter(|&&l| l == c).count();
+                assert!(count > 0, "shard missing class {c}");
+            }
+        }
+        // Shards are disjoint: first rows differ.
+        assert_ne!(
+            &shards[0].features().data()[..3],
+            &shards[1].features().data()[..3]
+        );
+    }
+
+    #[test]
+    fn last_shard_takes_remainder() {
+        let d = Dataset::gaussian_blobs(1, 10, 2, 0.1, 3);
+        let s0 = d.shard(0, 3);
+        let s2 = d.shard(2, 3);
+        assert_eq!(s0.len(), 3);
+        assert_eq!(s2.len(), 4);
+    }
+
+    #[test]
+    fn split_holds_out_tail() {
+        let d = Dataset::gaussian_blobs(2, 50, 3, 0.1, 4);
+        let (train, test) = d.split(0.2);
+        assert_eq!(train.len(), 80);
+        assert_eq!(test.len(), 20);
+    }
+
+    #[test]
+    fn sample_batch_is_seeded() {
+        let d = Dataset::gaussian_blobs(2, 50, 3, 0.1, 4);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let (x1, y1) = d.sample_batch(16, &mut r1);
+        let (x2, y2) = d.sample_batch(16, &mut r2);
+        assert_eq!(x1.data(), x2.data());
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid shard")]
+    fn bad_shard_panics() {
+        let d = Dataset::gaussian_blobs(2, 5, 2, 0.1, 0);
+        let _ = d.shard(3, 3);
+    }
+}

@@ -1,0 +1,50 @@
+//! Evaluation metrics.
+
+use sync_switch_tensor::Tensor;
+
+/// Top-1 accuracy of `[batch, classes]` logits against integer labels.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the batch size.
+///
+/// # Example
+///
+/// ```
+/// use sync_switch_tensor::Tensor;
+/// use sync_switch_nn::accuracy;
+///
+/// let logits = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]);
+/// assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+/// assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+/// ```
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "labels/batch size mismatch");
+    let preds = logits.argmax_rows();
+    let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_correct() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        assert_eq!(accuracy(&logits, &[1, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn length_mismatch_panics() {
+        let logits = Tensor::zeros(&[2, 2]);
+        let _ = accuracy(&logits, &[0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! Sequential network container with flat parameter access.
+
+use sync_switch_tensor::Tensor;
+
+use crate::layer::{Dense, Layer, Relu, ResidualBlock};
+use crate::loss::SoftmaxCrossEntropy;
+
+/// A feed-forward classification network: a stack of layers topped by
+/// softmax cross-entropy.
+///
+/// All parameters can be flattened to / restored from a single `Vec<f32>`,
+/// which is exactly the representation the parameter server shards across
+/// nodes — mirroring how TensorFlow places variables on PSs.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    loss: SoftmaxCrossEntropy,
+    input_dim: usize,
+    classes: usize,
+}
+
+impl Clone for Network {
+    fn clone(&self) -> Self {
+        Network {
+            layers: self.layers.iter().map(|l| l.clone_box()).collect(),
+            loss: self.loss.clone(),
+            input_dim: self.input_dim,
+            classes: self.classes,
+        }
+    }
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("layers", &self.layers.len())
+            .field("input_dim", &self.input_dim)
+            .field("classes", &self.classes)
+            .field("param_count", &self.param_count())
+            .finish()
+    }
+}
+
+impl Network {
+    /// Builds a plain MLP: `input → hidden… → classes` with ReLU between
+    /// dense layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0` or `classes == 0`.
+    pub fn mlp(input_dim: usize, hidden: &[usize], classes: usize, seed: u64) -> Self {
+        assert!(input_dim > 0 && classes > 0, "dimensions must be positive");
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut prev = input_dim;
+        for (i, &h) in hidden.iter().enumerate() {
+            layers.push(Box::new(Dense::new(prev, h, seed.wrapping_add(i as u64))));
+            layers.push(Box::new(Relu::new()));
+            prev = h;
+        }
+        layers.push(Box::new(Dense::new(
+            prev,
+            classes,
+            seed.wrapping_add(1000),
+        )));
+        Network {
+            layers,
+            loss: SoftmaxCrossEntropy::new(),
+            input_dim,
+            classes,
+        }
+    }
+
+    /// Builds a residual MLP: an input projection, `blocks` residual blocks
+    /// of the given `width`, and a classifier head. This is the structural
+    /// stand-in for the paper's ResNet32/ResNet50 workloads: deeper variants
+    /// have more blocks and parameters, like ResNet50 vs ResNet32.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn residual_mlp(
+        input_dim: usize,
+        width: usize,
+        blocks: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            input_dim > 0 && width > 0 && classes > 0,
+            "dimensions must be positive"
+        );
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        layers.push(Box::new(Dense::new(input_dim, width, seed)));
+        layers.push(Box::new(Relu::new()));
+        for b in 0..blocks {
+            layers.push(Box::new(ResidualBlock::new(
+                width,
+                seed.wrapping_add(10 + 2 * b as u64),
+            )));
+        }
+        layers.push(Box::new(Dense::new(width, classes, seed.wrapping_add(999))));
+        Network {
+            layers,
+            loss: SoftmaxCrossEntropy::new(),
+            input_dim,
+            classes,
+        }
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of output classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass producing `[batch, classes]` logits.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let mut h = x.clone();
+        for layer in &mut self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Mean loss on a batch without touching gradients.
+    pub fn loss(&mut self, x: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.forward(x);
+        self.loss.loss(&logits, labels)
+    }
+
+    /// Runs forward + backward, returning the mean loss and the flattened
+    /// gradient vector (aligned with [`Network::params_flat`]).
+    pub fn loss_and_grad(&mut self, x: &Tensor, labels: &[usize]) -> (f32, Vec<f32>) {
+        let logits = self.forward(x);
+        let (loss, mut grad) = self.loss.loss_and_grad(&logits, labels);
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        (loss, self.grads_flat())
+    }
+
+    /// Flattens all parameters into one vector (layer order, tensor order).
+    pub fn params_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for p in layer.params() {
+                out.extend_from_slice(p.data());
+            }
+        }
+        out
+    }
+
+    /// Flattens all gradients into one vector (valid after
+    /// [`Network::loss_and_grad`]).
+    pub fn grads_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            for g in layer.grads() {
+                out.extend_from_slice(g.data());
+            }
+        }
+        out
+    }
+
+    /// Restores all parameters from a flat vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` differs from [`Network::param_count`].
+    pub fn set_params_flat(&mut self, flat: &[f32]) {
+        assert_eq!(
+            flat.len(),
+            self.param_count(),
+            "flat parameter vector has wrong length"
+        );
+        let mut offset = 0;
+        for layer in &mut self.layers {
+            for p in layer.params_mut() {
+                let n = p.len();
+                p.data_mut().copy_from_slice(&flat[offset..offset + n]);
+                offset += n;
+            }
+        }
+    }
+
+    /// Predicted class per row.
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.forward(x).argmax_rows()
+    }
+
+    /// Top-1 accuracy on a labelled set.
+    pub fn accuracy_on(&mut self, x: &Tensor, labels: &[usize]) -> f64 {
+        crate::metrics::accuracy(&self.forward(x), labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_shapes_and_counts() {
+        let net = Network::mlp(8, &[16, 12], 4, 0);
+        // 8*16+16 + 16*12+12 + 12*4+4 = 144+204+52
+        assert_eq!(net.param_count(), 144 + 204 + 52);
+        assert_eq!(net.input_dim(), 8);
+        assert_eq!(net.classes(), 4);
+    }
+
+    #[test]
+    fn forward_output_shape() {
+        let mut net = Network::mlp(6, &[10], 3, 1);
+        let x = Tensor::zeros(&[5, 6]);
+        assert_eq!(net.forward(&x).shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn params_flat_round_trip() {
+        let mut net = Network::residual_mlp(4, 8, 2, 3, 2);
+        let flat = net.params_flat();
+        assert_eq!(flat.len(), net.param_count());
+        let mut changed = flat.clone();
+        for v in &mut changed {
+            *v += 0.5;
+        }
+        net.set_params_flat(&changed);
+        assert_eq!(net.params_flat(), changed);
+    }
+
+    #[test]
+    fn grads_align_with_params() {
+        let mut net = Network::mlp(4, &[6], 2, 3);
+        let x = Tensor::from_vec((0..8).map(|i| i as f32 * 0.1).collect(), &[2, 4]);
+        let (_, grad) = net.loss_and_grad(&x, &[0, 1]);
+        assert_eq!(grad.len(), net.param_count());
+        assert!(grad.iter().any(|&g| g != 0.0), "gradient should be nonzero");
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut net = Network::residual_mlp(8, 12, 2, 3, 4);
+        let x = Tensor::from_vec(
+            (0..64).map(|i| ((i * 37 % 97) as f32) / 97.0 - 0.5).collect(),
+            &[8, 8],
+        );
+        let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();
+        let initial = net.loss(&x, &labels);
+        for _ in 0..400 {
+            let (_, grad) = net.loss_and_grad(&x, &labels);
+            let mut p = net.params_flat();
+            for (pv, gv) in p.iter_mut().zip(&grad) {
+                *pv -= 0.1 * gv;
+            }
+            net.set_params_flat(&p);
+        }
+        let trained = net.loss(&x, &labels);
+        assert!(
+            trained < initial * 0.5,
+            "loss {initial} -> {trained} did not improve enough"
+        );
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut a = Network::mlp(3, &[4], 2, 0);
+        let mut b = a.clone();
+        assert_eq!(a.params_flat(), b.params_flat());
+        let mut p = b.params_flat();
+        p[0] += 1.0;
+        b.set_params_flat(&p);
+        assert_ne!(a.params_flat(), b.params_flat());
+        // Both still train independently.
+        let x = Tensor::zeros(&[1, 3]);
+        let _ = a.loss_and_grad(&x, &[0]);
+        let _ = b.loss_and_grad(&x, &[1]);
+    }
+
+    #[test]
+    fn identical_seeds_build_identical_networks() {
+        let a = Network::residual_mlp(5, 7, 3, 4, 42);
+        let b = Network::residual_mlp(5, 7, 3, 4, 42);
+        assert_eq!(a.params_flat(), b.params_flat());
+        let c = Network::residual_mlp(5, 7, 3, 4, 43);
+        assert_ne!(a.params_flat(), c.params_flat());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn bad_flat_length_panics() {
+        let mut net = Network::mlp(3, &[], 2, 0);
+        net.set_params_flat(&[0.0; 3]);
+    }
+}

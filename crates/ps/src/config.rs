@@ -1,0 +1,162 @@
+//! Training-segment configuration.
+
+use std::time::Duration;
+
+/// Configuration for the parameter-server trainer.
+///
+/// The Sync-Switch configuration policy mutates `learning_rate`,
+/// `per_worker_batch`, and `momentum` between segments when the protocol
+/// switches; `straggler_delay` injects transient slowness into chosen
+/// workers (the paper emulates stragglers with added network latency).
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of worker threads (the paper collocates one PS per worker;
+    /// here shards play the PS role).
+    pub workers: usize,
+    /// Per-worker mini-batch size.
+    pub per_worker_batch: usize,
+    /// Learning rate applied at the parameter store.
+    pub learning_rate: f64,
+    /// Momentum coefficient.
+    pub momentum: f64,
+    /// Number of parameter shards (defaults to `workers`, mirroring the
+    /// paper's equal PS/worker split).
+    pub shards: usize,
+    /// Per-worker artificial delay injected before every gradient push;
+    /// `None` entries are fast workers.
+    pub straggler_delay: Vec<Option<Duration>>,
+    /// Workers excluded from this segment (elastic policy evictions).
+    pub excluded_workers: Vec<usize>,
+    /// Base seed for batch sampling (combined with worker id and step).
+    pub seed: u64,
+    /// Abort the segment with [`crate::PsError::Diverged`] when a worker
+    /// observes a loss above this threshold or any non-finite value.
+    pub divergence_loss_threshold: f32,
+}
+
+impl TrainerConfig {
+    /// Creates a configuration with `workers` workers and sensible defaults
+    /// (one shard per worker, no stragglers, seed 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `per_worker_batch == 0`.
+    pub fn new(workers: usize, per_worker_batch: usize, learning_rate: f64, momentum: f64) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        assert!(per_worker_batch > 0, "batch must be positive");
+        TrainerConfig {
+            workers,
+            per_worker_batch,
+            learning_rate,
+            momentum,
+            shards: workers,
+            straggler_delay: vec![None; workers],
+            excluded_workers: Vec::new(),
+            seed: 0,
+            divergence_loss_threshold: 1e4,
+        }
+    }
+
+    /// Sets the base RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Marks `worker` as a straggler with the given per-step delay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range.
+    pub fn with_straggler(mut self, worker: usize, delay: Duration) -> Self {
+        assert!(worker < self.workers, "worker {worker} out of range");
+        self.straggler_delay[worker] = Some(delay);
+        self
+    }
+
+    /// Clears all injected stragglers.
+    pub fn clear_stragglers(&mut self) {
+        self.straggler_delay.iter_mut().for_each(|d| *d = None);
+    }
+
+    /// The worker indices that actually participate in a segment.
+    pub fn active_workers(&self) -> Vec<usize> {
+        (0..self.workers)
+            .filter(|w| !self.excluded_workers.contains(w))
+            .collect()
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be positive".into());
+        }
+        if self.active_workers().is_empty() {
+            return Err("all workers excluded".into());
+        }
+        if self.shards == 0 {
+            return Err("shards must be positive".into());
+        }
+        if self.straggler_delay.len() != self.workers {
+            return Err(format!(
+                "straggler_delay has {} entries for {} workers",
+                self.straggler_delay.len(),
+                self.workers
+            ));
+        }
+        if !(self.learning_rate.is_finite() && self.learning_rate > 0.0) {
+            return Err("learning rate must be positive".into());
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err("momentum must be in [0,1)".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        let cfg = TrainerConfig::new(4, 32, 0.1, 0.9);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.shards, 4);
+        assert_eq!(cfg.active_workers(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn straggler_builder() {
+        let cfg = TrainerConfig::new(3, 8, 0.1, 0.9)
+            .with_straggler(1, Duration::from_millis(5));
+        assert!(cfg.straggler_delay[1].is_some());
+        assert!(cfg.straggler_delay[0].is_none());
+    }
+
+    #[test]
+    fn exclusion_shrinks_active_set() {
+        let mut cfg = TrainerConfig::new(4, 8, 0.1, 0.9);
+        cfg.excluded_workers = vec![2];
+        assert_eq!(cfg.active_workers(), vec![0, 1, 3]);
+        cfg.excluded_workers = vec![0, 1, 2, 3];
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = TrainerConfig::new(2, 8, 0.1, 0.9);
+        cfg.momentum = 1.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = TrainerConfig::new(2, 8, 0.1, 0.9);
+        cfg.learning_rate = f64::NAN;
+        assert!(cfg.validate().is_err());
+        let mut cfg = TrainerConfig::new(2, 8, 0.1, 0.9);
+        cfg.straggler_delay.pop();
+        assert!(cfg.validate().is_err());
+    }
+}

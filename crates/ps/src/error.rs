@@ -1,0 +1,59 @@
+//! Error types for the parameter-server runtime.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the parameter-server training engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PsError {
+    /// The training configuration is inconsistent (e.g. zero workers).
+    InvalidConfig(String),
+    /// Training produced a non-finite loss or parameter — the divergence
+    /// failure mode the paper observes for ASP in experiment setup 3.
+    Diverged {
+        /// Global step at which divergence was detected.
+        step: u64,
+    },
+    /// A worker thread panicked.
+    WorkerPanicked {
+        /// Index of the worker whose thread died.
+        worker: usize,
+    },
+    /// A checkpoint does not match the model it is being restored into.
+    CheckpointMismatch(String),
+}
+
+impl fmt::Display for PsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PsError::InvalidConfig(msg) => write!(f, "invalid training configuration: {msg}"),
+            PsError::Diverged { step } => {
+                write!(f, "training diverged at step {step} (non-finite loss)")
+            }
+            PsError::WorkerPanicked { worker } => write!(f, "worker {worker} panicked"),
+            PsError::CheckpointMismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+        }
+    }
+}
+
+impl Error for PsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = PsError::Diverged { step: 42 };
+        assert_eq!(e.to_string(), "training diverged at step 42 (non-finite loss)");
+        let e = PsError::InvalidConfig("zero workers".into());
+        assert!(e.to_string().contains("zero workers"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PsError>();
+    }
+}

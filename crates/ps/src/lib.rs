@@ -1,0 +1,50 @@
+//! In-process multi-threaded parameter server with real BSP and ASP
+//! synchronization.
+//!
+//! This crate is the *execution* substrate of the Sync-Switch reproduction:
+//! it implements the parameter-server architecture of paper §II-A with true
+//! concurrency — worker threads computing gradients on disjoint data shards,
+//! a sharded parameter store with per-shard locks, barrier-aggregated BSP
+//! updates, immediate ASP updates with measured gradient staleness, model
+//! checkpoint/restore, and the checkpoint-switch-restart mechanism of paper
+//! §V. TensorFlow's PS runtime is replaced by threads within one process;
+//! the synchronization semantics (and their artifacts — stale gradients,
+//! barrier waits, straggler sensitivity) are the real thing.
+//!
+//! # Example
+//!
+//! ```
+//! use sync_switch_nn::{Dataset, Network};
+//! use sync_switch_ps::{Trainer, TrainerConfig};
+//! use sync_switch_workloads::SyncProtocol;
+//!
+//! let data = Dataset::gaussian_blobs(4, 64, 8, 0.3, 1);
+//! let (train, test) = data.split(0.25);
+//! let cfg = TrainerConfig::new(4, 16, 0.05, 0.9);
+//! let mut trainer = Trainer::new(
+//!     Network::mlp(8, &[16], 4, 7),
+//!     train,
+//!     test,
+//!     cfg,
+//! );
+//! let report = trainer.run_segment(SyncProtocol::Bsp, 30).unwrap();
+//! assert_eq!(report.steps, 30);
+//! assert!(trainer.evaluate() > 0.2);
+//! ```
+
+pub mod checkpoint;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod profiler;
+pub mod ssp;
+pub mod store;
+pub mod switcher;
+
+pub use checkpoint::Checkpoint;
+pub use config::TrainerConfig;
+pub use engine::{SegmentReport, Trainer};
+pub use error::PsError;
+pub use profiler::{StalenessHistogram, WorkerProfile};
+pub use store::ShardedStore;
+pub use switcher::{execute_switch, SwitchOutcome, SwitchPlan};

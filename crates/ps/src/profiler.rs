@@ -1,0 +1,173 @@
+//! Runtime profiling: per-worker throughput and gradient staleness.
+//!
+//! Implements the "Job/Task/Worker Profiler" of the Sync-Switch architecture
+//! (paper Fig. 9): continuously collected runtime metrics that the policy
+//! manager consumes for straggler detection and switch decisions.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Per-worker step timing record.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerProfile {
+    /// Durations of every step this worker completed in a segment.
+    pub step_durations: Vec<Duration>,
+    /// Training losses observed by this worker (one per step).
+    pub losses: Vec<f32>,
+}
+
+impl WorkerProfile {
+    /// Number of steps completed.
+    pub fn steps(&self) -> usize {
+        self.step_durations.len()
+    }
+
+    /// Mean throughput in steps per second (0 if no steps).
+    pub fn steps_per_sec(&self) -> f64 {
+        let total: Duration = self.step_durations.iter().sum();
+        if total.is_zero() {
+            return 0.0;
+        }
+        self.steps() as f64 / total.as_secs_f64()
+    }
+
+    /// Throughput in images per second at a given batch size.
+    pub fn images_per_sec(&self, batch: usize) -> f64 {
+        self.steps_per_sec() * batch as f64
+    }
+
+    /// Mean loss over the segment (`None` if no steps).
+    pub fn mean_loss(&self) -> Option<f32> {
+        if self.losses.is_empty() {
+            return None;
+        }
+        Some(self.losses.iter().sum::<f32>() / self.losses.len() as f32)
+    }
+
+    /// Loss of the most recent step.
+    pub fn last_loss(&self) -> Option<f32> {
+        self.losses.last().copied()
+    }
+}
+
+/// Histogram of measured gradient staleness (versions behind at push time).
+///
+/// Under BSP every entry is 0 by construction; under ASP with `n` workers
+/// the mass concentrates around `n − 1` — the paper's stale-gradient effect,
+/// measured rather than assumed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StalenessHistogram {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl StalenessHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one staleness observation.
+    pub fn record(&mut self, staleness: u64) {
+        *self.counts.entry(staleness).or_insert(0) += 1;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &StalenessHistogram) {
+        for (&k, &v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Mean staleness (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().map(|(&k, &v)| k * v).sum();
+        sum as f64 / total as f64
+    }
+
+    /// Maximum observed staleness (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Fraction of observations that were perfectly fresh (staleness 0).
+    pub fn fresh_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let fresh = self.counts.get(&0).copied().unwrap_or(0);
+        fresh as f64 / total as f64
+    }
+
+    /// Iterates over `(staleness, count)` pairs in increasing staleness.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_throughput() {
+        let p = WorkerProfile {
+            step_durations: vec![Duration::from_millis(10); 20],
+            losses: vec![1.0; 20],
+        };
+        assert_eq!(p.steps(), 20);
+        assert!((p.steps_per_sec() - 100.0).abs() < 1.0);
+        assert!((p.images_per_sec(32) - 3200.0).abs() < 50.0);
+        assert_eq!(p.mean_loss(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = WorkerProfile::default();
+        assert_eq!(p.steps_per_sec(), 0.0);
+        assert_eq!(p.mean_loss(), None);
+        assert_eq!(p.last_loss(), None);
+    }
+
+    #[test]
+    fn histogram_statistics() {
+        let mut h = StalenessHistogram::new();
+        for s in [0, 0, 1, 7, 7, 7] {
+            h.record(s);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.max(), Some(7));
+        assert!((h.mean() - 22.0 / 6.0).abs() < 1e-12);
+        assert!((h.fresh_fraction() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = StalenessHistogram::new();
+        a.record(0);
+        a.record(3);
+        let mut b = StalenessHistogram::new();
+        b.record(3);
+        b.record(5);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![(0, 1), (3, 2), (5, 1)]);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = StalenessHistogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.fresh_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Stale Synchronous Parallel on the real parameter server — an extension
+//! substrate (the paper notes Sync-Switch "is agnostic to the underlying
+//! synchronization protocols", e.g. switching from SSP to ASP).
+//!
+//! SSP with bound `s`: updates apply asynchronously like ASP, but a worker
+//! may run at most `s` iterations ahead of the slowest active worker; it
+//! blocks at the gate otherwise. `s = 0` forces lock-step iterations;
+//! large `s` recovers ASP.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+
+use sync_switch_workloads::SyncProtocol;
+
+use crate::engine::{SegmentReport, Trainer};
+use crate::error::PsError;
+use crate::profiler::{StalenessHistogram, WorkerProfile};
+
+/// Progress gate shared by SSP workers.
+struct SspGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    iterations: Vec<u64>,
+    finished: Vec<bool>,
+}
+
+impl GateState {
+    fn floor(&self) -> u64 {
+        self.iterations
+            .iter()
+            .zip(&self.finished)
+            .filter(|&(_, &done)| !done)
+            .map(|(&it, _)| it)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+impl Trainer {
+    /// Runs `steps` global steps under SSP with staleness bound `bound`.
+    ///
+    /// The returned report carries `SyncProtocol::Asp` as its protocol tag
+    /// (SSP is asynchronous-with-a-leash; the core policy enum stays
+    /// BSP/ASP per the paper), with the gate's effect visible in the wall
+    /// time and the measured staleness histogram.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::Diverged`] on a non-finite or above-threshold
+    /// loss, as with the other protocols.
+    pub fn run_ssp_segment(&mut self, bound: u64, steps: u64) -> Result<SegmentReport, PsError> {
+        if steps == 0 {
+            return self.run_segment(SyncProtocol::Asp, 0);
+        }
+        let cfg = self.config().clone();
+        let active = cfg.active_workers();
+        if active.is_empty() {
+            return Err(PsError::InvalidConfig("all workers excluded".into()));
+        }
+        let workers = cfg.workers;
+        let gate = Arc::new(SspGate {
+            state: Mutex::new(GateState {
+                iterations: vec![0; workers],
+                // Workers not participating are "finished" from the start
+                // so they never hold the floor down.
+                finished: (0..workers).map(|w| !active.contains(&w)).collect(),
+            }),
+            cv: Condvar::new(),
+        });
+        let abort = Arc::new(AtomicBool::new(false));
+        let diverged_at = Arc::new(AtomicU64::new(u64::MAX));
+        let claimed = Arc::new(AtomicU64::new(0));
+        let store = self.store_arc();
+        let base_step = self.global_step();
+
+        let start = Instant::now();
+        let results: Vec<(usize, WorkerProfile, StalenessHistogram)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(active.len());
+                for &worker in &active {
+                    let gate = Arc::clone(&gate);
+                    let abort = Arc::clone(&abort);
+                    let diverged_at = Arc::clone(&diverged_at);
+                    let claimed = Arc::clone(&claimed);
+                    let store = Arc::clone(&store);
+                    let shard = self.shard(worker);
+                    let mut model = self.model_template().clone();
+                    let delay = cfg.straggler_delay[worker];
+                    let batch = cfg.per_worker_batch;
+                    let (lr, mu) = (cfg.learning_rate, cfg.momentum);
+                    let seed = cfg.seed;
+                    let threshold = cfg.divergence_loss_threshold;
+                    handles.push(scope.spawn(move || {
+                        let mut profile = WorkerProfile::default();
+                        let mut hist = StalenessHistogram::new();
+                        let mut my_iter = 0u64;
+                        loop {
+                            if abort.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            // Gate: wait while more than `bound` ahead.
+                            {
+                                let mut state = gate.state.lock();
+                                while !abort.load(Ordering::SeqCst)
+                                    && my_iter > state.floor().saturating_add(bound)
+                                {
+                                    gate.cv.wait(&mut state);
+                                }
+                            }
+                            let s = claimed.fetch_add(1, Ordering::SeqCst);
+                            if s >= steps {
+                                let mut state = gate.state.lock();
+                                state.finished[worker] = true;
+                                gate.cv.notify_all();
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            let (params, version) = store.pull();
+                            model.set_params_flat(&params);
+                            let mut rng = crate::engine::step_rng(seed, worker, base_step + s);
+                            let (x, y) = shard.sample_batch(batch, &mut rng);
+                            if let Some(d) = delay {
+                                std::thread::sleep(d);
+                            }
+                            let (loss, grad) = model.loss_and_grad(&x, &y);
+                            if !loss.is_finite() || loss > threshold {
+                                diverged_at.store(base_step + s, Ordering::SeqCst);
+                                abort.store(true, Ordering::SeqCst);
+                                gate.cv.notify_all();
+                                break;
+                            }
+                            let staleness = store.apply_update(&grad, lr, mu, version);
+                            profile.step_durations.push(t0.elapsed());
+                            profile.losses.push(loss);
+                            hist.record(staleness);
+                            my_iter += 1;
+                            let mut state = gate.state.lock();
+                            state.iterations[worker] = my_iter;
+                            gate.cv.notify_all();
+                        }
+                        (worker, profile, hist)
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("ssp worker panicked"))
+                    .collect()
+            });
+        let wall_time = start.elapsed();
+
+        let diverged = diverged_at.load(Ordering::SeqCst);
+        if diverged != u64::MAX {
+            return Err(PsError::Diverged { step: diverged });
+        }
+
+        let mut profiles = vec![WorkerProfile::default(); workers];
+        let mut staleness = StalenessHistogram::new();
+        let mut tail = Vec::new();
+        for (worker, profile, hist) in results {
+            staleness.merge(&hist);
+            tail.extend(profile.losses.iter().rev().take(4).copied());
+            profiles[worker] = profile;
+        }
+        self.advance_global_step(steps);
+        Ok(SegmentReport {
+            protocol: SyncProtocol::Asp,
+            steps,
+            wall_time,
+            worker_profiles: profiles,
+            staleness,
+            final_loss: if tail.is_empty() {
+                0.0
+            } else {
+                tail.iter().sum::<f32>() / tail.len() as f32
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrainerConfig;
+    use std::time::Duration;
+    use sync_switch_nn::{Dataset, Network};
+
+    fn trainer(workers: usize, seed: u64) -> Trainer {
+        let data = Dataset::gaussian_blobs(4, 80, 6, 0.35, seed);
+        let (train, test) = data.split(0.25);
+        Trainer::new(
+            Network::mlp(6, &[12], 4, seed),
+            train,
+            test,
+            TrainerConfig::new(workers, 6, 0.04, 0.9).with_seed(seed),
+        )
+    }
+
+    #[test]
+    fn ssp_completes_exact_steps() {
+        let mut t = trainer(4, 1);
+        let r = t.run_ssp_segment(2, 120).unwrap();
+        assert_eq!(r.steps, 120);
+        assert_eq!(t.global_step(), 120);
+        assert_eq!(t.store().version(), 120);
+        let total: usize = r.worker_profiles.iter().map(|p| p.steps()).sum();
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn bound_zero_enforces_lockstep_iterations() {
+        let mut t = trainer(4, 2);
+        let r = t.run_ssp_segment(0, 80).unwrap();
+        // With bound 0 every worker completes the same iteration count
+        // (within 1, for the final partial wave).
+        let steps: Vec<usize> = r.worker_profiles.iter().map(|p| p.steps()).collect();
+        let min = *steps.iter().min().unwrap();
+        let max = *steps.iter().max().unwrap();
+        assert!(max - min <= 1, "lock-step violated: {steps:?}");
+    }
+
+    #[test]
+    fn tight_bound_throttles_fast_workers_under_straggler() {
+        let mk = |bound: u64| {
+            let data = Dataset::gaussian_blobs(4, 80, 6, 0.35, 3);
+            let (train, test) = data.split(0.25);
+            let cfg = TrainerConfig::new(3, 6, 0.04, 0.9)
+                .with_seed(3)
+                .with_straggler(0, Duration::from_millis(3));
+            let mut t = Trainer::new(Network::mlp(6, &[12], 4, 3), train, test, cfg);
+            t.run_ssp_segment(bound, 60).unwrap()
+        };
+        let tight = mk(1);
+        let loose = mk(1_000);
+        // Loose SSP ≈ ASP: fast workers take most steps; tight SSP forces
+        // near-equal shares.
+        let spread = |r: &SegmentReport| {
+            let s: Vec<usize> = r.worker_profiles.iter().map(|p| p.steps()).collect();
+            *s.iter().max().unwrap() as i64 - *s.iter().min().unwrap() as i64
+        };
+        assert!(
+            spread(&tight) < spread(&loose),
+            "tight {} vs loose {}",
+            spread(&tight),
+            spread(&loose)
+        );
+        assert!(tight.wall_time > loose.wall_time);
+    }
+
+    #[test]
+    fn ssp_training_learns() {
+        let mut t = trainer(4, 4);
+        for _ in 0..5 {
+            t.run_ssp_segment(3, 60).unwrap();
+        }
+        assert!(t.evaluate() > 0.6, "accuracy {}", t.evaluate());
+    }
+
+    #[test]
+    fn excluded_workers_do_not_hold_the_gate() {
+        let mut t = trainer(4, 5);
+        let mut cfg = t.config().clone();
+        cfg.excluded_workers = vec![1];
+        t.set_config(cfg).unwrap();
+        // Would deadlock if worker 1's zero iterations pinned the floor.
+        let r = t.run_ssp_segment(1, 60).unwrap();
+        assert_eq!(r.steps, 60);
+        assert_eq!(r.worker_profiles[1].steps(), 0);
+    }
+}

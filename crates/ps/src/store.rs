@@ -1,0 +1,274 @@
+//! The sharded parameter store — the "parameter servers" of the paper's
+//! architecture, collapsed into lock-guarded shards within one process.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One parameter shard: a contiguous slice of the flat parameter vector and
+/// its momentum (velocity) state. In TensorFlow each PS owns a subset of the
+/// model variables; a shard plays exactly that role.
+#[derive(Debug)]
+struct Shard {
+    params: Vec<f32>,
+    velocity: Vec<f32>,
+}
+
+/// A parameter store sharded across `s` lock-guarded segments, with a global
+/// monotonically-increasing version counter.
+///
+/// * **ASP** pushes apply to each shard immediately under its own lock; the
+///   global version bumps once per push. Staleness of a gradient is the
+///   number of versions applied between the worker's pull and its push —
+///   measured, not modeled.
+/// * **BSP** pushes are pre-aggregated by the barrier in the engine and
+///   applied here as a single averaged update.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Mutex<Shard>>,
+    /// (offset, len) of every shard in the flat vector.
+    layout: Vec<(usize, usize)>,
+    version: AtomicU64,
+    param_count: usize,
+}
+
+impl ShardedStore {
+    /// Creates a store over `initial` parameters split into `shards` nearly
+    /// equal contiguous shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0` or `initial` is empty.
+    pub fn new(initial: &[f32], shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(!initial.is_empty(), "cannot shard zero parameters");
+        let n = initial.len();
+        let shards = shards.min(n);
+        let base = n / shards;
+        let rem = n % shards;
+        let mut layout = Vec::with_capacity(shards);
+        let mut offset = 0;
+        let mut storage = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let len = base + usize::from(i < rem);
+            layout.push((offset, len));
+            storage.push(Mutex::new(Shard {
+                params: initial[offset..offset + len].to_vec(),
+                velocity: vec![0.0; len],
+            }));
+            offset += len;
+        }
+        ShardedStore {
+            shards: storage,
+            layout,
+            version: AtomicU64::new(0),
+            param_count: n,
+        }
+    }
+
+    /// Total number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.param_count
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current global version (number of updates applied).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Pulls a full copy of the parameters plus the version observed at the
+    /// start of the pull.
+    ///
+    /// Under ASP, shards are read under their individual locks, so a
+    /// concurrent update can interleave mid-pull — the same torn-read
+    /// behaviour a real ASP worker sees when pulling from multiple PSs.
+    pub fn pull(&self) -> (Vec<f32>, u64) {
+        let version = self.version.load(Ordering::SeqCst);
+        let mut out = vec![0.0f32; self.param_count];
+        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+            let shard = self.shards[i].lock();
+            out[offset..offset + len].copy_from_slice(&shard.params);
+        }
+        (out, version)
+    }
+
+    /// Applies a full-gradient SGD-momentum update (`v ← μv − ηg`,
+    /// `p ← p + v`) across all shards and bumps the version once.
+    ///
+    /// Returns the staleness of the update: `version_at_apply − pulled_version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grad.len()` differs from the parameter count.
+    pub fn apply_update(&self, grad: &[f32], lr: f64, momentum: f64, pulled_version: u64) -> u64 {
+        assert_eq!(grad.len(), self.param_count, "gradient length mismatch");
+        let before = self.version.load(Ordering::SeqCst);
+        let mu = momentum as f32;
+        let eta = lr as f32;
+        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+            let mut guard = self.shards[i].lock();
+            let shard = &mut *guard;
+            let g = &grad[offset..offset + len];
+            for ((p, v), gv) in shard
+                .params
+                .iter_mut()
+                .zip(shard.velocity.iter_mut())
+                .zip(g)
+            {
+                *v = mu * *v - eta * gv;
+                *p += *v;
+            }
+        }
+        self.version.fetch_add(1, Ordering::SeqCst);
+        before.saturating_sub(pulled_version)
+    }
+
+    /// Snapshot of the full parameter vector (without a version).
+    pub fn snapshot_params(&self) -> Vec<f32> {
+        self.pull().0
+    }
+
+    /// Snapshot of the full velocity vector.
+    pub fn snapshot_velocity(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.param_count];
+        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+            let shard = self.shards[i].lock();
+            out[offset..offset + len].copy_from_slice(&shard.velocity);
+        }
+        out
+    }
+
+    /// Overwrites parameters and velocity from a checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the parameter count.
+    pub fn restore(&self, params: &[f32], velocity: &[f32]) {
+        assert_eq!(params.len(), self.param_count, "params length mismatch");
+        assert_eq!(velocity.len(), self.param_count, "velocity length mismatch");
+        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+            let mut shard = self.shards[i].lock();
+            shard.params.copy_from_slice(&params[offset..offset + len]);
+            shard
+                .velocity
+                .copy_from_slice(&velocity[offset..offset + len]);
+        }
+    }
+
+    /// Resets the velocity to zero (momentum-policy changes).
+    pub fn reset_velocity(&self) {
+        for i in 0..self.shards.len() {
+            let mut shard = self.shards[i].lock();
+            shard.velocity.iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// Whether every stored parameter is finite.
+    pub fn is_finite(&self) -> bool {
+        for i in 0..self.shards.len() {
+            let shard = self.shards[i].lock();
+            if !shard.params.iter().all(|p| p.is_finite()) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sharding_covers_all_params() {
+        let init: Vec<f32> = (0..103).map(|i| i as f32).collect();
+        let store = ShardedStore::new(&init, 8);
+        assert_eq!(store.param_count(), 103);
+        assert_eq!(store.shard_count(), 8);
+        let (pulled, v) = store.pull();
+        assert_eq!(pulled, init);
+        assert_eq!(v, 0);
+    }
+
+    #[test]
+    fn more_shards_than_params_clamps() {
+        let store = ShardedStore::new(&[1.0, 2.0], 8);
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.pull().0, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn update_matches_sgd_momentum() {
+        let store = ShardedStore::new(&[1.0, 2.0, 3.0], 2);
+        let staleness = store.apply_update(&[1.0, 1.0, 1.0], 0.5, 0.0, 0);
+        assert_eq!(staleness, 0);
+        assert_eq!(store.pull().0, vec![0.5, 1.5, 2.5]);
+        assert_eq!(store.version(), 1);
+        // Second update with momentum 0.9: v = -0.5*0.9... velocity carried.
+        let store = ShardedStore::new(&[0.0], 1);
+        store.apply_update(&[1.0], 0.1, 0.9, 0);
+        store.apply_update(&[1.0], 0.1, 0.9, 1);
+        let p = store.pull().0[0];
+        assert!((p + 0.29).abs() < 1e-6, "p = {p}");
+    }
+
+    #[test]
+    fn staleness_is_versions_behind() {
+        let store = ShardedStore::new(&[0.0; 10], 2);
+        let (_, v0) = store.pull();
+        store.apply_update(&[0.1; 10], 0.1, 0.0, v0); // staleness 0
+        store.apply_update(&[0.1; 10], 0.1, 0.0, v0); // now 1 behind
+        let s = store.apply_update(&[0.1; 10], 0.1, 0.0, v0);
+        assert_eq!(s, 2);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trip() {
+        let store = ShardedStore::new(&[1.0, 2.0, 3.0, 4.0], 3);
+        store.apply_update(&[1.0; 4], 0.1, 0.9, 0);
+        let p = store.snapshot_params();
+        let v = store.snapshot_velocity();
+        store.apply_update(&[5.0; 4], 0.1, 0.9, 1);
+        assert_ne!(store.snapshot_params(), p);
+        store.restore(&p, &v);
+        assert_eq!(store.snapshot_params(), p);
+        assert_eq!(store.snapshot_velocity(), v);
+    }
+
+    #[test]
+    fn concurrent_asp_updates_all_land() {
+        let store = Arc::new(ShardedStore::new(&vec![0.0f32; 64], 4));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        let (_, v) = store.pull();
+                        store.apply_update(&vec![1.0f32; 64], 0.001, 0.0, v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(store.version(), 400);
+        // With lr 0.001 and 400 unit gradients every parameter moved by -0.4.
+        for p in store.snapshot_params() {
+            assert!((p + 0.4).abs() < 1e-4, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn finiteness_detection() {
+        let store = ShardedStore::new(&[1.0, 2.0], 1);
+        assert!(store.is_finite());
+        store.apply_update(&[f32::INFINITY, 0.0], 1.0, 0.0, 0);
+        assert!(!store.is_finite());
+    }
+}

@@ -1,0 +1,190 @@
+//! The synchronization-switch mechanism: checkpoint → reconfigure → restart.
+//!
+//! Mirrors paper §V: "once all custom hook managers finish checkpointing,
+//! the cluster manager propagates the updated training job and
+//! configurations to all nodes … custom hook managers relaunch the training
+//! tasks to resume the training from the last model checkpoint but with a
+//! different synchronization protocol." Here the relaunch is in-process, and
+//! the real durations of each stage are measured so the runtime-overhead
+//! analysis (paper Table III) has a live counterpart.
+
+use std::time::{Duration, Instant};
+
+use sync_switch_workloads::SyncProtocol;
+
+use crate::engine::Trainer;
+use crate::error::PsError;
+
+/// The configuration adjustments to apply atomically with a protocol switch.
+///
+/// Produced by the Sync-Switch configuration policy: when switching from BSP
+/// to ASP the global batch `n·B` becomes the per-worker batch `B`, the
+/// learning rate drops from `n·η` to `η`, and momentum is preserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchPlan {
+    /// Protocol to switch to.
+    pub to: SyncProtocol,
+    /// New per-worker batch size.
+    pub per_worker_batch: usize,
+    /// New learning rate.
+    pub learning_rate: f64,
+    /// New momentum coefficient.
+    pub momentum: f64,
+    /// Whether to clear optimizer velocity (needed when the momentum
+    /// semantics change discontinuously, e.g. the "Zero" scaling variant).
+    pub reset_velocity: bool,
+}
+
+/// Measured timings of an executed switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchOutcome {
+    /// Time to checkpoint the current state.
+    pub checkpoint_time: Duration,
+    /// Time to propagate the new configuration.
+    pub reconfigure_time: Duration,
+    /// Time to restore state into the relaunched configuration.
+    pub restore_time: Duration,
+}
+
+impl SwitchOutcome {
+    /// Total switching overhead.
+    pub fn total(&self) -> Duration {
+        self.checkpoint_time + self.reconfigure_time + self.restore_time
+    }
+}
+
+/// Executes a protocol switch on a trainer between segments.
+///
+/// # Errors
+///
+/// Returns [`PsError::InvalidConfig`] if the plan produces an invalid
+/// configuration.
+///
+/// # Example
+///
+/// ```
+/// use sync_switch_nn::{Dataset, Network};
+/// use sync_switch_ps::{execute_switch, SwitchPlan, Trainer, TrainerConfig};
+/// use sync_switch_workloads::SyncProtocol;
+///
+/// let data = Dataset::gaussian_blobs(3, 40, 5, 0.3, 1);
+/// let (train, test) = data.split(0.25);
+/// let mut t = Trainer::new(
+///     Network::mlp(5, &[8], 3, 1),
+///     train,
+///     test,
+///     TrainerConfig::new(2, 16, 0.2, 0.9),
+/// );
+/// t.run_segment(SyncProtocol::Bsp, 5)?;
+/// let plan = SwitchPlan {
+///     to: SyncProtocol::Asp,
+///     per_worker_batch: 8,
+///     learning_rate: 0.1,
+///     momentum: 0.9,
+///     reset_velocity: false,
+/// };
+/// let outcome = execute_switch(&mut t, &plan)?;
+/// assert!(outcome.total().as_nanos() > 0);
+/// t.run_segment(SyncProtocol::Asp, 5)?;
+/// # Ok::<(), sync_switch_ps::PsError>(())
+/// ```
+pub fn execute_switch(trainer: &mut Trainer, plan: &SwitchPlan) -> Result<SwitchOutcome, PsError> {
+    // 1. Checkpoint current state (paper: all hook managers checkpoint).
+    let t0 = Instant::now();
+    let ck = trainer.checkpoint();
+    let checkpoint_time = t0.elapsed();
+
+    // 2. Propagate the updated configuration (the actuator).
+    let t1 = Instant::now();
+    let mut cfg = trainer.config().clone();
+    cfg.per_worker_batch = plan.per_worker_batch;
+    cfg.learning_rate = plan.learning_rate;
+    cfg.momentum = plan.momentum;
+    trainer.set_config(cfg)?;
+    let reconfigure_time = t1.elapsed();
+
+    // 3. Relaunch from the checkpoint.
+    let t2 = Instant::now();
+    trainer.restore(&ck)?;
+    if plan.reset_velocity {
+        trainer.store().reset_velocity();
+    }
+    let restore_time = t2.elapsed();
+
+    Ok(SwitchOutcome {
+        checkpoint_time,
+        reconfigure_time,
+        restore_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sync_switch_nn::{Dataset, Network};
+    use crate::config::TrainerConfig;
+
+    fn trainer() -> Trainer {
+        let data = Dataset::gaussian_blobs(3, 60, 5, 0.3, 21);
+        let (train, test) = data.split(0.25);
+        Trainer::new(
+            Network::mlp(5, &[10], 3, 21),
+            train,
+            test,
+            TrainerConfig::new(3, 12, 0.3, 0.9).with_seed(21),
+        )
+    }
+
+    #[test]
+    fn switch_preserves_progress_and_applies_config() {
+        let mut t = trainer();
+        t.run_segment(SyncProtocol::Bsp, 15).unwrap();
+        let params_before = t.store().snapshot_params();
+        let plan = SwitchPlan {
+            to: SyncProtocol::Asp,
+            per_worker_batch: 4,
+            learning_rate: 0.1,
+            momentum: 0.9,
+            reset_velocity: false,
+        };
+        let outcome = execute_switch(&mut t, &plan).unwrap();
+        assert_eq!(t.global_step(), 15);
+        assert_eq!(t.store().snapshot_params(), params_before);
+        assert_eq!(t.config().per_worker_batch, 4);
+        assert_eq!(t.config().learning_rate, 0.1);
+        assert!(outcome.total() >= outcome.checkpoint_time);
+        // Training continues under the new protocol.
+        let r = t.run_segment(SyncProtocol::Asp, 30).unwrap();
+        assert_eq!(r.steps, 30);
+        assert_eq!(t.global_step(), 45);
+    }
+
+    #[test]
+    fn reset_velocity_clears_momentum_state() {
+        let mut t = trainer();
+        t.run_segment(SyncProtocol::Bsp, 10).unwrap();
+        assert!(t.store().snapshot_velocity().iter().any(|&v| v != 0.0));
+        let plan = SwitchPlan {
+            to: SyncProtocol::Asp,
+            per_worker_batch: 12,
+            learning_rate: 0.3,
+            momentum: 0.0,
+            reset_velocity: true,
+        };
+        execute_switch(&mut t, &plan).unwrap();
+        assert!(t.store().snapshot_velocity().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected() {
+        let mut t = trainer();
+        let plan = SwitchPlan {
+            to: SyncProtocol::Asp,
+            per_worker_batch: 8,
+            learning_rate: -1.0,
+            momentum: 0.9,
+            reset_velocity: false,
+        };
+        assert!(execute_switch(&mut t, &plan).is_err());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the parameter-server concurrency semantics.
+
+use proptest::prelude::*;
+use sync_switch_nn::{Dataset, Network};
+use sync_switch_ps::{Checkpoint, ShardedStore, Trainer, TrainerConfig};
+use sync_switch_workloads::SyncProtocol;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// BSP produces (nearly) identical parameters regardless of worker
+    /// count and scheduling: averaging n per-worker gradients over seeded
+    /// batches is deterministic up to float association.
+    #[test]
+    fn bsp_is_schedule_independent(workers in 2usize..5, rounds in 1u64..8) {
+        let data = Dataset::gaussian_blobs(3, 48, 5, 0.3, 99);
+        let (train, test) = data.split(0.25);
+        let run = || {
+            let cfg = TrainerConfig::new(workers, 4, 0.05, 0.9).with_seed(5);
+            let mut t = Trainer::new(
+                Network::mlp(5, &[8], 3, 5),
+                train.clone(),
+                test.clone(),
+                cfg,
+            );
+            t.run_segment(SyncProtocol::Bsp, rounds).expect("bsp runs");
+            t.store().snapshot_params()
+        };
+        let a = run();
+        let b = run();
+        let max_diff = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f32, f32::max);
+        prop_assert!(max_diff < 1e-4, "BSP replay diverged by {max_diff}");
+    }
+
+    /// Sharded stores return exactly what was stored, for any shard count.
+    #[test]
+    fn store_pull_returns_contents(
+        params in proptest::collection::vec(-5.0f32..5.0, 1..200),
+        shards in 1usize..16,
+    ) {
+        let store = ShardedStore::new(&params, shards);
+        let (pulled, version) = store.pull();
+        prop_assert_eq!(pulled, params);
+        prop_assert_eq!(version, 0);
+    }
+
+    /// Applying k unit-gradient updates with lr η moves every parameter by
+    /// exactly −k·η (momentum 0), regardless of sharding.
+    #[test]
+    fn updates_compose_linearly(shards in 1usize..8, k in 1u64..20) {
+        let n = 37;
+        let store = ShardedStore::new(&vec![1.0f32; n], shards);
+        for i in 0..k {
+            store.apply_update(&vec![1.0f32; n], 0.01, 0.0, i);
+        }
+        prop_assert_eq!(store.version(), k);
+        for p in store.snapshot_params() {
+            prop_assert!((p - (1.0 - 0.01 * k as f32)).abs() < 1e-4);
+        }
+    }
+
+    /// Checkpoints round-trip through bytes for arbitrary contents.
+    #[test]
+    fn checkpoint_bytes_round_trip(
+        step in any::<u64>(),
+        params in proptest::collection::vec(-1e3f32..1e3, 0..100),
+    ) {
+        let velocity: Vec<f32> = params.iter().map(|x| x * 0.5).collect();
+        let ck = Checkpoint::new(step, params, velocity);
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).expect("parse");
+        prop_assert_eq!(back, ck);
+    }
+
+    /// ASP completes exactly the requested number of global steps and every
+    /// recorded staleness is below the total step count.
+    #[test]
+    fn asp_step_accounting(workers in 2usize..5, steps in 10u64..80) {
+        let data = Dataset::gaussian_blobs(3, 48, 5, 0.3, 7);
+        let (train, test) = data.split(0.25);
+        let cfg = TrainerConfig::new(workers, 4, 0.02, 0.9).with_seed(7);
+        let mut t = Trainer::new(Network::mlp(5, &[8], 3, 7), train, test, cfg);
+        let report = t.run_segment(SyncProtocol::Asp, steps).expect("asp runs");
+        prop_assert_eq!(report.steps, steps);
+        prop_assert_eq!(t.store().version(), steps);
+        let total: usize = report.worker_profiles.iter().map(|p| p.steps()).sum();
+        prop_assert_eq!(total as u64, steps);
+        if let Some(max) = report.staleness.max() {
+            prop_assert!(max < steps, "staleness {max} of {steps} steps");
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Running and windowed statistics used by profilers and detectors.
+
+use std::collections::VecDeque;
+
+/// Incremental mean / variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use sync_switch_sim::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 4.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population standard deviation (0 if fewer than 2 observations).
+    pub fn std(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest observation (`None` if empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` if empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-capacity sliding window with O(1) mean queries.
+///
+/// Used by the straggler detector: per-worker throughput is tracked over a
+/// sliding window and compared against the cluster mean minus one standard
+/// deviation (paper §IV-B2).
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` recent observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow {
+            capacity,
+            buf: VecDeque::with_capacity(capacity),
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes an observation, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        if self.buf.len() == self.capacity {
+            if let Some(old) = self.buf.pop_front() {
+                self.sum -= old;
+            }
+        }
+        self.buf.push_back(x);
+        self.sum += x;
+    }
+
+    /// Mean over the retained observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Standard deviation over the retained observations.
+    pub fn std(&self) -> f64 {
+        if self.buf.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.buf.iter().map(|x| (x - m).powi(2)).sum::<f64>() / self.buf.len() as f64;
+        var.sqrt()
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no observations yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Clears all observations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Returns the `q`-quantile (0..=1) of the data using linear interpolation.
+///
+/// Returns `None` for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_mean_std() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert!((s.std() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn running_stats_empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std(), 0.0);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.std() - all.std()).abs() < 1e-9);
+        assert_eq!(a.count(), all.count());
+    }
+
+    #[test]
+    fn sliding_window_evicts() {
+        let mut w = SlidingWindow::new(3);
+        for x in [1.0, 2.0, 3.0] {
+            w.push(x);
+        }
+        assert_eq!(w.mean(), 2.0);
+        assert!(w.is_full());
+        w.push(10.0); // evicts 1.0
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    fn sliding_window_std() {
+        let mut w = SlidingWindow::new(4);
+        for x in [2.0, 4.0, 6.0, 8.0] {
+            w.push(x);
+        }
+        assert!((w.std() - 5.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&data, 0.0), Some(1.0));
+        assert_eq!(quantile(&data, 0.5), Some(3.0));
+        assert_eq!(quantile(&data, 1.0), Some(5.0));
+        assert_eq!(quantile(&data, 0.25), Some(2.0));
+        assert_eq!(quantile(&[], 0.5), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of tensor algebra identities.
+
+use proptest::prelude::*;
+use sync_switch_tensor::Tensor;
+
+/// Strategy: a small 2-D tensor with bounded values.
+fn tensor2(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(data, &[rows, cols]))
+}
+
+fn assert_close(a: &Tensor, b: &Tensor) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape());
+    for (x, y) in a.data().iter().zip(b.data()) {
+        prop_assert!((x - y).abs() <= 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matmul distributes over addition: (A+B)·C = A·C + B·C.
+    #[test]
+    fn matmul_distributes(a in tensor2(3, 4), b in tensor2(3, 4), c in tensor2(4, 2)) {
+        let lhs = a.add(&b).matmul(&c);
+        let rhs = a.matmul(&c).add(&b.matmul(&c));
+        assert_close(&lhs, &rhs)?;
+    }
+
+    /// Transpose reverses multiplication: (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_reverses_product(a in tensor2(3, 4), b in tensor2(4, 2)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        assert_close(&lhs, &rhs)?;
+    }
+
+    /// The fused transposed products equal their explicit forms.
+    #[test]
+    fn fused_products_match(x in tensor2(5, 3), d in tensor2(5, 2), w in tensor2(3, 2)) {
+        assert_close(&x.t_matmul(&d), &x.transpose().matmul(&d))?;
+        assert_close(&d.matmul_t(&w), &d.matmul(&w.transpose()))?;
+    }
+
+    /// axpy is linear: axpy(α, g) then axpy(β, g) == axpy(α+β, g).
+    #[test]
+    fn axpy_is_additive(p in tensor2(2, 6), g in tensor2(2, 6), alpha in -2.0f32..2.0, beta in -2.0f32..2.0) {
+        let mut two_step = p.clone();
+        two_step.axpy(alpha, &g);
+        two_step.axpy(beta, &g);
+        let mut one_step = p.clone();
+        one_step.axpy(alpha + beta, &g);
+        assert_close(&two_step, &one_step)?;
+    }
+
+    /// Scaling by a scalar multiplies the L2 norm by |s|.
+    #[test]
+    fn norm_is_homogeneous(t in tensor2(4, 4), s in -5.0f32..5.0) {
+        let scaled = t.scale(s);
+        prop_assert!((scaled.l2_norm() - s.abs() * t.l2_norm()).abs() < 1e-2 * (1.0 + t.l2_norm()));
+    }
+
+    /// sum_rows equals the sum of per-row slices.
+    #[test]
+    fn sum_rows_matches_manual(t in tensor2(6, 3)) {
+        let summed = t.sum_rows();
+        for j in 0..3 {
+            let manual: f32 = (0..6).map(|i| t.at(i, j)).sum();
+            prop_assert!((summed.data()[j] - manual).abs() < 1e-3);
+        }
+    }
+
+    /// Reshape preserves data and total length for compatible shapes.
+    #[test]
+    fn reshape_preserves_data(t in tensor2(4, 6)) {
+        let mut r = t.clone();
+        r.reshape(&[6, 4]);
+        prop_assert_eq!(r.data(), t.data());
+        r.reshape(&[24]);
+        prop_assert_eq!(r.len(), 24);
+    }
+
+    /// argmax_rows returns indices within bounds pointing at row maxima.
+    #[test]
+    fn argmax_rows_points_at_maxima(t in tensor2(5, 4)) {
+        for (i, j) in t.argmax_rows().into_iter().enumerate() {
+            prop_assert!(j < 4);
+            for k in 0..4 {
+                prop_assert!(t.at(i, j) >= t.at(i, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Dataset specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// A classification dataset profile.
+///
+/// Only the sizes matter to the simulator (epoch accounting and data-parallel
+/// sharding); the real-execution path in `sync-switch-nn` substitutes
+/// deterministic synthetic data of the same shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name.
+    pub name: String,
+    /// Number of training examples.
+    pub train_examples: u64,
+    /// Number of held-out test examples.
+    pub test_examples: u64,
+    /// Number of classification classes.
+    pub classes: u32,
+    /// Square image side length in pixels.
+    pub image_size: u32,
+}
+
+impl DatasetSpec {
+    /// CIFAR-10: 60 K 32×32 images over 10 classes.
+    pub fn cifar10() -> Self {
+        DatasetSpec {
+            name: "CIFAR-10".to_string(),
+            train_examples: 50_000,
+            test_examples: 10_000,
+            classes: 10,
+            image_size: 32,
+        }
+    }
+
+    /// CIFAR-100: 60 K 32×32 images over 100 classes.
+    pub fn cifar100() -> Self {
+        DatasetSpec {
+            name: "CIFAR-100".to_string(),
+            train_examples: 50_000,
+            test_examples: 10_000,
+            classes: 100,
+            image_size: 32,
+        }
+    }
+
+    /// Number of steps in one epoch at the given *global* batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_batch == 0`.
+    pub fn steps_per_epoch(&self, global_batch: usize) -> u64 {
+        assert!(global_batch > 0, "global batch must be positive");
+        self.train_examples.div_ceil(global_batch as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cifar_profiles() {
+        let c10 = DatasetSpec::cifar10();
+        let c100 = DatasetSpec::cifar100();
+        assert_eq!(c10.train_examples + c10.test_examples, 60_000);
+        assert_eq!(c100.classes, 100);
+        assert_eq!(c10.classes, 10);
+        assert_eq!(c10.image_size, 32);
+    }
+
+    #[test]
+    fn steps_per_epoch_rounds_up() {
+        let c10 = DatasetSpec::cifar10();
+        assert_eq!(c10.steps_per_epoch(128), 391); // 50000/128 = 390.6
+        assert_eq!(c10.steps_per_epoch(1024), 49); // 48.8
+        assert_eq!(c10.steps_per_epoch(50_000), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! Workload, dataset, hyper-parameter, and experiment-setup specifications
+//! for the Sync-Switch reproduction.
+//!
+//! This crate is the single source of truth for the three experiment setups
+//! evaluated in the paper (Table I) and for the calibration targets the
+//! simulation substrates are fitted against:
+//!
+//! | Setup | Workload | Cluster |
+//! |---|---|---|
+//! | 1 | ResNet32 on CIFAR-10 | 8 × K80 |
+//! | 2 | ResNet50 on CIFAR-100 | 8 × K80 |
+//! | 3 | ResNet32 on CIFAR-10 | 16 × K80 |
+//!
+//! # Example
+//!
+//! ```
+//! use sync_switch_workloads::ExperimentSetup;
+//!
+//! let setup = ExperimentSetup::one();
+//! assert_eq!(setup.cluster_size, 8);
+//! assert_eq!(setup.workload.hyper.total_steps, 64_000);
+//! ```
+
+pub mod calibration;
+pub mod dataset;
+pub mod hyper;
+pub mod model;
+pub mod protocol;
+pub mod setup;
+
+pub use calibration::CalibrationTargets;
+pub use dataset::DatasetSpec;
+pub use hyper::{HyperParams, LrSchedule};
+pub use model::ModelSpec;
+pub use protocol::SyncProtocol;
+pub use setup::{ExperimentSetup, GpuKind, SetupId, Workload};

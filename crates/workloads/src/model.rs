@@ -1,0 +1,117 @@
+//! Deep-learning model profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// A profile of a deep neural network sufficient for the cluster simulator:
+/// parameter volume (drives communication) and per-sample compute time on the
+/// reference GPU (drives step time).
+///
+/// The paper trains two members of the ResNet family from Tensor2Tensor;
+/// the per-sample K80 timings below are calibrated so the simulated BSP/ASP
+/// throughputs land in the ranges of paper Fig. 4.
+///
+/// # Example
+///
+/// ```
+/// use sync_switch_workloads::ModelSpec;
+/// let m = ModelSpec::resnet32();
+/// assert!(m.param_bytes() > 1_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable model name.
+    pub name: String,
+    /// Number of trainable parameters.
+    pub param_count: u64,
+    /// Forward+backward time per training sample on one K80, in seconds.
+    pub k80_per_sample_s: f64,
+    /// Fixed per-step overhead (kernel launches, input pipeline), seconds.
+    pub step_overhead_s: f64,
+    /// Number of trainable variables (TensorFlow-style); sets the RPC chain
+    /// depth that amplifies per-message straggler latency.
+    pub variable_count: u32,
+}
+
+impl ModelSpec {
+    /// ResNet32 for CIFAR (≈0.46 M parameters).
+    pub fn resnet32() -> Self {
+        ModelSpec {
+            name: "ResNet32".to_string(),
+            param_count: 464_154,
+            k80_per_sample_s: 0.00115,
+            step_overhead_s: 0.030,
+            variable_count: 36,
+        }
+    }
+
+    /// ResNet50 adapted for CIFAR inputs (≈25.6 M parameters).
+    pub fn resnet50() -> Self {
+        ModelSpec {
+            name: "ResNet50".to_string(),
+            param_count: 25_636_712,
+            k80_per_sample_s: 0.00550,
+            step_overhead_s: 0.035,
+            variable_count: 108,
+        }
+    }
+
+    /// Total parameter volume in bytes (f32 storage).
+    pub fn param_bytes(&self) -> u64 {
+        self.param_count * 4
+    }
+
+    /// Compute time for a mini-batch of `batch` samples on one K80, before
+    /// stochastic jitter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn compute_time_s(&self, batch: usize) -> f64 {
+        assert!(batch > 0, "batch must be positive");
+        self.step_overhead_s + self.k80_per_sample_s * batch as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet32_profile() {
+        let m = ModelSpec::resnet32();
+        assert_eq!(m.param_count, 464_154);
+        assert_eq!(m.param_bytes(), 464_154 * 4);
+        // ~800 img/s single-K80 at batch 128 (paper-era measurements).
+        let t = m.compute_time_s(128);
+        let img_per_s = 128.0 / t;
+        assert!(
+            (600.0..1000.0).contains(&img_per_s),
+            "throughput {img_per_s}"
+        );
+    }
+
+    #[test]
+    fn resnet50_is_heavier() {
+        let small = ModelSpec::resnet32();
+        let big = ModelSpec::resnet50();
+        assert!(big.param_count > 20 * small.param_count);
+        assert!(big.compute_time_s(128) > 3.0 * small.compute_time_s(128));
+        assert!(big.variable_count > small.variable_count);
+    }
+
+    #[test]
+    fn compute_time_scales_with_batch() {
+        let m = ModelSpec::resnet32();
+        let t128 = m.compute_time_s(128);
+        let t1024 = m.compute_time_s(1024);
+        // Fixed overhead amortizes: throughput at 1024 is higher but < 8x.
+        let ratio = (1024.0 / t1024) / (128.0 / t128);
+        assert!(ratio > 1.05 && ratio < 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be positive")]
+    fn zero_batch_panics() {
+        let _ = ModelSpec::resnet32().compute_time_s(0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Parameter synchronization protocols.
+
+use serde::{Deserialize, Serialize};
+
+/// A distributed parameter synchronization protocol (paper §II-B).
+///
+/// Sync-Switch deliberately restricts itself to the two extremes: fully
+/// synchronous BSP and fully asynchronous ASP. Semi-synchronous protocols
+/// (SSP, DSSP) trade between them but add hyper-parameters; the paper's
+/// protocol policy shows the extremes suffice when switched at the right
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SyncProtocol {
+    /// Bulk Synchronous Parallel: gradients are aggregated at a barrier and
+    /// applied once per global step; equivalent to large-batch mini-batch
+    /// SGD. High accuracy, straggler-sensitive.
+    Bsp,
+    /// Asynchronous Parallel: every worker pushes and pulls at its own pace;
+    /// updates apply immediately. High throughput, stale gradients.
+    Asp,
+}
+
+impl SyncProtocol {
+    /// Whether this protocol uses a synchronization barrier.
+    pub fn is_synchronous(self) -> bool {
+        matches!(self, SyncProtocol::Bsp)
+    }
+
+    /// The other protocol.
+    pub fn other(self) -> SyncProtocol {
+        match self {
+            SyncProtocol::Bsp => SyncProtocol::Asp,
+            SyncProtocol::Asp => SyncProtocol::Bsp,
+        }
+    }
+}
+
+impl std::fmt::Display for SyncProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncProtocol::Bsp => write!(f, "BSP"),
+            SyncProtocol::Asp => write!(f, "ASP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_properties() {
+        assert!(SyncProtocol::Bsp.is_synchronous());
+        assert!(!SyncProtocol::Asp.is_synchronous());
+        assert_eq!(SyncProtocol::Bsp.other(), SyncProtocol::Asp);
+        assert_eq!(SyncProtocol::Asp.other(), SyncProtocol::Bsp);
+        assert_eq!(SyncProtocol::Bsp.to_string(), "BSP");
+        assert_eq!(SyncProtocol::Asp.to_string(), "ASP");
+    }
+}

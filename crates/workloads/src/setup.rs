@@ -1,0 +1,167 @@
+//! Experiment setups (paper Table I).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::DatasetSpec;
+use crate::hyper::HyperParams;
+use crate::model::ModelSpec;
+
+/// GPU accelerator kind. The paper evaluates on Nvidia K80 only; the enum
+/// exists so other profiles can be added without API breakage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum GpuKind {
+    /// Nvidia Tesla K80 (the paper's GCP configuration).
+    K80,
+}
+
+impl GpuKind {
+    /// Relative speed factor versus the K80 reference (K80 = 1.0).
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            GpuKind::K80 => 1.0,
+        }
+    }
+}
+
+/// Identifier of one of the paper's three experiment setups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SetupId {
+    /// Setup 1: ResNet32 / CIFAR-10 / 8 workers.
+    One,
+    /// Setup 2: ResNet50 / CIFAR-100 / 8 workers.
+    Two,
+    /// Setup 3: ResNet32 / CIFAR-10 / 16 workers.
+    Three,
+}
+
+impl SetupId {
+    /// All three setups in paper order.
+    pub fn all() -> [SetupId; 3] {
+        [SetupId::One, SetupId::Two, SetupId::Three]
+    }
+
+    /// 1-based index as used in the paper's tables.
+    pub fn index(self) -> u8 {
+        match self {
+            SetupId::One => 1,
+            SetupId::Two => 2,
+            SetupId::Three => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for SetupId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Exp. Setup {}", self.index())
+    }
+}
+
+/// A distributed training workload: model + dataset + hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// The neural network being trained.
+    pub model: ModelSpec,
+    /// The dataset it is trained on.
+    pub dataset: DatasetSpec,
+    /// User-provided initial hyper-parameters.
+    pub hyper: HyperParams,
+}
+
+/// A full experiment configuration: workload plus cluster description
+/// (paper Table I rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSetup {
+    /// Which of the paper's setups this is.
+    pub id: SetupId,
+    /// The training workload.
+    pub workload: Workload,
+    /// Number of worker nodes (PSs are collocated 1:1 with workers).
+    pub cluster_size: usize,
+    /// Accelerator per node.
+    pub gpu: GpuKind,
+}
+
+impl ExperimentSetup {
+    /// Setup 1: ResNet32 on CIFAR-10, 8 × K80.
+    pub fn one() -> Self {
+        ExperimentSetup {
+            id: SetupId::One,
+            workload: Workload {
+                model: ModelSpec::resnet32(),
+                dataset: DatasetSpec::cifar10(),
+                hyper: HyperParams::resnet_cifar(),
+            },
+            cluster_size: 8,
+            gpu: GpuKind::K80,
+        }
+    }
+
+    /// Setup 2: ResNet50 on CIFAR-100, 8 × K80.
+    pub fn two() -> Self {
+        ExperimentSetup {
+            id: SetupId::Two,
+            workload: Workload {
+                model: ModelSpec::resnet50(),
+                dataset: DatasetSpec::cifar100(),
+                hyper: HyperParams::resnet_cifar100(),
+            },
+            cluster_size: 8,
+            gpu: GpuKind::K80,
+        }
+    }
+
+    /// Setup 3: ResNet32 on CIFAR-10, 16 × K80.
+    pub fn three() -> Self {
+        ExperimentSetup {
+            id: SetupId::Three,
+            workload: Workload {
+                model: ModelSpec::resnet32(),
+                dataset: DatasetSpec::cifar10(),
+                hyper: HyperParams::resnet_cifar(),
+            },
+            cluster_size: 16,
+            gpu: GpuKind::K80,
+        }
+    }
+
+    /// Builds the setup for a given [`SetupId`].
+    pub fn from_id(id: SetupId) -> Self {
+        match id {
+            SetupId::One => Self::one(),
+            SetupId::Two => Self::two(),
+            SetupId::Three => Self::three(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_rows() {
+        let s1 = ExperimentSetup::one();
+        let s2 = ExperimentSetup::two();
+        let s3 = ExperimentSetup::three();
+        assert_eq!(s1.cluster_size, 8);
+        assert_eq!(s2.cluster_size, 8);
+        assert_eq!(s3.cluster_size, 16);
+        assert_eq!(s1.workload.model.name, "ResNet32");
+        assert_eq!(s2.workload.model.name, "ResNet50");
+        assert_eq!(s2.workload.dataset.classes, 100);
+        assert_eq!(s3.workload.model, s1.workload.model);
+    }
+
+    #[test]
+    fn from_id_round_trips() {
+        for id in SetupId::all() {
+            assert_eq!(ExperimentSetup::from_id(id).id, id);
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_wording() {
+        assert_eq!(SetupId::Two.to_string(), "Exp. Setup 2");
+    }
+}

@@ -1,0 +1,60 @@
+//! Property-based tests of workload specifications.
+
+use proptest::prelude::*;
+use sync_switch_workloads::{DatasetSpec, HyperParams, LrSchedule, ModelSpec};
+
+proptest! {
+    /// LR schedule factors are non-increasing in the step.
+    #[test]
+    fn schedule_factor_non_increasing(s1 in 0u64..200_000, s2 in 0u64..200_000) {
+        let sched = LrSchedule::piecewise(vec![(32_000, 0.1), (48_000, 0.01)]);
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        prop_assert!(sched.factor_at(hi) <= sched.factor_at(lo));
+    }
+
+    /// fraction_at and step_at_fraction are inverse (up to rounding).
+    #[test]
+    fn fraction_step_round_trip(frac in 0.0f64..=1.0) {
+        let h = HyperParams::resnet_cifar();
+        let step = h.step_at_fraction(frac);
+        let back = h.fraction_at(step);
+        prop_assert!((back - frac).abs() <= 1.0 / h.total_steps as f64);
+    }
+
+    /// Compute time is strictly increasing and affine in the batch size.
+    #[test]
+    fn compute_time_affine(b1 in 1usize..2048, b2 in 1usize..2048) {
+        let m = ModelSpec::resnet32();
+        let t1 = m.compute_time_s(b1);
+        let t2 = m.compute_time_s(b2);
+        if b1 < b2 {
+            prop_assert!(t1 < t2);
+        }
+        // Affinity: t(b) − t(0⁺) proportional to b.
+        let slope1 = (t1 - m.step_overhead_s) / b1 as f64;
+        let slope2 = (t2 - m.step_overhead_s) / b2 as f64;
+        prop_assert!((slope1 - slope2).abs() < 1e-12);
+    }
+
+    /// Steps per epoch times the batch covers the dataset exactly once
+    /// (within one batch).
+    #[test]
+    fn steps_per_epoch_covers_dataset(batch in 1usize..4096) {
+        let d = DatasetSpec::cifar10();
+        let steps = d.steps_per_epoch(batch);
+        let covered = steps * batch as u64;
+        prop_assert!(covered >= d.train_examples);
+        prop_assert!(covered < d.train_examples + batch as u64);
+    }
+
+    /// Rescaling a schedule preserves relative boundary positions.
+    #[test]
+    fn rescaled_schedule_preserves_fractions(mult in 1u64..10) {
+        let s = LrSchedule::piecewise(vec![(32_000, 0.1), (48_000, 0.01)]);
+        let r = s.rescaled(mult, 1);
+        for (orig, scaled) in s.boundaries().iter().zip(r.boundaries()) {
+            prop_assert_eq!(scaled.0, orig.0 * mult);
+            prop_assert_eq!(scaled.1, orig.1);
+        }
+    }
+}

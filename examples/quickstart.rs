@@ -1,0 +1,75 @@
+//! Quickstart: run Sync-Switch on the paper's experiment setup 1 and
+//! compare it against the static BSP and ASP baselines.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use sync_switch::prelude::*;
+
+fn main() {
+    // Experiment setup 1: ResNet32 on CIFAR-10, 8 × K80 (simulated).
+    let setup = ExperimentSetup::one();
+    println!(
+        "Workload: {} on {}, {} workers, {} steps",
+        setup.workload.model.name,
+        setup.workload.dataset.name,
+        setup.cluster_size,
+        setup.workload.hyper.total_steps
+    );
+
+    // The policy the paper derived for this setup: train the first 6.25%
+    // of the workload with BSP, then switch to ASP.
+    let policy = SyncSwitchPolicy::paper_policy(&setup);
+    println!(
+        "Policy: [BSP, ASP] switching at {:.3}% of the workload\n",
+        policy.timing.switch_fraction * 100.0
+    );
+
+    let mut rows = Vec::new();
+    for (name, p) in [
+        ("BSP (static)", SyncSwitchPolicy::static_bsp(8)),
+        ("ASP (static)", SyncSwitchPolicy::static_asp(8)),
+        ("Sync-Switch", policy),
+    ] {
+        let mut backend = SimBackend::new(&setup, 42);
+        let report = ClusterManager::new(p)
+            .run(&mut backend, &setup)
+            .expect("valid policy");
+        rows.push((name, report));
+    }
+
+    let bsp_time = rows[0].1.total_time_s;
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>10}",
+        "config", "accuracy", "time (min)", "vs BSP", "switches"
+    );
+    for (name, r) in &rows {
+        println!(
+            "{:<14} {:>10} {:>12.1} {:>9.1}% {:>10}",
+            name,
+            r.converged_accuracy
+                .map_or("diverged".to_string(), |a| format!("{a:.3}")),
+            r.total_time_s / 60.0,
+            100.0 * r.total_time_s / bsp_time,
+            r.switches.len(),
+        );
+    }
+
+    let ss = &rows[2].1;
+    println!(
+        "\nSync-Switch switched at step {} and spent {:.0} s ({:.1}% of the run) on switch overhead.",
+        ss.switches[0].step,
+        ss.total_switch_overhead_s(),
+        100.0 * ss.overhead_fraction()
+    );
+    if let (Some(ss_tta), Some(bsp_tta)) = (ss.tta_s, rows[0].1.tta_s) {
+        println!(
+            "Time-to-accuracy ({:.3}): {:.1} min vs BSP {:.1} min — {:.2}x speedup.",
+            ss.tta_target,
+            ss_tta / 60.0,
+            bsp_tta / 60.0,
+            bsp_tta / ss_tta
+        );
+    }
+}

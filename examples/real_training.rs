@@ -1,0 +1,104 @@
+//! Real distributed training on the in-process parameter server: worker
+//! threads, a real BSP barrier, real stale gradients — driven by the same
+//! Sync-Switch policy engine as the simulations.
+//!
+//! ```sh
+//! cargo run --release --example real_training
+//! ```
+
+use std::time::Duration;
+
+use sync_switch::prelude::*;
+use sync_switch_nn::{Dataset, Network};
+use sync_switch_ps::{Trainer, TrainerConfig};
+use sync_switch_workloads::LrSchedule;
+
+fn main() {
+    // A real classification problem: 4-class synthetic images, sharded
+    // across 4 worker threads.
+    let data = Dataset::synthetic_images(4, 200, 8, 0.35, 42);
+    let (train, test) = data.split(0.2);
+    println!(
+        "Dataset: {} train / {} test examples, {} classes, {}-dim features",
+        train.len(),
+        test.len(),
+        train.classes(),
+        train.dim()
+    );
+
+    // --- 1. Protocol comparison at the parameter-server level ------------
+    let make_trainer = || {
+        Trainer::new(
+            Network::mlp(64, &[48, 24], 4, 42),
+            train.clone(),
+            test.clone(),
+            TrainerConfig::new(4, 16, 0.08, 0.9).with_seed(42),
+        )
+    };
+
+    println!("\nStatic protocol comparison (400 steps, 4 workers):");
+    for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+        let mut trainer = make_trainer();
+        let mut wall = Duration::ZERO;
+        let mut staleness = sync_switch_ps::StalenessHistogram::new();
+        for _ in 0..8 {
+            let seg = trainer.run_segment(protocol, 50).expect("training runs");
+            wall += seg.wall_time;
+            staleness.merge(&seg.staleness);
+        }
+        println!(
+            "  {protocol}: accuracy {:.3}  wall {:.2?}  mean gradient staleness {:.2} (max {})",
+            trainer.evaluate(),
+            wall,
+            staleness.mean(),
+            staleness.max().unwrap_or(0),
+        );
+    }
+
+    // --- 2. Full Sync-Switch pipeline over the real backend --------------
+    println!("\nSync-Switch over the real parameter server (25% BSP, then ASP):");
+    let mut setup = ExperimentSetup::one();
+    setup.cluster_size = 4;
+    setup.workload.hyper.total_steps = 400;
+    setup.workload.hyper.batch_size = 16;
+    setup.workload.hyper.learning_rate = 0.02; // per-worker η; BSP uses n·η
+    setup.workload.hyper.lr_schedule = LrSchedule::piecewise(vec![(200, 0.1), (300, 0.01)]);
+
+    let mut backend = PsBackend::new(
+        Network::mlp(64, &[48, 24], 4, 42),
+        train.clone(),
+        test.clone(),
+        4,
+        42,
+    );
+    // Slow one worker down mid-run to exercise the elastic policy.
+    backend.inject_straggler(1, Duration::from_millis(3));
+
+    let mut policy = SyncSwitchPolicy::new(0.25, 4).with_online(OnlinePolicyKind::Elastic);
+    policy.eval_interval = 50;
+    policy.detect_chunk = 10;
+    policy.tta_target = Some(0.8);
+    let report = ClusterManager::new(policy)
+        .run(&mut backend, &setup)
+        .expect("valid policy");
+
+    println!(
+        "  completed {} steps in {:.2} s of wall time",
+        report.total_steps,
+        report.total_time_s
+    );
+    println!(
+        "  BSP steps: {}, ASP steps: {}, switches: {}, evicted workers: {:?}",
+        report.bsp_steps,
+        report.asp_steps,
+        report.switches.len(),
+        report.removed_workers.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+    );
+    println!(
+        "  converged accuracy: {:.3}",
+        report.converged_accuracy.unwrap_or(0.0)
+    );
+    if let Some(tta) = report.tta_s {
+        println!("  reached {:.0}% accuracy after {tta:.2} s", report.tta_target * 100.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Offline timing-policy search for a recurring job (paper Algorithm 1).
+//!
+//! A practitioner faces a new workload: Sync-Switch launches pilot jobs,
+//! binary-searches the switch timing, and amortizes the search cost over
+//! the job's recurrences.
+//!
+//! ```sh
+//! cargo run --release --example recurring_job
+//! ```
+
+use sync_switch::prelude::*;
+use sync_switch_core::{SimOracle, TrialResult, TrainingOracle};
+
+fn main() {
+    let setup = ExperimentSetup::one();
+    println!(
+        "Searching the switch timing for {} on {} ({} workers)…\n",
+        setup.workload.model.name, setup.workload.dataset.name, setup.cluster_size
+    );
+
+    // The oracle runs full (simulated) trainings through the same pipeline
+    // a live deployment would use.
+    let mut oracle = SimOracle::new(&setup, 7);
+
+    // First recurrence: no known target accuracy — pay for BSP pilot runs.
+    let tuner = BinarySearchTuner::new().with_runs(3, 3);
+    let outcome = tuner.search(&mut oracle).expect("search succeeds");
+
+    println!(
+        "Target accuracy A = {:.3} (from 3 BSP pilot runs), β = {:.2}",
+        outcome.target_accuracy, tuner.beta
+    );
+    println!("\nProbed switch timings:");
+    for probe in &outcome.probes {
+        println!(
+            "  {:>7.3}%  mean acc {:.4}  ({} runs{})  -> {}",
+            probe.fraction * 100.0,
+            probe.accuracies.iter().sum::<f64>() / probe.accuracies.len().max(1) as f64,
+            probe.accuracies.len(),
+            if probe.diverged_runs > 0 {
+                format!(", {} diverged", probe.diverged_runs)
+            } else {
+                String::new()
+            },
+            if probe.accepted { "accept (move up)" } else { "reject (move down)" },
+        );
+    }
+    println!(
+        "\nFound timing policy: switch at {:.3}% (paper's P1: 6.25%)",
+        outcome.timing.switch_fraction * 100.0
+    );
+    println!(
+        "Search cost: {:.2}x one BSP training",
+        outcome.search_cost_vs_bsp
+    );
+
+    // How quickly does the search pay for itself on recurrences?
+    let calib = CalibrationTargets::for_setup(setup.id);
+    let per_job_saving = 1.0 - calib.time_fraction_at(outcome.timing.switch_fraction);
+    println!(
+        "Each recurrence saves {:.1}% of a BSP training; the search amortizes after ~{:.0} recurrences.",
+        100.0 * per_job_saving,
+        outcome.search_cost_vs_bsp / per_job_saving
+    );
+
+    // Later recurrences reuse the recorded target accuracy, skipping pilots.
+    let recurring = BinarySearchTuner::new()
+        .with_runs(0, 3)
+        .with_target(outcome.target_accuracy);
+    let verify: TrialResult = oracle.run_trial(outcome.timing.switch_fraction);
+    let re_outcome = recurring.search(&mut oracle).expect("search succeeds");
+    println!(
+        "\nRecurring-job search (target known): {:.2}x BSP, found {:.3}%.",
+        re_outcome.search_cost_vs_bsp,
+        re_outcome.timing.switch_fraction * 100.0
+    );
+    println!(
+        "Verification run at the found timing: accuracy {:.3}, time {:.1}% of BSP.",
+        verify.accuracy.unwrap_or(f64::NAN),
+        100.0 * verify.time_vs_bsp
+    );
+}

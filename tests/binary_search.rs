@@ -1,0 +1,73 @@
+//! Integration tests of the offline timing-policy search (Algorithm 1)
+//! running against *full simulated trainings* (not the analytic oracle).
+
+use sync_switch::prelude::*;
+use sync_switch_core::SimOracle;
+
+#[test]
+fn full_pipeline_search_finds_paper_policy_setup1() {
+    let setup = ExperimentSetup::one();
+    let mut oracle = SimOracle::new(&setup, 1234);
+    let outcome = BinarySearchTuner::new()
+        .with_runs(3, 3)
+        .search(&mut oracle)
+        .expect("search succeeds");
+    assert_eq!(
+        outcome.timing.switch_fraction, 0.0625,
+        "search should find P1 = 6.25%"
+    );
+    // Five probes at the dyadic fractions.
+    let fractions: Vec<f64> = outcome.probes.iter().map(|p| p.fraction).collect();
+    assert_eq!(fractions, vec![0.5, 0.25, 0.125, 0.0625, 0.03125]);
+    // The last probe (below the knee) must be rejected.
+    assert!(!outcome.probes[4].accepted);
+    // Search cost: 3 pilots + 15 trials ≈ 7.6x BSP (paper Table II: 7.62X
+    // for the (No,3,3) setting).
+    assert!(
+        (6.0..9.5).contains(&outcome.search_cost_vs_bsp),
+        "cost {}",
+        outcome.search_cost_vs_bsp
+    );
+}
+
+#[test]
+fn full_pipeline_search_rejects_divergent_probes_setup3() {
+    let setup = ExperimentSetup::three();
+    let mut oracle = SimOracle::new(&setup, 77);
+    let outcome = BinarySearchTuner::new()
+        .with_runs(1, 1)
+        .search(&mut oracle)
+        .expect("search succeeds");
+    assert_eq!(
+        outcome.timing.switch_fraction, 0.5,
+        "setup 3 ground truth is the first LR decay"
+    );
+    for probe in &outcome.probes {
+        if probe.fraction < 0.5 {
+            assert_eq!(probe.diverged_runs, 1, "sub-50% probes diverge");
+            assert!(!probe.accepted);
+        }
+    }
+}
+
+#[test]
+fn recurring_search_skips_pilots_and_is_cheaper() {
+    let setup = ExperimentSetup::one();
+    let mut fresh = SimOracle::new(&setup, 55);
+    let cold = BinarySearchTuner::new()
+        .with_runs(3, 3)
+        .search(&mut fresh)
+        .expect("search succeeds");
+    let mut warm_oracle = SimOracle::new(&setup, 56);
+    let warm = BinarySearchTuner::new()
+        .with_runs(0, 3)
+        .with_target(cold.target_accuracy)
+        .search(&mut warm_oracle)
+        .expect("search succeeds");
+    assert!(
+        warm.search_cost_vs_bsp < cold.search_cost_vs_bsp - 2.0,
+        "recurring search should skip ~3 BSP pilots: {} vs {}",
+        warm.search_cost_vs_bsp,
+        cold.search_cost_vs_bsp
+    );
+}

@@ -1,0 +1,157 @@
+//! End-to-end integration: the full Sync-Switch pipeline on all three
+//! experiment setups, checked against the paper's calibration endpoints.
+
+use sync_switch::prelude::*;
+
+fn run(setup: &ExperimentSetup, policy: SyncSwitchPolicy, seed: u64) -> TrainingReport {
+    let mut backend = SimBackend::new(setup, seed);
+    ClusterManager::new(policy)
+        .run(&mut backend, setup)
+        .expect("valid policy")
+}
+
+fn mean<I: IntoIterator<Item = f64>>(xs: I) -> f64 {
+    let v: Vec<f64> = xs.into_iter().collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+#[test]
+fn setup1_reproduces_headline_numbers() {
+    let setup = ExperimentSetup::one();
+    let seeds = [1u64, 2, 3, 4, 5];
+
+    let bsp: Vec<TrainingReport> = seeds
+        .iter()
+        .map(|&s| run(&setup, SyncSwitchPolicy::static_bsp(8), s))
+        .collect();
+    let asp: Vec<TrainingReport> = seeds
+        .iter()
+        .map(|&s| run(&setup, SyncSwitchPolicy::static_asp(8), s))
+        .collect();
+    let ss: Vec<TrainingReport> = seeds
+        .iter()
+        .map(|&s| run(&setup, SyncSwitchPolicy::paper_policy(&setup), s))
+        .collect();
+
+    // Converged accuracy: BSP 0.919, ASP 0.892, Sync-Switch ≈ BSP.
+    let bsp_acc = mean(bsp.iter().map(|r| r.converged_accuracy.unwrap()));
+    let asp_acc = mean(asp.iter().map(|r| r.converged_accuracy.unwrap()));
+    let ss_acc = mean(ss.iter().map(|r| r.converged_accuracy.unwrap()));
+    assert!((bsp_acc - 0.919).abs() < 0.008, "BSP accuracy {bsp_acc}");
+    assert!((asp_acc - 0.892).abs() < 0.010, "ASP accuracy {asp_acc}");
+    assert!(bsp_acc - ss_acc < 0.010, "SS {ss_acc} vs BSP {bsp_acc}");
+    assert!(ss_acc - asp_acc > 0.015, "SS {ss_acc} vs ASP {asp_acc}");
+
+    // Time: SS ≈ 20% of BSP (paper 19.5%), ASP ≈ 15% (paper 15.2%).
+    let bsp_t = mean(bsp.iter().map(|r| r.total_time_s));
+    let ss_frac = mean(ss.iter().map(|r| r.total_time_s)) / bsp_t;
+    let asp_frac = mean(asp.iter().map(|r| r.total_time_s)) / bsp_t;
+    assert!((0.15..0.27).contains(&ss_frac), "SS time fraction {ss_frac}");
+    assert!((0.12..0.20).contains(&asp_frac), "ASP time fraction {asp_frac}");
+    assert!(asp_frac < ss_frac, "ASP must be fastest");
+
+    // Switch overhead ~1.7% of the run (paper §VI-C2).
+    let ovh = mean(ss.iter().map(|r| r.overhead_fraction()));
+    assert!((0.005..0.05).contains(&ovh), "overhead fraction {ovh}");
+}
+
+#[test]
+fn setup2_reproduces_headline_numbers() {
+    let setup = ExperimentSetup::two();
+    let bsp = run(&setup, SyncSwitchPolicy::static_bsp(8), 10);
+    let asp = run(&setup, SyncSwitchPolicy::static_asp(8), 10);
+    let ss = run(&setup, SyncSwitchPolicy::paper_policy(&setup), 10);
+
+    assert!((bsp.converged_accuracy.unwrap() - 0.746).abs() < 0.012);
+    assert!((asp.converged_accuracy.unwrap() - 0.708).abs() < 0.015);
+    let ss_frac = ss.total_time_s / bsp.total_time_s;
+    // Paper: 60.1% of BSP time.
+    assert!((0.45..0.72).contains(&ss_frac), "setup2 SS time {ss_frac}");
+    assert_eq!(ss.bsp_steps, 16_000); // 12.5% of 128k
+}
+
+#[test]
+fn setup3_divergence_and_recovery() {
+    let setup = ExperimentSetup::three();
+    // Pure ASP diverges early (before the first LR decay).
+    for seed in [20u64, 21, 22] {
+        let asp = run(&setup, SyncSwitchPolicy::static_asp(16), seed);
+        assert!(asp.diverged_at.is_some(), "seed {seed} should diverge");
+        assert!(
+            asp.diverged_at.unwrap() < 32_000,
+            "divergence should precede the first decay"
+        );
+        assert!(asp.converged_accuracy.is_none());
+    }
+    // Switching below 50% also diverges.
+    let early = run(&setup, SyncSwitchPolicy::new(0.25, 16), 23);
+    assert!(early.diverged_at.is_some());
+    // The paper's P3 (50%) completes at BSP-level accuracy.
+    let ss = run(&setup, SyncSwitchPolicy::paper_policy(&setup), 23);
+    assert!(ss.completed());
+    let acc = ss.converged_accuracy.unwrap();
+    assert!((acc - 0.922).abs() < 0.010, "setup3 SS accuracy {acc}");
+    let bsp = run(&setup, SyncSwitchPolicy::static_bsp(16), 23);
+    let frac = ss.total_time_s / bsp.total_time_s;
+    assert!((0.45..0.62).contains(&frac), "setup3 SS time {frac}");
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let setup = ExperimentSetup::one();
+    let r = run(&setup, SyncSwitchPolicy::paper_policy(&setup), 30);
+    // Step accounting.
+    assert!(r.bsp_steps + r.asp_steps >= r.total_steps);
+    assert_eq!(r.bsp_steps, 4_000);
+    // Evals are monotone in step and time, covering [0, total].
+    assert_eq!(r.evals.first().unwrap().step, 0);
+    assert!(r.evals.last().unwrap().step >= 64_000);
+    for w in r.evals.windows(2) {
+        assert!(w[1].step > w[0].step);
+        assert!(w[1].time_s >= w[0].time_s);
+    }
+    // The switch record sits at the policy point with real overhead.
+    assert_eq!(r.switches.len(), 1);
+    assert_eq!(r.switches[0].from, SyncProtocol::Bsp);
+    assert_eq!(r.switches[0].to, SyncProtocol::Asp);
+    assert!(r.switches[0].overhead_s > 10.0);
+    // Loss ends far below its start and the curve is finite throughout.
+    assert!(r.final_loss < 0.1);
+    assert!(r.evals.iter().all(|e| e.loss.is_finite()));
+}
+
+#[test]
+fn time_to_accuracy_speedups_match_table1_shape() {
+    let setup = ExperimentSetup::one();
+    let mut speedups = Vec::new();
+    for seed in [40u64, 41, 42] {
+        let bsp = run(&setup, SyncSwitchPolicy::static_bsp(8), seed);
+        let ss = run(&setup, SyncSwitchPolicy::paper_policy(&setup), seed);
+        if let (Some(b), Some(s)) = (bsp.tta_s, ss.tta_s) {
+            speedups.push(b / s);
+        }
+    }
+    assert!(!speedups.is_empty(), "TTA must be reached");
+    let m = mean(speedups.iter().copied());
+    assert!((2.5..6.0).contains(&m), "TTA speedup {m} (paper 3.99X)");
+}
+
+#[test]
+fn asp_never_reaches_bsp_level_accuracy() {
+    // Table I lists TTA-vs-ASP as N/A: ASP never crosses the threshold.
+    let setup = ExperimentSetup::one();
+    for seed in [50u64, 51] {
+        let asp = run(&setup, SyncSwitchPolicy::static_asp(8), seed);
+        assert!(asp.tta_s.is_none(), "ASP should not reach the BSP threshold");
+    }
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let setup = ExperimentSetup::one();
+    let a = run(&setup, SyncSwitchPolicy::paper_policy(&setup), 99);
+    let b = run(&setup, SyncSwitchPolicy::paper_policy(&setup), 99);
+    assert_eq!(a.total_time_s, b.total_time_s);
+    assert_eq!(a.converged_accuracy, b.converged_accuracy);
+    assert_eq!(a.evals.len(), b.evals.len());
+}

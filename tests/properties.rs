@@ -1,0 +1,130 @@
+//! Cross-crate property-based tests (proptest) of the core invariants.
+
+use proptest::prelude::*;
+
+use sync_switch::prelude::*;
+use sync_switch_convergence::converged_accuracy_stats;
+use sync_switch_core::{AnalyticOracle, ConfigPolicy, NoiselessOracle, TrainingOracle};
+use sync_switch_workloads::HyperParams;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Analytic converged accuracy is monotone non-decreasing in the BSP
+    /// fraction for every setup (the basis for the binary search).
+    #[test]
+    fn accuracy_monotone_in_bsp_fraction(
+        raw in proptest::collection::vec(0.0f64..=1.0, 2..8),
+        setup_idx in 0usize..2, // setups 1 and 2 (3 has the divergence cliff)
+    ) {
+        let setup = [SetupId::One, SetupId::Two][setup_idx];
+        let mut fs = raw;
+        fs.sort_by(f64::total_cmp);
+        let mut prev = f64::NEG_INFINITY;
+        for f in fs {
+            let s = converged_accuracy_stats(setup, f);
+            prop_assert!(!s.diverges);
+            prop_assert!(s.mean >= prev - 1e-12);
+            prev = s.mean;
+        }
+    }
+
+    /// Predicted time fraction is monotone increasing in the BSP fraction
+    /// and bounded by [1/r, 1].
+    #[test]
+    fn time_fraction_monotone_and_bounded(f1 in 0.0f64..=1.0, f2 in 0.0f64..=1.0) {
+        let calib = CalibrationTargets::for_setup(SetupId::One);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        let t_lo = calib.time_fraction_at(lo);
+        let t_hi = calib.time_fraction_at(hi);
+        prop_assert!(t_lo <= t_hi + 1e-12);
+        prop_assert!(t_lo >= 1.0 / calib.asp_over_bsp_throughput - 1e-12);
+        prop_assert!(t_hi <= 1.0 + 1e-12);
+    }
+
+    /// The binary search always terminates within M probes, returns a
+    /// fraction in [0, 1], and every probe lies strictly between the
+    /// current bounds — for arbitrary noise seeds and run counts.
+    #[test]
+    fn binary_search_invariants(seed in 0u64..10_000, runs in 1usize..6) {
+        let setup = ExperimentSetup::one();
+        let mut oracle = AnalyticOracle::new(&setup, seed);
+        let outcome = BinarySearchTuner::new()
+            .with_runs(runs.min(3), runs)
+            .search(&mut oracle)
+            .expect("search succeeds");
+        prop_assert_eq!(outcome.probes.len(), 5);
+        prop_assert!((0.0..=1.0).contains(&outcome.timing.switch_fraction));
+        for p in &outcome.probes {
+            prop_assert!(p.fraction > 0.0 && p.fraction < 1.0);
+            prop_assert_eq!(p.accuracies.len() + p.diverged_runs, runs);
+        }
+        // The result equals the last accepted probe (or 1.0 if none).
+        let last_accepted = outcome
+            .probes
+            .iter()
+            .filter(|p| p.accepted)
+            .map(|p| p.fraction)
+            .fold(1.0f64, f64::min);
+        prop_assert_eq!(outcome.timing.switch_fraction, last_accepted);
+    }
+
+    /// The noiseless search is idempotent: re-running it returns the same
+    /// policy (determinism of the ground truth).
+    #[test]
+    fn noiseless_search_deterministic(seed in 0u64..1000) {
+        let setup = ExperimentSetup::one();
+        let run = |s| {
+            let mut oracle = NoiselessOracle(AnalyticOracle::new(&setup, s));
+            BinarySearchTuner::new()
+                .with_target(0.919)
+                .search(&mut oracle)
+                .expect("search succeeds")
+                .timing
+                .switch_fraction
+        };
+        prop_assert_eq!(run(seed), run(seed + 1));
+        prop_assert_eq!(run(seed), 0.0625);
+    }
+
+    /// Configuration policy scaling laws hold for any cluster size: BSP
+    /// global batch and learning rate scale linearly with the active
+    /// worker count; ASP always uses the base values.
+    #[test]
+    fn config_policy_linear_scaling(n in 1usize..64, active_frac in 0.1f64..=1.0) {
+        let hyper = HyperParams::resnet_cifar();
+        let policy = ConfigPolicy::new(n);
+        let active = ((n as f64 * active_frac).ceil() as usize).clamp(1, n);
+        let bsp = policy.for_protocol_with_active(&hyper, SyncProtocol::Bsp, active);
+        prop_assert_eq!(bsp.global_batch, active * hyper.batch_size);
+        prop_assert!((bsp.learning_rate - active as f64 * hyper.learning_rate).abs() < 1e-9);
+        prop_assert_eq!(bsp.momentum, hyper.momentum);
+        let asp = policy.for_protocol_with_active(&hyper, SyncProtocol::Asp, active);
+        prop_assert_eq!(asp.global_batch, hyper.batch_size);
+        prop_assert!((asp.learning_rate - hyper.learning_rate).abs() < 1e-9);
+    }
+
+    /// Manager invariants hold for arbitrary switch fractions on setup 1:
+    /// exact step accounting, monotone eval timeline, and a single planned
+    /// switch (when the fraction is interior).
+    #[test]
+    fn manager_invariants_for_any_fraction(frac_pct in 0u32..=100, seed in 0u64..500) {
+        let fraction = f64::from(frac_pct) / 100.0;
+        let setup = ExperimentSetup::one();
+        let mut backend = SimBackend::new(&setup, seed);
+        let report = ClusterManager::new(SyncSwitchPolicy::new(fraction, 8))
+            .run(&mut backend, &setup)
+            .expect("valid policy");
+        prop_assert!(report.completed());
+        prop_assert!(report.total_steps >= 64_000);
+        // BSP budget respected within one BSP round (8 units).
+        let budget = (fraction * 64_000.0).round() as u64;
+        prop_assert!(report.bsp_steps >= budget);
+        prop_assert!(report.bsp_steps <= budget + 8);
+        let expected_switches = usize::from(fraction > 0.0 && fraction < 1.0);
+        prop_assert_eq!(report.switches.len(), expected_switches);
+        for w in report.evals.windows(2) {
+            prop_assert!(w[1].time_s >= w[0].time_s);
+        }
+    }
+}

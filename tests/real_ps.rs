@@ -1,0 +1,163 @@
+//! Integration tests of the real parameter-server execution path: the same
+//! policy engine driving actual worker threads.
+
+use std::time::Duration;
+
+use sync_switch::prelude::*;
+use sync_switch::ps_backend::PsBackend;
+use sync_switch_nn::{Dataset, Network};
+use sync_switch_ps::{Trainer, TrainerConfig};
+use sync_switch_workloads::LrSchedule;
+
+fn small_setup(workers: usize, total: u64) -> ExperimentSetup {
+    let mut setup = ExperimentSetup::one();
+    setup.cluster_size = workers;
+    setup.workload.hyper.total_steps = total;
+    setup.workload.hyper.batch_size = 8;
+    setup.workload.hyper.learning_rate = 0.03;
+    setup.workload.hyper.lr_schedule = LrSchedule::piecewise(vec![(total / 2, 0.1)]);
+    setup
+}
+
+fn dataset(seed: u64) -> (Dataset, Dataset) {
+    Dataset::gaussian_blobs(4, 100, 8, 0.35, seed).split(0.25)
+}
+
+#[test]
+fn hybrid_training_beats_pure_asp_accuracy_on_hard_problem() {
+    // A harder dataset (high overlap) where stale gradients hurt: the
+    // hybrid schedule should match BSP-quality training.
+    let data = Dataset::gaussian_blobs(6, 120, 10, 0.55, 7);
+    let (train, test) = data.split(0.25);
+    let total = 300u64;
+
+    let accuracy_for = |fraction: f64| -> f64 {
+        let mut setup = small_setup(4, total);
+        setup.workload.hyper.learning_rate = 0.05;
+        let mut backend = PsBackend::new(
+            Network::mlp(10, &[24, 12], 6, 7),
+            train.clone(),
+            test.clone(),
+            4,
+            7,
+        );
+        let mut policy = SyncSwitchPolicy::new(fraction, 4);
+        policy.eval_interval = 100;
+        policy.tta_target = Some(0.99); // effectively disabled
+        let report = ClusterManager::new(policy)
+            .run(&mut backend, &setup)
+            .expect("run completes");
+        report.converged_accuracy.expect("completed")
+    };
+
+    let bsp = accuracy_for(1.0);
+    let hybrid = accuracy_for(0.5);
+    // The hybrid run must land in BSP's neighbourhood; real SGD noise on a
+    // small problem allows a few points of slack.
+    assert!(
+        (bsp - hybrid).abs() < 0.10,
+        "hybrid {hybrid} should track BSP {bsp}"
+    );
+    assert!(hybrid > 0.5, "hybrid should have learned: {hybrid}");
+}
+
+#[test]
+fn wall_clock_asp_beats_bsp_with_straggler() {
+    // A real straggler thread slows BSP (barrier) far more than ASP.
+    let (train, test) = dataset(9);
+    let time_for = |protocol: SyncProtocol| -> f64 {
+        let cfg = TrainerConfig::new(4, 8, 0.03, 0.9)
+            .with_seed(9)
+            .with_straggler(0, Duration::from_millis(2));
+        let mut trainer = Trainer::new(Network::mlp(8, &[16], 4, 9), train.clone(), test.clone(), cfg);
+        let seg = trainer.run_segment(protocol, 80).expect("completes");
+        seg.wall_time.as_secs_f64()
+    };
+    let bsp = time_for(SyncProtocol::Bsp);
+    let asp = time_for(SyncProtocol::Asp);
+    // BSP pays the 2ms straggler penalty at every barrier round; ASP only
+    // on the straggler's own (fewer) steps.
+    assert!(
+        asp < bsp * 0.75,
+        "ASP {asp:.3}s should beat straggled BSP {bsp:.3}s"
+    );
+}
+
+#[test]
+fn measured_staleness_grows_with_worker_count() {
+    let (train, test) = dataset(11);
+    let staleness_for = |workers: usize| -> f64 {
+        let cfg = TrainerConfig::new(workers, 4, 0.02, 0.9).with_seed(11);
+        let mut trainer = Trainer::new(
+            Network::mlp(8, &[16], 4, 11),
+            train.clone(),
+            test.clone(),
+            cfg,
+        );
+        let seg = trainer
+            .run_segment(SyncProtocol::Asp, 300)
+            .expect("completes");
+        seg.staleness.mean()
+    };
+    let s2 = staleness_for(2);
+    let s8 = staleness_for(8);
+    assert!(
+        s8 > s2,
+        "staleness should grow with concurrency: 2w {s2} vs 8w {s8}"
+    );
+    assert!(s8 > 0.5, "8 workers must produce real staleness, got {s8}");
+}
+
+#[test]
+fn full_policy_pipeline_with_greedy_online_policy() {
+    let (train, test) = dataset(13);
+    let setup = small_setup(4, 240);
+    let mut backend = PsBackend::new(Network::mlp(8, &[16], 4, 13), train, test, 4, 13);
+    backend.inject_straggler(3, Duration::from_millis(4));
+    let mut policy = SyncSwitchPolicy::new(0.5, 4).with_online(OnlinePolicyKind::Greedy);
+    policy.eval_interval = 60;
+    policy.detect_chunk = 8;
+    policy.tta_target = Some(0.99);
+    let report = ClusterManager::new(policy)
+        .run(&mut backend, &setup)
+        .expect("run completes");
+    assert!(report.completed());
+    assert_eq!(report.total_steps, 240);
+    // The greedy policy reacted to the (permanent) straggler: it switched
+    // to ASP early, so ASP ran for more than the planned half.
+    assert!(
+        report.asp_steps > 120,
+        "greedy should have detoured to ASP: asp_steps {}",
+        report.asp_steps
+    );
+    assert!(!report.switches.is_empty());
+}
+
+#[test]
+fn checkpoint_restart_preserves_training_across_protocols() {
+    let (train, test) = dataset(17);
+    let cfg = TrainerConfig::new(3, 8, 0.03, 0.9).with_seed(17);
+    let mut trainer = Trainer::new(Network::mlp(8, &[16], 4, 17), train, test, cfg);
+    trainer
+        .run_segment(SyncProtocol::Bsp, 40)
+        .expect("bsp segment");
+    let ck = trainer.checkpoint();
+    let acc_at_ck = trainer.evaluate();
+
+    // Continue with ASP, then roll back and verify state equality.
+    trainer
+        .run_segment(SyncProtocol::Asp, 60)
+        .expect("asp segment");
+    trainer.restore(&ck).expect("restore succeeds");
+    assert_eq!(trainer.global_step(), 40);
+    let acc_restored = trainer.evaluate();
+    assert!(
+        (acc_at_ck - acc_restored).abs() < 1e-12,
+        "restored accuracy must match exactly"
+    );
+    // Binary round trip through the serialized form also restores.
+    let bytes = ck.to_bytes();
+    let back = sync_switch_ps::Checkpoint::from_bytes(&bytes).expect("parse");
+    trainer.restore(&back).expect("restore from bytes");
+    assert_eq!(trainer.global_step(), 40);
+}
