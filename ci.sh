@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI gate for the Sync-Switch workspace. Mirrors what a hosted workflow
+# would run; keep it green locally before pushing.
+#
+#   ./ci.sh           # full gate
+#   ./ci.sh --fast    # skip the release build (debug build + tests only)
+set -euo pipefail
+cd "$(dirname "$0")"
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+step() { printf '\n==> %s\n' "$*"; }
+
+if [[ $fast -eq 0 ]]; then
+    step "cargo build --release (tier-1, part 1)"
+    cargo build --release
+fi
+
+step "cargo test -q --workspace (tier-1, part 2)"
+cargo test -q --workspace
+
+step "cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo bench --no-run --workspace (bench targets must keep compiling)"
+cargo bench --no-run --workspace
+
+step "cargo build --examples"
+cargo build --examples
+
+printf '\nCI gate passed.\n'

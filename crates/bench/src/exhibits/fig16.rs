@@ -11,11 +11,14 @@ use crate::output::Exhibit;
 
 const TRIALS: usize = 400;
 
+/// A named family of search settings parameterized by attempts-per-setting.
+type SettingFamily = (&'static str, Box<dyn Fn(usize) -> SearchSetting>);
+
 /// Runs the exhibit.
 pub fn run() -> Exhibit {
     let mut ex = Exhibit::new("fig16", "Search cost and performance trade-off");
 
-    let families: Vec<(&str, Box<dyn Fn(usize) -> SearchSetting>)> = vec![
+    let families: Vec<SettingFamily> = vec![
         (
             "bn=n (ground truth)",
             Box::new(|n| SearchSetting {

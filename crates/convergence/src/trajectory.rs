@@ -320,7 +320,6 @@ impl TrajectoryModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sync_switch_workloads::SetupId;
 
     fn run_full(
         setup: &ExperimentSetup,

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use sync_switch_convergence::{
     converged_accuracy_stats, damage_at, MomentumScaling, PhaseInput, TrajectoryModel,
 };
-use sync_switch_workloads::{CalibrationTargets, ExperimentSetup, SetupId, SyncProtocol};
+use sync_switch_workloads::{CalibrationTargets, ExperimentSetup, SetupId};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -298,7 +298,11 @@ mod tests {
 
     #[test]
     fn residual_block_gradients_check() {
-        let mut b = ResidualBlock::new(6, 3);
+        // Seed 5 keeps every pre-activation at least 0.22 away from the ReLU
+        // kink. (Seed 3 put one at -3.8e-4, inside the ±eps band of the
+        // central difference, which invalidates the numeric gradient there —
+        // the analytic gradient was already correct.)
+        let mut b = ResidualBlock::new(6, 5);
         grad_check(&mut b, &sample_input(2, 6));
     }
 

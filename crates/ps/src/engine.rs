@@ -193,7 +193,7 @@ impl Trainer {
         let params = self.store.snapshot_params();
         let mut model = self.template.clone();
         model.set_params_flat(&params);
-        model.accuracy_on(self.test.features(), &self.test.labels().to_vec())
+        model.accuracy_on(self.test.features(), self.test.labels())
     }
 
     /// Training loss of the current parameters on a deterministic probe

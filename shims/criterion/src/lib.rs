@@ -1,0 +1,158 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape used by this workspace's benches (`Criterion`,
+//! `Bencher::iter` / `iter_batched`, `criterion_group!`, `criterion_main!`,
+//! `black_box`) with a simple wall-clock measurement loop instead of
+//! criterion's statistical machinery: per sample the routine runs in a
+//! timed batch, and the mean/min over samples is reported on stdout.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped; accepted for API compatibility, the
+/// shim times one input per iteration regardless.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_secs(1) }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            budget: self.measurement_time,
+        };
+        f(&mut bencher);
+        let samples = &bencher.samples;
+        if samples.is_empty() {
+            println!("{id:<40} no samples collected");
+        } else {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            println!(
+                "{id:<40} mean {:>12} min {:>12} ({} samples)",
+                format_ns(mean),
+                format_ns(min),
+                samples.len()
+            );
+        }
+        self
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Per-benchmark measurement state handed to the closure of
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Mean per-iteration time of each sample, nanoseconds.
+    samples: Vec<f64>,
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and estimate a batch size that keeps each sample cheap.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (self.budget / (self.sample_size as u32)).max(Duration::from_micros(10));
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 10_000) as usize;
+
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Define a benchmark group, mirroring `criterion_group!` (both forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,267 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `syn`/`quote` are unavailable in this offline build, so the derive input
+//! is parsed directly from the raw `TokenStream`. Supported shapes — which
+//! cover every derive site in this workspace — are structs with named
+//! fields and enums whose variants are all unit variants. Anything else
+//! produces a `compile_error!` naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// `struct Name { f1: T1, ... }`
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { A, B, ... }` (unit variants only)
+    UnitEnum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one attribute if the iterator is positioned at `#` (doc comments
+/// included). Returns whether an attribute was consumed. `#[serde(...)]`
+/// is rejected outright: this shim implements no serde attributes, and
+/// silently ignoring one (rename/skip/default/…) would change the wire
+/// format relative to what the real serde_derive produces from the same
+/// source.
+fn skip_attr(
+    iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>,
+) -> Result<bool, String> {
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        iter.next();
+        // The bracket group `[...]` of the attribute.
+        if let Some(TokenTree::Group(g)) = iter.next() {
+            if matches!(
+                g.stream().into_iter().next(),
+                Some(TokenTree::Ident(id)) if id.to_string() == "serde"
+            ) {
+                return Err(format!(
+                    "serde_derive shim: `#[{}]` is not supported (no serde attributes are \
+                     implemented; remove the attribute or vendor the real serde_derive)",
+                    g.stream()
+                ));
+            }
+        }
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        iter.next();
+        if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            iter.next();
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        while skip_attr(&mut iter)? {}
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected struct name, got {other:?}")),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Ok(Shape::Struct { name, fields: parse_named_fields(g.stream())? });
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        return Err(format!("serde_derive shim: generic type `{name}` unsupported"));
+                    }
+                    _ => {
+                        return Err(format!(
+                            "serde_derive shim: only structs with named fields are supported \
+                             (struct `{name}`)"
+                        ));
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => return Err(format!("expected enum name, got {other:?}")),
+                };
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Ok(Shape::UnitEnum {
+                            variants: parse_unit_variants(g.stream(), &name)?,
+                            name,
+                        });
+                    }
+                    _ => return Err(format!("serde_derive shim: malformed enum `{name}`")),
+                }
+            }
+            Some(_) => continue,
+            None => return Err("serde_derive shim: no struct or enum found".into()),
+        }
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        while skip_attr(&mut iter)? {}
+        skip_vis(&mut iter);
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected field name, got {other:?}")),
+            None => break,
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        fields.push(name);
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        // Commas inside `( )` / `[ ]` are invisible (whole groups are single
+        // tokens); only `< >` needs explicit depth tracking.
+        let mut angle_depth = 0i32;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>, String> {
+    let mut iter = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while skip_attr(&mut iter)? {}
+        let name = match iter.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("expected variant name, got {other:?}")),
+            None => break,
+        };
+        match iter.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "serde_derive shim: enum `{enum_name}` variant `{name}` carries data; \
+                     only unit variants are supported"
+                ));
+            }
+            Some(other) => return Err(format!("unexpected token after variant `{name}`: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "entries.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, {f:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::Error::msg(\
+                                 concat!(\"expected object for struct \", {name:?})));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::UnitEnum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             ::std::option::Option::Some(s) => match s {{\n\
+                                 {arms}\n\
+                                 other => ::std::result::Result::Err(::serde::Error::msg(\
+                                     format!(concat!(\"unknown variant `{{}}` of \", {name:?}), other))),\n\
+                             }},\n\
+                             ::std::option::Option::None => ::std::result::Result::Err(\
+                                 ::serde::Error::msg(concat!(\"expected string for enum \", {name:?}))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

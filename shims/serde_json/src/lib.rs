@@ -1,0 +1,509 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Re-exports the shared [`Value`] model from the `serde` shim and adds the
+//! pieces this workspace uses: `to_string` / `to_string_pretty`, `from_str`
+//! (a full JSON parser), `to_value`, and the `json!` macro (a tt-muncher
+//! like upstream's, supporting nested object/array literals and arbitrary
+//! interpolated expressions).
+
+use std::fmt::Write as _;
+
+pub use serde::{Error, Value};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_compact(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_pretty(&value.to_value(), &mut out, 0);
+    Ok(out)
+}
+
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_number(f: f64, out: &mut String) {
+    if f.is_finite() {
+        if f.fract() == 0.0 && f.abs() < 1e15 {
+            // Keep a trailing `.0` so the value round-trips as a float.
+            let _ = write!(out, "{f:.1}");
+        } else {
+            let _ = write!(out, "{f}");
+        }
+    } else {
+        // JSON has no NaN/Infinity; serde_json emits null.
+        out.push_str("null");
+    }
+}
+
+fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Float(f) => write_number(*f, out),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(k, out);
+                out.push(':');
+                write_compact(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + 2 {
+                    out.push(' ');
+                }
+                write_pretty(item, out, indent + 2);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push(']');
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + 2 {
+                    out.push(' ');
+                }
+                write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(item, out, indent + 2);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.literal("null") => Ok(Value::Null),
+            Some(b't') if self.literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::String),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    entries.push((key, self.value()?));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at offset {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            _ => Err(Error::msg(format!("unexpected character at offset {}", self.pos))),
+        }
+    }
+
+    /// Reads four hex digits starting at `start` (the payload of a `\u`
+    /// escape).
+    fn hex4(&self, start: usize) -> Result<u32> {
+        let hex = self
+            .bytes
+            .get(start..start + 4)
+            .ok_or_else(|| Error::msg("truncated \\u escape"))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u escape"))?,
+            16,
+        )
+        .map_err(|_| Error::msg("bad \\u escape"))
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let code = self.hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            if (0xD800..0xDC00).contains(&code) {
+                                // High surrogate: must be followed by `\uXXXX`
+                                // with a low surrogate; combine the pair.
+                                if self.bytes.get(self.pos + 1) != Some(&b'\\')
+                                    || self.bytes.get(self.pos + 2) != Some(&b'u')
+                                {
+                                    return Err(Error::msg("unpaired high surrogate"));
+                                }
+                                let low = self.hex4(self.pos + 3)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::msg("invalid low surrogate"));
+                                }
+                                self.pos += 6;
+                                let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                out.push(char::from_u32(c).ok_or_else(|| Error::msg("bad surrogate pair"))?);
+                            } else if (0xDC00..0xE000).contains(&code) {
+                                return Err(Error::msg("unpaired low surrogate"));
+                            } else {
+                                out.push(char::from_u32(code).ok_or_else(|| Error::msg("bad \\u escape"))?);
+                            }
+                        }
+                        _ => return Err(Error::msg("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 encoded char.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::msg("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::msg(format!("bad number `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error::msg(format!("bad number `{text}`")))
+        }
+    }
+}
+
+/// Build a [`Value`] from a JSON literal with interpolated expressions,
+/// mirroring `serde_json::json!`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::json_internal!(@array_elem [] () $($tt)+)
+    };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::json_internal!(@object_key [] $($tt)+)
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Implementation detail of [`json!`]: tt-munchers for object entries and
+/// array elements. Completed entries accumulate in a bracketed list (each
+/// packed as its own group, so arbitrary value tokens stay opaque) and a
+/// single `Vec::from([...])` is emitted at the end. Commas inside
+/// `()`/`[]`/`{}` groups are invisible to the muncher, so interpolated
+/// expressions pass through unscathed.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- object: expect a key (or the end, after a trailing comma) ----
+    (@object_key [$($done:tt)*]) => {
+        $crate::json_internal!(@object_end [$($done)*])
+    };
+    (@object_key [$($done:tt)*] $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@object_val [$($done)*] $key () $($rest)*)
+    };
+    // ---- object: munch value tokens for the pending key ----
+    // comma ends the value
+    (@object_val [$($done:tt)*] $key:literal ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal!(@object_key [$($done)* [$key ($($val)+)]] $($rest)*)
+    };
+    // end of input ends the value
+    (@object_val [$($done:tt)*] $key:literal ($($val:tt)+)) => {
+        $crate::json_internal!(@object_end [$($done)* [$key ($($val)+)]])
+    };
+    // otherwise accumulate one token
+    (@object_val [$($done:tt)*] $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@object_val [$($done)*] $key ($($val)* $next) $($rest)*)
+    };
+    // ---- object: emit ----
+    (@object_end [$([$key:literal ($($val:tt)+)])*]) => {
+        $crate::Value::Object(::std::vec::Vec::from([
+            $((::std::string::String::from($key), $crate::json!($($val)+)),)*
+        ]))
+    };
+    // ---- array: munch one element's tokens ----
+    (@array_elem [$($done:tt)*] ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::json_internal!(@array_elem [$($done)* (($($val)+))] () $($rest)*)
+    };
+    (@array_elem [$($done:tt)*] ($($val:tt)+)) => {
+        $crate::json_internal!(@array_end [$($done)* (($($val)+))])
+    };
+    (@array_elem [$($done:tt)*] ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@array_elem [$($done)*] ($($val)* $next) $($rest)*)
+    };
+    // end of input right after a trailing comma
+    (@array_elem [$($done:tt)*] ()) => {
+        $crate::json_internal!(@array_end [$($done)*])
+    };
+    // ---- array: emit ----
+    (@array_end [$((($($val:tt)+)))*]) => {
+        $crate::Value::Array(::std::vec::Vec::from([
+            $($crate::json!($($val)+),)*
+        ]))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "abc";
+        let xs = vec![1i64, 2, 3];
+        let v = json!({
+            "s": name,
+            "n": 1,
+            "f": 0.5,
+            "neg": -2.5,
+            "b": true,
+            "null": null,
+            "arr": [1, {"k": 2}, [3]],
+            "interp": xs,
+            "expr": 2 + 3,
+            "nested": {"deep": {"er": 1}},
+        });
+        assert_eq!(v["s"].as_str(), Some("abc"));
+        assert_eq!(v["n"].as_u64(), Some(1));
+        assert_eq!(v["f"].as_f64(), Some(0.5));
+        assert_eq!(v["neg"].as_f64(), Some(-2.5));
+        assert_eq!(v["b"].as_bool(), Some(true));
+        assert!(v["null"].is_null());
+        assert_eq!(v["arr"][1]["k"].as_u64(), Some(2));
+        assert_eq!(v["interp"].as_array().unwrap().len(), 3);
+        assert_eq!(v["expr"].as_u64(), Some(5));
+        assert_eq!(v["nested"]["deep"]["er"].as_u64(), Some(1));
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        let v = json!({"a": [1, 2.5, "x\n\"y\""], "b": {"c": null, "d": false}});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(v, back);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back2: Value = from_str(&pretty).unwrap();
+        assert_eq!(v, back2);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_numbers() {
+        let v: Value = from_str(r#"{"u": "A", "e": 1e3, "i": -7}"#).unwrap();
+        assert_eq!(v["u"].as_str(), Some("A"));
+        assert_eq!(v["e"].as_f64(), Some(1000.0));
+        assert_eq!(v["i"].as_i64(), Some(-7));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_one_code_point() {
+        // Escaped surrogate pair decodes to one code point (U+1F600).
+        let v: Value = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+        // Raw (unescaped) multi-byte UTF-8 passes through unchanged.
+        let v: Value = from_str("\"\u{e9}\u{4e2d}\u{1F600}\"").unwrap();
+        assert_eq!(v.as_str(), Some("\u{e9}\u{4e2d}\u{1F600}"));
+        // BMP escape below the surrogate range still decodes directly.
+        let v: Value = from_str(r#""\u00e9""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{e9}"));
+        assert!(from_str::<Value>(r#""\ud83d""#).is_err(), "unpaired high surrogate");
+        assert!(from_str::<Value>(r#""\ude00""#).is_err(), "unpaired low surrogate");
+        assert!(from_str::<Value>(r#""\ud83dx""#).is_err(), "high surrogate not followed by escape");
+    }
+
+    #[test]
+    fn out_of_range_integers_error_instead_of_wrapping() {
+        assert_eq!(from_str::<u8>("300").unwrap_err().to_string(), "300 out of range for u8");
+        assert!(from_str::<usize>("-1").is_err());
+        assert!(from_str::<u64>("1e300").is_err(), "huge float must not cast to int");
+        assert_eq!(from_str::<u8>("255").unwrap(), 255);
+        assert_eq!(from_str::<i64>("-7.0").unwrap(), -7);
+    }
+}

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 
 use sync_switch::prelude::*;
 use sync_switch_convergence::converged_accuracy_stats;
-use sync_switch_core::{AnalyticOracle, ConfigPolicy, NoiselessOracle, TrainingOracle};
+use sync_switch_core::{AnalyticOracle, ConfigPolicy, NoiselessOracle};
 use sync_switch_workloads::HyperParams;
 
 proptest! {

@@ -1,0 +1,77 @@
+//! Workspace smoke test: constructs every public training backend through
+//! the facade and runs one tiny end-to-end job on each. This guards the
+//! workspace wiring itself — manifests, facade re-exports, and the serde
+//! round-trip of reports — against future drift: if a `prelude` item stops
+//! resolving or a crate drops out of the dependency graph, this file stops
+//! compiling.
+
+use sync_switch::prelude::*;
+use sync_switch_nn::{Dataset, Network};
+use sync_switch_workloads::LrSchedule;
+
+/// The simulator backend end-to-end: paper setup 1 at full scale (cheap in
+/// virtual time), with the paper's own policy.
+#[test]
+fn sim_backend_runs_paper_policy() {
+    let setup = ExperimentSetup::one();
+    let policy = SyncSwitchPolicy::paper_policy(&setup);
+    let mut backend = SimBackend::new(&setup, 42);
+    let report = ClusterManager::new(policy)
+        .run(&mut backend, &setup)
+        .expect("sim run completes");
+    assert!(report.completed());
+    assert_eq!(report.total_steps, setup.workload.hyper.total_steps);
+    assert!(report.converged_accuracy.expect("converged") > 0.90);
+
+    // The report round-trips through the JSON layer (guards the serde
+    // derive wiring for every type the report embeds).
+    let json = serde_json::to_string(&report).expect("report serializes");
+    let back: TrainingReport = serde_json::from_str(&json).expect("report deserializes");
+    assert_eq!(back, report);
+}
+
+/// The real parameter-server backend end-to-end: a laptop-scale job on
+/// synthetic blobs with real worker threads and one BSP→ASP switch.
+#[test]
+fn ps_backend_runs_tiny_job() {
+    let (train, test) = Dataset::gaussian_blobs(4, 80, 8, 0.35, 9).split(0.25);
+    let mut setup = ExperimentSetup::one();
+    setup.cluster_size = 2;
+    setup.workload.hyper.total_steps = 80;
+    setup.workload.hyper.batch_size = 8;
+    setup.workload.hyper.learning_rate = 0.04;
+    setup.workload.hyper.lr_schedule = LrSchedule::piecewise(vec![(40, 0.1)]);
+
+    let mut backend = PsBackend::new(Network::mlp(8, &[12], 4, 9), train, test, 2, 9);
+    let mut policy = SyncSwitchPolicy::new(0.25, 2);
+    policy.eval_interval = 40;
+    policy.tta_target = Some(0.5);
+    let report = ClusterManager::new(policy)
+        .run(&mut backend, &setup)
+        .expect("ps run completes");
+    assert!(report.completed());
+    assert_eq!(report.total_steps, 80);
+    assert_eq!(report.switches.len(), 1);
+}
+
+/// Every facade module re-export resolves and the prelude covers the types
+/// the quick-start needs.
+#[test]
+fn facade_reexports_resolve() {
+    // Touch one item from each re-exported module so the paths stay live.
+    let _ = sync_switch::tensor::Tensor::zeros(&[2, 2]);
+    let _ = sync_switch::sim::SimTime::from_secs(1.0);
+    let _ = sync_switch::nn::Network::mlp(4, &[4], 2, 0);
+    let _ = sync_switch::workloads::SetupId::all();
+    let _ = sync_switch::convergence::MomentumScaling::Baseline;
+    let _ = sync_switch::cluster::StragglerScenario::none();
+    let _ = sync_switch::core::SyncProtocol::Bsp;
+    let _ = sync_switch::ps::TrainerConfig::new(2, 4, 0.1, 0.9);
+
+    // Prelude items used as values/types.
+    let _tuner = BinarySearchTuner::new();
+    let _targets = CalibrationTargets::for_setup(SetupId::One);
+    let _rng = DetRng::new(7);
+    let _scenario = StragglerScenario::none();
+    let _sim: fn(&ExperimentSetup, u64) -> ClusterSim = |s, seed| ClusterSim::new(s, seed);
+}
