@@ -26,6 +26,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo bench --no-run --workspace (bench targets must keep compiling)"
 cargo bench --no-run --workspace
 
+step "ps_throughput smoke (machine-readable bench JSON must emit and parse)"
+smoke_json="$(mktemp -t ps_throughput_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_json"' EXIT
+rm -f "$smoke_json"
+PS_BENCH_FAST=1 PS_BENCH_OUT="$smoke_json" cargo bench -p sync-switch-bench --bench ps_throughput
+[[ -s "$smoke_json" ]] || { echo "ps_throughput smoke did not write $smoke_json" >&2; exit 1; }
+cargo run -q -p sync-switch-bench --bin bench_json_check -- "$smoke_json"
+
 step "cargo build --examples"
 cargo build --examples
 

@@ -1,11 +1,27 @@
-//! Real parameter-server throughput: BSP vs ASP segments on worker threads.
+//! Real parameter-server throughput: BSP vs ASP segments on worker threads,
+//! plus a workers × shards scaling sweep.
+//!
+//! Beyond the headline `ps_{BSP,ASP}_4workers_50steps` numbers (kept
+//! name-compatible with the original criterion bench), this harness sweeps
+//! the (workers, shards) grid on a larger model and persists everything as
+//! machine-readable JSON to `BENCH_ps_throughput.json` at the workspace
+//! root, so the data-plane perf trajectory is tracked across PRs.
+//!
+//! Environment knobs:
+//! * `PS_BENCH_FAST=1` — smoke mode for CI: fewer samples and steps, same
+//!   JSON shape.
+//! * `PS_BENCH_OUT=<path>` — override the output JSON path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use sync_switch_bench::output::{load_json, Exhibit};
 use sync_switch_nn::{Dataset, Network};
-use sync_switch_ps::{Trainer, TrainerConfig};
+use sync_switch_ps::{SegmentReport, Trainer, TrainerConfig};
 use sync_switch_workloads::SyncProtocol;
 
-fn make_trainer(workers: usize) -> Trainer {
+/// The original headline configuration: 4 workers, 4 shards, tiny MLP.
+fn headline_trainer(workers: usize) -> Trainer {
     let data = Dataset::gaussian_blobs(4, 100, 8, 0.35, 1);
     let (train, test) = data.split(0.25);
     Trainer::new(
@@ -16,24 +32,176 @@ fn make_trainer(workers: usize) -> Trainer {
     )
 }
 
-fn bench_ps(c: &mut Criterion) {
-    for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
-        c.bench_function(&format!("ps_{protocol}_4workers_50steps"), |bench| {
-            bench.iter_batched(
-                || make_trainer(4),
-                |mut t| {
-                    t.run_segment(protocol, 50).expect("segment completes");
-                    t
-                },
-                criterion::BatchSize::LargeInput,
-            )
-        });
+/// Sweep configuration: a larger MLP so sharding has parameters to split.
+fn sweep_trainer(workers: usize, shards: usize) -> Trainer {
+    let data = Dataset::gaussian_blobs(4, 120, 16, 0.35, 1);
+    let (train, test) = data.split(0.25);
+    let mut cfg = TrainerConfig::new(workers, 8, 0.02, 0.9).with_seed(1);
+    cfg.shards = shards;
+    Trainer::new(Network::mlp(16, &[64, 32], 4, 1), train, test, cfg)
+}
+
+struct Measurement {
+    mean: Duration,
+    min: Duration,
+    steps: u64,
+    last: SegmentReport,
+}
+
+impl Measurement {
+    /// Cluster throughput of the best sample, in steps/sec.
+    fn best_steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.min.as_secs_f64().max(1e-12)
     }
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
-    targets = bench_ps
+/// Times `samples` fresh segments of `steps` under `protocol`.
+fn measure(
+    mk: impl Fn() -> Trainer,
+    protocol: SyncProtocol,
+    steps: u64,
+    samples: usize,
+) -> Measurement {
+    let mut durations = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let mut t = mk();
+        let start = Instant::now();
+        let report = t.run_segment(protocol, steps).expect("segment completes");
+        durations.push(start.elapsed());
+        last = Some(report);
+    }
+    let mean = durations.iter().sum::<Duration>() / samples as u32;
+    let min = *durations.iter().min().expect("at least one sample");
+    Measurement {
+        mean,
+        min,
+        steps,
+        last: last.expect("at least one sample"),
+    }
 }
-criterion_main!(benches);
+
+fn fmt_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let fast = std::env::var("PS_BENCH_FAST").is_ok_and(|v| !v.is_empty() && v != "0");
+    let (samples, headline_steps, sweep_steps) = if fast { (3, 20, 40) } else { (30, 50, 400) };
+
+    let mut exhibit = Exhibit::new(
+        "BENCH_ps_throughput",
+        "Parameter-server data-plane throughput (headline + workers × shards sweep)",
+    );
+
+    // Headline: same shape as the original criterion bench, so the numbers
+    // stay comparable across PRs.
+    let mut headline = Vec::new();
+    for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+        let m = measure(|| headline_trainer(4), protocol, headline_steps, samples);
+        println!(
+            "ps_{protocol}_4workers_{headline_steps}steps      mean {:>10.2} µs min {:>10.2} µs ({samples} samples)",
+            fmt_us(m.mean),
+            fmt_us(m.min),
+        );
+        headline.push(serde_json::json!({
+            "name": format!("ps_{protocol}_4workers_{headline_steps}steps"),
+            "protocol": protocol.to_string(),
+            "workers": 4,
+            "shards": 4,
+            "steps": m.steps,
+            "mean_us": fmt_us(m.mean),
+            "min_us": fmt_us(m.min),
+            "steps_per_sec": m.best_steps_per_sec(),
+        }));
+    }
+
+    // Scaling sweep: workers × shards under both protocols.
+    let workers_grid = [1usize, 2, 4, 8];
+    let shards_grid = [1usize, 4, 16, 64];
+    let mut sweep = Vec::new();
+    let mut rows = Vec::new();
+    for &workers in &workers_grid {
+        for &shards in &shards_grid {
+            for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+                let m = measure(
+                    || sweep_trainer(workers, shards),
+                    protocol,
+                    sweep_steps,
+                    if fast { 1 } else { 3 },
+                );
+                let sps = m.best_steps_per_sec();
+                rows.push(vec![
+                    protocol.to_string(),
+                    workers.to_string(),
+                    shards.to_string(),
+                    format!("{sps:.0}"),
+                    format!("{:.2}", m.last.staleness.mean()),
+                    m.last
+                        .shard_staleness
+                        .max()
+                        .map_or_else(|| "-".into(), |v| v.to_string()),
+                ]);
+                sweep.push(serde_json::json!({
+                    "protocol": protocol.to_string(),
+                    "workers": workers,
+                    "shards": shards,
+                    "steps": m.steps,
+                    "mean_us": fmt_us(m.mean),
+                    "min_us": fmt_us(m.min),
+                    "steps_per_sec": sps,
+                    "staleness_mean": m.last.staleness.mean(),
+                    "shard_staleness_max": m.last.shard_staleness.max(),
+                }));
+            }
+        }
+    }
+    exhibit.table(
+        &["protocol", "workers", "shards", "steps/s", "staleness", "shard max"],
+        &rows,
+    );
+    exhibit.print();
+
+    exhibit.json = serde_json::json!({
+        "id": "ps_throughput",
+        "fast": fast,
+        "headline": headline,
+        "sweep": sweep,
+        // Historical reference point, NOT re-measured: the headline
+        // numbers recorded immediately before the shard-parallel
+        // data-plane refactor (allocation-per-pull + single-mutex BSP
+        // accumulator), on the machine named below. Compare fresh numbers
+        // against it only on comparable hardware.
+        "baseline_pre_refactor": {
+            "measured_on": "single-core CI container, 2026-07-29 (pre-PR-2 seed)",
+            "ps_BSP_4workers_50steps": {"mean_us": 2110.0, "min_us": 1930.0},
+            "ps_ASP_4workers_50steps": {"mean_us": 498.61, "min_us": 448.96},
+        },
+    });
+
+    let out = std::env::var("PS_BENCH_OUT").map_or_else(
+        |_| {
+            if fast {
+                // Smoke numbers (fewer samples, shorter segments, different
+                // headline names) must not overwrite the tracked perf
+                // trajectory at the workspace root.
+                std::env::temp_dir().join("BENCH_ps_throughput_smoke.json")
+            } else {
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .join("../..")
+                    .join("BENCH_ps_throughput.json")
+            }
+        },
+        PathBuf::from,
+    );
+    exhibit.save_at(&out).expect("write bench JSON");
+    // Self-check: the file must read back as well-formed JSON with the
+    // sweep populated — CI fails the smoke run otherwise.
+    let back = load_json(&out).expect("bench JSON reads back");
+    let points = back
+        .get("sweep")
+        .and_then(|s| s.as_array())
+        .map_or(0, Vec::len);
+    assert!(points > 0, "bench JSON has an empty sweep");
+    println!("\nwrote {} ({points} sweep points)", out.display());
+}

@@ -1,0 +1,77 @@
+//! CI gate for machine-readable bench output: validates that a
+//! `BENCH_ps_throughput.json` exists, parses, and carries a well-formed
+//! headline + sweep. Exits non-zero on any violation so `ci.sh` fails when
+//! the perf trajectory stops being recorded.
+//!
+//! Usage: `bench_json_check [path]` (default `BENCH_ps_throughput.json`).
+
+use std::path::Path;
+use std::process::exit;
+
+use serde_json::Value;
+use sync_switch_bench::output::load_json;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ps_throughput.json".to_string());
+    match validate(Path::new(&path)) {
+        Ok((headline, points)) => {
+            println!("{path}: ok ({headline} headline entries, {points} sweep points)");
+        }
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn validate(path: &Path) -> Result<(usize, usize), String> {
+    let v = load_json(path).map_err(|e| e.to_string())?;
+    let headline = v
+        .get("headline")
+        .and_then(Value::as_array)
+        .ok_or("missing \"headline\" array")?;
+    if headline.is_empty() {
+        return Err("empty \"headline\" array".into());
+    }
+    for (i, entry) in headline.iter().enumerate() {
+        entry
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("headline[{i}]: missing \"name\""))?;
+        positive_f64(entry, "steps_per_sec").map_err(|e| format!("headline[{i}]: {e}"))?;
+    }
+    let sweep = v
+        .get("sweep")
+        .and_then(Value::as_array)
+        .ok_or("missing \"sweep\" array")?;
+    if sweep.is_empty() {
+        return Err("empty \"sweep\" array".into());
+    }
+    for (i, point) in sweep.iter().enumerate() {
+        for key in ["workers", "shards", "steps"] {
+            let n = point
+                .get(key)
+                .and_then(Value::as_u64)
+                .ok_or(format!("sweep[{i}]: missing \"{key}\""))?;
+            if n == 0 {
+                return Err(format!("sweep[{i}]: \"{key}\" is zero"));
+            }
+        }
+        positive_f64(point, "steps_per_sec").map_err(|e| format!("sweep[{i}]: {e}"))?;
+    }
+    Ok((headline.len(), sweep.len()))
+}
+
+fn positive_f64(entry: &Value, key: &str) -> Result<f64, String> {
+    let x = entry
+        .get(key)
+        .and_then(Value::as_f64)
+        .ok_or(format!("missing \"{key}\""))?;
+    if x.is_finite() && x > 0.0 {
+        Ok(x)
+    } else {
+        Err(format!("\"{key}\" = {x} is not positive/finite"))
+    }
+}

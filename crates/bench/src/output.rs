@@ -74,8 +74,41 @@ impl Exhibit {
     pub fn save(&self, dir: &Path) -> std::io::Result<()> {
         fs::create_dir_all(dir)?;
         let path = dir.join(format!("{}.json", self.id));
+        self.save_at(&path)
+    }
+
+    /// Writes the JSON payload to an exact file path, creating parent
+    /// directories as needed (benchmarks that persist machine-readable
+    /// results at a fixed location, e.g. `BENCH_ps_throughput.json`).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directories or writing.
+    pub fn save_at(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
         fs::write(path, serde_json::to_string_pretty(&self.json).expect("serializable"))
     }
+}
+
+/// Reads a JSON file back into a [`serde_json::Value`], mapping parse
+/// failures to [`std::io::ErrorKind::InvalidData`] — the validation half of
+/// the machine-readable bench outputs.
+///
+/// # Errors
+///
+/// Returns the read error, or `InvalidData` when the contents do not parse.
+pub fn load_json(path: &Path) -> std::io::Result<serde_json::Value> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("{}: malformed JSON: {e:?}", path.display()),
+        )
+    })
 }
 
 /// Formats a float with 3 decimals, or a marker for missing values.
@@ -126,5 +159,27 @@ mod tests {
         e.save(&dir).unwrap();
         let content = std::fs::read_to_string(dir.join("unit_test_exhibit.json")).unwrap();
         assert!(content.contains("\"x\": 1"));
+    }
+
+    #[test]
+    fn save_at_and_load_json_round_trip() {
+        let mut e = Exhibit::new("unit_test_save_at", "test");
+        e.json = serde_json::json!({"sweep": [{"workers": 4}]});
+        let path = std::env::temp_dir()
+            .join("ss-bench-test-at")
+            .join("BENCH_unit.json");
+        e.save_at(&path).unwrap();
+        let v = load_json(&path).unwrap();
+        let sweep = v.get("sweep").and_then(|s| s.as_array()).unwrap();
+        assert_eq!(sweep[0].get("workers").and_then(|w| w.as_u64()), Some(4));
+    }
+
+    #[test]
+    fn load_json_rejects_malformed() {
+        let path = std::env::temp_dir().join("ss-bench-malformed.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let err = load_json(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(load_json(Path::new("/nonexistent/nope.json")).is_err());
     }
 }

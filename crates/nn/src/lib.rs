@@ -37,6 +37,7 @@ pub mod model;
 pub mod optimizer;
 
 pub use data::Dataset;
+pub use sync_switch_tensor::Tensor;
 pub use layer::{Dense, Layer, Relu, ResidualBlock};
 pub use loss::SoftmaxCrossEntropy;
 pub use metrics::accuracy;

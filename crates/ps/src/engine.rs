@@ -1,19 +1,43 @@
 //! The training engine: worker threads, BSP barrier, ASP async loop.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
-use sync_switch_nn::{Dataset, Network};
+use sync_switch_nn::{Dataset, Network, Tensor};
 use sync_switch_workloads::SyncProtocol;
 
 use crate::checkpoint::Checkpoint;
 use crate::config::TrainerConfig;
 use crate::error::PsError;
-use crate::profiler::{StalenessHistogram, WorkerProfile};
-use crate::store::ShardedStore;
+use crate::profiler::{ShardStaleness, StalenessHistogram, WorkerProfile};
+use crate::store::{PullBuffer, ShardedStore};
+
+/// What each worker thread returns: its id, timing/loss profile, global
+/// staleness observations, and per-shard staleness observations.
+pub(crate) type WorkerResult = (usize, WorkerProfile, StalenessHistogram, ShardStaleness);
+
+/// Pushes a full gradient shard-by-shard against the clocks captured in
+/// `buf`, recording one per-shard staleness observation per shard, then
+/// completes the push and returns its global staleness. Shared by the ASP
+/// and SSP worker loops so the two protocols measure staleness identically.
+pub(crate) fn push_sharded(
+    store: &ShardedStore,
+    grad: &[f32],
+    buf: &PullBuffer,
+    lr: f64,
+    momentum: f64,
+    shard_hist: &mut ShardStaleness,
+) -> u64 {
+    for i in 0..store.shard_count() {
+        let (offset, len) = store.shard_range(i);
+        let prev = store.apply_shard_update(i, &grad[offset..offset + len], lr, momentum);
+        shard_hist.record(i, prev.saturating_sub(buf.shard_version(i)));
+    }
+    store.complete_push(buf.version())
+}
 
 /// Outcome of one training segment (a run of consecutive steps under a
 /// single protocol and configuration).
@@ -30,6 +54,10 @@ pub struct SegmentReport {
     pub worker_profiles: Vec<WorkerProfile>,
     /// Measured gradient staleness across all pushes.
     pub staleness: StalenessHistogram,
+    /// Measured staleness per parameter shard, from the per-shard version
+    /// clocks (one observation per shard apply; all zeros under BSP, where
+    /// a stripe is applied exactly once per barrier round).
+    pub shard_staleness: ShardStaleness,
     /// Mean training loss over the last few recorded steps.
     pub final_loss: f32,
 }
@@ -44,16 +72,29 @@ impl SegmentReport {
     }
 }
 
-/// State shared by BSP workers: the aggregation buffer and barrier.
+/// State shared by BSP workers: striped per-shard accumulators plus the
+/// round barrier.
+///
+/// Each stripe maps 1:1 onto a store shard and carries its own lock, so
+/// workers aggregating different stripes proceed concurrently instead of
+/// funnelling every gradient through one global accumulator mutex. The last
+/// contributor to a stripe applies that stripe's averaged update to its
+/// shard; the worker that applies the last outstanding stripe completes the
+/// push and advances the round.
 struct BspShared {
-    round_state: Mutex<BspRound>,
+    stripes: Vec<Mutex<Stripe>>,
+    /// Completed barrier rounds; guarded by a mutex because the condvar
+    /// waiters key off it.
+    round: Mutex<u64>,
     cv: Condvar,
+    /// Stripes applied in the current round.
+    applied: AtomicUsize,
 }
 
-struct BspRound {
+/// One stripe's accumulation state for the in-flight round.
+struct Stripe {
     accum: Vec<f32>,
     count: usize,
-    round: u64,
 }
 
 /// Everything a worker thread needs.
@@ -73,6 +114,10 @@ pub struct Trainer {
     cfg: TrainerConfig,
     store: Arc<ShardedStore>,
     global_step: u64,
+    /// Deterministic probe batch for [`Trainer::training_loss`] (first
+    /// shard, fixed indices) — built once, because the switcher polls the
+    /// probe loss inside its decision loop.
+    probe_batch: (Tensor, Vec<usize>),
 }
 
 impl std::fmt::Debug for Trainer {
@@ -101,6 +146,9 @@ impl Trainer {
         let shards: Vec<Dataset> = (0..cfg.workers).map(|k| train.shard(k, cfg.workers)).collect();
         let initial = model.params_flat();
         let store = Arc::new(ShardedStore::new(&initial, cfg.shards));
+        let probe_n = shards[0].len().min(64);
+        let probe_idx: Vec<usize> = (0..probe_n).collect();
+        let probe_batch = shards[0].batch(&probe_idx);
         Trainer {
             template: model,
             shards,
@@ -108,6 +156,7 @@ impl Trainer {
             cfg,
             store,
             global_step: 0,
+            probe_batch,
         }
     }
 
@@ -167,11 +216,7 @@ impl Trainer {
 
     /// Takes a checkpoint of the current training state.
     pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint::new(
-            self.global_step,
-            self.store.snapshot_params(),
-            self.store.snapshot_velocity(),
-        )
+        Checkpoint::capture(&self.store, self.global_step)
     }
 
     /// Restores training state from a checkpoint.
@@ -197,15 +242,14 @@ impl Trainer {
     }
 
     /// Training loss of the current parameters on a deterministic probe
-    /// batch (first shard, fixed indices).
+    /// batch (first shard, fixed indices; cached at construction so the
+    /// switcher's polling loop does not rebuild it every call).
     pub fn training_loss(&self) -> f32 {
         let params = self.store.snapshot_params();
         let mut model = self.template.clone();
         model.set_params_flat(&params);
-        let n = self.shards[0].len().min(64);
-        let idx: Vec<usize> = (0..n).collect();
-        let (x, y) = self.shards[0].batch(&idx);
-        model.loss(&x, &y)
+        let (x, y) = &self.probe_batch;
+        model.loss(x, y)
     }
 
     /// Runs `steps` global steps under `protocol`, returning the segment
@@ -228,6 +272,7 @@ impl Trainer {
                 wall_time: Duration::ZERO,
                 worker_profiles: vec![WorkerProfile::default(); self.cfg.workers],
                 staleness: StalenessHistogram::new(),
+                shard_staleness: ShardStaleness::new(self.store.shard_count()),
                 final_loss: 0.0,
             });
         }
@@ -243,13 +288,15 @@ impl Trainer {
         };
 
         let start = Instant::now();
-        let results: Vec<(usize, WorkerProfile, StalenessHistogram)> = match protocol {
+        let results: Vec<WorkerResult> = match protocol {
             SyncProtocol::Bsp => self.run_bsp(&ctx, &active, steps),
             SyncProtocol::Asp => self.run_asp(&ctx, &active, steps),
         };
         let wall_time = start.elapsed();
 
-        let diverged = ctx.diverged_at.load(Ordering::SeqCst);
+        // Relaxed: the worker threads were joined inside run_bsp/run_asp's
+        // thread scope, and joining synchronizes-with everything they wrote.
+        let diverged = ctx.diverged_at.load(Ordering::Relaxed);
         if diverged != u64::MAX {
             return Err(PsError::Diverged { step: diverged });
         }
@@ -261,9 +308,11 @@ impl Trainer {
 
         let mut profiles = vec![WorkerProfile::default(); self.cfg.workers];
         let mut staleness = StalenessHistogram::new();
+        let mut shard_staleness = ShardStaleness::new(self.store.shard_count());
         let mut tail_losses = Vec::new();
-        for (worker, profile, hist) in results {
+        for (worker, profile, hist, shard_hist) in results {
             staleness.merge(&hist);
+            shard_staleness.merge(&shard_hist);
             tail_losses.extend(profile.losses.iter().rev().take(4).copied());
             profiles[worker] = profile;
         }
@@ -280,33 +329,48 @@ impl Trainer {
             wall_time,
             worker_profiles: profiles,
             staleness,
+            shard_staleness,
             final_loss,
         })
     }
 
-    /// BSP: lock-step rounds; gradients averaged at a barrier, one update
-    /// per round.
-    fn run_bsp(
-        &self,
-        ctx: &WorkerCtx,
-        active: &[usize],
-        rounds: u64,
-    ) -> Vec<(usize, WorkerProfile, StalenessHistogram)> {
+    /// BSP: lock-step rounds; gradients averaged at a striped barrier, one
+    /// logical update per round.
+    ///
+    /// Aggregation is striped per store shard: workers walk the stripes
+    /// starting at their own offset, so at any instant different workers
+    /// are summing into different stripes under different locks. The last
+    /// contributor to a stripe averages and applies it immediately; the
+    /// worker that applies the final outstanding stripe completes the push
+    /// and releases the barrier. Numerically this is the same
+    /// sum-then-average-then-apply as the old single-mutex accumulator
+    /// (per-stripe sums commute across workers exactly like the global sum
+    /// did), so BSP keeps its bit-for-bit agreement with sequential
+    /// large-batch SGD up to f32 summation order.
+    fn run_bsp(&self, ctx: &WorkerCtx, active: &[usize], rounds: u64) -> Vec<WorkerResult> {
         let n_active = active.len();
+        let n_stripes = self.store.shard_count();
+        let stripes = (0..n_stripes)
+            .map(|i| {
+                let (_, len) = self.store.shard_range(i);
+                Mutex::new(Stripe {
+                    accum: vec![0.0; len],
+                    count: 0,
+                })
+            })
+            .collect();
         let shared = Arc::new(BspShared {
-            round_state: Mutex::new(BspRound {
-                accum: vec![0.0; self.store.param_count()],
-                count: 0,
-                round: 0,
-            }),
+            stripes,
+            round: Mutex::new(0),
             cv: Condvar::new(),
+            applied: AtomicUsize::new(0),
         });
         let cfg = &self.cfg;
         let base_step = self.global_step;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n_active);
-            for &worker in active {
+            for (rank, &worker) in active.iter().enumerate() {
                 let shared = Arc::clone(&shared);
                 let store = Arc::clone(&ctx.store);
                 let abort = Arc::clone(&ctx.abort);
@@ -321,13 +385,17 @@ impl Trainer {
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
+                    let mut shard_hist = ShardStaleness::new(n_stripes);
+                    let mut buf = PullBuffer::new();
                     for r in 0..rounds {
-                        if abort.load(Ordering::SeqCst) {
+                        // Relaxed: abort is a latest-wins flag; the data it
+                        // guards (diverged_at) is read after thread join.
+                        if abort.load(Ordering::Relaxed) {
                             break;
                         }
                         let t0 = Instant::now();
-                        let (params, version) = store.pull();
-                        model.set_params_flat(&params);
+                        let version = store.pull_into(&mut buf);
+                        model.set_params_flat(buf.params());
                         let mut rng = step_rng(seed, worker, base_step + r);
                         let (x, y) = shard.sample_batch(batch, &mut rng);
                         if let Some(d) = delay {
@@ -336,8 +404,14 @@ impl Trainer {
                         let (loss, grad) = model.loss_and_grad(&x, &y);
                         let compute_time = t0.elapsed();
                         if !loss.is_finite() || loss > threshold {
-                            diverged_at.store(base_step + r, Ordering::SeqCst);
-                            abort.store(true, Ordering::SeqCst);
+                            // Relaxed: both reads happen after join (or
+                            // behind the round mutex below).
+                            diverged_at.store(base_step + r, Ordering::Relaxed);
+                            abort.store(true, Ordering::Relaxed);
+                            // Lock-then-notify so a waiter cannot check the
+                            // abort flag, miss it, and park after this
+                            // notification (the classic lost-wakeup race).
+                            let _round = shared.round.lock();
                             shared.cv.notify_all();
                             break;
                         }
@@ -345,29 +419,60 @@ impl Trainer {
                         profile.losses.push(loss);
                         hist.record(0); // BSP gradients are fresh by construction
 
-                        // Barrier: contribute, last contributor applies.
-                        let mut state = shared.round_state.lock();
-                        let my_round = state.round;
-                        for (a, g) in state.accum.iter_mut().zip(&grad) {
-                            *a += g;
-                        }
-                        state.count += 1;
-                        if state.count == n_active {
-                            let scale = 1.0 / n_active as f32;
-                            let avg: Vec<f32> =
-                                state.accum.iter().map(|a| a * scale).collect();
-                            store.apply_update(&avg, lr, mu, version);
-                            state.accum.iter_mut().for_each(|a| *a = 0.0);
-                            state.count = 0;
-                            state.round += 1;
-                            shared.cv.notify_all();
-                        } else {
-                            while state.round == my_round && !abort.load(Ordering::SeqCst) {
-                                shared.cv.wait(&mut state);
+                        // Striped barrier: contribute each stripe, starting
+                        // at this worker's offset so concurrent workers sum
+                        // into disjoint stripes. Last contributor per
+                        // stripe averages and applies it.
+                        for k in 0..n_stripes {
+                            let i = (rank + k) % n_stripes;
+                            let (offset, len) = store.shard_range(i);
+                            let mut stripe = shared.stripes[i].lock();
+                            let state = &mut *stripe;
+                            for (a, g) in
+                                state.accum.iter_mut().zip(&grad[offset..offset + len])
+                            {
+                                *a += g;
+                            }
+                            state.count += 1;
+                            if state.count == n_active {
+                                let scale = 1.0 / n_active as f32;
+                                state.accum.iter_mut().for_each(|a| *a *= scale);
+                                let prev = store.apply_shard_update(i, &state.accum, lr, mu);
+                                shard_hist
+                                    .record(i, prev.saturating_sub(buf.shard_version(i)));
+                                state.accum.iter_mut().for_each(|a| *a = 0.0);
+                                state.count = 0;
+                                drop(stripe);
+                                // AcqRel: the final applier must observe the
+                                // other appliers' increments (Acquire) and
+                                // publish its own apply before the round
+                                // advance (Release); the shard data itself
+                                // is ordered by the shard mutexes.
+                                if shared.applied.fetch_add(1, Ordering::AcqRel) + 1
+                                    == n_stripes
+                                {
+                                    store.complete_push(version);
+                                    let mut round = shared.round.lock();
+                                    // Relaxed: reset is published to the
+                                    // next round's appliers by the round
+                                    // mutex they must pass through first.
+                                    shared.applied.store(0, Ordering::Relaxed);
+                                    *round += 1;
+                                    shared.cv.notify_all();
+                                }
                             }
                         }
+
+                        // Barrier wait: every pull of round r completes
+                        // before any stripe of round r is applied (a stripe
+                        // needs all contributions, and contributing implies
+                        // having pulled), so BSP pulls are never torn.
+                        let mut round = shared.round.lock();
+                        while *round <= r && !abort.load(Ordering::Relaxed) {
+                            shared.cv.wait(&mut round);
+                        }
                     }
-                    (worker, profile, hist)
+                    (worker, profile, hist, shard_hist)
                 }));
             }
             handles
@@ -378,15 +483,17 @@ impl Trainer {
     }
 
     /// ASP: workers claim global steps and apply updates immediately.
-    fn run_asp(
-        &self,
-        ctx: &WorkerCtx,
-        active: &[usize],
-        steps: u64,
-    ) -> Vec<(usize, WorkerProfile, StalenessHistogram)> {
+    ///
+    /// The hot path is allocation-free in the steady state: each worker
+    /// reuses one [`PullBuffer`] for every pull and pushes its gradient
+    /// shard-by-shard, measuring per-shard staleness against the clocks
+    /// captured at pull time instead of sweeping all shard locks inside one
+    /// monolithic `apply_update` call.
+    fn run_asp(&self, ctx: &WorkerCtx, active: &[usize], steps: u64) -> Vec<WorkerResult> {
         let claimed = Arc::new(AtomicU64::new(0));
         let cfg = &self.cfg;
         let base_step = self.global_step;
+        let n_shards = self.store.shard_count();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(active.len());
@@ -405,17 +512,24 @@ impl Trainer {
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
+                    let mut shard_hist = ShardStaleness::new(n_shards);
+                    let mut buf = PullBuffer::new();
                     loop {
-                        if abort.load(Ordering::SeqCst) {
+                        // Relaxed: latest-wins flag; diverged_at is read
+                        // after thread join, which synchronizes.
+                        if abort.load(Ordering::Relaxed) {
                             break;
                         }
-                        let s = claimed.fetch_add(1, Ordering::SeqCst);
+                        // Relaxed: a pure ticket counter — atomicity alone
+                        // guarantees each step id is claimed exactly once;
+                        // no other data is published through it.
+                        let s = claimed.fetch_add(1, Ordering::Relaxed);
                         if s >= steps {
                             break;
                         }
                         let t0 = Instant::now();
-                        let (params, version) = store.pull();
-                        model.set_params_flat(&params);
+                        store.pull_into(&mut buf);
+                        model.set_params_flat(buf.params());
                         let mut rng = step_rng(seed, worker, base_step + s);
                         let (x, y) = shard.sample_batch(batch, &mut rng);
                         if let Some(d) = delay {
@@ -423,16 +537,20 @@ impl Trainer {
                         }
                         let (loss, grad) = model.loss_and_grad(&x, &y);
                         if !loss.is_finite() || loss > threshold {
-                            diverged_at.store(base_step + s, Ordering::SeqCst);
-                            abort.store(true, Ordering::SeqCst);
+                            // Relaxed: read back only after thread join.
+                            diverged_at.store(base_step + s, Ordering::Relaxed);
+                            abort.store(true, Ordering::Relaxed);
                             break;
                         }
-                        let staleness = store.apply_update(&grad, lr, mu, version);
+                        // Shard-granular push: per-shard staleness comes
+                        // from each shard clock's pre-apply value versus
+                        // the clock captured at pull time.
+                        let staleness = push_sharded(&store, &grad, &buf, lr, mu, &mut shard_hist);
                         profile.step_durations.push(t0.elapsed());
                         profile.losses.push(loss);
                         hist.record(staleness);
                     }
-                    (worker, profile, hist)
+                    (worker, profile, hist, shard_hist)
                 }));
             }
             handles
@@ -479,6 +597,14 @@ mod tests {
         // BSP gradients are never stale.
         assert_eq!(r.staleness.max(), Some(0));
         assert!((r.staleness.fresh_fraction() - 1.0).abs() < 1e-12);
+        // Striped applies are fresh too: one observation per stripe per
+        // round, every one of them zero, and every shard clock in lockstep
+        // with the global version.
+        assert_eq!(r.shard_staleness.total(), 25 * t.store().shard_count() as u64);
+        assert_eq!(r.shard_staleness.max(), Some(0));
+        for i in 0..t.store().shard_count() {
+            assert_eq!(t.store().shard_version(i), 25);
+        }
     }
 
     #[test]
@@ -496,6 +622,13 @@ mod tests {
             r.staleness.mean()
         );
         assert!(r.staleness.max().unwrap() >= 1);
+        // Per-shard clocks saw every push: one observation per shard per
+        // step, and per-shard staleness tracks the global measurement.
+        assert_eq!(
+            r.shard_staleness.total(),
+            200 * t.store().shard_count() as u64
+        );
+        assert!(r.shard_staleness.max().unwrap() >= 1);
     }
 
     #[test]
@@ -537,6 +670,53 @@ mod tests {
         assert!(
             max_diff < 1e-4,
             "BSP diverged from sequential SGD by {max_diff}"
+        );
+    }
+
+    #[test]
+    fn striped_bsp_matches_sequential_with_odd_shard_count() {
+        // Stripes ≠ workers stresses the striped barrier: 3 workers over 7
+        // stripes must still reproduce sequential large-batch SGD, with
+        // different workers applying different stripes of the same round.
+        let workers = 3;
+        let data = Dataset::gaussian_blobs(4, 60, 6, 0.35, 7);
+        let (train, test) = data.split(0.25);
+        let mut cfg = TrainerConfig::new(workers, 8, 0.05, 0.9).with_seed(7);
+        cfg.shards = 7;
+        let mut t = Trainer::new(Network::mlp(6, &[16], 4, 7), train, test, cfg);
+        assert_eq!(t.store().shard_count(), 7);
+        let initial = t.store().snapshot_params();
+        let shards: Vec<Dataset> = t.shards.clone();
+        let template = t.template.clone();
+        let rounds = 10;
+        t.run_segment(SyncProtocol::Bsp, rounds).unwrap();
+        let distributed = t.store().snapshot_params();
+
+        let mut model = template.clone();
+        model.set_params_flat(&initial);
+        let mut opt = SgdMomentum::new(model.param_count(), 0.05, 0.9);
+        let mut params = initial.clone();
+        for r in 0..rounds {
+            let mut avg = vec![0.0f32; model.param_count()];
+            for (w, shard) in shards.iter().enumerate() {
+                model.set_params_flat(&params);
+                let mut rng = step_rng(7, w, r);
+                let (x, y) = shard.sample_batch(8, &mut rng);
+                let (_, grad) = model.loss_and_grad(&x, &y);
+                for (a, g) in avg.iter_mut().zip(&grad) {
+                    *a += g / workers as f32;
+                }
+            }
+            opt.apply(&mut params, &avg);
+        }
+        let max_diff = distributed
+            .iter()
+            .zip(&params)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff < 1e-4,
+            "striped BSP diverged from sequential SGD by {max_diff}"
         );
     }
 

@@ -45,6 +45,6 @@ pub use checkpoint::Checkpoint;
 pub use config::TrainerConfig;
 pub use engine::{SegmentReport, Trainer};
 pub use error::PsError;
-pub use profiler::{StalenessHistogram, WorkerProfile};
-pub use store::ShardedStore;
+pub use profiler::{ShardStaleness, StalenessHistogram, WorkerProfile};
+pub use store::{PullBuffer, ShardedStore};
 pub use switcher::{execute_switch, SwitchOutcome, SwitchPlan};

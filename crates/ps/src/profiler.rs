@@ -114,6 +114,94 @@ impl StalenessHistogram {
     }
 }
 
+/// Per-shard staleness histograms: one [`StalenessHistogram`] per parameter
+/// shard, recording how many shard applies landed between a worker's pull of
+/// that shard and its push to it.
+///
+/// With per-shard version clocks this is measured independently of the
+/// global clock: a shard-granular push observes exactly the applies that
+/// beat it to *that* shard. Under BSP every entry is 0 by construction
+/// (stripes apply once per barrier round); under ASP the per-shard mass
+/// mirrors the global histogram, and under SSP the gate's iteration bound
+/// caps it per shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStaleness {
+    per_shard: Vec<StalenessHistogram>,
+}
+
+impl ShardStaleness {
+    /// Creates histograms for `shards` shards.
+    pub fn new(shards: usize) -> Self {
+        ShardStaleness {
+            per_shard: vec![StalenessHistogram::new(); shards],
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn shard_count(&self) -> usize {
+        self.per_shard.len()
+    }
+
+    /// Records one observation for `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn record(&mut self, shard: usize, staleness: u64) {
+        self.per_shard[shard].record(staleness);
+    }
+
+    /// Merges another per-shard record into this one, growing to the larger
+    /// shard count if they differ.
+    pub fn merge(&mut self, other: &ShardStaleness) {
+        if other.per_shard.len() > self.per_shard.len() {
+            self.per_shard
+                .resize_with(other.per_shard.len(), StalenessHistogram::new);
+        }
+        for (mine, theirs) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Histogram for one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: usize) -> &StalenessHistogram {
+        &self.per_shard[shard]
+    }
+
+    /// Total observations across all shards.
+    pub fn total(&self) -> u64 {
+        self.per_shard.iter().map(StalenessHistogram::total).sum()
+    }
+
+    /// Maximum staleness observed on any shard (`None` if empty).
+    pub fn max(&self) -> Option<u64> {
+        self.per_shard.iter().filter_map(StalenessHistogram::max).max()
+    }
+
+    /// Mean staleness across all shards' observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .per_shard
+            .iter()
+            .map(|h| h.mean() * h.total() as f64)
+            .sum();
+        sum / total as f64
+    }
+
+    /// Iterates over the per-shard histograms in shard order.
+    pub fn iter(&self) -> impl Iterator<Item = &StalenessHistogram> + '_ {
+        self.per_shard.iter()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +257,36 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.max(), None);
         assert_eq!(h.fresh_fraction(), 0.0);
+    }
+
+    #[test]
+    fn shard_staleness_records_per_shard() {
+        let mut s = ShardStaleness::new(3);
+        s.record(0, 0);
+        s.record(0, 4);
+        s.record(2, 2);
+        assert_eq!(s.shard_count(), 3);
+        assert_eq!(s.total(), 3);
+        assert_eq!(s.max(), Some(4));
+        assert!((s.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(s.shard(0).total(), 2);
+        assert_eq!(s.shard(1).total(), 0);
+        assert_eq!(s.shard(2).max(), Some(2));
+    }
+
+    #[test]
+    fn shard_staleness_merge_grows() {
+        let mut a = ShardStaleness::new(1);
+        a.record(0, 1);
+        let mut b = ShardStaleness::new(3);
+        b.record(2, 5);
+        a.merge(&b);
+        assert_eq!(a.shard_count(), 3);
+        assert_eq!(a.total(), 2);
+        assert_eq!(a.max(), Some(5));
+        // Merging an empty record is a no-op.
+        let before = a.clone();
+        a.merge(&ShardStaleness::new(0));
+        assert_eq!(a, before);
     }
 }

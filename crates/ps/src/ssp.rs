@@ -17,7 +17,8 @@ use sync_switch_workloads::SyncProtocol;
 
 use crate::engine::{SegmentReport, Trainer};
 use crate::error::PsError;
-use crate::profiler::{StalenessHistogram, WorkerProfile};
+use crate::profiler::{ShardStaleness, StalenessHistogram, WorkerProfile};
+use crate::store::PullBuffer;
 
 /// Progress gate shared by SSP workers.
 struct SspGate {
@@ -78,10 +79,10 @@ impl Trainer {
         let claimed = Arc::new(AtomicU64::new(0));
         let store = self.store_arc();
         let base_step = self.global_step();
+        let n_shards = store.shard_count();
 
         let start = Instant::now();
-        let results: Vec<(usize, WorkerProfile, StalenessHistogram)> =
-            std::thread::scope(|scope| {
+        let results: Vec<crate::engine::WorkerResult> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(active.len());
                 for &worker in &active {
                     let gate = Arc::clone(&gate);
@@ -99,21 +100,40 @@ impl Trainer {
                     handles.push(scope.spawn(move || {
                         let mut profile = WorkerProfile::default();
                         let mut hist = StalenessHistogram::new();
+                        let mut shard_hist = ShardStaleness::new(n_shards);
+                        let mut buf = PullBuffer::new();
                         let mut my_iter = 0u64;
                         loop {
-                            if abort.load(Ordering::SeqCst) {
+                            // Relaxed: latest-wins flag; diverged_at is
+                            // read after thread join, which synchronizes.
+                            if abort.load(Ordering::Relaxed) {
                                 break;
                             }
                             // Gate: wait while more than `bound` ahead.
+                            // Because every push bumps every shard clock
+                            // exactly once, capping the iteration lead caps
+                            // the number of pushes — and therefore the
+                            // staleness — that any *shard* can accumulate
+                            // between this worker's pull and its push: a
+                            // peer enters the window no more than `bound`
+                            // iterations behind and leaves it no more than
+                            // `bound + 1` ahead, so each of the other
+                            // workers lands at most 2·bound + 2 applies per
+                            // shard in the window. The abort flag is
+                            // re-read under the gate mutex, so an aborter
+                            // that stores the flag and then notifies under
+                            // this mutex cannot lose the wakeup.
                             {
                                 let mut state = gate.state.lock();
-                                while !abort.load(Ordering::SeqCst)
+                                while !abort.load(Ordering::Relaxed)
                                     && my_iter > state.floor().saturating_add(bound)
                                 {
                                     gate.cv.wait(&mut state);
                                 }
                             }
-                            let s = claimed.fetch_add(1, Ordering::SeqCst);
+                            // Relaxed: pure ticket counter; atomicity alone
+                            // guarantees unique step ids.
+                            let s = claimed.fetch_add(1, Ordering::Relaxed);
                             if s >= steps {
                                 let mut state = gate.state.lock();
                                 state.finished[worker] = true;
@@ -121,8 +141,8 @@ impl Trainer {
                                 break;
                             }
                             let t0 = Instant::now();
-                            let (params, version) = store.pull();
-                            model.set_params_flat(&params);
+                            store.pull_into(&mut buf);
+                            model.set_params_flat(buf.params());
                             let mut rng = crate::engine::step_rng(seed, worker, base_step + s);
                             let (x, y) = shard.sample_batch(batch, &mut rng);
                             if let Some(d) = delay {
@@ -130,12 +150,27 @@ impl Trainer {
                             }
                             let (loss, grad) = model.loss_and_grad(&x, &y);
                             if !loss.is_finite() || loss > threshold {
-                                diverged_at.store(base_step + s, Ordering::SeqCst);
-                                abort.store(true, Ordering::SeqCst);
+                                // Relaxed: read back only after join; the
+                                // lock/notify below publishes the flag to
+                                // gate waiters via the mutex.
+                                diverged_at.store(base_step + s, Ordering::Relaxed);
+                                abort.store(true, Ordering::Relaxed);
+                                let _state = gate.state.lock();
                                 gate.cv.notify_all();
                                 break;
                             }
-                            let staleness = store.apply_update(&grad, lr, mu, version);
+                            // Shard-granular push with per-shard staleness
+                            // measured against the pull-time shard clocks
+                            // (shared with the ASP loop so both protocols
+                            // measure identically).
+                            let staleness = crate::engine::push_sharded(
+                                &store,
+                                &grad,
+                                &buf,
+                                lr,
+                                mu,
+                                &mut shard_hist,
+                            );
                             profile.step_durations.push(t0.elapsed());
                             profile.losses.push(loss);
                             hist.record(staleness);
@@ -144,7 +179,7 @@ impl Trainer {
                             state.iterations[worker] = my_iter;
                             gate.cv.notify_all();
                         }
-                        (worker, profile, hist)
+                        (worker, profile, hist, shard_hist)
                     }));
                 }
                 handles
@@ -154,16 +189,20 @@ impl Trainer {
             });
         let wall_time = start.elapsed();
 
-        let diverged = diverged_at.load(Ordering::SeqCst);
+        // Relaxed: the worker threads were joined by the scope above, and
+        // joining synchronizes-with everything they wrote.
+        let diverged = diverged_at.load(Ordering::Relaxed);
         if diverged != u64::MAX {
             return Err(PsError::Diverged { step: diverged });
         }
 
         let mut profiles = vec![WorkerProfile::default(); workers];
         let mut staleness = StalenessHistogram::new();
+        let mut shard_staleness = ShardStaleness::new(n_shards);
         let mut tail = Vec::new();
-        for (worker, profile, hist) in results {
+        for (worker, profile, hist, shard_hist) in results {
             staleness.merge(&hist);
+            shard_staleness.merge(&shard_hist);
             tail.extend(profile.losses.iter().rev().take(4).copied());
             profiles[worker] = profile;
         }
@@ -174,6 +213,7 @@ impl Trainer {
             wall_time,
             worker_profiles: profiles,
             staleness,
+            shard_staleness,
             final_loss: if tail.is_empty() {
                 0.0
             } else {
@@ -250,6 +290,25 @@ mod tests {
             spread(&loose)
         );
         assert!(tight.wall_time > loose.wall_time);
+    }
+
+    #[test]
+    fn gate_bounds_per_shard_staleness() {
+        let workers = 4u64;
+        let bound = 1u64;
+        let mut t = trainer(workers as usize, 6);
+        let r = t.run_ssp_segment(bound, 120).unwrap();
+        // One observation per shard per push.
+        let shards = t.store().shard_count() as u64;
+        assert_eq!(r.shard_staleness.total(), 120 * shards);
+        // The iteration gate caps per-shard staleness: each of the other
+        // workers can land at most 2·bound + 2 applies on a shard between
+        // this worker's pull of it and its push to it.
+        let cap = (2 * bound + 2) * (workers - 1);
+        let max = r.shard_staleness.max().unwrap();
+        assert!(max <= cap, "per-shard staleness {max} exceeds gate cap {cap}");
+        // The global measurement obeys the same window.
+        assert!(r.staleness.max().unwrap() <= cap);
     }
 
     #[test]

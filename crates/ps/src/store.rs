@@ -1,5 +1,12 @@
 //! The sharded parameter store — the "parameter servers" of the paper's
 //! architecture, collapsed into lock-guarded shards within one process.
+//!
+//! The hot path is allocation- and contention-conscious: workers reuse a
+//! [`PullBuffer`] across steps (zero heap allocations in the steady state),
+//! pushes can be applied shard-by-shard so concurrent workers only contend
+//! on the shards they are currently touching, and every shard carries its
+//! own version clock so staleness is measurable per shard — the substrate
+//! OSP-style two-stage synchronization and per-shard SSP bounds need.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -13,20 +20,68 @@ struct Shard {
     velocity: Vec<f32>,
 }
 
+/// A reusable pull destination: the flat parameter image plus the per-shard
+/// version clocks observed while each shard was copied.
+///
+/// Construct once per worker and hand it to [`ShardedStore::pull_into`]
+/// every step; after the first pull no further heap allocation happens (the
+/// backing vectors are resized once and then rewritten in place).
+#[derive(Debug, Default)]
+pub struct PullBuffer {
+    params: Vec<f32>,
+    shard_versions: Vec<u64>,
+    version: u64,
+}
+
+impl PullBuffer {
+    /// Creates an empty buffer; the first [`ShardedStore::pull_into`] sizes it.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The pulled flat parameter vector.
+    pub fn params(&self) -> &[f32] {
+        &self.params
+    }
+
+    /// Global store version observed at the start of the pull.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Version clock of `shard` observed while that shard was copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range for the last pulled store.
+    pub fn shard_version(&self, shard: usize) -> u64 {
+        self.shard_versions[shard]
+    }
+
+    /// All per-shard clocks observed during the pull.
+    pub fn shard_versions(&self) -> &[u64] {
+        &self.shard_versions
+    }
+}
+
 /// A parameter store sharded across `s` lock-guarded segments, with a global
-/// monotonically-increasing version counter.
+/// monotonically-increasing version counter and one clock per shard.
 ///
 /// * **ASP** pushes apply to each shard immediately under its own lock; the
-///   global version bumps once per push. Staleness of a gradient is the
-///   number of versions applied between the worker's pull and its push —
-///   measured, not modeled.
-/// * **BSP** pushes are pre-aggregated by the barrier in the engine and
-///   applied here as a single averaged update.
+///   global version bumps once per push ([`ShardedStore::complete_push`])
+///   and each shard's clock bumps once per shard apply. Staleness of a
+///   gradient is the number of versions applied between the worker's pull
+///   and its push — measured, not modeled, and now measurable per shard.
+/// * **BSP** pushes are pre-aggregated by the striped barrier in the engine
+///   and applied here stripe-by-stripe as averaged per-shard updates.
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<Mutex<Shard>>,
     /// (offset, len) of every shard in the flat vector.
     layout: Vec<(usize, usize)>,
+    /// Per-shard update clocks, bumped once per shard apply (under that
+    /// shard's lock).
+    shard_versions: Vec<AtomicU64>,
     version: AtomicU64,
     param_count: usize,
 }
@@ -60,6 +115,7 @@ impl ShardedStore {
         ShardedStore {
             shards: storage,
             layout,
+            shard_versions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             version: AtomicU64::new(0),
             param_count: n,
         }
@@ -75,56 +131,146 @@ impl ShardedStore {
         self.shards.len()
     }
 
-    /// Current global version (number of updates applied).
+    /// `(offset, len)` of `shard` within the flat parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_range(&self, shard: usize) -> (usize, usize) {
+        self.layout[shard]
+    }
+
+    /// Current global version (number of completed pushes).
     pub fn version(&self) -> u64 {
-        self.version.load(Ordering::SeqCst)
+        // Acquire: pairs with the Release bump in `complete_push` so a
+        // reader that observes version `k` also observes the parameter
+        // writes of those `k` pushes (the shard mutexes order the data for
+        // lock-holders; this covers lock-free version reads).
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Current clock of `shard` (number of applies to that shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard_version(&self, shard: usize) -> u64 {
+        // Acquire: pairs with the Release bump in `apply_shard_update`, so
+        // a lock-free reader that observes clock `k` also observes the
+        // parameter writes of those `k` applies.
+        self.shard_versions[shard].load(Ordering::Acquire)
     }
 
     /// Pulls a full copy of the parameters plus the version observed at the
     /// start of the pull.
     ///
-    /// Under ASP, shards are read under their individual locks, so a
-    /// concurrent update can interleave mid-pull — the same torn-read
-    /// behaviour a real ASP worker sees when pulling from multiple PSs.
+    /// Allocates a fresh vector per call; the hot path should prefer
+    /// [`ShardedStore::pull_into`] with a reused [`PullBuffer`].
     pub fn pull(&self) -> (Vec<f32>, u64) {
-        let version = self.version.load(Ordering::SeqCst);
-        let mut out = vec![0.0f32; self.param_count];
-        for (i, &(offset, len)) in self.layout.iter().enumerate() {
-            let shard = self.shards[i].lock();
-            out[offset..offset + len].copy_from_slice(&shard.params);
-        }
-        (out, version)
+        let mut buf = PullBuffer::new();
+        let version = self.pull_into(&mut buf);
+        (buf.params, version)
     }
 
-    /// Applies a full-gradient SGD-momentum update (`v ← μv − ηg`,
-    /// `p ← p + v`) across all shards and bumps the version once.
+    /// Pulls the parameters into `buf`, reusing its backing storage, and
+    /// returns the global version observed at the start of the pull (also
+    /// recorded in [`PullBuffer::version`]).
     ///
-    /// Returns the staleness of the update: `version_at_apply − pulled_version`.
+    /// After the first call on a given store, this performs **zero heap
+    /// allocations**: the buffer is resized once and rewritten in place.
+    ///
+    /// Under ASP, shards are read under their individual locks, so a
+    /// concurrent update can interleave mid-pull — the same torn-read
+    /// behaviour a real ASP worker sees when pulling from multiple PSs. The
+    /// per-shard clocks captured in the buffer record exactly which shard
+    /// state was seen, so staleness can later be computed per shard.
+    pub fn pull_into(&self, buf: &mut PullBuffer) -> u64 {
+        // Acquire: see `version` — lets the observed version lower-bound the
+        // parameter state read below.
+        let version = self.version.load(Ordering::Acquire);
+        buf.version = version;
+        buf.params.resize(self.param_count, 0.0);
+        buf.shard_versions.resize(self.shards.len(), 0);
+        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+            let shard = self.shards[i].lock();
+            buf.params[offset..offset + len].copy_from_slice(&shard.params);
+            // Relaxed: the clock is only ever bumped while this shard's lock
+            // is held, and we hold it here — the mutex provides the
+            // happens-before edge.
+            buf.shard_versions[i] = self.shard_versions[i].load(Ordering::Relaxed);
+        }
+        version
+    }
+
+    /// Applies a momentum-SGD step (`v ← μv − ηg`, `p ← p + v`) to a single
+    /// shard. `grad` must be the gradient slice for exactly that shard (see
+    /// [`ShardedStore::shard_range`]).
+    ///
+    /// Bumps the shard's clock and returns the clock value **before** this
+    /// apply, so the caller can compute per-shard staleness as
+    /// `returned − pulled_shard_version` without any racy separate load.
+    ///
+    /// Does **not** bump the global version; a logical push that updates
+    /// every shard should finish with [`ShardedStore::complete_push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `grad.len()` differs from the
+    /// shard's length.
+    pub fn apply_shard_update(&self, shard: usize, grad: &[f32], lr: f64, momentum: f64) -> u64 {
+        let (_, len) = self.layout[shard];
+        assert_eq!(grad.len(), len, "gradient length mismatch for shard {shard}");
+        let mu = momentum as f32;
+        let eta = lr as f32;
+        let mut guard = self.shards[shard].lock();
+        let state = &mut *guard;
+        for ((p, v), gv) in state
+            .params
+            .iter_mut()
+            .zip(state.velocity.iter_mut())
+            .zip(grad)
+        {
+            *v = mu * *v - eta * gv;
+            *p += *v;
+        }
+        // Release: publishes this apply's parameter writes to lock-free
+        // `shard_version` (Acquire) readers; under-lock readers (pull_into)
+        // already get the mutex's ordering. The fetch_add return value is
+        // what makes per-shard staleness race-free: it is exactly the
+        // number of applies that landed before this one.
+        self.shard_versions[shard].fetch_add(1, Ordering::Release)
+    }
+
+    /// Completes a logical full push: bumps the global version once and
+    /// returns the staleness of the push — the number of pushes that
+    /// completed between the worker's pull (at `pulled_version`) and this
+    /// one. Deriving staleness from the `fetch_add` return value (rather
+    /// than a separate load before the applies) makes the measurement
+    /// race-free: no concurrent push can slip between the read and the bump.
+    pub fn complete_push(&self, pulled_version: u64) -> u64 {
+        // Release: pairs with the Acquire loads in `version`/`pull_into`;
+        // RMWs form a release sequence, so a pull observing version `k`
+        // synchronizes with all `k` completed pushes.
+        self.version
+            .fetch_add(1, Ordering::Release)
+            .saturating_sub(pulled_version)
+    }
+
+    /// Applies a full-gradient SGD-momentum update across all shards and
+    /// bumps the version once.
+    ///
+    /// Returns the staleness of the update: pushes completed between the
+    /// pull and this push (derived race-free from the version bump itself).
     ///
     /// # Panics
     ///
     /// Panics if `grad.len()` differs from the parameter count.
     pub fn apply_update(&self, grad: &[f32], lr: f64, momentum: f64, pulled_version: u64) -> u64 {
         assert_eq!(grad.len(), self.param_count, "gradient length mismatch");
-        let before = self.version.load(Ordering::SeqCst);
-        let mu = momentum as f32;
-        let eta = lr as f32;
         for (i, &(offset, len)) in self.layout.iter().enumerate() {
-            let mut guard = self.shards[i].lock();
-            let shard = &mut *guard;
-            let g = &grad[offset..offset + len];
-            for ((p, v), gv) in shard
-                .params
-                .iter_mut()
-                .zip(shard.velocity.iter_mut())
-                .zip(g)
-            {
-                *v = mu * *v - eta * gv;
-                *p += *v;
-            }
+            self.apply_shard_update(i, &grad[offset..offset + len], lr, momentum);
         }
-        self.version.fetch_add(1, Ordering::SeqCst);
-        before.saturating_sub(pulled_version)
+        self.complete_push(pulled_version)
     }
 
     /// Snapshot of the full parameter vector (without a version).
@@ -193,6 +339,14 @@ mod tests {
         let (pulled, v) = store.pull();
         assert_eq!(pulled, init);
         assert_eq!(v, 0);
+        // The layout partitions 0..n exactly.
+        let mut expected_offset = 0;
+        for i in 0..store.shard_count() {
+            let (offset, len) = store.shard_range(i);
+            assert_eq!(offset, expected_offset);
+            expected_offset += len;
+        }
+        assert_eq!(expected_offset, 103);
     }
 
     #[test]
@@ -228,6 +382,62 @@ mod tests {
     }
 
     #[test]
+    fn pull_into_reuses_buffer_without_reallocating() {
+        let init: Vec<f32> = (0..97).map(|i| i as f32 * 0.5).collect();
+        let store = ShardedStore::new(&init, 5);
+        let mut buf = PullBuffer::new();
+        let v = store.pull_into(&mut buf);
+        assert_eq!(v, 0);
+        assert_eq!(buf.params(), &init[..]);
+        assert_eq!(buf.shard_versions(), &[0; 5]);
+        let ptr = buf.params().as_ptr();
+        store.apply_update(&vec![1.0; 97], 0.1, 0.0, 0);
+        let v = store.pull_into(&mut buf);
+        assert_eq!(v, 1);
+        // Steady state: same backing allocation, fresh contents.
+        assert_eq!(buf.params().as_ptr(), ptr);
+        assert_eq!(buf.params(), &store.pull().0[..]);
+        assert_eq!(buf.shard_versions(), &[1; 5]);
+        assert_eq!(buf.version(), 1);
+    }
+
+    #[test]
+    fn shard_updates_compose_into_full_push() {
+        let init = vec![1.0f32; 10];
+        let full = ShardedStore::new(&init, 3);
+        let sharded = ShardedStore::new(&init, 3);
+        let grad: Vec<f32> = (0..10).map(|i| i as f32 * 0.1).collect();
+        full.apply_update(&grad, 0.2, 0.9, 0);
+        for i in 0..sharded.shard_count() {
+            let (offset, len) = sharded.shard_range(i);
+            let prev = sharded.apply_shard_update(i, &grad[offset..offset + len], 0.2, 0.9);
+            assert_eq!(prev, 0);
+            assert_eq!(sharded.shard_version(i), 1);
+        }
+        let staleness = sharded.complete_push(0);
+        assert_eq!(staleness, 0);
+        assert_eq!(sharded.version(), 1);
+        assert_eq!(full.snapshot_params(), sharded.snapshot_params());
+        assert_eq!(full.snapshot_velocity(), sharded.snapshot_velocity());
+    }
+
+    #[test]
+    fn per_shard_clocks_track_applies() {
+        let store = ShardedStore::new(&[0.0; 8], 4);
+        let (offset, len) = store.shard_range(2);
+        assert_eq!((offset, len), (4, 2));
+        let prev = store.apply_shard_update(2, &[1.0; 2], 0.1, 0.0);
+        assert_eq!(prev, 0);
+        let prev = store.apply_shard_update(2, &[1.0; 2], 0.1, 0.0);
+        assert_eq!(prev, 1);
+        assert_eq!(store.shard_version(2), 2);
+        // Untouched shards keep clock 0, and the global version only moves
+        // on complete_push.
+        assert_eq!(store.shard_version(0), 0);
+        assert_eq!(store.version(), 0);
+    }
+
+    #[test]
     fn checkpoint_restore_round_trip() {
         let store = ShardedStore::new(&[1.0, 2.0, 3.0, 4.0], 3);
         store.apply_update(&[1.0; 4], 0.1, 0.9, 0);
@@ -258,10 +468,68 @@ mod tests {
             t.join().unwrap();
         }
         assert_eq!(store.version(), 400);
+        for i in 0..store.shard_count() {
+            assert_eq!(store.shard_version(i), 400);
+        }
         // With lr 0.001 and 400 unit gradients every parameter moved by -0.4.
         for p in store.snapshot_params() {
             assert!((p + 0.4).abs() < 1e-4, "p = {p}");
         }
+    }
+
+    #[test]
+    fn concurrent_pull_into_matches_fresh_pull() {
+        // Pushers hammer the store while a reader reuses one buffer; every
+        // intermediate read must be shaped right, and once quiescent the
+        // reused buffer must match a fresh pull exactly.
+        let store = Arc::new(ShardedStore::new(&vec![0.0f32; 256], 8));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let pushers: Vec<_> = (0..3)
+            .map(|_| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        let (_, v) = store.pull();
+                        store.apply_update(&vec![0.01f32; 256], 0.001, 0.0, v);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let store = Arc::clone(&store);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut buf = PullBuffer::new();
+                let mut pulls = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let v = store.pull_into(&mut buf);
+                    assert_eq!(buf.params().len(), 256);
+                    assert_eq!(buf.version(), v);
+                    assert!(buf.params().iter().all(|p| p.is_finite()));
+                    // Shard clocks never run behind the global version
+                    // observed before the shard copies.
+                    for &sv in buf.shard_versions() {
+                        assert!(sv >= v, "shard clock {sv} behind global {v}");
+                    }
+                    pulls += 1;
+                }
+                (buf, pulls)
+            })
+        };
+        for t in pushers {
+            t.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (mut buf, pulls) = reader.join().unwrap();
+        assert!(pulls > 0, "reader never pulled");
+        // Quiescent: the reused buffer and a fresh pull agree bit-for-bit.
+        let ptr = buf.params().as_ptr();
+        let version = store.pull_into(&mut buf);
+        let (fresh, fresh_version) = store.pull();
+        assert_eq!(version, fresh_version);
+        assert_eq!(version, 600);
+        assert_eq!(buf.params(), &fresh[..]);
+        assert_eq!(buf.params().as_ptr(), ptr, "steady-state pull reallocated");
     }
 
     #[test]

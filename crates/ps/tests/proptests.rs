@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use sync_switch_nn::{Dataset, Network};
-use sync_switch_ps::{Checkpoint, ShardedStore, Trainer, TrainerConfig};
+use sync_switch_ps::{Checkpoint, PullBuffer, ShardedStore, Trainer, TrainerConfig};
 use sync_switch_workloads::SyncProtocol;
 
 proptest! {
@@ -46,6 +46,50 @@ proptest! {
         let (pulled, version) = store.pull();
         prop_assert_eq!(pulled, params);
         prop_assert_eq!(version, 0);
+    }
+
+    /// Shard layouts partition `0..n` exactly for arbitrary `(n, shards)`:
+    /// contiguous, non-overlapping, covering, and near-equal.
+    #[test]
+    fn shard_layout_partitions_exactly(n in 1usize..600, shards in 1usize..32) {
+        let store = ShardedStore::new(&vec![0.0f32; n], shards);
+        prop_assert_eq!(store.param_count(), n);
+        prop_assert_eq!(store.shard_count(), shards.min(n));
+        let mut expected_offset = 0usize;
+        let mut lens = Vec::new();
+        for i in 0..store.shard_count() {
+            let (offset, len) = store.shard_range(i);
+            prop_assert_eq!(offset, expected_offset, "shard {} not contiguous", i);
+            prop_assert!(len >= 1, "empty shard {}", i);
+            expected_offset += len;
+            lens.push(len);
+        }
+        prop_assert_eq!(expected_offset, n, "layout does not cover 0..n");
+        let spread = lens.iter().max().unwrap() - lens.iter().min().unwrap();
+        prop_assert!(spread <= 1, "unbalanced split: {:?}", lens);
+    }
+
+    /// A reused pull buffer always matches a fresh pull, at every version.
+    #[test]
+    fn pull_into_matches_fresh_pull(
+        params in proptest::collection::vec(-5.0f32..5.0, 1..200),
+        shards in 1usize..16,
+        pushes in 1u64..6,
+    ) {
+        let n = params.len();
+        let store = ShardedStore::new(&params, shards);
+        let mut buf = PullBuffer::new();
+        for i in 0..pushes {
+            let v = store.pull_into(&mut buf);
+            let (fresh, fresh_v) = store.pull();
+            prop_assert_eq!(v, fresh_v);
+            prop_assert_eq!(v, i);
+            prop_assert_eq!(buf.params(), &fresh[..]);
+            for s in 0..store.shard_count() {
+                prop_assert_eq!(buf.shard_version(s), i);
+            }
+            store.apply_update(&vec![0.1f32; n], 0.05, 0.5, i);
+        }
     }
 
     /// Applying k unit-gradient updates with lr η moves every parameter by
