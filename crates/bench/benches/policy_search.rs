@@ -2,9 +2,7 @@
 //! one Monte-Carlo search-setting simulation.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use sync_switch_core::{
-    simulate_search_setting, AnalyticOracle, BinarySearchTuner, SearchSetting,
-};
+use sync_switch_core::{simulate_search_setting, AnalyticOracle, BinarySearchTuner, SearchSetting};
 use sync_switch_workloads::ExperimentSetup;
 
 fn bench_search(c: &mut Criterion) {

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use sync_switch_bench::output::{load_json, Exhibit};
 use sync_switch_nn::{Dataset, Network};
-use sync_switch_ps::{SegmentReport, Trainer, TrainerConfig};
+use sync_switch_ps::{SegmentReport, ServerTopology, Trainer, TrainerConfig};
 use sync_switch_workloads::SyncProtocol;
 
 /// The original headline configuration: 4 workers, 4 shards, tiny MLP.
@@ -33,11 +33,16 @@ fn headline_trainer(workers: usize) -> Trainer {
 }
 
 /// Sweep configuration: a larger MLP so sharding has parameters to split.
-fn sweep_trainer(workers: usize, shards: usize) -> Trainer {
+/// `servers > 1` runs the shard-router data plane with OSP-style two-stage
+/// sync (reconciliation every 4 pushes).
+fn sweep_trainer(workers: usize, shards: usize, servers: usize) -> Trainer {
     let data = Dataset::gaussian_blobs(4, 120, 16, 0.35, 1);
     let (train, test) = data.split(0.25);
     let mut cfg = TrainerConfig::new(workers, 8, 0.02, 0.9).with_seed(1);
     cfg.shards = shards;
+    if servers > 1 {
+        cfg.topology = ServerTopology::new(servers, 4);
+    }
     Trainer::new(Network::mlp(16, &[64, 32], 4, 1), train, test, cfg)
 }
 
@@ -116,48 +121,68 @@ fn main() {
         }));
     }
 
-    // Scaling sweep: workers × shards under both protocols.
+    // Scaling sweep: workers × shards × servers under both protocols
+    // (server counts above the shard count would just clamp — skipped).
     let workers_grid = [1usize, 2, 4, 8];
     let shards_grid = [1usize, 4, 16, 64];
+    let servers_grid = [1usize, 2, 4];
     let mut sweep = Vec::new();
     let mut rows = Vec::new();
     for &workers in &workers_grid {
         for &shards in &shards_grid {
-            for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
-                let m = measure(
-                    || sweep_trainer(workers, shards),
-                    protocol,
-                    sweep_steps,
-                    if fast { 1 } else { 3 },
-                );
-                let sps = m.best_steps_per_sec();
-                rows.push(vec![
-                    protocol.to_string(),
-                    workers.to_string(),
-                    shards.to_string(),
-                    format!("{sps:.0}"),
-                    format!("{:.2}", m.last.staleness.mean()),
-                    m.last
-                        .shard_staleness
-                        .max()
-                        .map_or_else(|| "-".into(), |v| v.to_string()),
-                ]);
-                sweep.push(serde_json::json!({
-                    "protocol": protocol.to_string(),
-                    "workers": workers,
-                    "shards": shards,
-                    "steps": m.steps,
-                    "mean_us": fmt_us(m.mean),
-                    "min_us": fmt_us(m.min),
-                    "steps_per_sec": sps,
-                    "staleness_mean": m.last.staleness.mean(),
-                    "shard_staleness_max": m.last.shard_staleness.max(),
-                }));
+            for &servers in &servers_grid {
+                if servers > shards {
+                    continue;
+                }
+                for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+                    let m = measure(
+                        || sweep_trainer(workers, shards, servers),
+                        protocol,
+                        sweep_steps,
+                        if fast { 1 } else { 3 },
+                    );
+                    let sps = m.best_steps_per_sec();
+                    rows.push(vec![
+                        protocol.to_string(),
+                        workers.to_string(),
+                        shards.to_string(),
+                        servers.to_string(),
+                        format!("{sps:.0}"),
+                        format!("{:.2}", m.last.staleness.mean()),
+                        m.last
+                            .shard_staleness
+                            .max()
+                            .map_or_else(|| "-".into(), |v| v.to_string()),
+                        m.last.sync_rounds.to_string(),
+                    ]);
+                    sweep.push(serde_json::json!({
+                        "protocol": protocol.to_string(),
+                        "workers": workers,
+                        "shards": shards,
+                        "servers": servers,
+                        "steps": m.steps,
+                        "mean_us": fmt_us(m.mean),
+                        "min_us": fmt_us(m.min),
+                        "steps_per_sec": sps,
+                        "staleness_mean": m.last.staleness.mean(),
+                        "shard_staleness_max": m.last.shard_staleness.max(),
+                        "sync_rounds": m.last.sync_rounds,
+                    }));
+                }
             }
         }
     }
     exhibit.table(
-        &["protocol", "workers", "shards", "steps/s", "staleness", "shard max"],
+        &[
+            "protocol",
+            "workers",
+            "shards",
+            "servers",
+            "steps/s",
+            "staleness",
+            "shard max",
+            "sync rounds",
+        ],
         &rows,
     );
     exhibit.print();

@@ -4,8 +4,14 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sync_switch_tensor::Tensor;
 
 fn bench_tensor(c: &mut Criterion) {
-    let a = Tensor::from_vec((0..128 * 64).map(|i| (i as f32 * 0.13).sin()).collect(), &[128, 64]);
-    let b = Tensor::from_vec((0..64 * 32).map(|i| (i as f32 * 0.29).cos()).collect(), &[64, 32]);
+    let a = Tensor::from_vec(
+        (0..128 * 64).map(|i| (i as f32 * 0.13).sin()).collect(),
+        &[128, 64],
+    );
+    let b = Tensor::from_vec(
+        (0..64 * 32).map(|i| (i as f32 * 0.29).cos()).collect(),
+        &[64, 32],
+    );
     c.bench_function("matmul_128x64x32", |bench| {
         bench.iter(|| black_box(a.matmul(&b)))
     });

@@ -3,30 +3,190 @@
 //! headline + sweep. Exits non-zero on any violation so `ci.sh` fails when
 //! the perf trajectory stops being recorded.
 //!
-//! Usage: `bench_json_check [path]` (default `BENCH_ps_throughput.json`).
+//! With `--baseline` it additionally compares the sweep against a committed
+//! baseline file and flags configurations whose throughput regressed beyond
+//! the tolerance:
+//!
+//! ```text
+//! bench_json_check [path]
+//! bench_json_check [path] --baseline BENCH_ps_throughput.json \
+//!     [--tolerance-pct 25] [--report-only]
+//! ```
+//!
+//! `--report-only` downgrades regressions to warnings (exit 0) — the mode
+//! `ci.sh` uses so noisy boxes do not break the gate while the trajectory
+//! is still surfaced in the log.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::process::exit;
 
 use serde_json::Value;
 use sync_switch_bench::output::load_json;
 
+struct Options {
+    path: String,
+    baseline: Option<String>,
+    tolerance_pct: f64,
+    report_only: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        path: "BENCH_ps_throughput.json".to_string(),
+        baseline: None,
+        tolerance_pct: 25.0,
+        report_only: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut saw_path = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                opts.baseline = Some(args.next().ok_or("--baseline requires a file")?);
+            }
+            "--tolerance-pct" => {
+                let raw = args.next().ok_or("--tolerance-pct requires a number")?;
+                opts.tolerance_pct = raw
+                    .parse::<f64>()
+                    .map_err(|_| format!("bad tolerance: {raw}"))?;
+                if !(opts.tolerance_pct.is_finite() && opts.tolerance_pct >= 0.0) {
+                    return Err(format!("tolerance must be non-negative: {raw}"));
+                }
+            }
+            "--report-only" => opts.report_only = true,
+            other if !other.starts_with("--") && !saw_path => {
+                opts.path = other.to_string();
+                saw_path = true;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
 fn main() {
-    let path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_ps_throughput.json".to_string());
-    match validate(Path::new(&path)) {
-        Ok((headline, points)) => {
-            println!("{path}: ok ({headline} headline entries, {points} sweep points)");
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("usage error: {e}");
+            eprintln!(
+                "usage: bench_json_check [path] [--baseline FILE] \
+                 [--tolerance-pct N] [--report-only]"
+            );
+            exit(2);
+        }
+    };
+    let current = match validate(Path::new(&opts.path)) {
+        Ok((v, headline, points)) => {
+            println!(
+                "{}: ok ({headline} headline entries, {points} sweep points)",
+                opts.path
+            );
+            v
         }
         Err(e) => {
-            eprintln!("{path}: {e}");
+            eprintln!("{}: {e}", opts.path);
+            exit(1);
+        }
+    };
+    let Some(baseline_path) = &opts.baseline else {
+        return;
+    };
+    let baseline = match load_json(Path::new(baseline_path)) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{baseline_path}: {e}");
+            exit(1);
+        }
+    };
+    let regressions = compare_sweeps(&baseline, &current, opts.tolerance_pct);
+    match regressions {
+        Ok(0) => {}
+        Ok(n) if opts.report_only => {
+            eprintln!(
+                "warning: {n} configuration(s) regressed beyond {}% vs {baseline_path} \
+                 (report-only mode, not failing)",
+                opts.tolerance_pct
+            );
+        }
+        Ok(n) => {
+            eprintln!(
+                "{n} configuration(s) regressed beyond {}% vs {baseline_path}",
+                opts.tolerance_pct
+            );
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("baseline comparison failed: {e}");
             exit(1);
         }
     }
 }
 
-fn validate(path: &Path) -> Result<(usize, usize), String> {
+/// A sweep point's identity: everything but the measurements. Baselines
+/// recorded before the multi-server axis existed default to 1 server.
+fn sweep_key(point: &Value) -> Option<String> {
+    let protocol = point.get("protocol")?.as_str()?;
+    let workers = point.get("workers")?.as_u64()?;
+    let shards = point.get("shards")?.as_u64()?;
+    let servers = point.get("servers").and_then(Value::as_u64).unwrap_or(1);
+    Some(format!(
+        "{protocol} workers={workers} shards={shards} servers={servers}"
+    ))
+}
+
+fn sweep_throughputs(v: &Value) -> Result<BTreeMap<String, f64>, String> {
+    let sweep = v
+        .get("sweep")
+        .and_then(Value::as_array)
+        .ok_or("missing \"sweep\" array")?;
+    let mut out = BTreeMap::new();
+    for (i, point) in sweep.iter().enumerate() {
+        let key = sweep_key(point).ok_or(format!("sweep[{i}]: malformed key fields"))?;
+        let sps = positive_f64(point, "steps_per_sec").map_err(|e| format!("sweep[{i}]: {e}"))?;
+        out.insert(key, sps);
+    }
+    Ok(out)
+}
+
+/// Compares every configuration present in both sweeps; returns how many
+/// regressed (current throughput below baseline by more than the
+/// tolerance). Configurations unique to either side are reported but never
+/// counted — axes are allowed to grow.
+fn compare_sweeps(baseline: &Value, current: &Value, tolerance_pct: f64) -> Result<usize, String> {
+    let base = sweep_throughputs(baseline)?;
+    let cur = sweep_throughputs(current)?;
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (key, &base_sps) in &base {
+        let Some(&cur_sps) = cur.get(key) else {
+            println!("  [baseline-only] {key}: not in current sweep");
+            continue;
+        };
+        compared += 1;
+        let floor = base_sps * (1.0 - tolerance_pct / 100.0);
+        if cur_sps < floor {
+            regressions += 1;
+            println!(
+                "  [REGRESSION] {key}: {cur_sps:.0} steps/s vs baseline {base_sps:.0} \
+                 (floor {floor:.0})"
+            );
+        }
+    }
+    for key in cur.keys() {
+        if !base.contains_key(key) {
+            println!("  [new] {key}: not in baseline, skipped");
+        }
+    }
+    println!(
+        "baseline check: {compared} configuration(s) compared, {regressions} regression(s) \
+         at {tolerance_pct}% tolerance"
+    );
+    Ok(regressions)
+}
+
+fn validate(path: &Path) -> Result<(Value, usize, usize), String> {
     let v = load_json(path).map_err(|e| e.to_string())?;
     let headline = v
         .get("headline")
@@ -59,9 +219,18 @@ fn validate(path: &Path) -> Result<(usize, usize), String> {
                 return Err(format!("sweep[{i}]: \"{key}\" is zero"));
             }
         }
+        // The servers axis arrived with the multi-server data plane; older
+        // artifacts without it are treated as single-server, but when
+        // present it must be a positive integer.
+        if let Some(servers) = point.get("servers") {
+            if servers.as_u64().is_none_or(|n| n == 0) {
+                return Err(format!("sweep[{i}]: \"servers\" is not a positive integer"));
+            }
+        }
         positive_f64(point, "steps_per_sec").map_err(|e| format!("sweep[{i}]: {e}"))?;
     }
-    Ok((headline.len(), sweep.len()))
+    let counts = (headline.len(), sweep.len());
+    Ok((v, counts.0, counts.1))
 }
 
 fn positive_f64(entry: &Value, key: &str) -> Result<f64, String> {

@@ -60,7 +60,10 @@ fn main() -> ExitCode {
         if let Err(e) = exhibit.save(&out_dir) {
             eprintln!("warning: could not save {id}: {e}");
         }
-        eprintln!("[{id} regenerated in {:.1}s]", started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{id} regenerated in {:.1}s]",
+            started.elapsed().as_secs_f64()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -15,7 +15,9 @@ pub fn run() -> Exhibit {
     let setup = ExperimentSetup::one();
 
     // --- (a) Configuration actuator: parallel vs sequential --------------
-    ex.line("(a) Configuration actuator (setup 1, paper policy, greedy under the moderate scenario");
+    ex.line(
+        "(a) Configuration actuator (setup 1, paper policy, greedy under the moderate scenario",
+    );
     ex.line("    so multiple switches occur — amplifying the per-switch overhead):");
     let mut rows = Vec::new();
     let mut panel_a = Vec::new();
@@ -23,8 +25,7 @@ pub fn run() -> Exhibit {
         (ActuatorMode::Parallel, "Parallel (Sync-Switch)"),
         (ActuatorMode::Sequential, "Sequential (baseline)"),
     ] {
-        let policy =
-            SyncSwitchPolicy::paper_policy(&setup).with_online(OnlinePolicyKind::Greedy);
+        let policy = SyncSwitchPolicy::paper_policy(&setup).with_online(OnlinePolicyKind::Greedy);
         let mut backend = SimBackend::with_actuator(&setup, 0xAB7A, mode)
             .with_scenario(StragglerScenario::moderate(60.0, 150.0));
         let r = ClusterManager::new(policy)
@@ -47,7 +48,13 @@ pub fn run() -> Exhibit {
         }));
     }
     ex.table(
-        &["actuator", "switches", "overhead (s)", "per switch (s)", "total (min)"],
+        &[
+            "actuator",
+            "switches",
+            "overhead (s)",
+            "per switch (s)",
+            "total (min)",
+        ],
         &rows,
     );
 
@@ -93,8 +100,8 @@ pub fn run() -> Exhibit {
         let mut policy =
             SyncSwitchPolicy::paper_policy(&setup).with_online(OnlinePolicyKind::Elastic);
         policy.detect_chunk = chunk;
-        let mut backend = SimBackend::new(&setup, 0xAB7C)
-            .with_scenario(StragglerScenario::mild(150.0));
+        let mut backend =
+            SimBackend::new(&setup, 0xAB7C).with_scenario(StragglerScenario::mild(150.0));
         let r = ClusterManager::new(policy)
             .run(&mut backend, &setup)
             .expect("valid policy");
@@ -113,7 +120,12 @@ pub fn run() -> Exhibit {
         }));
     }
     ex.table(
-        &["chunk (units)", "eviction at step", "evictions", "total (min)"],
+        &[
+            "chunk (units)",
+            "eviction at step",
+            "evictions",
+            "total (min)",
+        ],
         &rows,
     );
 
@@ -133,7 +145,10 @@ mod tests {
         let a = ex.json["actuator"].as_array().unwrap();
         let par = a[0]["per_switch_s"].as_f64().unwrap();
         let seq = a[1]["per_switch_s"].as_f64().unwrap();
-        assert!(seq > 1.8 * par, "sequential {seq} vs parallel {par} per switch");
+        assert!(
+            seq > 1.8 * par,
+            "sequential {seq} vs parallel {par} per switch"
+        );
 
         // (b) With the 10% floor a healthy cluster has zero false
         // evictions; the raw mean−σ rule (gap 0) evicts spuriously.

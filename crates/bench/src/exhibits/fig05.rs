@@ -66,7 +66,10 @@ mod tests {
         let asp_bsp = a[2]["mean"].as_f64().unwrap();
         let asp = a[3]["mean"].as_f64().unwrap();
         // BSP→ASP ≈ BSP; ASP→BSP trails; ASP lowest band.
-        assert!((bsp - bsp_asp).abs() < 0.008, "BSP {bsp} vs BSP→ASP {bsp_asp}");
+        assert!(
+            (bsp - bsp_asp).abs() < 0.008,
+            "BSP {bsp} vs BSP→ASP {bsp_asp}"
+        );
         assert!(bsp_asp > asp_bsp, "BSP→ASP {bsp_asp} vs ASP→BSP {asp_bsp}");
         assert!(bsp > asp + 0.015, "BSP {bsp} vs ASP {asp}");
 

@@ -49,7 +49,9 @@ pub fn run() -> Exhibit {
     }
     ex.table(&["momentum scaling", "accuracy", "std"], &rows);
     ex.line("");
-    ex.line("Paper: keeping the BSP momentum (Baseline) is best; differences up to ~5 accuracy points.");
+    ex.line(
+        "Paper: keeping the BSP momentum (Baseline) is best; differences up to ~5 accuracy points.",
+    );
 
     ex.json = json!({"panel_a": panel_a, "panel_b": panel_b});
     ex
@@ -68,9 +70,14 @@ mod tests {
         let b = ex.json["panel_b"].as_array().unwrap();
         let get = |i: usize| b[i]["accuracy"].as_f64().unwrap();
         let (baseline, zero, fixed, nonlinear, linear) = (get(0), get(1), get(2), get(3), get(4));
-        assert!(baseline > fixed && fixed > nonlinear && nonlinear > linear && linear > zero,
-            "ordering: {baseline} {fixed} {nonlinear} {linear} {zero}");
-        assert!((baseline - zero) > 0.035 && (baseline - zero) < 0.075,
-            "max spread {} (paper ~5%)", baseline - zero);
+        assert!(
+            baseline > fixed && fixed > nonlinear && nonlinear > linear && linear > zero,
+            "ordering: {baseline} {fixed} {nonlinear} {linear} {zero}"
+        );
+        assert!(
+            (baseline - zero) > 0.035 && (baseline - zero) < 0.075,
+            "max spread {} (paper ~5%)",
+            baseline - zero
+        );
     }
 }

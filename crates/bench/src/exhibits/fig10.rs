@@ -69,10 +69,16 @@ pub fn run() -> Exhibit {
     }
 
     ex.line("(a) Total training time normalized to BSP:");
-    ex.table(&["setup", "BSP", "ASP", "Sync-Switch", "reference"], &rows_time);
+    ex.table(
+        &["setup", "BSP", "ASP", "Sync-Switch", "reference"],
+        &rows_time,
+    );
     ex.line("");
     ex.line("(b) Converged accuracy:");
-    ex.table(&["setup", "BSP", "ASP", "Sync-Switch", "reference"], &rows_acc);
+    ex.table(
+        &["setup", "BSP", "ASP", "Sync-Switch", "reference"],
+        &rows_acc,
+    );
 
     ex.json = json!({"setups": payload});
     ex

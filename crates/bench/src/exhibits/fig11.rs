@@ -10,12 +10,7 @@ use crate::output::{fmt_min, Exhibit};
 use crate::runner::{repeat_reports, RunSummary};
 
 /// Shared harness for the per-setup detail figures (11, 12, 13).
-pub fn detail_figure(
-    id: &str,
-    setup_id: SetupId,
-    fractions: &[f64],
-    seed: u64,
-) -> Exhibit {
+pub fn detail_figure(id: &str, setup_id: SetupId, fractions: &[f64], seed: u64) -> Exhibit {
     let setup = ExperimentSetup::from_id(setup_id);
     let calib = CalibrationTargets::for_setup(setup_id);
     let n = setup.cluster_size;
@@ -30,15 +25,26 @@ pub fn detail_figure(
     // Sweep switch timings (the paper's panels c/d).
     let summaries: Vec<(f64, RunSummary)> = fractions
         .iter()
-        .map(|&f| (f, repeat_reports(&setup, &SyncSwitchPolicy::new(f, n), seed)))
+        .map(|&f| {
+            (
+                f,
+                repeat_reports(&setup, &SyncSwitchPolicy::new(f, n), seed),
+            )
+        })
         .collect();
 
     // Panels a/b: curves for BSP, ASP (or the first failing fraction), and
     // the paper policy.
     let policy_fraction = calib.policy_fraction();
     let curves: Vec<(&str, Option<&RunSummary>)> = vec![
-        ("BSP", summaries.iter().find(|(f, _)| *f == 1.0).map(|(_, s)| s)),
-        ("ASP", summaries.iter().find(|(f, _)| *f == 0.0).map(|(_, s)| s)),
+        (
+            "BSP",
+            summaries.iter().find(|(f, _)| *f == 1.0).map(|(_, s)| s),
+        ),
+        (
+            "ASP",
+            summaries.iter().find(|(f, _)| *f == 0.0).map(|(_, s)| s),
+        ),
         (
             "Sync-Switch",
             summaries
@@ -97,9 +103,7 @@ pub fn detail_figure(
         } else {
             format!("{:.3}", s.mean_accuracy().unwrap_or(0.0))
         };
-        let time = s
-            .mean_completed_time_s()
-            .map_or("Fail".into(), fmt_min);
+        let time = s.mean_completed_time_s().map_or("Fail".into(), fmt_min);
         rows.push(vec![label, acc, time]);
         sweep.push(json!({
             "fraction": f,
@@ -122,8 +126,7 @@ pub fn detail_figure(
         .find(|(f, _)| (*f - policy_fraction).abs() < 1e-9)
         .map(|(_, s)| s)
         .expect("sweep includes the paper policy");
-    let saving = 1.0
-        - ss.mean_completed_time_s().unwrap_or(f64::NAN) / bsp.mean_time_s();
+    let saving = 1.0 - ss.mean_completed_time_s().unwrap_or(f64::NAN) / bsp.mean_time_s();
     ex.line("");
     ex.line(format!(
         "Policy P ({:.3}%): accuracy {:.3} vs BSP {:.3}; training-time saving {:.1}% \

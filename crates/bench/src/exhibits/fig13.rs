@@ -21,8 +21,14 @@ mod tests {
         // 0% and 25% diverge; 50% and 100% complete.
         assert!(sweep[0]["diverged"].as_bool().unwrap(), "ASP must diverge");
         assert!(sweep[1]["diverged"].as_bool().unwrap(), "25% must diverge");
-        assert!(!sweep[2]["diverged"].as_bool().unwrap(), "50% must complete");
-        assert!(!sweep[3]["diverged"].as_bool().unwrap(), "BSP must complete");
+        assert!(
+            !sweep[2]["diverged"].as_bool().unwrap(),
+            "50% must complete"
+        );
+        assert!(
+            !sweep[3]["diverged"].as_bool().unwrap(),
+            "BSP must complete"
+        );
         let acc50 = sweep[2]["accuracy"].as_f64().unwrap();
         let acc100 = sweep[3]["accuracy"].as_f64().unwrap();
         assert!((acc50 - acc100).abs() < 0.01, "SS {acc50} vs BSP {acc100}");

@@ -93,7 +93,11 @@ mod tests {
         assert!((2.2..4.0).contains(&(t_p3 / t_p1)), "ratio {}", t_p3 / t_p1);
         // P2 on setup 1: similar accuracy, longer time (paper: +33%).
         let t_p2 = cell(1, "Policy 2")["time_s"].as_f64().unwrap();
-        assert!((1.15..1.6).contains(&(t_p2 / t_p1)), "ratio {}", t_p2 / t_p1);
+        assert!(
+            (1.15..1.6).contains(&(t_p2 / t_p1)),
+            "ratio {}",
+            t_p2 / t_p1
+        );
         let a_p1 = cell(1, "Policy 1")["accuracy"].as_f64().unwrap();
         let a_p2 = cell(1, "Policy 2")["accuracy"].as_f64().unwrap();
         assert!((a_p1 - a_p2).abs() < 0.008);

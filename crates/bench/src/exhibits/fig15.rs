@@ -17,7 +17,10 @@ fn scenarios() -> Vec<(&'static str, StragglerScenario)> {
         // Scenario 1 (mild): 1 straggler × 1 occurrence @ 10 ms.
         ("scenario 1 (mild)", StragglerScenario::mild(150.0)),
         // Scenario 2 (moderate): 2 stragglers × 4 occurrences @ 30 ms.
-        ("scenario 2 (moderate)", StragglerScenario::moderate(60.0, 150.0)),
+        (
+            "scenario 2 (moderate)",
+            StragglerScenario::moderate(60.0, 150.0),
+        ),
     ]
 }
 
@@ -35,12 +38,7 @@ pub fn run() -> Exhibit {
             let policy = SyncSwitchPolicy::paper_policy(&setup).with_online(online);
             let reports: Vec<_> = (0..RUNS)
                 .map(|i| {
-                    run_report_with_scenario(
-                        &setup,
-                        &policy,
-                        scenario.clone(),
-                        0xF1615 + i * 101,
-                    )
+                    run_report_with_scenario(&setup, &policy, scenario.clone(), 0xF1615 + i * 101)
                 })
                 .collect();
             let accs: Vec<f64> = reports
@@ -55,9 +53,11 @@ pub fn run() -> Exhibit {
             }
             let switches =
                 reports.iter().map(|r| r.switches.len()).sum::<usize>() as f64 / RUNS as f64;
-            let evictions =
-                reports.iter().map(|r| r.removed_workers.len()).sum::<usize>() as f64
-                    / RUNS as f64;
+            let evictions = reports
+                .iter()
+                .map(|r| r.removed_workers.len())
+                .sum::<usize>() as f64
+                / RUNS as f64;
             rows.push(vec![
                 online.to_string(),
                 format!("{acc:.3}±{acc_std:.3}"),

@@ -54,7 +54,11 @@ pub fn run() -> Exhibit {
             let mut row = vec![family.to_string()];
             for attempts in 1..=5 {
                 let r = simulate_search_setting(&setup, make(attempts), TRIALS, 0.01, 0xF1616);
-                let marker = if r.success_probability >= 0.99 { "*" } else { "" };
+                let marker = if r.success_probability >= 0.99 {
+                    "*"
+                } else {
+                    ""
+                };
                 row.push(format!("{:.2}{}", r.search_cost, marker));
                 payload.push(json!({
                     "setup": id.index(),

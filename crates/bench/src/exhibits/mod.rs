@@ -23,8 +23,7 @@ use crate::output::Exhibit;
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig2", "fig4", "fig5", "fig8", "fig10", "fig11", "fig12", "fig13", "fig14",
-        "fig15", "fig16", "table1", "table2", "table3", "table4", "table5", "table6",
-        "ablation",
+        "fig15", "fig16", "table1", "table2", "table3", "table4", "table5", "table6", "ablation",
     ]
 }
 

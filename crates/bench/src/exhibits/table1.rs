@@ -10,10 +10,7 @@ use crate::runner::repeat_reports;
 
 /// Runs the exhibit.
 pub fn run() -> Exhibit {
-    let mut ex = Exhibit::new(
-        "table1",
-        "Experiment setups, timing policies, and speedups",
-    );
+    let mut ex = Exhibit::new("table1", "Experiment setups, timing policies, and speedups");
 
     let mut rows = Vec::new();
     let mut payload = Vec::new();
@@ -54,7 +51,11 @@ pub fn run() -> Exhibit {
                 setup.workload.model.name, setup.workload.dataset.name
             ),
             format!("{n}, K80"),
-            format!("P{}: ([BSP, ASP], {:.3}%)", id.index(), calib.policy_fraction() * 100.0),
+            format!(
+                "P{}: ([BSP, ASP], {:.3}%)",
+                id.index(),
+                calib.policy_fraction() * 100.0
+            ),
             thr_vs_asp.map_or("failed".into(), |x| format!("{x:.2}X")),
             format!("{thr_vs_bsp:.2}X"),
             "N/A".to_string(),

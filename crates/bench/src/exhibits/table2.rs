@@ -42,24 +42,48 @@ pub fn run() -> Exhibit {
             SetupId::One,
             vec![
                 SearchSetting::baseline(),
-                SearchSetting { recurring: false, bsp_runs: 3, candidate_runs: 3 },
-                SearchSetting { recurring: true, bsp_runs: 0, candidate_runs: 3 },
+                SearchSetting {
+                    recurring: false,
+                    bsp_runs: 3,
+                    candidate_runs: 3,
+                },
+                SearchSetting {
+                    recurring: true,
+                    bsp_runs: 0,
+                    candidate_runs: 3,
+                },
             ],
         ),
         (
             SetupId::Two,
             vec![
                 SearchSetting::baseline(),
-                SearchSetting { recurring: false, bsp_runs: 4, candidate_runs: 4 },
-                SearchSetting { recurring: true, bsp_runs: 0, candidate_runs: 4 },
+                SearchSetting {
+                    recurring: false,
+                    bsp_runs: 4,
+                    candidate_runs: 4,
+                },
+                SearchSetting {
+                    recurring: true,
+                    bsp_runs: 0,
+                    candidate_runs: 4,
+                },
             ],
         ),
         (
             SetupId::Three,
             vec![
                 SearchSetting::baseline(),
-                SearchSetting { recurring: false, bsp_runs: 3, candidate_runs: 3 },
-                SearchSetting { recurring: true, bsp_runs: 0, candidate_runs: 1 },
+                SearchSetting {
+                    recurring: false,
+                    bsp_runs: 3,
+                    candidate_runs: 3,
+                },
+                SearchSetting {
+                    recurring: true,
+                    bsp_runs: 0,
+                    candidate_runs: 1,
+                },
             ],
         ),
     ];
@@ -77,7 +101,14 @@ pub fn run() -> Exhibit {
         }
     }
     ex.table(
-        &["setup", "setting", "cost", "amortization", "effective", "success"],
+        &[
+            "setup",
+            "setting",
+            "cost",
+            "amortization",
+            "effective",
+            "success",
+        ],
         &rows,
     );
     ex.line("");

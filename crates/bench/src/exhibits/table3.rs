@@ -42,7 +42,13 @@ pub fn run() -> Exhibit {
         }
     }
     ex.table(
-        &["cluster", "actuator", "init (s)", "switching (s)", "total (s)"],
+        &[
+            "cluster",
+            "actuator",
+            "init (s)",
+            "switching (s)",
+            "total (s)",
+        ],
         &rows,
     );
     ex.line("");

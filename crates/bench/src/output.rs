@@ -90,7 +90,10 @@ impl Exhibit {
                 fs::create_dir_all(parent)?;
             }
         }
-        fs::write(path, serde_json::to_string_pretty(&self.json).expect("serializable"))
+        fs::write(
+            path,
+            serde_json::to_string_pretty(&self.json).expect("serializable"),
+        )
     }
 }
 

@@ -175,11 +175,19 @@ pub fn run_order(
 ) -> (Option<f64>, f64) {
     match order {
         OrderKind::Bsp => {
-            let r = run_report(setup, &SyncSwitchPolicy::static_bsp(setup.cluster_size), seed);
+            let r = run_report(
+                setup,
+                &SyncSwitchPolicy::static_bsp(setup.cluster_size),
+                seed,
+            );
             (r.converged_accuracy, r.total_time_s)
         }
         OrderKind::Asp => {
-            let r = run_report(setup, &SyncSwitchPolicy::static_asp(setup.cluster_size), seed);
+            let r = run_report(
+                setup,
+                &SyncSwitchPolicy::static_asp(setup.cluster_size),
+                seed,
+            );
             (r.converged_accuracy, r.total_time_s)
         }
         OrderKind::BspThenAsp => {
@@ -266,7 +274,9 @@ mod tests {
         let setup = ExperimentSetup::one();
         let policy = SyncSwitchPolicy::paper_policy(&setup);
         let s = RunSummary {
-            reports: (0..3).map(|i| run_report(&setup, &policy, 100 + i)).collect(),
+            reports: (0..3)
+                .map(|i| run_report(&setup, &policy, 100 + i))
+                .collect(),
         };
         assert!(s.mean_accuracy().unwrap() > 0.89);
         assert!(!s.any_diverged());

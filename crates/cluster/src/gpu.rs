@@ -77,11 +77,13 @@ mod tests {
         let mut rng = DetRng::new(1);
         let mean = cm.mean_time_s(128);
         let n = 5000;
-        let total: f64 = (0..n).map(|_| {
-            let t = cm.sample_time_s(128, &mut rng);
-            assert!(t > 0.0);
-            t
-        }).sum();
+        let total: f64 = (0..n)
+            .map(|_| {
+                let t = cm.sample_time_s(128, &mut rng);
+                assert!(t > 0.0);
+                t
+            })
+            .sum();
         let empirical = total / n as f64;
         assert!(
             (empirical - mean).abs() / mean < 0.02,

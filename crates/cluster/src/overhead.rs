@@ -74,7 +74,9 @@ impl OverheadModel {
     /// Panics if `n == 0`.
     pub fn sample(&mut self, n: usize, mode: ActuatorMode) -> OverheadSample {
         assert!(n > 0, "cluster must have nodes");
-        let inits: Vec<f64> = (0..n).map(|_| self.node_init.sample(&mut self.rng)).collect();
+        let inits: Vec<f64> = (0..n)
+            .map(|_| self.node_init.sample(&mut self.rng))
+            .collect();
         let tasks: Vec<f64> = (0..n)
             .map(|_| self.node_task.sample(&mut self.rng).max(1.0))
             .collect();
@@ -144,7 +146,11 @@ mod tests {
         let par = m.mean_sample(16, ActuatorMode::Parallel, 50);
         assert!(within(seq.init.as_secs(), 268.0, 0.15), "{:?}", seq.init);
         assert!(within(par.init.as_secs(), 128.0, 0.15), "{:?}", par.init);
-        assert!(within(seq.switch.as_secs(), 165.0, 0.15), "{:?}", seq.switch);
+        assert!(
+            within(seq.switch.as_secs(), 165.0, 0.15),
+            "{:?}",
+            seq.switch
+        );
         assert!(within(par.switch.as_secs(), 53.0, 0.20), "{:?}", par.switch);
     }
 

@@ -453,10 +453,7 @@ mod tests {
         removed.set_scenario(StragglerScenario::constant(1, 0.030));
         removed.remove_worker(0);
         let fast = removed.run_bsp(700).elapsed.as_secs();
-        assert!(
-            fast < slow * 0.75,
-            "removal should help: {fast} vs {slow}"
-        );
+        assert!(fast < slow * 0.75, "removal should help: {fast} vs {slow}");
         removed.restore_all();
         assert_eq!(removed.active_count(), 8);
     }

@@ -167,7 +167,10 @@ mod tests {
         let homogeneous = |bound| sim(4).run_ssp(4_000, bound).mean_staleness;
         let s1 = homogeneous(1);
         let s64 = homogeneous(64);
-        assert!(s1 <= s64, "staleness must not shrink with bound: {s1} vs {s64}");
+        assert!(
+            s1 <= s64,
+            "staleness must not shrink with bound: {s1} vs {s64}"
+        );
         // Unbounded staleness on 8 homogeneous workers ≈ 7.
         assert!((s64 - 7.0).abs() < 0.5, "{s64}");
     }

@@ -165,7 +165,10 @@ impl TrajectoryModel {
 
     /// Index of the LR phase at `step` (0 before the first decay, …).
     fn phase(&self, step: u64) -> usize {
-        self.lr_boundaries.iter().filter(|&&(b, _)| step >= b).count()
+        self.lr_boundaries
+            .iter()
+            .filter(|&&(b, _)| step >= b)
+            .count()
     }
 
     /// Records a protocol switch. The first switch is the intended
@@ -178,8 +181,7 @@ impl TrajectoryModel {
             self.switch_penalty += EXTRA_SWITCH_PENALTY;
         }
         if from == SyncProtocol::Asp && to == SyncProtocol::Bsp {
-            let stall = ASP_TO_BSP_STALL_MEAN
-                + ASP_TO_BSP_STALL_SIGMA * self.rng.standard_normal();
+            let stall = ASP_TO_BSP_STALL_MEAN + ASP_TO_BSP_STALL_SIGMA * self.rng.standard_normal();
             self.switch_penalty += stall.max(0.0);
         }
     }
@@ -221,7 +223,8 @@ impl TrajectoryModel {
             if instability > DIVERGENCE_THRESHOLD {
                 self.divergence_exposure += steps as f64;
                 if self.divergence_exposure > self.divergence_budget_steps {
-                    self.diverged_at = Some(self.step + steps.min(self.divergence_budget_steps as u64));
+                    self.diverged_at =
+                        Some(self.step + steps.min(self.divergence_budget_steps as u64));
                     self.step += steps;
                     self.loss = 1e6;
                     self.acc = 0.1; // random-guess accuracy
@@ -321,11 +324,7 @@ impl TrajectoryModel {
 mod tests {
     use super::*;
 
-    fn run_full(
-        setup: &ExperimentSetup,
-        bsp_fraction: f64,
-        seed: u64,
-    ) -> Result<f64, u64> {
+    fn run_full(setup: &ExperimentSetup, bsp_fraction: f64, seed: u64) -> Result<f64, u64> {
         let mut t = TrajectoryModel::new(setup, seed);
         let total = t.total_steps();
         let switch_at = (bsp_fraction * total as f64) as u64;
@@ -439,7 +438,10 @@ mod tests {
         let bsp = loss_of(1.0, 5);
         let ss = loss_of(0.0625, 5);
         let asp = loss_of(0.0, 5);
-        assert!(bsp < ss && ss < asp, "floors: bsp {bsp}, ss {ss}, asp {asp}");
+        assert!(
+            bsp < ss && ss < asp,
+            "floors: bsp {bsp}, ss {ss}, asp {asp}"
+        );
         assert!(bsp < 3e-3, "bsp floor {bsp}");
         assert!(asp > 0.03, "asp floor {asp}");
         // Sync-Switch's training loss stays an order of magnitude above
@@ -476,7 +478,11 @@ mod tests {
         let mut curve = Vec::new();
         while t.step() < 64_000 {
             t.advance(2000, &PhaseInput::bsp());
-            curve.push((t.step(), t.current_ceiling() - 0.0 /* no noise */, t.training_loss()));
+            curve.push((
+                t.step(),
+                t.current_ceiling() - 0.0, /* no noise */
+                t.training_loss(),
+            ));
         }
         // Loss decreases monotonically for BSP.
         for w in curve.windows(2) {

@@ -52,11 +52,7 @@ pub trait TrainingBackend {
 
     /// Records a protocol switch and accounts its overhead (checkpoint +
     /// reconfigure + restart). Returns the overhead duration.
-    fn apply_switch_overhead(
-        &mut self,
-        from: SyncProtocol,
-        to: SyncProtocol,
-    ) -> SimTime;
+    fn apply_switch_overhead(&mut self, from: SyncProtocol, to: SyncProtocol) -> SimTime;
 
     /// Applies a momentum-scaling variant at the start of the ASP phase.
     fn apply_momentum_variant(&mut self, variant: MomentumScaling);

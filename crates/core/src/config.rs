@@ -98,11 +98,9 @@ impl ConfigPolicy {
                 momentum_scaling: MomentumScaling::Baseline,
             },
             SyncProtocol::Asp => {
-                let momentum = self.momentum_scaling.effective_momentum(
-                    0,
-                    self.cluster_size,
-                    hyper.momentum,
-                );
+                let momentum =
+                    self.momentum_scaling
+                        .effective_momentum(0, self.cluster_size, hyper.momentum);
                 AdjustedConfig {
                     protocol,
                     per_worker_batch: hyper.batch_size,

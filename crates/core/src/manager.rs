@@ -273,7 +273,10 @@ fn detect_convergence(evals: &[EvalPoint]) -> Option<usize> {
     }
     for i in (CONVERGENCE_WINDOW - 1)..evals.len() {
         let window = &evals[i + 1 - CONVERGENCE_WINDOW..=i];
-        let min = window.iter().map(|e| e.accuracy).fold(f64::INFINITY, f64::min);
+        let min = window
+            .iter()
+            .map(|e| e.accuracy)
+            .fold(f64::INFINITY, f64::min);
         let max = window
             .iter()
             .map(|e| e.accuracy)
@@ -290,11 +293,7 @@ mod tests {
     use super::*;
     use crate::backend::SimBackend;
 
-    fn run_policy(
-        setup: &ExperimentSetup,
-        policy: SyncSwitchPolicy,
-        seed: u64,
-    ) -> TrainingReport {
+    fn run_policy(setup: &ExperimentSetup, policy: SyncSwitchPolicy, seed: u64) -> TrainingReport {
         let mut backend = SimBackend::new(setup, seed);
         ClusterManager::new(policy)
             .run(&mut backend, setup)
@@ -404,18 +403,13 @@ mod tests {
             loss: 0.1,
         };
         // Rising then flat: converges at the 5th flat point.
-        let mut evals = vec![
-            flat(0.5, 0),
-            flat(0.7, 1),
-            flat(0.8, 2),
-            flat(0.9, 3),
-        ];
+        let mut evals = vec![flat(0.5, 0), flat(0.7, 1), flat(0.8, 2), flat(0.9, 3)];
         for i in 0..6 {
             evals.push(flat(0.918 + 0.0001 * i as f64, 4 + i));
         }
         let idx = detect_convergence(&evals).expect("should converge");
         assert_eq!(idx, 8); // first window of 5 inside the flat tail
-        // A noisy curve never converges.
+                            // A noisy curve never converges.
         let noisy: Vec<EvalPoint> = (0..10u32)
             .map(|i| flat(0.5 + 0.05 * f64::from(i % 2), u64::from(i)))
             .collect();

@@ -195,20 +195,18 @@ mod tests {
     use sync_switch_workloads::SetupId;
 
     fn row(setup: SetupId, setting: SearchSetting) -> SearchCostRow {
-        simulate_search_setting(
-            &ExperimentSetup::from_id(setup),
-            setting,
-            400,
-            0.01,
-            42,
-        )
+        simulate_search_setting(&ExperimentSetup::from_id(setup), setting, 400, 0.01, 42)
     }
 
     #[test]
     fn baseline_setup1_matches_table2() {
         let r = row(SetupId::One, SearchSetting::baseline());
         // Paper: cost 12.71×, amortized 15.79, effective 1.97×, success 100%.
-        assert!((11.0..14.5).contains(&r.search_cost), "cost {}", r.search_cost);
+        assert!(
+            (11.0..14.5).contains(&r.search_cost),
+            "cost {}",
+            r.search_cost
+        );
         assert!(
             (13.0..19.0).contains(&r.amortized_recurrences),
             "amortized {}",
@@ -219,7 +217,11 @@ mod tests {
             "effective {}",
             r.effective_training
         );
-        assert!(r.success_probability > 0.90, "success {}", r.success_probability);
+        assert!(
+            r.success_probability > 0.90,
+            "success {}",
+            r.success_probability
+        );
     }
 
     #[test]
@@ -233,8 +235,16 @@ mod tests {
             },
         );
         // Paper (Yes, 0, 3): cost 4.63×, effective 2.59×, success 100%.
-        assert!((4.0..5.6).contains(&rec.search_cost), "cost {}", rec.search_cost);
-        assert!(rec.effective_training > 2.0, "effective {}", rec.effective_training);
+        assert!(
+            (4.0..5.6).contains(&rec.search_cost),
+            "cost {}",
+            rec.search_cost
+        );
+        assert!(
+            rec.effective_training > 2.0,
+            "effective {}",
+            rec.effective_training
+        );
         assert!(rec.success_probability > 0.90);
     }
 
@@ -276,7 +286,11 @@ mod tests {
                 candidate_runs: 1,
             },
         );
-        assert!((0.4..0.8).contains(&r.search_cost), "cost {}", r.search_cost);
+        assert!(
+            (0.4..0.8).contains(&r.search_cost),
+            "cost {}",
+            r.search_cost
+        );
         assert!(r.success_probability > 0.99);
         assert!(
             (1.2..2.2).contains(&r.effective_training),

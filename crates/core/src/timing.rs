@@ -356,14 +356,9 @@ mod tests {
     fn ground_truth(setup: &ExperimentSetup) -> f64 {
         let oracle = AnalyticOracle::new(setup, 0);
         let mut noiseless = NoiselessOracle(oracle);
-        let tuner = BinarySearchTuner::new().with_target(
-            CalibrationTargets::for_setup(setup.id).bsp_accuracy,
-        );
-        tuner
-            .search(&mut noiseless)
-            .unwrap()
-            .timing
-            .switch_fraction
+        let tuner = BinarySearchTuner::new()
+            .with_target(CalibrationTargets::for_setup(setup.id).bsp_accuracy);
+        tuner.search(&mut noiseless).unwrap().timing.switch_fraction
     }
 
     #[test]

@@ -177,7 +177,9 @@ impl Dataset {
     /// Panics if `batch_size == 0`.
     pub fn sample_batch<R: Rng>(&self, batch_size: usize, rng: &mut R) -> (Tensor, Vec<usize>) {
         assert!(batch_size > 0, "batch size must be positive");
-        let indices: Vec<usize> = (0..batch_size).map(|_| rng.gen_range(0..self.len())).collect();
+        let indices: Vec<usize> = (0..batch_size)
+            .map(|_| rng.gen_range(0..self.len()))
+            .collect();
         self.batch(&indices)
     }
 

@@ -37,9 +37,9 @@ pub mod model;
 pub mod optimizer;
 
 pub use data::Dataset;
-pub use sync_switch_tensor::Tensor;
 pub use layer::{Dense, Layer, Relu, ResidualBlock};
 pub use loss::SoftmaxCrossEntropy;
 pub use metrics::accuracy;
 pub use model::Network;
 pub use optimizer::SgdMomentum;
+pub use sync_switch_tensor::Tensor;

@@ -56,11 +56,7 @@ impl Network {
             layers.push(Box::new(Relu::new()));
             prev = h;
         }
-        layers.push(Box::new(Dense::new(
-            prev,
-            classes,
-            seed.wrapping_add(1000),
-        )));
+        layers.push(Box::new(Dense::new(prev, classes, seed.wrapping_add(1000))));
         Network {
             layers,
             loss: SoftmaxCrossEntropy::new(),
@@ -248,7 +244,9 @@ mod tests {
     fn sgd_reduces_loss() {
         let mut net = Network::residual_mlp(8, 12, 2, 3, 4);
         let x = Tensor::from_vec(
-            (0..64).map(|i| ((i * 37 % 97) as f32) / 97.0 - 0.5).collect(),
+            (0..64)
+                .map(|i| ((i * 37 % 97) as f32) / 97.0 - 0.5)
+                .collect(),
             &[8, 8],
         );
         let labels: Vec<usize> = (0..8).map(|i| i % 3).collect();

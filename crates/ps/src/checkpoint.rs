@@ -7,7 +7,6 @@
 //! binary encoding (for the on-disk path).
 
 use crate::error::PsError;
-use crate::store::ShardedStore;
 
 /// A point-in-time snapshot of training state.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,14 +36,6 @@ impl Checkpoint {
             params,
             velocity,
         }
-    }
-
-    /// Captures a checkpoint directly from a parameter store at `step` —
-    /// the one place snapshotting logic lives, so every call site (trainer
-    /// checkpoints, the switcher's persist-before-restart) stays in sync
-    /// with the store's sharded layout.
-    pub fn capture(store: &ShardedStore, step: u64) -> Self {
-        Checkpoint::new(step, store.snapshot_params(), store.snapshot_velocity())
     }
 
     /// Number of parameters captured.

@@ -2,6 +2,73 @@
 
 use std::time::Duration;
 
+/// How the parameter-server tier is laid out across server instances.
+///
+/// With `servers == 1` the data plane is the single in-process
+/// [`crate::ShardedStore`] (the PR 2 fast path). With `servers >= 2` the
+/// shards are partitioned across that many [`crate::PsServer`] instances
+/// behind a [`crate::ShardRouter`], and synchronization becomes OSP-style
+/// two-stage: pushes apply immediately on the owning server (stage 1), and
+/// a periodic cross-server reconciliation round publishes the owners' shard
+/// deltas into the committed view that workers pull (stage 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTopology {
+    /// Number of parameter-server instances. Clamped to the shard count at
+    /// construction (a server with no shards would be idle).
+    pub servers: usize,
+    /// Stage-2 reconciliation period, in completed pushes: after every
+    /// `sync_every` pushes the next pushing worker runs a reconciliation
+    /// round. `1` commits after every push (tightest cross-server bound);
+    /// BSP ignores this and reconciles at every barrier round.
+    pub sync_every: u64,
+}
+
+impl ServerTopology {
+    /// Single-server topology (the default): no stage-2 rounds needed.
+    pub fn single() -> Self {
+        ServerTopology {
+            servers: 1,
+            sync_every: 1,
+        }
+    }
+
+    /// Multi-server topology with `servers` instances reconciling every
+    /// `sync_every` pushes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0` or `sync_every == 0`.
+    pub fn new(servers: usize, sync_every: u64) -> Self {
+        assert!(servers > 0, "need at least one server");
+        assert!(sync_every > 0, "sync_every must be positive");
+        ServerTopology {
+            servers,
+            sync_every,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.servers == 0 {
+            return Err("topology needs at least one server".into());
+        }
+        if self.sync_every == 0 {
+            return Err("stage-2 sync period must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ServerTopology {
+    fn default() -> Self {
+        ServerTopology::single()
+    }
+}
+
 /// Configuration for the parameter-server trainer.
 ///
 /// The Sync-Switch configuration policy mutates `learning_rate`,
@@ -22,6 +89,8 @@ pub struct TrainerConfig {
     /// Number of parameter shards (defaults to `workers`, mirroring the
     /// paper's equal PS/worker split).
     pub shards: usize,
+    /// Parameter-server tier layout (defaults to a single server).
+    pub topology: ServerTopology,
     /// Per-worker artificial delay injected before every gradient push;
     /// `None` entries are fast workers.
     pub straggler_delay: Vec<Option<Duration>>,
@@ -50,6 +119,7 @@ impl TrainerConfig {
             learning_rate,
             momentum,
             shards: workers,
+            topology: ServerTopology::single(),
             straggler_delay: vec![None; workers],
             excluded_workers: Vec::new(),
             seed: 0,
@@ -60,6 +130,12 @@ impl TrainerConfig {
     /// Sets the base RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the parameter-server tier layout.
+    pub fn with_topology(mut self, topology: ServerTopology) -> Self {
+        self.topology = topology;
         self
     }
 
@@ -101,6 +177,7 @@ impl TrainerConfig {
         if self.shards == 0 {
             return Err("shards must be positive".into());
         }
+        self.topology.validate()?;
         if self.straggler_delay.len() != self.workers {
             return Err(format!(
                 "straggler_delay has {} entries for {} workers",
@@ -132,8 +209,7 @@ mod tests {
 
     #[test]
     fn straggler_builder() {
-        let cfg = TrainerConfig::new(3, 8, 0.1, 0.9)
-            .with_straggler(1, Duration::from_millis(5));
+        let cfg = TrainerConfig::new(3, 8, 0.1, 0.9).with_straggler(1, Duration::from_millis(5));
         assert!(cfg.straggler_delay[1].is_some());
         assert!(cfg.straggler_delay[0].is_none());
     }
@@ -145,6 +221,22 @@ mod tests {
         assert_eq!(cfg.active_workers(), vec![0, 1, 3]);
         cfg.excluded_workers = vec![0, 1, 2, 3];
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn topology_defaults_and_validation() {
+        let cfg = TrainerConfig::new(4, 8, 0.1, 0.9);
+        assert_eq!(cfg.topology, ServerTopology::single());
+        let cfg = cfg.with_topology(ServerTopology::new(2, 4));
+        assert_eq!(cfg.topology.servers, 2);
+        assert_eq!(cfg.topology.sync_every, 4);
+        assert!(cfg.validate().is_ok());
+        let mut bad = cfg.clone();
+        bad.topology.servers = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = cfg;
+        bad.topology.sync_every = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -1,4 +1,9 @@
 //! The training engine: worker threads, BSP barrier, ASP async loop.
+//!
+//! The worker loops are written once against [`WorkerPort`], so the same
+//! BSP/ASP/SSP code drives either the single in-process [`ShardedStore`] or
+//! the multi-server [`crate::ShardRouter`] with OSP-style two-stage sync —
+//! the topology is picked by [`TrainerConfig::topology`] at construction.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -12,31 +17,146 @@ use sync_switch_workloads::SyncProtocol;
 use crate::checkpoint::Checkpoint;
 use crate::config::TrainerConfig;
 use crate::error::PsError;
-use crate::profiler::{ShardStaleness, StalenessHistogram, WorkerProfile};
-use crate::store::{PullBuffer, ShardedStore};
+use crate::profiler::{ServerShardStaleness, ShardStaleness, StalenessHistogram, WorkerProfile};
+use crate::router::{PortBuffer, ShardRouter, WorkerPort};
+use crate::store::ShardedStore;
 
 /// What each worker thread returns: its id, timing/loss profile, global
-/// staleness observations, and per-shard staleness observations.
-pub(crate) type WorkerResult = (usize, WorkerProfile, StalenessHistogram, ShardStaleness);
+/// staleness observations, and per-server per-shard staleness observations.
+pub(crate) type WorkerResult = (
+    usize,
+    WorkerProfile,
+    StalenessHistogram,
+    ServerShardStaleness,
+);
 
 /// Pushes a full gradient shard-by-shard against the clocks captured in
-/// `buf`, recording one per-shard staleness observation per shard, then
-/// completes the push and returns its global staleness. Shared by the ASP
-/// and SSP worker loops so the two protocols measure staleness identically.
+/// `buf`, recording one per-shard staleness observation per shard (under
+/// the owning server), then completes the push, runs any stage-2 round the
+/// push made due, and returns the push's global staleness. Shared by the
+/// ASP and SSP worker loops so the two protocols measure staleness
+/// identically.
 pub(crate) fn push_sharded(
-    store: &ShardedStore,
+    port: &WorkerPort,
     grad: &[f32],
-    buf: &PullBuffer,
+    buf: &PortBuffer,
     lr: f64,
     momentum: f64,
-    shard_hist: &mut ShardStaleness,
+    shard_hist: &mut ServerShardStaleness,
 ) -> u64 {
-    for i in 0..store.shard_count() {
-        let (offset, len) = store.shard_range(i);
-        let prev = store.apply_shard_update(i, &grad[offset..offset + len], lr, momentum);
-        shard_hist.record(i, prev.saturating_sub(buf.shard_version(i)));
+    for i in 0..port.shard_count() {
+        let (offset, len) = port.shard_range(i);
+        let prev = port.apply_shard_update(i, &grad[offset..offset + len], lr, momentum);
+        shard_hist.record(
+            port.owner_of(i),
+            i,
+            prev.saturating_sub(buf.shard_version(i)),
+        );
     }
-    store.complete_push(buf.version())
+    let staleness = port.complete_push(buf.version());
+    port.after_push();
+    staleness
+}
+
+/// The parameter-server data plane behind a trainer: the control-plane
+/// face of the same store/router pair workers reach through [`WorkerPort`].
+/// Wrapping the port (rather than mirroring its enum) keeps the dispatch in
+/// one place while still keeping owner-only operations — snapshot, restore,
+/// drain — off the worker-facing type.
+#[derive(Debug)]
+pub(crate) struct DataPlane(WorkerPort);
+
+impl DataPlane {
+    fn from_config(initial: &[f32], cfg: &TrainerConfig) -> Self {
+        // Decide on the *effective* server count (the router clamps servers
+        // to the shard count, and shards to the parameter count): a
+        // topology that clamps down to one server must get the single-store
+        // fast path, not two-stage committed-view semantics with one owner.
+        let effective_servers = cfg.topology.servers.min(cfg.shards).min(initial.len());
+        DataPlane(if effective_servers > 1 {
+            WorkerPort::Routed(Arc::new(ShardRouter::new(
+                initial,
+                cfg.shards,
+                cfg.topology,
+            )))
+        } else {
+            WorkerPort::Single(Arc::new(ShardedStore::new(initial, cfg.shards)))
+        })
+    }
+
+    pub(crate) fn port(&self) -> WorkerPort {
+        self.0.clone()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.0.shard_count()
+    }
+
+    fn server_count(&self) -> usize {
+        self.0.server_count()
+    }
+
+    fn param_count(&self) -> usize {
+        match &self.0 {
+            WorkerPort::Single(s) => s.param_count(),
+            WorkerPort::Routed(r) => r.param_count(),
+        }
+    }
+
+    fn version(&self) -> u64 {
+        match &self.0 {
+            WorkerPort::Single(s) => s.version(),
+            WorkerPort::Routed(r) => r.version(),
+        }
+    }
+
+    fn snapshot_params(&self) -> Vec<f32> {
+        match &self.0 {
+            WorkerPort::Single(s) => s.snapshot_params(),
+            WorkerPort::Routed(r) => r.snapshot_params(),
+        }
+    }
+
+    fn snapshot_velocity(&self) -> Vec<f32> {
+        match &self.0 {
+            WorkerPort::Single(s) => s.snapshot_velocity(),
+            WorkerPort::Routed(r) => r.snapshot_velocity(),
+        }
+    }
+
+    fn restore(&self, params: &[f32], velocity: &[f32]) {
+        match &self.0 {
+            WorkerPort::Single(s) => s.restore(params, velocity),
+            WorkerPort::Routed(r) => r.restore(params, velocity),
+        }
+    }
+
+    fn reset_velocity(&self) {
+        match &self.0 {
+            WorkerPort::Single(s) => s.reset_velocity(),
+            WorkerPort::Routed(r) => r.reset_velocity(),
+        }
+    }
+
+    fn is_finite(&self) -> bool {
+        match &self.0 {
+            WorkerPort::Single(s) => s.is_finite(),
+            WorkerPort::Routed(r) => r.is_finite(),
+        }
+    }
+
+    fn drain(&self) {
+        if let WorkerPort::Routed(r) = &self.0 {
+            r.drain();
+        }
+    }
+
+    fn sync_rounds(&self) -> u64 {
+        match &self.0 {
+            WorkerPort::Single(_) => 0,
+            WorkerPort::Routed(r) => r.sync_rounds(),
+        }
+    }
 }
 
 /// Outcome of one training segment (a run of consecutive steps under a
@@ -58,6 +178,13 @@ pub struct SegmentReport {
     /// clocks (one observation per shard apply; all zeros under BSP, where
     /// a stripe is applied exactly once per barrier round).
     pub shard_staleness: ShardStaleness,
+    /// The same observations broken out per owning server — under a
+    /// multi-server topology this is where the per-shard-per-server SSP
+    /// bound is visible (single-server segments put everything on server 0).
+    pub server_shard_staleness: ServerShardStaleness,
+    /// Stage-2 reconciliation rounds completed during the segment (0 on a
+    /// single-server plane).
+    pub sync_rounds: u64,
     /// Mean training loss over the last few recorded steps.
     pub final_loss: f32,
 }
@@ -99,7 +226,7 @@ struct Stripe {
 
 /// Everything a worker thread needs.
 struct WorkerCtx {
-    store: Arc<ShardedStore>,
+    port: WorkerPort,
     abort: Arc<AtomicBool>,
     diverged_at: Arc<AtomicU64>,
 }
@@ -112,7 +239,7 @@ pub struct Trainer {
     shards: Vec<Dataset>,
     test: Dataset,
     cfg: TrainerConfig,
-    store: Arc<ShardedStore>,
+    plane: DataPlane,
     global_step: u64,
     /// Deterministic probe batch for [`Trainer::training_loss`] (first
     /// shard, fixed indices) — built once, because the switcher polls the
@@ -124,7 +251,8 @@ impl std::fmt::Debug for Trainer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Trainer")
             .field("workers", &self.cfg.workers)
-            .field("params", &self.store.param_count())
+            .field("servers", &self.plane.server_count())
+            .field("params", &self.plane.param_count())
             .field("global_step", &self.global_step)
             .finish()
     }
@@ -143,9 +271,11 @@ impl Trainer {
         if let Err(msg) = cfg.validate() {
             panic!("invalid trainer config: {msg}");
         }
-        let shards: Vec<Dataset> = (0..cfg.workers).map(|k| train.shard(k, cfg.workers)).collect();
+        let shards: Vec<Dataset> = (0..cfg.workers)
+            .map(|k| train.shard(k, cfg.workers))
+            .collect();
         let initial = model.params_flat();
-        let store = Arc::new(ShardedStore::new(&initial, cfg.shards));
+        let plane = DataPlane::from_config(&initial, &cfg);
         let probe_n = shards[0].len().min(64);
         let probe_idx: Vec<usize> = (0..probe_n).collect();
         let probe_batch = shards[0].batch(&probe_idx);
@@ -154,7 +284,7 @@ impl Trainer {
             shards,
             test,
             cfg,
-            store,
+            plane,
             global_step: 0,
             probe_batch,
         }
@@ -180,6 +310,11 @@ impl Trainer {
                 "worker count is fixed at construction".into(),
             ));
         }
+        if cfg.topology != self.cfg.topology {
+            return Err(PsError::InvalidConfig(
+                "server topology is fixed at construction".into(),
+            ));
+        }
         self.cfg = cfg;
         Ok(())
     }
@@ -189,14 +324,66 @@ impl Trainer {
         self.global_step
     }
 
-    /// The shared parameter store.
+    /// The shared parameter store of a **single-server** trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the trainer runs a multi-server topology — there is no
+    /// single store then; use [`Trainer::router`], the snapshot APIs, or
+    /// the segment reports instead.
     pub fn store(&self) -> &ShardedStore {
-        &self.store
+        match &self.plane.0 {
+            WorkerPort::Single(s) => s,
+            WorkerPort::Routed(_) => panic!(
+                "Trainer::store() requires a single-server topology; \
+                 use Trainer::router() or the snapshot APIs"
+            ),
+        }
     }
 
-    /// Clone of the store handle (crate-internal: SSP extension).
-    pub(crate) fn store_arc(&self) -> Arc<ShardedStore> {
-        Arc::clone(&self.store)
+    /// The shard router of a **multi-server** trainer (`None` when the
+    /// plane is a single in-process store).
+    pub fn router(&self) -> Option<&ShardRouter> {
+        match &self.plane.0 {
+            WorkerPort::Single(_) => None,
+            WorkerPort::Routed(r) => Some(r),
+        }
+    }
+
+    /// Number of parameter servers in the data plane (1 for the single
+    /// in-process store).
+    pub fn server_count(&self) -> usize {
+        self.plane.server_count()
+    }
+
+    /// Cluster-global push count (the data-plane version clock).
+    pub fn push_count(&self) -> u64 {
+        self.plane.version()
+    }
+
+    /// Stage-2 reconciliation rounds completed so far (0 on a
+    /// single-server plane).
+    pub fn sync_rounds(&self) -> u64 {
+        self.plane.sync_rounds()
+    }
+
+    /// Drains any in-flight stage-2 reconciliation so the committed view
+    /// every worker pulls equals the live state. No-op on a single-server
+    /// plane; called by the switcher before checkpointing a protocol
+    /// switch.
+    pub fn drain_sync(&self) {
+        self.plane.drain();
+    }
+
+    /// Resets the optimizer velocity to zero on every server.
+    pub fn reset_velocity(&self) {
+        self.plane.reset_velocity();
+    }
+
+    /// A worker-facing port onto the data plane (crate-internal: SSP
+    /// extension).
+    pub(crate) fn port(&self) -> WorkerPort {
+        self.plane.port()
     }
 
     /// Worker `w`'s data shard (crate-internal: SSP extension).
@@ -214,9 +401,15 @@ impl Trainer {
         self.global_step += steps;
     }
 
-    /// Takes a checkpoint of the current training state.
+    /// Takes a checkpoint of the current training state (the live,
+    /// authoritative parameters — a concurrent stage-2 round cannot make
+    /// this observe unpublished data, only the owners are read).
     pub fn checkpoint(&self) -> Checkpoint {
-        Checkpoint::capture(&self.store, self.global_step)
+        Checkpoint::new(
+            self.global_step,
+            self.plane.snapshot_params(),
+            self.plane.snapshot_velocity(),
+        )
     }
 
     /// Restores training state from a checkpoint.
@@ -226,8 +419,8 @@ impl Trainer {
     /// Returns [`PsError::CheckpointMismatch`] if the checkpoint shape does
     /// not match the model.
     pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), PsError> {
-        ck.check_compatible(self.store.param_count())?;
-        self.store.restore(&ck.params, &ck.velocity);
+        ck.check_compatible(self.plane.param_count())?;
+        self.plane.restore(&ck.params, &ck.velocity);
         self.global_step = ck.step;
         Ok(())
     }
@@ -235,7 +428,7 @@ impl Trainer {
     /// Evaluates top-1 accuracy on the held-out test set using the current
     /// parameters.
     pub fn evaluate(&self) -> f64 {
-        let params = self.store.snapshot_params();
+        let params = self.plane.snapshot_params();
         let mut model = self.template.clone();
         model.set_params_flat(&params);
         model.accuracy_on(self.test.features(), self.test.labels())
@@ -245,7 +438,7 @@ impl Trainer {
     /// batch (first shard, fixed indices; cached at construction so the
     /// switcher's polling loop does not rebuild it every call).
     pub fn training_loss(&self) -> f32 {
-        let params = self.store.snapshot_params();
+        let params = self.plane.snapshot_params();
         let mut model = self.template.clone();
         model.set_params_flat(&params);
         let (x, y) = &self.probe_batch;
@@ -272,7 +465,12 @@ impl Trainer {
                 wall_time: Duration::ZERO,
                 worker_profiles: vec![WorkerProfile::default(); self.cfg.workers],
                 staleness: StalenessHistogram::new(),
-                shard_staleness: ShardStaleness::new(self.store.shard_count()),
+                shard_staleness: ShardStaleness::new(self.plane.shard_count()),
+                server_shard_staleness: ServerShardStaleness::new(
+                    self.plane.server_count(),
+                    self.plane.shard_count(),
+                ),
+                sync_rounds: 0,
                 final_loss: 0.0,
             });
         }
@@ -282,11 +480,12 @@ impl Trainer {
         }
 
         let ctx = WorkerCtx {
-            store: Arc::clone(&self.store),
+            port: self.plane.port(),
             abort: Arc::new(AtomicBool::new(false)),
             diverged_at: Arc::new(AtomicU64::new(u64::MAX)),
         };
 
+        let rounds_before = self.plane.sync_rounds();
         let start = Instant::now();
         let results: Vec<WorkerResult> = match protocol {
             SyncProtocol::Bsp => self.run_bsp(&ctx, &active, steps),
@@ -300,7 +499,7 @@ impl Trainer {
         if diverged != u64::MAX {
             return Err(PsError::Diverged { step: diverged });
         }
-        if !self.store.is_finite() {
+        if !self.plane.is_finite() {
             return Err(PsError::Diverged {
                 step: self.global_step + steps,
             });
@@ -308,11 +507,12 @@ impl Trainer {
 
         let mut profiles = vec![WorkerProfile::default(); self.cfg.workers];
         let mut staleness = StalenessHistogram::new();
-        let mut shard_staleness = ShardStaleness::new(self.store.shard_count());
+        let mut server_shard_staleness =
+            ServerShardStaleness::new(self.plane.server_count(), self.plane.shard_count());
         let mut tail_losses = Vec::new();
         for (worker, profile, hist, shard_hist) in results {
             staleness.merge(&hist);
-            shard_staleness.merge(&shard_hist);
+            server_shard_staleness.merge(&shard_hist);
             tail_losses.extend(profile.losses.iter().rev().take(4).copied());
             profiles[worker] = profile;
         }
@@ -329,7 +529,9 @@ impl Trainer {
             wall_time,
             worker_profiles: profiles,
             staleness,
-            shard_staleness,
+            shard_staleness: server_shard_staleness.flatten(),
+            server_shard_staleness,
+            sync_rounds: self.plane.sync_rounds() - rounds_before,
             final_loss,
         })
     }
@@ -349,10 +551,11 @@ impl Trainer {
     /// large-batch SGD up to f32 summation order.
     fn run_bsp(&self, ctx: &WorkerCtx, active: &[usize], rounds: u64) -> Vec<WorkerResult> {
         let n_active = active.len();
-        let n_stripes = self.store.shard_count();
+        let n_stripes = self.plane.shard_count();
+        let n_servers = self.plane.server_count();
         let stripes = (0..n_stripes)
             .map(|i| {
-                let (_, len) = self.store.shard_range(i);
+                let (_, len) = ctx.port.shard_range(i);
                 Mutex::new(Stripe {
                     accum: vec![0.0; len],
                     count: 0,
@@ -372,7 +575,7 @@ impl Trainer {
             let mut handles = Vec::with_capacity(n_active);
             for (rank, &worker) in active.iter().enumerate() {
                 let shared = Arc::clone(&shared);
-                let store = Arc::clone(&ctx.store);
+                let port = ctx.port.clone();
                 let abort = Arc::clone(&ctx.abort);
                 let diverged_at = Arc::clone(&ctx.diverged_at);
                 let shard = &self.shards[worker];
@@ -385,8 +588,8 @@ impl Trainer {
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
-                    let mut shard_hist = ShardStaleness::new(n_stripes);
-                    let mut buf = PullBuffer::new();
+                    let mut shard_hist = ServerShardStaleness::new(n_servers, n_stripes);
+                    let mut buf = port.new_buffer();
                     for r in 0..rounds {
                         // Relaxed: abort is a latest-wins flag; the data it
                         // guards (diverged_at) is read after thread join.
@@ -394,7 +597,7 @@ impl Trainer {
                             break;
                         }
                         let t0 = Instant::now();
-                        let version = store.pull_into(&mut buf);
+                        let version = port.pull_into(&mut buf);
                         model.set_params_flat(buf.params());
                         let mut rng = step_rng(seed, worker, base_step + r);
                         let (x, y) = shard.sample_batch(batch, &mut rng);
@@ -425,21 +628,22 @@ impl Trainer {
                         // stripe averages and applies it.
                         for k in 0..n_stripes {
                             let i = (rank + k) % n_stripes;
-                            let (offset, len) = store.shard_range(i);
+                            let (offset, len) = port.shard_range(i);
                             let mut stripe = shared.stripes[i].lock();
                             let state = &mut *stripe;
-                            for (a, g) in
-                                state.accum.iter_mut().zip(&grad[offset..offset + len])
-                            {
+                            for (a, g) in state.accum.iter_mut().zip(&grad[offset..offset + len]) {
                                 *a += g;
                             }
                             state.count += 1;
                             if state.count == n_active {
                                 let scale = 1.0 / n_active as f32;
                                 state.accum.iter_mut().for_each(|a| *a *= scale);
-                                let prev = store.apply_shard_update(i, &state.accum, lr, mu);
-                                shard_hist
-                                    .record(i, prev.saturating_sub(buf.shard_version(i)));
+                                let prev = port.apply_shard_update(i, &state.accum, lr, mu);
+                                shard_hist.record(
+                                    port.owner_of(i),
+                                    i,
+                                    prev.saturating_sub(buf.shard_version(i)),
+                                );
                                 state.accum.iter_mut().for_each(|a| *a = 0.0);
                                 state.count = 0;
                                 drop(stripe);
@@ -448,10 +652,15 @@ impl Trainer {
                                 // publish its own apply before the round
                                 // advance (Release); the shard data itself
                                 // is ordered by the shard mutexes.
-                                if shared.applied.fetch_add(1, Ordering::AcqRel) + 1
-                                    == n_stripes
-                                {
-                                    store.complete_push(version);
+                                if shared.applied.fetch_add(1, Ordering::AcqRel) + 1 == n_stripes {
+                                    port.complete_push(version);
+                                    // Stage-2 drain: publish this round's
+                                    // applies to every server's committed
+                                    // view before any worker can pull the
+                                    // next round (everyone else is parked
+                                    // at the barrier below, so the commit
+                                    // cannot race a pull).
+                                    port.end_round();
                                     let mut round = shared.round.lock();
                                     // Relaxed: reset is published to the
                                     // next round's appliers by the round
@@ -493,12 +702,13 @@ impl Trainer {
         let claimed = Arc::new(AtomicU64::new(0));
         let cfg = &self.cfg;
         let base_step = self.global_step;
-        let n_shards = self.store.shard_count();
+        let n_shards = self.plane.shard_count();
+        let n_servers = self.plane.server_count();
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(active.len());
             for &worker in active {
-                let store = Arc::clone(&ctx.store);
+                let port = ctx.port.clone();
                 let abort = Arc::clone(&ctx.abort);
                 let diverged_at = Arc::clone(&ctx.diverged_at);
                 let claimed = Arc::clone(&claimed);
@@ -512,8 +722,8 @@ impl Trainer {
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
-                    let mut shard_hist = ShardStaleness::new(n_shards);
-                    let mut buf = PullBuffer::new();
+                    let mut shard_hist = ServerShardStaleness::new(n_servers, n_shards);
+                    let mut buf = port.new_buffer();
                     loop {
                         // Relaxed: latest-wins flag; diverged_at is read
                         // after thread join, which synchronizes.
@@ -528,7 +738,7 @@ impl Trainer {
                             break;
                         }
                         let t0 = Instant::now();
-                        store.pull_into(&mut buf);
+                        port.pull_into(&mut buf);
                         model.set_params_flat(buf.params());
                         let mut rng = step_rng(seed, worker, base_step + s);
                         let (x, y) = shard.sample_batch(batch, &mut rng);
@@ -545,7 +755,7 @@ impl Trainer {
                         // Shard-granular push: per-shard staleness comes
                         // from each shard clock's pre-apply value versus
                         // the clock captured at pull time.
-                        let staleness = push_sharded(&store, &grad, &buf, lr, mu, &mut shard_hist);
+                        let staleness = push_sharded(&port, &grad, &buf, lr, mu, &mut shard_hist);
                         profile.step_durations.push(t0.elapsed());
                         profile.losses.push(loss);
                         hist.record(staleness);
@@ -600,7 +810,10 @@ mod tests {
         // Striped applies are fresh too: one observation per stripe per
         // round, every one of them zero, and every shard clock in lockstep
         // with the global version.
-        assert_eq!(r.shard_staleness.total(), 25 * t.store().shard_count() as u64);
+        assert_eq!(
+            r.shard_staleness.total(),
+            25 * t.store().shard_count() as u64
+        );
         assert_eq!(r.shard_staleness.max(), Some(0));
         for i in 0..t.store().shard_count() {
             assert_eq!(t.store().shard_version(i), 25);
@@ -721,6 +934,186 @@ mod tests {
     }
 
     #[test]
+    fn multi_server_bsp_equals_sequential_large_batch_sgd() {
+        // The ISSUE-prescribed shape: 2 servers × 7 shards × 3 workers.
+        // Routing stripes to per-server live stores and draining stage 2 at
+        // every barrier round must leave BSP numerically identical to
+        // sequential large-batch SGD.
+        let workers = 3;
+        let data = Dataset::gaussian_blobs(4, 60, 6, 0.35, 7);
+        let (train, test) = data.split(0.25);
+        let mut cfg = TrainerConfig::new(workers, 8, 0.05, 0.9).with_seed(7);
+        cfg.shards = 7;
+        cfg.topology = crate::config::ServerTopology::new(2, 4);
+        let mut t = Trainer::new(Network::mlp(6, &[16], 4, 7), train, test, cfg);
+        assert_eq!(t.server_count(), 2);
+        assert!(t.router().is_some());
+        let initial = t.plane.snapshot_params();
+        let shards: Vec<Dataset> = t.shards.clone();
+        let template = t.template.clone();
+        let rounds = 10;
+        let r = t.run_segment(SyncProtocol::Bsp, rounds).unwrap();
+        let distributed = t.plane.snapshot_params();
+        // Every barrier round drains stage 2, and BSP stays fresh per shard
+        // on every server.
+        assert_eq!(r.sync_rounds, rounds);
+        assert_eq!(r.shard_staleness.max(), Some(0));
+        assert_eq!(r.server_shard_staleness.server_count(), 2);
+        assert_eq!(t.push_count(), rounds);
+
+        let mut model = template.clone();
+        model.set_params_flat(&initial);
+        let mut opt = SgdMomentum::new(model.param_count(), 0.05, 0.9);
+        let mut params = initial.clone();
+        for round in 0..rounds {
+            let mut avg = vec![0.0f32; model.param_count()];
+            for (w, shard) in shards.iter().enumerate() {
+                model.set_params_flat(&params);
+                let mut rng = step_rng(7, w, round);
+                let (x, y) = shard.sample_batch(8, &mut rng);
+                let (_, grad) = model.loss_and_grad(&x, &y);
+                for (a, g) in avg.iter_mut().zip(&grad) {
+                    *a += g / workers as f32;
+                }
+            }
+            opt.apply(&mut params, &avg);
+        }
+        let max_diff = distributed
+            .iter()
+            .zip(&params)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(
+            max_diff < 1e-4,
+            "multi-server BSP diverged from sequential SGD by {max_diff}"
+        );
+    }
+
+    #[test]
+    fn multi_server_asp_reports_per_server_staleness() {
+        let data = Dataset::gaussian_blobs(4, 60, 6, 0.35, 8);
+        let (train, test) = data.split(0.25);
+        let mut cfg = TrainerConfig::new(4, 8, 0.05, 0.9).with_seed(8);
+        cfg.shards = 5;
+        cfg.topology = crate::config::ServerTopology::new(2, 2);
+        let mut t = Trainer::new(Network::mlp(6, &[16], 4, 8), train, test, cfg);
+        let steps = 200;
+        let r = t.run_segment(SyncProtocol::Asp, steps).unwrap();
+        assert_eq!(r.steps, steps);
+        assert_eq!(t.push_count(), steps);
+        // Rounds fire on the `sync_every` schedule; contended rounds may
+        // batch (one round can cover several due periods), never exceed it.
+        assert!(r.sync_rounds >= 1);
+        assert!(r.sync_rounds <= steps / 2);
+        // Every shard's observations sit under its owning server, and only
+        // there.
+        let router = t.router().expect("multi-server plane");
+        assert_eq!(r.server_shard_staleness.server_count(), 2);
+        for g in 0..router.shard_count() {
+            let owner = router.owner_of(g);
+            assert_eq!(
+                r.server_shard_staleness.server(owner).shard(g).total(),
+                steps,
+                "shard {g} observations missing on owner {owner}"
+            );
+            assert_eq!(
+                r.server_shard_staleness.server(1 - owner).shard(g).total(),
+                0,
+                "shard {g} observed on a non-owner"
+            );
+        }
+        assert_eq!(
+            r.shard_staleness.total(),
+            steps * router.shard_count() as u64
+        );
+        // Real concurrency through the committed view produces staleness.
+        assert!(r.staleness.mean() > 0.1);
+    }
+
+    #[test]
+    fn multi_server_global_staleness_measures_data_lag() {
+        // Regression: global staleness used to be measured against the
+        // live push counter even though routed pulls read the older
+        // committed view, so a worker training on stage-2-stale data
+        // reported staleness 0. With one worker the honest measurement is
+        // fully deterministic: push k pulls the view committed at the last
+        // round (the largest multiple of sync_every ≤ k), so its staleness
+        // is k mod sync_every.
+        let data = Dataset::gaussian_blobs(4, 60, 6, 0.35, 18);
+        let (train, test) = data.split(0.25);
+        let mut cfg = TrainerConfig::new(1, 8, 0.02, 0.9).with_seed(18);
+        cfg.shards = 4;
+        cfg.topology = crate::config::ServerTopology::new(2, 4);
+        let mut t = Trainer::new(Network::mlp(6, &[16], 4, 18), train, test, cfg);
+        let r = t.run_segment(SyncProtocol::Asp, 40).unwrap();
+        assert_eq!(r.staleness.max(), Some(3), "committed lag must be visible");
+        assert!((r.staleness.mean() - 1.5).abs() < 1e-9);
+        // The global and per-shard views agree on the lag.
+        assert_eq!(r.shard_staleness.max(), Some(3));
+    }
+
+    #[test]
+    fn multi_server_trains_under_all_protocols() {
+        // Acceptance shape: servers >= 2 trains MLP-on-blobs through BSP,
+        // ASP, and SSP on the real PS in one trainer lifetime.
+        let data = Dataset::gaussian_blobs(4, 80, 6, 0.35, 15);
+        let (train, test) = data.split(0.25);
+        let mut cfg = TrainerConfig::new(4, 8, 0.05, 0.9).with_seed(15);
+        cfg.shards = 6;
+        cfg.topology = crate::config::ServerTopology::new(3, 2);
+        let mut t = Trainer::new(Network::mlp(6, &[16], 4, 15), train, test, cfg);
+        let before = t.evaluate();
+        for _ in 0..3 {
+            t.run_segment(SyncProtocol::Bsp, 40).unwrap();
+            t.run_segment(SyncProtocol::Asp, 40).unwrap();
+            t.run_ssp_segment(2, 40).unwrap();
+        }
+        let after = t.evaluate();
+        assert_eq!(t.global_step(), 360);
+        assert!(
+            after > before + 0.2,
+            "multi-server training did not learn: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn clamped_topology_uses_single_store_fast_path() {
+        // servers > shards clamps to one effective server; that must get
+        // the single-store plane (live pulls, no stage-2 lag), not a
+        // one-owner router with committed-view semantics.
+        let data = Dataset::gaussian_blobs(3, 40, 5, 0.3, 19);
+        let (train, test) = data.split(0.25);
+        let mut cfg = TrainerConfig::new(2, 8, 0.05, 0.9).with_seed(19);
+        cfg.shards = 1;
+        cfg.topology = crate::config::ServerTopology::new(2, 64);
+        let mut t = Trainer::new(Network::mlp(5, &[8], 3, 19), train, test, cfg);
+        assert_eq!(t.server_count(), 1);
+        assert!(t.router().is_none());
+        let _ = t.store(); // single-server accessor works
+        let r = t.run_segment(SyncProtocol::Asp, 30).unwrap();
+        assert_eq!(r.sync_rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "single-server topology")]
+    fn store_accessor_requires_single_server() {
+        let data = Dataset::gaussian_blobs(3, 40, 5, 0.3, 1);
+        let (train, test) = data.split(0.25);
+        let cfg = TrainerConfig::new(2, 8, 0.05, 0.9)
+            .with_topology(crate::config::ServerTopology::new(2, 1));
+        let t = Trainer::new(Network::mlp(5, &[8], 3, 1), train, test, cfg);
+        let _ = t.store();
+    }
+
+    #[test]
+    fn topology_is_fixed_after_construction() {
+        let mut t = small_trainer(2, 16);
+        let mut cfg = t.config().clone();
+        cfg.topology = crate::config::ServerTopology::new(2, 1);
+        assert!(matches!(t.set_config(cfg), Err(PsError::InvalidConfig(_))));
+    }
+
+    #[test]
     fn bsp_training_learns() {
         let mut t = small_trainer(4, 3);
         let before = t.evaluate();
@@ -824,9 +1217,6 @@ mod tests {
     fn config_worker_count_is_fixed() {
         let mut t = small_trainer(2, 14);
         let bad = TrainerConfig::new(3, 8, 0.05, 0.9);
-        assert!(matches!(
-            t.set_config(bad),
-            Err(PsError::InvalidConfig(_))
-        ));
+        assert!(matches!(t.set_config(bad), Err(PsError::InvalidConfig(_))));
     }
 }

@@ -46,7 +46,10 @@ mod tests {
     #[test]
     fn display_is_lowercase_and_informative() {
         let e = PsError::Diverged { step: 42 };
-        assert_eq!(e.to_string(), "training diverged at step 42 (non-finite loss)");
+        assert_eq!(
+            e.to_string(),
+            "training diverged at step 42 (non-finite loss)"
+        );
         let e = PsError::InvalidConfig("zero workers".into());
         assert!(e.to_string().contains("zero workers"));
     }

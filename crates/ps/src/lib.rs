@@ -37,14 +37,18 @@ pub mod config;
 pub mod engine;
 pub mod error;
 pub mod profiler;
+pub mod router;
+pub mod server;
 pub mod ssp;
 pub mod store;
 pub mod switcher;
 
 pub use checkpoint::Checkpoint;
-pub use config::TrainerConfig;
+pub use config::{ServerTopology, TrainerConfig};
 pub use engine::{SegmentReport, Trainer};
 pub use error::PsError;
-pub use profiler::{ShardStaleness, StalenessHistogram, WorkerProfile};
-pub use store::{PullBuffer, ShardedStore};
+pub use profiler::{ServerShardStaleness, ShardStaleness, StalenessHistogram, WorkerProfile};
+pub use router::{PortBuffer, RouterBuffer, ShardRouter, WorkerPort};
+pub use server::PsServer;
+pub use store::{PullBuffer, ShardLayout, ShardedStore};
 pub use switcher::{execute_switch, SwitchOutcome, SwitchPlan};

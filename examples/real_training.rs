@@ -84,21 +84,27 @@ fn main() {
 
     println!(
         "  completed {} steps in {:.2} s of wall time",
-        report.total_steps,
-        report.total_time_s
+        report.total_steps, report.total_time_s
     );
     println!(
         "  BSP steps: {}, ASP steps: {}, switches: {}, evicted workers: {:?}",
         report.bsp_steps,
         report.asp_steps,
         report.switches.len(),
-        report.removed_workers.iter().map(|&(_, w)| w).collect::<Vec<_>>(),
+        report
+            .removed_workers
+            .iter()
+            .map(|&(_, w)| w)
+            .collect::<Vec<_>>(),
     );
     println!(
         "  converged accuracy: {:.3}",
         report.converged_accuracy.unwrap_or(0.0)
     );
     if let Some(tta) = report.tta_s {
-        println!("  reached {:.0}% accuracy after {tta:.2} s", report.tta_target * 100.0);
+        println!(
+            "  reached {:.0}% accuracy after {tta:.2} s",
+            report.tta_target * 100.0
+        );
     }
 }

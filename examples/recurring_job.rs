@@ -9,7 +9,7 @@
 //! ```
 
 use sync_switch::prelude::*;
-use sync_switch_core::{SimOracle, TrialResult, TrainingOracle};
+use sync_switch_core::{SimOracle, TrainingOracle, TrialResult};
 
 fn main() {
     let setup = ExperimentSetup::one();
@@ -42,7 +42,11 @@ fn main() {
             } else {
                 String::new()
             },
-            if probe.accepted { "accept (move up)" } else { "reject (move down)" },
+            if probe.accepted {
+                "accept (move up)"
+            } else {
+                "reject (move down)"
+            },
         );
     }
     println!(

@@ -8,7 +8,12 @@
 use sync_switch::prelude::*;
 use sync_switch_core::SimBackend as Backend;
 
-fn run(setup: &ExperimentSetup, online: OnlinePolicyKind, scenario: StragglerScenario, seed: u64) -> TrainingReport {
+fn run(
+    setup: &ExperimentSetup,
+    online: OnlinePolicyKind,
+    scenario: StragglerScenario,
+    seed: u64,
+) -> TrainingReport {
     let policy = SyncSwitchPolicy::paper_policy(setup).with_online(online);
     let mut backend = Backend::new(setup, seed).with_scenario(scenario);
     ClusterManager::new(policy)

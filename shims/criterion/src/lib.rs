@@ -28,7 +28,10 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20, measurement_time: Duration::from_secs(1) }
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+        }
     }
 }
 

@@ -16,7 +16,9 @@ pub struct Mutex<T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn into_inner(self) -> T {
@@ -33,7 +35,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(guard) => Some(MutexGuard { guard: Some(guard) }),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard { guard: Some(e.into_inner()) }),
+            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                guard: Some(e.into_inner()),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -86,7 +90,9 @@ pub struct Condvar {
 
 impl Condvar {
     pub const fn new() -> Self {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {

@@ -17,8 +17,8 @@ use rand::{Rng as _, RngCore, SeedableRng};
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError, TestRng,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestRng,
     };
 }
 
@@ -36,7 +36,9 @@ impl TestRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        TestRng { inner: StdRng::seed_from_u64(h) }
+        TestRng {
+            inner: StdRng::seed_from_u64(h),
+        }
     }
 
     pub fn next_u64(&mut self) -> u64 {
@@ -105,7 +107,10 @@ pub trait Strategy {
     where
         Self: Sized,
     {
-        Map { strategy: self, mapper: f }
+        Map {
+            strategy: self,
+            mapper: f,
+        }
     }
 }
 
@@ -207,7 +212,9 @@ impl<T: ArbitraryValue> Strategy for Any<T> {
 
 /// `any::<T>()` — the full range of `T`.
 pub fn any<T: ArbitraryValue>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 /// Collection size specification: a fixed length or a range of lengths.
@@ -219,20 +226,29 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(n: usize) -> Self {
-        SizeRange { lo: n, hi_exclusive: n + 1 }
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { lo: r.start, hi_exclusive: r.end }
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
-        SizeRange { lo: *r.start(), hi_exclusive: *r.end() + 1 }
+        SizeRange {
+            lo: *r.start(),
+            hi_exclusive: *r.end() + 1,
+        }
     }
 }
 
@@ -246,7 +262,10 @@ pub mod collection {
     }
 
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -272,7 +291,10 @@ pub mod collection {
         S: Strategy,
         S::Value: Ord,
     {
-        BTreeSetStrategy { element, size: size.into() }
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S> Strategy for BTreeSetStrategy<S>

@@ -147,9 +147,7 @@ pub trait Deserialize: Sized {
 /// Helper used by derived `Deserialize` impls: look up a field, treating a
 /// missing key as `Null` (so `Option` fields tolerate absence).
 pub fn de_field<T: Deserialize>(v: &Value, field: &str) -> Result<T, Error> {
-    let inner = v
-        .get(field)
-        .unwrap_or(&NULL);
+    let inner = v.get(field).unwrap_or(&NULL);
     T::from_value(inner).map_err(|e| Error(format!("field `{field}`: {e}")))
 }
 
@@ -324,7 +322,11 @@ impl_serde_tuple! {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 
@@ -340,8 +342,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 
 impl<V: Serialize> Serialize for HashMap<String, V> {
     fn to_value(&self) -> Value {
-        let mut entries: Vec<(String, Value)> =
-            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
     }

@@ -73,10 +73,15 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
                 };
                 match iter.next() {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                        return Ok(Shape::Struct { name, fields: parse_named_fields(g.stream())? });
+                        return Ok(Shape::Struct {
+                            name,
+                            fields: parse_named_fields(g.stream())?,
+                        });
                     }
                     Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-                        return Err(format!("serde_derive shim: generic type `{name}` unsupported"));
+                        return Err(format!(
+                            "serde_derive shim: generic type `{name}` unsupported"
+                        ));
                     }
                     _ => {
                         return Err(format!(
@@ -163,7 +168,11 @@ fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Result<Vec<String>
                      only unit variants are supported"
                 ));
             }
-            Some(other) => return Err(format!("unexpected token after variant `{name}`: {other:?}")),
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token after variant `{name}`: {other:?}"
+                ))
+            }
         }
     }
     Ok(variants)

@@ -148,11 +148,17 @@ struct Parser<'a> {
 }
 
 fn parse(s: &str) -> Result<Value> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(Error::msg(format!("trailing characters at offset {}", p.pos)));
+        return Err(Error::msg(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
     }
     Ok(v)
 }
@@ -247,7 +253,10 @@ impl<'a> Parser<'a> {
                 }
             }
             Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
-            _ => Err(Error::msg(format!("unexpected character at offset {}", self.pos))),
+            _ => Err(Error::msg(format!(
+                "unexpected character at offset {}",
+                self.pos
+            ))),
         }
     }
 
@@ -302,11 +311,17 @@ impl<'a> Parser<'a> {
                                 }
                                 self.pos += 6;
                                 let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                out.push(char::from_u32(c).ok_or_else(|| Error::msg("bad surrogate pair"))?);
+                                out.push(
+                                    char::from_u32(c)
+                                        .ok_or_else(|| Error::msg("bad surrogate pair"))?,
+                                );
                             } else if (0xDC00..0xE000).contains(&code) {
                                 return Err(Error::msg("unpaired low surrogate"));
                             } else {
-                                out.push(char::from_u32(code).ok_or_else(|| Error::msg("bad \\u escape"))?);
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| Error::msg("bad \\u escape"))?,
+                                );
                             }
                         }
                         _ => return Err(Error::msg("bad escape")),
@@ -493,16 +508,31 @@ mod tests {
         // BMP escape below the surrogate range still decodes directly.
         let v: Value = from_str(r#""\u00e9""#).unwrap();
         assert_eq!(v.as_str(), Some("\u{e9}"));
-        assert!(from_str::<Value>(r#""\ud83d""#).is_err(), "unpaired high surrogate");
-        assert!(from_str::<Value>(r#""\ude00""#).is_err(), "unpaired low surrogate");
-        assert!(from_str::<Value>(r#""\ud83dx""#).is_err(), "high surrogate not followed by escape");
+        assert!(
+            from_str::<Value>(r#""\ud83d""#).is_err(),
+            "unpaired high surrogate"
+        );
+        assert!(
+            from_str::<Value>(r#""\ude00""#).is_err(),
+            "unpaired low surrogate"
+        );
+        assert!(
+            from_str::<Value>(r#""\ud83dx""#).is_err(),
+            "high surrogate not followed by escape"
+        );
     }
 
     #[test]
     fn out_of_range_integers_error_instead_of_wrapping() {
-        assert_eq!(from_str::<u8>("300").unwrap_err().to_string(), "300 out of range for u8");
+        assert_eq!(
+            from_str::<u8>("300").unwrap_err().to_string(),
+            "300 out of range for u8"
+        );
         assert!(from_str::<usize>("-1").is_err());
-        assert!(from_str::<u64>("1e300").is_err(), "huge float must not cast to int");
+        assert!(
+            from_str::<u64>("1e300").is_err(),
+            "huge float must not cast to int"
+        );
         assert_eq!(from_str::<u8>("255").unwrap(), 255);
         assert_eq!(from_str::<i64>("-7.0").unwrap(), -7);
     }

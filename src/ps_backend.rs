@@ -7,12 +7,12 @@
 
 use std::time::Duration;
 
+use sync_switch_convergence::MomentumScaling;
 use sync_switch_core::{AdjustedConfig, BackendChunk, CoreError, TrainingBackend};
 use sync_switch_nn::{Dataset, Network};
 use sync_switch_ps::{PsError, Trainer, TrainerConfig};
 use sync_switch_sim::SimTime;
 use sync_switch_workloads::SyncProtocol;
-use sync_switch_convergence::MomentumScaling;
 
 /// Drives a real in-process parameter server under the Sync-Switch policy
 /// engine.
@@ -169,7 +169,7 @@ impl TrainingBackend for PsBackend {
             .set_config(cfg)
             .is_ok_and(|()| variant == MomentumScaling::Zero)
         {
-            self.trainer.store().reset_velocity();
+            self.trainer.reset_velocity();
         }
     }
 
@@ -215,8 +215,7 @@ mod tests {
         setup.workload.hyper.total_steps = total;
         setup.workload.hyper.batch_size = 8;
         setup.workload.hyper.learning_rate = 0.04;
-        setup.workload.hyper.lr_schedule =
-            LrSchedule::piecewise(vec![(total / 2, 0.1)]);
+        setup.workload.hyper.lr_schedule = LrSchedule::piecewise(vec![(total / 2, 0.1)]);
         setup
     }
 

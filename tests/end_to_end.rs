@@ -46,8 +46,14 @@ fn setup1_reproduces_headline_numbers() {
     let bsp_t = mean(bsp.iter().map(|r| r.total_time_s));
     let ss_frac = mean(ss.iter().map(|r| r.total_time_s)) / bsp_t;
     let asp_frac = mean(asp.iter().map(|r| r.total_time_s)) / bsp_t;
-    assert!((0.15..0.27).contains(&ss_frac), "SS time fraction {ss_frac}");
-    assert!((0.12..0.20).contains(&asp_frac), "ASP time fraction {asp_frac}");
+    assert!(
+        (0.15..0.27).contains(&ss_frac),
+        "SS time fraction {ss_frac}"
+    );
+    assert!(
+        (0.12..0.20).contains(&asp_frac),
+        "ASP time fraction {asp_frac}"
+    );
     assert!(asp_frac < ss_frac, "ASP must be fastest");
 
     // Switch overhead ~1.7% of the run (paper §VI-C2).
@@ -142,7 +148,10 @@ fn asp_never_reaches_bsp_level_accuracy() {
     let setup = ExperimentSetup::one();
     for seed in [50u64, 51] {
         let asp = run(&setup, SyncSwitchPolicy::static_asp(8), seed);
-        assert!(asp.tta_s.is_none(), "ASP should not reach the BSP threshold");
+        assert!(
+            asp.tta_s.is_none(),
+            "ASP should not reach the BSP threshold"
+        );
     }
 }
 

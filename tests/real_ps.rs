@@ -69,7 +69,12 @@ fn wall_clock_asp_beats_bsp_with_straggler() {
         let cfg = TrainerConfig::new(4, 8, 0.03, 0.9)
             .with_seed(9)
             .with_straggler(0, Duration::from_millis(2));
-        let mut trainer = Trainer::new(Network::mlp(8, &[16], 4, 9), train.clone(), test.clone(), cfg);
+        let mut trainer = Trainer::new(
+            Network::mlp(8, &[16], 4, 9),
+            train.clone(),
+            test.clone(),
+            cfg,
+        );
         let seg = trainer.run_segment(protocol, 80).expect("completes");
         seg.wall_time.as_secs_f64()
     };

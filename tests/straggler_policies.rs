@@ -52,7 +52,10 @@ fn elastic_policy_preserves_accuracy_and_beats_baseline() {
     // Both injected stragglers were evicted, then the cluster restored.
     for r in &elastic {
         let evicted: Vec<usize> = r.removed_workers.iter().map(|&(_, w)| w).collect();
-        assert!(evicted.contains(&0) && evicted.contains(&1), "evicted {evicted:?}");
+        assert!(
+            evicted.contains(&0) && evicted.contains(&1),
+            "evicted {evicted:?}"
+        );
     }
 }
 
@@ -105,9 +108,17 @@ fn stragglers_after_the_switch_are_harmless() {
             added_latency_s: 0.030,
         }],
     };
-    let clean = run(&setup, OnlinePolicyKind::Elastic, StragglerScenario::none(), 9);
+    let clean = run(
+        &setup,
+        OnlinePolicyKind::Elastic,
+        StragglerScenario::none(),
+        9,
+    );
     let slowed = run(&setup, OnlinePolicyKind::Elastic, late, 9);
-    assert!(slowed.removed_workers.is_empty(), "no eviction after switch");
+    assert!(
+        slowed.removed_workers.is_empty(),
+        "no eviction after switch"
+    );
     assert_eq!(slowed.switches.len(), 1);
     let ratio = slowed.total_time_s / clean.total_time_s;
     assert!(
@@ -119,7 +130,12 @@ fn stragglers_after_the_switch_are_harmless() {
 #[test]
 fn baseline_pays_for_stragglers_under_bsp() {
     let setup = ExperimentSetup::one();
-    let clean = run(&setup, OnlinePolicyKind::Baseline, StragglerScenario::none(), 11);
+    let clean = run(
+        &setup,
+        OnlinePolicyKind::Baseline,
+        StragglerScenario::none(),
+        11,
+    );
     let slowed = run(
         &setup,
         OnlinePolicyKind::Baseline,
