@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt build test clippy bench-compile bench-smoke exhibits examples)
+STAGES=(fmt build test transport clippy bench-compile bench-smoke exhibits examples)
 # Stages skipped by --fast: each of these compiles the release or bench
 # profile, which dwarfs the debug stages' wall time.
 RELEASE_STAGES=(build bench-compile bench-smoke exhibits)
@@ -32,6 +32,22 @@ stage_build() {
 # Tier-1, part 2.
 stage_test() {
     cargo test -q --workspace
+}
+
+# Transport-tier smoke: the wire-protocol integration tests (channel + TCP
+# loopback, BSP ≡ sequential SGD) under a hard timeout, so a hung socket
+# or a lost wakeup in a serving loop fails the gate fast instead of
+# wedging it. Build first without the timeout — compilation time must not
+# eat the test budget.
+stage_transport() {
+    cargo test -q -p sync-switch-ps --test transport --no-run
+    # timeout signals the whole process group (cargo + the test binary);
+    # TERM first for clean output, KILL 10s later if a socket is wedged.
+    timeout -k 10 120 \
+        cargo test -q -p sync-switch-ps --test transport || {
+        echo "transport tests failed or timed out (120s budget)" >&2
+        return 1
+    }
 }
 
 stage_clippy() {

@@ -1,11 +1,13 @@
 //! Real parameter-server throughput: BSP vs ASP segments on worker threads,
-//! plus a workers × shards scaling sweep.
+//! plus a workers × shards scaling sweep and a transport axis.
 //!
 //! Beyond the headline `ps_{BSP,ASP}_4workers_50steps` numbers (kept
 //! name-compatible with the original criterion bench), this harness sweeps
-//! the (workers, shards) grid on a larger model and persists everything as
-//! machine-readable JSON to `BENCH_ps_throughput.json` at the workspace
-//! root, so the data-plane perf trajectory is tracked across PRs.
+//! the (workers, shards, servers) grid on a larger model, measures the cost
+//! of the message-passing boundary (in-process vs channel vs TCP at the
+//! headline point), and persists everything as machine-readable JSON to
+//! `BENCH_ps_throughput.json` at the workspace root, so the data-plane perf
+//! trajectory is tracked across PRs.
 //!
 //! Environment knobs:
 //! * `PS_BENCH_FAST=1` — smoke mode for CI: fewer samples and steps, same
@@ -17,7 +19,7 @@ use std::time::{Duration, Instant};
 
 use sync_switch_bench::output::{load_json, Exhibit};
 use sync_switch_nn::{Dataset, Network};
-use sync_switch_ps::{SegmentReport, ServerTopology, Trainer, TrainerConfig};
+use sync_switch_ps::{SegmentReport, ServerTopology, Trainer, TrainerConfig, TransportKind};
 use sync_switch_workloads::SyncProtocol;
 
 /// The original headline configuration: 4 workers, 4 shards, tiny MLP.
@@ -32,16 +34,34 @@ fn headline_trainer(workers: usize) -> Trainer {
     )
 }
 
+/// The headline shape on a 2-server tier reached through `kind` — the
+/// like-for-like comparison of the transport axis: identical two-stage
+/// semantics on all three backends, only the boundary differs.
+fn transport_trainer(kind: TransportKind) -> Trainer {
+    let data = Dataset::gaussian_blobs(4, 100, 8, 0.35, 1);
+    let (train, test) = data.split(0.25);
+    let cfg = TrainerConfig::new(4, 8, 0.05, 0.9)
+        .with_seed(1)
+        .with_topology(ServerTopology::new(2, 4).with_transport(kind));
+    Trainer::new(Network::mlp(8, &[32], 4, 1), train, test, cfg)
+}
+
 /// Sweep configuration: a larger MLP so sharding has parameters to split.
 /// `servers > 1` runs the shard-router data plane with OSP-style two-stage
-/// sync (reconciliation every 4 pushes).
-fn sweep_trainer(workers: usize, shards: usize, servers: usize) -> Trainer {
+/// sync (reconciliation every 4 pushes); a non-in-process `transport` puts
+/// the tier behind the wire protocol.
+fn sweep_trainer(
+    workers: usize,
+    shards: usize,
+    servers: usize,
+    transport: TransportKind,
+) -> Trainer {
     let data = Dataset::gaussian_blobs(4, 120, 16, 0.35, 1);
     let (train, test) = data.split(0.25);
     let mut cfg = TrainerConfig::new(workers, 8, 0.02, 0.9).with_seed(1);
     cfg.shards = shards;
-    if servers > 1 {
-        cfg.topology = ServerTopology::new(servers, 4);
+    if servers > 1 || transport != TransportKind::InProcess {
+        cfg.topology = ServerTopology::new(servers, 4).with_transport(transport);
     }
     Trainer::new(Network::mlp(16, &[64, 32], 4, 1), train, test, cfg)
 }
@@ -121,55 +141,132 @@ fn main() {
         }));
     }
 
+    // Transport axis at the headline point: the same 4-worker/4-shard
+    // model on a 2-server two-stage tier, reached in-process, over the
+    // channel backend, and over loopback TCP. This is where the cost of
+    // the message-passing boundary is read off directly.
+    let mut transport_points = Vec::new();
+    let mut transport_rows = Vec::new();
+    for kind in [
+        TransportKind::InProcess,
+        TransportKind::Channel,
+        TransportKind::Tcp,
+    ] {
+        for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+            let m = measure(
+                || transport_trainer(kind),
+                protocol,
+                headline_steps,
+                samples,
+            );
+            let wire = &m.last.transport;
+            println!(
+                "ps_{protocol}_4workers_{headline_steps}steps_srv2_{kind} mean {:>10.2} µs min {:>10.2} µs ({samples} samples)",
+                fmt_us(m.mean),
+                fmt_us(m.min),
+            );
+            transport_rows.push(vec![
+                kind.to_string(),
+                protocol.to_string(),
+                format!("{:.0}", m.best_steps_per_sec()),
+                format!("{:.2}", fmt_us(m.mean) / 1.0e3),
+                format!("{:.1}", wire.push.mean_us()),
+                format!("{:.1}", wire.pull.mean_us()),
+                format!("{:.3}", wire.total_wire_s()),
+            ]);
+            transport_points.push(serde_json::json!({
+                "name": format!("ps_{protocol}_4workers_{headline_steps}steps_srv2_{kind}"),
+                "protocol": protocol.to_string(),
+                "transport": kind.to_string(),
+                "workers": 4,
+                "shards": 4,
+                "servers": 2,
+                "steps": m.steps,
+                "mean_us": fmt_us(m.mean),
+                "min_us": fmt_us(m.min),
+                "steps_per_sec": m.best_steps_per_sec(),
+                "wire_push_mean_us": wire.push.mean_us(),
+                "wire_pull_mean_us": wire.pull.mean_us(),
+                "wire_total_s": wire.total_wire_s(),
+                "wire_round_trips": wire.total_ops(),
+                "wire_bytes": wire.total_bytes(),
+            }));
+        }
+    }
+    exhibit.line("");
+    exhibit.line("Transport axis (headline shape, 2 servers, sync_every=4):");
+    exhibit.table(
+        &[
+            "transport",
+            "protocol",
+            "steps/s",
+            "mean ms",
+            "push µs",
+            "pull µs",
+            "wire s",
+        ],
+        &transport_rows,
+    );
+
     // Scaling sweep: workers × shards × servers under both protocols
-    // (server counts above the shard count would just clamp — skipped).
+    // (server counts above the shard count would just clamp — skipped),
+    // plus the transport axis at the 4w/4s/2srv configuration.
     let workers_grid = [1usize, 2, 4, 8];
     let shards_grid = [1usize, 4, 16, 64];
     let servers_grid = [1usize, 2, 4];
-    let mut sweep = Vec::new();
-    let mut rows = Vec::new();
+    let mut configs: Vec<(usize, usize, usize, TransportKind)> = Vec::new();
     for &workers in &workers_grid {
         for &shards in &shards_grid {
             for &servers in &servers_grid {
                 if servers > shards {
                     continue;
                 }
-                for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
-                    let m = measure(
-                        || sweep_trainer(workers, shards, servers),
-                        protocol,
-                        sweep_steps,
-                        if fast { 1 } else { 3 },
-                    );
-                    let sps = m.best_steps_per_sec();
-                    rows.push(vec![
-                        protocol.to_string(),
-                        workers.to_string(),
-                        shards.to_string(),
-                        servers.to_string(),
-                        format!("{sps:.0}"),
-                        format!("{:.2}", m.last.staleness.mean()),
-                        m.last
-                            .shard_staleness
-                            .max()
-                            .map_or_else(|| "-".into(), |v| v.to_string()),
-                        m.last.sync_rounds.to_string(),
-                    ]);
-                    sweep.push(serde_json::json!({
-                        "protocol": protocol.to_string(),
-                        "workers": workers,
-                        "shards": shards,
-                        "servers": servers,
-                        "steps": m.steps,
-                        "mean_us": fmt_us(m.mean),
-                        "min_us": fmt_us(m.min),
-                        "steps_per_sec": sps,
-                        "staleness_mean": m.last.staleness.mean(),
-                        "shard_staleness_max": m.last.shard_staleness.max(),
-                        "sync_rounds": m.last.sync_rounds,
-                    }));
-                }
+                configs.push((workers, shards, servers, TransportKind::InProcess));
             }
+        }
+    }
+    for kind in [TransportKind::Channel, TransportKind::Tcp] {
+        configs.push((4, 4, 2, kind));
+    }
+    let mut sweep = Vec::new();
+    let mut rows = Vec::new();
+    for &(workers, shards, servers, transport) in &configs {
+        for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+            let m = measure(
+                || sweep_trainer(workers, shards, servers, transport),
+                protocol,
+                sweep_steps,
+                if fast { 1 } else { 3 },
+            );
+            let sps = m.best_steps_per_sec();
+            rows.push(vec![
+                protocol.to_string(),
+                workers.to_string(),
+                shards.to_string(),
+                servers.to_string(),
+                transport.to_string(),
+                format!("{sps:.0}"),
+                format!("{:.2}", m.last.staleness.mean()),
+                m.last
+                    .shard_staleness
+                    .max()
+                    .map_or_else(|| "-".into(), |v| v.to_string()),
+                m.last.sync_rounds.to_string(),
+            ]);
+            sweep.push(serde_json::json!({
+                "protocol": protocol.to_string(),
+                "workers": workers,
+                "shards": shards,
+                "servers": servers,
+                "transport": transport.to_string(),
+                "steps": m.steps,
+                "mean_us": fmt_us(m.mean),
+                "min_us": fmt_us(m.min),
+                "steps_per_sec": sps,
+                "staleness_mean": m.last.staleness.mean(),
+                "shard_staleness_max": m.last.shard_staleness.max(),
+                "sync_rounds": m.last.sync_rounds,
+            }));
         }
     }
     exhibit.table(
@@ -178,6 +275,7 @@ fn main() {
             "workers",
             "shards",
             "servers",
+            "transport",
             "steps/s",
             "staleness",
             "shard max",
@@ -191,6 +289,7 @@ fn main() {
         "id": "ps_throughput",
         "fast": fast,
         "headline": headline,
+        "transport": transport_points,
         "sweep": sweep,
         // Historical reference point, NOT re-measured: the headline
         // numbers recorded immediately before the shard-parallel

@@ -125,14 +125,19 @@ fn main() {
 }
 
 /// A sweep point's identity: everything but the measurements. Baselines
-/// recorded before the multi-server axis existed default to 1 server.
+/// recorded before the multi-server axis existed default to 1 server, and
+/// baselines recorded before the transport axis default to in-process.
 fn sweep_key(point: &Value) -> Option<String> {
     let protocol = point.get("protocol")?.as_str()?;
     let workers = point.get("workers")?.as_u64()?;
     let shards = point.get("shards")?.as_u64()?;
     let servers = point.get("servers").and_then(Value::as_u64).unwrap_or(1);
+    let transport = point
+        .get("transport")
+        .and_then(Value::as_str)
+        .unwrap_or("inprocess");
     Some(format!(
-        "{protocol} workers={workers} shards={shards} servers={servers}"
+        "{protocol} workers={workers} shards={shards} servers={servers} transport={transport}"
     ))
 }
 
@@ -227,7 +232,38 @@ fn validate(path: &Path) -> Result<(Value, usize, usize), String> {
                 return Err(format!("sweep[{i}]: \"servers\" is not a positive integer"));
             }
         }
+        // Same for the transport axis: optional for back-compat, but when
+        // present it must be a known backend name.
+        if let Some(transport) = point.get("transport") {
+            let known = transport
+                .as_str()
+                .is_some_and(|t| ["inprocess", "channel", "tcp"].contains(&t));
+            if !known {
+                return Err(format!("sweep[{i}]: \"transport\" is not a known backend"));
+            }
+        }
         positive_f64(point, "steps_per_sec").map_err(|e| format!("sweep[{i}]: {e}"))?;
+    }
+    // The dedicated transport-axis entries (headline shape, every backend):
+    // optional for older artifacts, shape-checked when present.
+    if let Some(transport) = v.get("transport") {
+        let entries = transport
+            .as_array()
+            .ok_or("\"transport\" is not an array")?;
+        for (i, entry) in entries.iter().enumerate() {
+            entry
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or(format!("transport[{i}]: missing \"name\""))?;
+            let known = entry
+                .get("transport")
+                .and_then(Value::as_str)
+                .is_some_and(|t| ["inprocess", "channel", "tcp"].contains(&t));
+            if !known {
+                return Err(format!("transport[{i}]: missing/unknown \"transport\""));
+            }
+            positive_f64(entry, "steps_per_sec").map_err(|e| format!("transport[{i}]: {e}"))?;
+        }
     }
     let counts = (headline.len(), sweep.len());
     Ok((v, counts.0, counts.1))

@@ -75,6 +75,43 @@ impl NetworkModel {
     pub fn straggler_step_penalty_s(&self, model: &ModelSpec, added_latency_s: f64) -> f64 {
         model.variable_count as f64 * added_latency_s
     }
+
+    /// Calibrates a model against observed wire costs: least-squares fit of
+    /// `seconds = latency + bytes / bandwidth` over `(bytes_per_op,
+    /// seconds_per_op)` samples — e.g. the per-op means the real PS
+    /// transport tier reports in its `TransportStats` (push acks are tens
+    /// of bytes, pull replies carry the parameter slice, which is the size
+    /// spread that makes the two-parameter fit identifiable).
+    ///
+    /// Returns `None` when the fit is unidentifiable or unphysical: fewer
+    /// than two distinct message sizes, a non-positive fitted slope (byte
+    /// volume not explaining any of the variance — latency-dominated
+    /// samples), or a non-positive fitted intercept.
+    pub fn fit_wire_samples(samples: &[(f64, f64)]) -> Option<NetworkModel> {
+        let n = samples.len() as f64;
+        if samples.len() < 2 {
+            return None;
+        }
+        let mean_x = samples.iter().map(|&(b, _)| b).sum::<f64>() / n;
+        let mean_y = samples.iter().map(|&(_, s)| s).sum::<f64>() / n;
+        let var_x: f64 = samples.iter().map(|&(b, _)| (b - mean_x).powi(2)).sum();
+        if var_x <= f64::EPSILON {
+            return None; // all messages the same size: slope unidentifiable
+        }
+        let cov: f64 = samples
+            .iter()
+            .map(|&(b, s)| (b - mean_x) * (s - mean_y))
+            .sum();
+        let slope = cov / var_x; // seconds per byte
+        let intercept = mean_y - slope * mean_x; // seconds
+        if !(slope > 0.0 && intercept > 0.0 && slope.is_finite() && intercept.is_finite()) {
+            return None;
+        }
+        Some(NetworkModel {
+            bandwidth_bps: 1.0 / slope,
+            base_latency_s: intercept,
+        })
+    }
 }
 
 impl Default for NetworkModel {
@@ -115,6 +152,41 @@ mod tests {
         assert!((0.3..0.45).contains(&p10), "{p10}");
         let p30 = net.straggler_step_penalty_s(&ModelSpec::resnet32(), 0.030);
         assert!((p30 - 3.0 * p10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wire_fit_recovers_latency_and_bandwidth() {
+        // Synthetic samples from a known model: 20 µs latency, 1 GB/s.
+        let latency = 20e-6;
+        let bw = 1e9;
+        let samples: Vec<(f64, f64)> = [64.0, 4_096.0, 262_144.0]
+            .iter()
+            .map(|&b| (b, latency + b / bw))
+            .collect();
+        let fit = NetworkModel::fit_wire_samples(&samples).expect("identifiable fit");
+        assert!(
+            (fit.base_latency_s - latency).abs() / latency < 1e-6,
+            "{}",
+            fit.base_latency_s
+        );
+        assert!(
+            (fit.bandwidth_bps - bw).abs() / bw < 1e-6,
+            "{}",
+            fit.bandwidth_bps
+        );
+        // The calibrated model prices an exchange with the fitted numbers.
+        let t = fit.exchange_time_s(&ModelSpec::resnet32(), 8);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn wire_fit_rejects_degenerate_samples() {
+        // Too few samples.
+        assert!(NetworkModel::fit_wire_samples(&[(100.0, 1e-4)]).is_none());
+        // All messages the same size.
+        assert!(NetworkModel::fit_wire_samples(&[(100.0, 1e-4), (100.0, 2e-4)]).is_none());
+        // Bigger messages measured *faster* (negative slope): unphysical.
+        assert!(NetworkModel::fit_wire_samples(&[(100.0, 2e-4), (1_000_000.0, 1e-4)]).is_none());
     }
 
     #[test]

@@ -21,6 +21,10 @@ pub struct BackendChunk {
     pub per_worker_images_per_sec: Vec<Option<f64>>,
     /// Mean measured gradient staleness of the chunk.
     pub mean_staleness: f64,
+    /// Seconds workers spent blocked on the PS wire during the chunk
+    /// (0 for the simulator and for in-process parameter servers; real
+    /// transport-backed tiers report their measured per-op wire time).
+    pub wire_time_s: f64,
 }
 
 /// An execution substrate Sync-Switch can drive: either the cluster
@@ -163,6 +167,7 @@ impl TrainingBackend for SimBackend {
                 elapsed: SimTime::ZERO,
                 per_worker_images_per_sec: vec![None; self.cluster.cluster_size()],
                 mean_staleness: 0.0,
+                wire_time_s: 0.0,
             });
         }
         self.cluster.set_batch(cfg.per_worker_batch);
@@ -188,6 +193,7 @@ impl TrainingBackend for SimBackend {
                 .map(|&r| if r > 0.0 { Some(r) } else { None })
                 .collect(),
             mean_staleness: stats.mean_staleness,
+            wire_time_s: 0.0,
         })
     }
 

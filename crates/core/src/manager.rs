@@ -76,6 +76,7 @@ impl ClusterManager {
         let mut diverged_at: Option<u64> = None;
         let mut bsp_steps: u64 = 0;
         let mut asp_steps: u64 = 0;
+        let mut transport_wire_s: f64 = 0.0;
 
         // Protocol state. `greedy_detour` marks a temporary ASP excursion
         // taken by the greedy policy before the BSP budget is met.
@@ -139,6 +140,7 @@ impl ClusterManager {
                 SyncProtocol::Bsp => bsp_steps += chunk_stats.steps_done,
                 SyncProtocol::Asp => asp_steps += chunk_stats.steps_done,
             }
+            transport_wire_s += chunk_stats.wire_time_s;
 
             // Feed the straggler detector and react per the online policy,
             // but only while the BSP budget is unmet (after the main switch
@@ -262,6 +264,7 @@ impl ClusterManager {
             tta_s,
             tta_target,
             diverged_at,
+            transport_wire_s,
         })
     }
 }

@@ -69,6 +69,10 @@ pub struct TrainingReport {
     pub diverged_at: Option<u64>,
     /// Training loss at the end of the run.
     pub final_loss: f64,
+    /// Total seconds workers spent blocked on the parameter-server wire
+    /// (0 on the simulator and on in-process tiers; populated when the
+    /// backend runs a transport-backed PS).
+    pub transport_wire_s: f64,
 }
 
 impl TrainingReport {
@@ -151,6 +155,7 @@ mod tests {
             tta_target: 0.913,
             diverged_at: None,
             final_loss: 0.01,
+            transport_wire_s: 0.0,
         }
     }
 

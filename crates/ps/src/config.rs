@@ -2,6 +2,44 @@
 
 use std::time::Duration;
 
+/// How workers reach the parameter-server tier.
+///
+/// `InProcess` is the PR 2/3 fast path: servers are plain structs and a
+/// "push" is a routed method call, so the transport cost is zero by
+/// construction. `Channel` and `Tcp` put every push, pull, and sync round
+/// through the binary wire protocol of [`crate::transport::wire`] — the
+/// boundary that makes the network cost of the paper's BSP/ASP tradeoff
+/// real and measurable ([`crate::profiler::TransportStats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportKind {
+    /// Direct method calls on in-process stores (the default).
+    #[default]
+    InProcess,
+    /// Encoded frames over in-memory queues; one event-loop thread per
+    /// server drains its request queue.
+    Channel,
+    /// Encoded frames over loopback TCP; one listener per server, blocking
+    /// I/O, one connection per worker.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Short lowercase name, for reports and bench axes.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::InProcess => "inprocess",
+            TransportKind::Channel => "channel",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// How the parameter-server tier is laid out across server instances.
 ///
 /// With `servers == 1` the data plane is the single in-process
@@ -21,6 +59,11 @@ pub struct ServerTopology {
     /// round. `1` commits after every push (tightest cross-server bound);
     /// BSP ignores this and reconciles at every barrier round.
     pub sync_every: u64,
+    /// How workers reach the servers. With [`TransportKind::InProcess`] a
+    /// single-server topology gets the direct-store fast path; any other
+    /// kind puts the tier (even one server) behind the wire protocol, so
+    /// pulls always read the committed view.
+    pub transport: TransportKind,
 }
 
 impl ServerTopology {
@@ -29,6 +72,7 @@ impl ServerTopology {
         ServerTopology {
             servers: 1,
             sync_every: 1,
+            transport: TransportKind::InProcess,
         }
     }
 
@@ -44,7 +88,14 @@ impl ServerTopology {
         ServerTopology {
             servers,
             sync_every,
+            transport: TransportKind::InProcess,
         }
+    }
+
+    /// Selects the worker↔server transport backend.
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = transport;
+        self
     }
 
     /// Validates internal consistency.
@@ -221,6 +272,22 @@ mod tests {
         assert_eq!(cfg.active_workers(), vec![0, 1, 3]);
         cfg.excluded_workers = vec![0, 1, 2, 3];
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn transport_defaults_in_process_and_builds() {
+        assert_eq!(ServerTopology::single().transport, TransportKind::InProcess);
+        assert_eq!(
+            ServerTopology::new(2, 4).transport,
+            TransportKind::InProcess
+        );
+        let t = ServerTopology::new(2, 4).with_transport(TransportKind::Tcp);
+        assert_eq!(t.transport, TransportKind::Tcp);
+        assert!(t.validate().is_ok());
+        // Names are the stable axis labels of the bench JSON.
+        assert_eq!(TransportKind::InProcess.to_string(), "inprocess");
+        assert_eq!(TransportKind::Channel.to_string(), "channel");
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
     }
 
     #[test]

@@ -15,11 +15,14 @@ use sync_switch_nn::{Dataset, Network, Tensor};
 use sync_switch_workloads::SyncProtocol;
 
 use crate::checkpoint::Checkpoint;
-use crate::config::TrainerConfig;
+use crate::config::{TrainerConfig, TransportKind};
 use crate::error::PsError;
-use crate::profiler::{ServerShardStaleness, ShardStaleness, StalenessHistogram, WorkerProfile};
+use crate::profiler::{
+    ServerShardStaleness, ShardStaleness, StalenessHistogram, TransportStats, WorkerProfile,
+};
 use crate::router::{PortBuffer, ShardRouter, WorkerPort};
 use crate::store::ShardedStore;
+use crate::transport::{NetPort, NetRouter};
 
 /// What each worker thread returns: its id, timing/loss profile, global
 /// staleness observations, and per-server per-shard staleness observations.
@@ -68,10 +71,20 @@ pub(crate) struct DataPlane(WorkerPort);
 
 impl DataPlane {
     fn from_config(initial: &[f32], cfg: &TrainerConfig) -> Self {
-        // Decide on the *effective* server count (the router clamps servers
-        // to the shard count, and shards to the parameter count): a
-        // topology that clamps down to one server must get the single-store
-        // fast path, not two-stage committed-view semantics with one owner.
+        // A wire transport puts the tier behind the message boundary even
+        // with one server — the boundary is the point. In-process keeps the
+        // PR 3 rule: decide on the *effective* server count (the router
+        // clamps servers to the shard count, and shards to the parameter
+        // count); a topology that clamps down to one server must get the
+        // single-store fast path, not two-stage committed-view semantics
+        // with one owner.
+        if cfg.topology.transport != TransportKind::InProcess {
+            return DataPlane(WorkerPort::Net(NetPort::launch(
+                initial,
+                cfg.shards,
+                cfg.topology,
+            )));
+        }
         let effective_servers = cfg.topology.servers.min(cfg.shards).min(initial.len());
         DataPlane(if effective_servers > 1 {
             WorkerPort::Routed(Arc::new(ShardRouter::new(
@@ -100,6 +113,7 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(s) => s.param_count(),
             WorkerPort::Routed(r) => r.param_count(),
+            WorkerPort::Net(p) => p.router().param_count(),
         }
     }
 
@@ -107,6 +121,7 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(s) => s.version(),
             WorkerPort::Routed(r) => r.version(),
+            WorkerPort::Net(p) => p.router().version(),
         }
     }
 
@@ -114,6 +129,7 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(s) => s.snapshot_params(),
             WorkerPort::Routed(r) => r.snapshot_params(),
+            WorkerPort::Net(p) => p.router().snapshot_params(),
         }
     }
 
@@ -121,6 +137,7 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(s) => s.snapshot_velocity(),
             WorkerPort::Routed(r) => r.snapshot_velocity(),
+            WorkerPort::Net(p) => p.router().snapshot_velocity(),
         }
     }
 
@@ -128,6 +145,7 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(s) => s.restore(params, velocity),
             WorkerPort::Routed(r) => r.restore(params, velocity),
+            WorkerPort::Net(p) => p.router().restore(params, velocity),
         }
     }
 
@@ -135,6 +153,7 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(s) => s.reset_velocity(),
             WorkerPort::Routed(r) => r.reset_velocity(),
+            WorkerPort::Net(p) => p.router().reset_velocity(),
         }
     }
 
@@ -142,12 +161,15 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(s) => s.is_finite(),
             WorkerPort::Routed(r) => r.is_finite(),
+            WorkerPort::Net(p) => p.router().is_finite(),
         }
     }
 
     fn drain(&self) {
-        if let WorkerPort::Routed(r) = &self.0 {
-            r.drain();
+        match &self.0 {
+            WorkerPort::Single(_) => {}
+            WorkerPort::Routed(r) => r.drain(),
+            WorkerPort::Net(p) => p.router().drain(),
         }
     }
 
@@ -155,6 +177,15 @@ impl DataPlane {
         match &self.0 {
             WorkerPort::Single(_) => 0,
             WorkerPort::Routed(r) => r.sync_rounds(),
+            WorkerPort::Net(p) => p.router().sync_rounds(),
+        }
+    }
+
+    /// Cumulative wire counters (all-zero with no wire boundary).
+    pub(crate) fn transport_stats(&self) -> TransportStats {
+        match &self.0 {
+            WorkerPort::Single(_) | WorkerPort::Routed(_) => TransportStats::default(),
+            WorkerPort::Net(p) => p.router().stats(),
         }
     }
 }
@@ -185,6 +216,9 @@ pub struct SegmentReport {
     /// Stage-2 reconciliation rounds completed during the segment (0 on a
     /// single-server plane).
     pub sync_rounds: u64,
+    /// Wire cost of the segment on a transport-backed data plane (all
+    /// zeros, `backend == None`, when the tier is in-process).
+    pub transport: TransportStats,
     /// Mean training loss over the last few recorded steps.
     pub final_loss: f32,
 }
@@ -324,30 +358,48 @@ impl Trainer {
         self.global_step
     }
 
-    /// The shared parameter store of a **single-server** trainer.
+    /// The shared parameter store of a **single-server, in-process**
+    /// trainer.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when the trainer runs a multi-server topology — there is no
-    /// single store then; use [`Trainer::router`], the snapshot APIs, or
-    /// the segment reports instead.
-    pub fn store(&self) -> &ShardedStore {
+    /// Returns [`PsError::NoSingleStore`] when the data plane is a
+    /// multi-server tier (or any transport-backed tier) — there is no
+    /// single store then; use [`Trainer::router`],
+    /// [`Trainer::net_router`], the snapshot APIs, or the segment reports
+    /// instead.
+    pub fn store(&self) -> Result<&ShardedStore, PsError> {
         match &self.plane.0 {
-            WorkerPort::Single(s) => s,
-            WorkerPort::Routed(_) => panic!(
-                "Trainer::store() requires a single-server topology; \
-                 use Trainer::router() or the snapshot APIs"
-            ),
+            WorkerPort::Single(s) => Ok(s),
+            WorkerPort::Routed(_) | WorkerPort::Net(_) => Err(PsError::NoSingleStore {
+                servers: self.plane.server_count(),
+            }),
         }
     }
 
-    /// The shard router of a **multi-server** trainer (`None` when the
-    /// plane is a single in-process store).
+    /// The shard router of a **multi-server in-process** trainer (`None`
+    /// when the plane is a single store or behind a wire transport).
     pub fn router(&self) -> Option<&ShardRouter> {
         match &self.plane.0 {
-            WorkerPort::Single(_) => None,
+            WorkerPort::Single(_) | WorkerPort::Net(_) => None,
             WorkerPort::Routed(r) => Some(r),
         }
+    }
+
+    /// The transport-backed router of a trainer whose topology selected the
+    /// channel or TCP backend (`None` on an in-process plane).
+    pub fn net_router(&self) -> Option<&NetRouter> {
+        match &self.plane.0 {
+            WorkerPort::Single(_) | WorkerPort::Routed(_) => None,
+            WorkerPort::Net(p) => Some(p.router()),
+        }
+    }
+
+    /// Cumulative wire-cost counters of the data plane since construction
+    /// (all zeros, `backend == None`, on an in-process plane). Per-segment
+    /// costs are on [`SegmentReport::transport`].
+    pub fn transport_stats(&self) -> TransportStats {
+        self.plane.transport_stats()
     }
 
     /// Number of parameter servers in the data plane (1 for the single
@@ -471,6 +523,10 @@ impl Trainer {
                     self.plane.shard_count(),
                 ),
                 sync_rounds: 0,
+                transport: {
+                    let s = self.plane.transport_stats();
+                    s.delta(&s)
+                },
                 final_loss: 0.0,
             });
         }
@@ -486,6 +542,7 @@ impl Trainer {
         };
 
         let rounds_before = self.plane.sync_rounds();
+        let wire_before = self.plane.transport_stats();
         let start = Instant::now();
         let results: Vec<WorkerResult> = match protocol {
             SyncProtocol::Bsp => self.run_bsp(&ctx, &active, steps),
@@ -532,6 +589,7 @@ impl Trainer {
             shard_staleness: server_shard_staleness.flatten(),
             server_shard_staleness,
             sync_rounds: self.plane.sync_rounds() - rounds_before,
+            transport: self.plane.transport_stats().delta(&wire_before),
             final_loss,
         })
     }
@@ -772,8 +830,10 @@ impl Trainer {
 }
 
 /// Deterministic per-(seed, worker, step) RNG for batch sampling, so BSP
-/// runs are reproducible regardless of thread interleaving.
-pub(crate) fn step_rng(seed: u64, worker: usize, step: u64) -> rand::rngs::StdRng {
+/// runs are reproducible regardless of thread interleaving. Public so
+/// integration tests and examples can replay the exact batches a worker
+/// sampled (e.g. to compare distributed training against sequential SGD).
+pub fn step_rng(seed: u64, worker: usize, step: u64) -> rand::rngs::StdRng {
     use rand::SeedableRng;
     let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ seed;
     h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9) ^ (worker as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -799,7 +859,7 @@ mod tests {
         let r = t.run_segment(SyncProtocol::Bsp, 25).unwrap();
         assert_eq!(r.steps, 25);
         assert_eq!(t.global_step(), 25);
-        assert_eq!(t.store().version(), 25);
+        assert_eq!(t.store().unwrap().version(), 25);
         // Every active worker did every round.
         for w in 0..4 {
             assert_eq!(r.worker_profiles[w].steps(), 25);
@@ -812,11 +872,11 @@ mod tests {
         // with the global version.
         assert_eq!(
             r.shard_staleness.total(),
-            25 * t.store().shard_count() as u64
+            25 * t.store().unwrap().shard_count() as u64
         );
         assert_eq!(r.shard_staleness.max(), Some(0));
-        for i in 0..t.store().shard_count() {
-            assert_eq!(t.store().shard_version(i), 25);
+        for i in 0..t.store().unwrap().shard_count() {
+            assert_eq!(t.store().unwrap().shard_version(i), 25);
         }
     }
 
@@ -825,7 +885,7 @@ mod tests {
         let mut t = small_trainer(4, 2);
         let r = t.run_segment(SyncProtocol::Asp, 200).unwrap();
         assert_eq!(r.steps, 200);
-        assert_eq!(t.store().version(), 200);
+        assert_eq!(t.store().unwrap().version(), 200);
         let total: usize = r.worker_profiles.iter().map(|p| p.steps()).sum();
         assert_eq!(total, 200);
         // Real concurrency produces some stale pushes with 4 workers.
@@ -839,7 +899,7 @@ mod tests {
         // step, and per-shard staleness tracks the global measurement.
         assert_eq!(
             r.shard_staleness.total(),
-            200 * t.store().shard_count() as u64
+            200 * t.store().unwrap().shard_count() as u64
         );
         assert!(r.shard_staleness.max().unwrap() >= 1);
     }
@@ -850,12 +910,12 @@ mod tests {
         // union batch (gradient of mean = mean of per-shard gradients).
         let workers = 3;
         let mut t = small_trainer(workers, 7);
-        let initial = t.store().snapshot_params();
+        let initial = t.store().unwrap().snapshot_params();
         let shards: Vec<Dataset> = t.shards.clone();
         let template = t.template.clone();
         let rounds = 10;
         t.run_segment(SyncProtocol::Bsp, rounds).unwrap();
-        let distributed = t.store().snapshot_params();
+        let distributed = t.store().unwrap().snapshot_params();
 
         // Sequential replay.
         let mut model = template.clone();
@@ -897,13 +957,13 @@ mod tests {
         let mut cfg = TrainerConfig::new(workers, 8, 0.05, 0.9).with_seed(7);
         cfg.shards = 7;
         let mut t = Trainer::new(Network::mlp(6, &[16], 4, 7), train, test, cfg);
-        assert_eq!(t.store().shard_count(), 7);
-        let initial = t.store().snapshot_params();
+        assert_eq!(t.store().unwrap().shard_count(), 7);
+        let initial = t.store().unwrap().snapshot_params();
         let shards: Vec<Dataset> = t.shards.clone();
         let template = t.template.clone();
         let rounds = 10;
         t.run_segment(SyncProtocol::Bsp, rounds).unwrap();
-        let distributed = t.store().snapshot_params();
+        let distributed = t.store().unwrap().snapshot_params();
 
         let mut model = template.clone();
         model.set_params_flat(&initial);
@@ -1089,20 +1149,26 @@ mod tests {
         let mut t = Trainer::new(Network::mlp(5, &[8], 3, 19), train, test, cfg);
         assert_eq!(t.server_count(), 1);
         assert!(t.router().is_none());
-        let _ = t.store(); // single-server accessor works
+        assert!(t.store().is_ok(), "single-server accessor works");
         let r = t.run_segment(SyncProtocol::Asp, 30).unwrap();
         assert_eq!(r.sync_rounds, 0);
     }
 
     #[test]
-    #[should_panic(expected = "single-server topology")]
-    fn store_accessor_requires_single_server() {
+    fn store_accessor_errs_on_multi_server() {
         let data = Dataset::gaussian_blobs(3, 40, 5, 0.3, 1);
         let (train, test) = data.split(0.25);
         let cfg = TrainerConfig::new(2, 8, 0.05, 0.9)
             .with_topology(crate::config::ServerTopology::new(2, 1));
         let t = Trainer::new(Network::mlp(5, &[8], 3, 1), train, test, cfg);
-        let _ = t.store();
+        match t.store() {
+            Err(PsError::NoSingleStore { servers }) => assert_eq!(servers, 2),
+            other => panic!("expected NoSingleStore, got {other:?}"),
+        }
+        // The error names the remedies, and the message is actionable.
+        let msg = t.store().unwrap_err().to_string();
+        assert!(msg.contains("2-server"), "{msg}");
+        assert!(msg.contains("snapshot"), "{msg}");
     }
 
     #[test]
@@ -1146,7 +1212,7 @@ mod tests {
         assert_eq!(t.global_step(), 30);
         t.restore(&ck).unwrap();
         assert_eq!(t.global_step(), 10);
-        assert_eq!(t.store().snapshot_params(), ck.params);
+        assert_eq!(t.store().unwrap().snapshot_params(), ck.params);
     }
 
     #[test]
@@ -1202,7 +1268,7 @@ mod tests {
         let r = t.run_segment(SyncProtocol::Bsp, 10).unwrap();
         assert_eq!(r.worker_profiles[2].steps(), 0);
         assert_eq!(r.worker_profiles[0].steps(), 10);
-        assert_eq!(t.store().version(), 10);
+        assert_eq!(t.store().unwrap().version(), 10);
     }
 
     #[test]

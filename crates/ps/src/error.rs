@@ -22,6 +22,13 @@ pub enum PsError {
     },
     /// A checkpoint does not match the model it is being restored into.
     CheckpointMismatch(String),
+    /// An API that needs the single in-process parameter store was called
+    /// on a trainer whose data plane is a multi-server or transport-backed
+    /// tier (use the router accessors or the snapshot APIs instead).
+    NoSingleStore {
+        /// Number of servers in the tier that was actually configured.
+        servers: usize,
+    },
 }
 
 impl fmt::Display for PsError {
@@ -33,6 +40,11 @@ impl fmt::Display for PsError {
             }
             PsError::WorkerPanicked { worker } => write!(f, "worker {worker} panicked"),
             PsError::CheckpointMismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            PsError::NoSingleStore { servers } => write!(
+                f,
+                "no single parameter store: the data plane is a {servers}-server tier \
+                 behind a router/transport (use router()/net_router() or the snapshot APIs)"
+            ),
         }
     }
 }

@@ -42,13 +42,17 @@ pub mod server;
 pub mod ssp;
 pub mod store;
 pub mod switcher;
+pub mod transport;
 
 pub use checkpoint::Checkpoint;
-pub use config::{ServerTopology, TrainerConfig};
+pub use config::{ServerTopology, TrainerConfig, TransportKind};
 pub use engine::{SegmentReport, Trainer};
 pub use error::PsError;
-pub use profiler::{ServerShardStaleness, ShardStaleness, StalenessHistogram, WorkerProfile};
+pub use profiler::{
+    ServerShardStaleness, ShardStaleness, StalenessHistogram, TransportStats, WireOp, WorkerProfile,
+};
 pub use router::{PortBuffer, RouterBuffer, ShardRouter, WorkerPort};
 pub use server::PsServer;
 pub use store::{PullBuffer, ShardLayout, ShardedStore};
 pub use switcher::{execute_switch, SwitchOutcome, SwitchPlan};
+pub use transport::{NetPort, NetRouter};

@@ -7,6 +7,8 @@
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use crate::config::TransportKind;
+
 /// Per-worker step timing record.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerProfile {
@@ -47,6 +49,134 @@ impl WorkerProfile {
     /// Loss of the most recent step.
     pub fn last_loss(&self) -> Option<f32> {
         self.losses.last().copied()
+    }
+}
+
+/// Aggregate wire cost of one operation class (push / pull / sync) on a
+/// transport-backed data plane: how many round trips were made, how long
+/// the caller spent blocked on the wire, and how many payload bytes moved
+/// in each direction (codec-level — framing overhead excluded so the two
+/// backends report comparable volumes).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireOp {
+    /// Completed request/reply round trips.
+    pub ops: u64,
+    /// Total nanoseconds spent blocked on the wire (encode → reply
+    /// decoded).
+    pub wire_ns: u64,
+    /// Request payload bytes sent.
+    pub bytes_out: u64,
+    /// Reply payload bytes received.
+    pub bytes_in: u64,
+}
+
+impl WireOp {
+    /// Mean wire time per operation, in microseconds (0 if no ops).
+    pub fn mean_us(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        self.wire_ns as f64 / self.ops as f64 / 1e3
+    }
+
+    /// Total wire time in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.wire_ns as f64 / 1e9
+    }
+
+    /// Payload bytes per round trip, both directions (0 if no ops).
+    pub fn mean_round_trip_bytes(&self) -> f64 {
+        if self.ops == 0 {
+            return 0.0;
+        }
+        (self.bytes_out + self.bytes_in) as f64 / self.ops as f64
+    }
+
+    /// One `(bytes_per_op, seconds_per_op)` calibration sample, or `None`
+    /// if this class saw no traffic. Bytes are the round-trip payload
+    /// volume — the quantity a latency+bandwidth cost model prices.
+    pub fn sample(&self) -> Option<(f64, f64)> {
+        if self.ops == 0 {
+            return None;
+        }
+        Some((
+            self.mean_round_trip_bytes(),
+            self.wire_ns as f64 / self.ops as f64 / 1e9,
+        ))
+    }
+
+    /// The counters accumulated since `earlier` (used to scope segment
+    /// reports: the plane's counters are cumulative).
+    pub fn delta(&self, earlier: &WireOp) -> WireOp {
+        WireOp {
+            ops: self.ops.saturating_sub(earlier.ops),
+            wire_ns: self.wire_ns.saturating_sub(earlier.wire_ns),
+            bytes_out: self.bytes_out.saturating_sub(earlier.bytes_out),
+            bytes_in: self.bytes_in.saturating_sub(earlier.bytes_in),
+        }
+    }
+}
+
+/// Measured wire cost of a training segment on a transport-backed data
+/// plane, broken out by operation class. On an in-process plane
+/// (`backend == None`) every counter is zero — the boundary does not
+/// exist there, which is exactly the comparison the bench transport axis
+/// makes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Which backend produced these numbers (`None` for in-process).
+    pub backend: Option<TransportKind>,
+    /// Stage-1 gradient pushes (one round trip per shard per push).
+    pub push: WireOp,
+    /// Committed-view pulls (one round trip per server per pull).
+    pub pull: WireOp,
+    /// Stage-2 reconciliation rounds and drains (one round trip per server
+    /// per round).
+    pub sync: WireOp,
+}
+
+impl TransportStats {
+    /// Whether a wire boundary was active at all.
+    pub fn is_active(&self) -> bool {
+        self.backend.is_some()
+    }
+
+    /// Total round trips across all classes.
+    pub fn total_ops(&self) -> u64 {
+        self.push.ops + self.pull.ops + self.sync.ops
+    }
+
+    /// Total time spent blocked on the wire, in seconds.
+    pub fn total_wire_s(&self) -> f64 {
+        self.push.total_s() + self.pull.total_s() + self.sync.total_s()
+    }
+
+    /// Total payload bytes moved in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        let t = |w: &WireOp| w.bytes_out + w.bytes_in;
+        t(&self.push) + t(&self.pull) + t(&self.sync)
+    }
+
+    /// The counters accumulated since `earlier` (same backend assumed).
+    pub fn delta(&self, earlier: &TransportStats) -> TransportStats {
+        TransportStats {
+            backend: self.backend,
+            push: self.push.delta(&earlier.push),
+            pull: self.pull.delta(&earlier.pull),
+            sync: self.sync.delta(&earlier.sync),
+        }
+    }
+
+    /// Per-class `(bytes_per_op, seconds_per_op)` calibration samples —
+    /// the input `cluster::NetworkModel::fit_wire_samples` fits its
+    /// latency/bandwidth constants to. Push and pull frames differ in size
+    /// by orders of magnitude, which is what makes the two-parameter fit
+    /// identifiable.
+    pub fn latency_samples(&self) -> Vec<(f64, f64)> {
+        [&self.push, &self.pull, &self.sync]
+            .into_iter()
+            .filter_map(WireOp::sample)
+            .collect()
     }
 }
 

@@ -25,6 +25,7 @@ use parking_lot::Mutex;
 use crate::config::ServerTopology;
 use crate::server::PsServer;
 use crate::store::{PullBuffer, ShardLayout, ShardedStore};
+use crate::transport::NetPort;
 
 /// A multi-server parameter-server tier: N owners behind one routing layer.
 #[derive(Debug)]
@@ -309,9 +310,9 @@ impl ShardRouter {
 /// effective data version.
 #[derive(Debug, Default)]
 pub struct RouterBuffer {
-    params: Vec<f32>,
-    shard_versions: Vec<u64>,
-    version: u64,
+    pub(crate) params: Vec<f32>,
+    pub(crate) shard_versions: Vec<u64>,
+    pub(crate) version: u64,
 }
 
 impl RouterBuffer {
@@ -342,7 +343,8 @@ impl RouterBuffer {
 pub enum PortBuffer {
     /// Single-server: the store's own zero-alloc buffer.
     Single(PullBuffer),
-    /// Multi-server: the router's assembled committed view.
+    /// Multi-server (in-process or transport-backed): the assembled
+    /// committed view.
     Routed(RouterBuffer),
 }
 
@@ -385,16 +387,22 @@ pub enum WorkerPort {
     /// Direct handle to the single-server store (the PR 2 fast path —
     /// pulls read live state, no stage-2 indirection).
     Single(Arc<ShardedStore>),
-    /// Handle through the shard router.
+    /// Handle through the in-process shard router.
     Routed(Arc<ShardRouter>),
+    /// Handle through a transport-backed router: every push/pull/sync
+    /// crosses the wire protocol. Cloning the port gives the new worker
+    /// its own connections (connection-per-worker).
+    Net(NetPort),
 }
 
 impl WorkerPort {
-    /// A pull buffer of the matching variant.
+    /// A pull buffer of the matching variant (the transport-backed port
+    /// assembles the same committed view the in-process router does, so
+    /// both share the routed buffer).
     pub fn new_buffer(&self) -> PortBuffer {
         match self {
             WorkerPort::Single(_) => PortBuffer::Single(PullBuffer::new()),
-            WorkerPort::Routed(_) => PortBuffer::Routed(RouterBuffer::new()),
+            WorkerPort::Routed(_) | WorkerPort::Net(_) => PortBuffer::Routed(RouterBuffer::new()),
         }
     }
 
@@ -403,6 +411,7 @@ impl WorkerPort {
         match self {
             WorkerPort::Single(s) => s.shard_count(),
             WorkerPort::Routed(r) => r.shard_count(),
+            WorkerPort::Net(p) => p.router().shard_count(),
         }
     }
 
@@ -411,6 +420,7 @@ impl WorkerPort {
         match self {
             WorkerPort::Single(s) => s.shard_range(g),
             WorkerPort::Routed(r) => r.shard_range(g),
+            WorkerPort::Net(p) => p.router().shard_range(g),
         }
     }
 
@@ -419,6 +429,7 @@ impl WorkerPort {
         match self {
             WorkerPort::Single(_) => 1,
             WorkerPort::Routed(r) => r.server_count(),
+            WorkerPort::Net(p) => p.router().server_count(),
         }
     }
 
@@ -427,6 +438,7 @@ impl WorkerPort {
         match self {
             WorkerPort::Single(_) => 0,
             WorkerPort::Routed(r) => r.owner_of(g),
+            WorkerPort::Net(p) => p.router().owner_of(g),
         }
     }
 
@@ -440,6 +452,7 @@ impl WorkerPort {
         match (self, buf) {
             (WorkerPort::Single(s), PortBuffer::Single(b)) => s.pull_into(b),
             (WorkerPort::Routed(r), PortBuffer::Routed(b)) => r.pull_committed_into(b),
+            (WorkerPort::Net(p), PortBuffer::Routed(b)) => p.pull_into(b),
             _ => panic!("pull buffer does not match the port topology"),
         }
     }
@@ -450,6 +463,7 @@ impl WorkerPort {
         match self {
             WorkerPort::Single(s) => s.apply_shard_update(g, grad, lr, momentum),
             WorkerPort::Routed(r) => r.apply_shard_update(g, grad, lr, momentum),
+            WorkerPort::Net(p) => p.apply_shard_update(g, grad, lr, momentum),
         }
     }
 
@@ -458,14 +472,17 @@ impl WorkerPort {
         match self {
             WorkerPort::Single(s) => s.complete_push(pulled_version),
             WorkerPort::Routed(r) => r.complete_push(pulled_version),
+            WorkerPort::Net(p) => p.router().complete_push(pulled_version),
         }
     }
 
     /// Post-push hook for the asynchronous loops: runs stage-2 rounds the
     /// push counter has made due (no-op on the single store).
     pub fn after_push(&self) {
-        if let WorkerPort::Routed(r) = self {
-            r.reconcile_if_due();
+        match self {
+            WorkerPort::Single(_) => {}
+            WorkerPort::Routed(r) => r.reconcile_if_due(),
+            WorkerPort::Net(p) => p.router().reconcile_if_due(),
         }
     }
 
@@ -473,8 +490,10 @@ impl WorkerPort {
     /// pulls see exactly the state this round produced (no-op on the single
     /// store, whose pulls always read live state).
     pub fn end_round(&self) {
-        if let WorkerPort::Routed(r) = self {
-            r.drain();
+        match self {
+            WorkerPort::Single(_) => {}
+            WorkerPort::Routed(r) => r.drain(),
+            WorkerPort::Net(p) => p.router().drain(),
         }
     }
 }

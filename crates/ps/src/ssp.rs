@@ -81,6 +81,7 @@ impl Trainer {
         let n_shards = port.shard_count();
         let n_servers = port.server_count();
         let rounds_before = self.sync_rounds();
+        let wire_before = self.transport_stats();
 
         let start = Instant::now();
         let results: Vec<crate::engine::WorkerResult> = std::thread::scope(|scope| {
@@ -217,6 +218,7 @@ impl Trainer {
             shard_staleness: server_shard_staleness.flatten(),
             server_shard_staleness,
             sync_rounds: self.sync_rounds() - rounds_before,
+            transport: self.transport_stats().delta(&wire_before),
             final_loss: if tail.is_empty() {
                 0.0
             } else {
@@ -250,7 +252,7 @@ mod tests {
         let r = t.run_ssp_segment(2, 120).unwrap();
         assert_eq!(r.steps, 120);
         assert_eq!(t.global_step(), 120);
-        assert_eq!(t.store().version(), 120);
+        assert_eq!(t.store().unwrap().version(), 120);
         let total: usize = r.worker_profiles.iter().map(|p| p.steps()).sum();
         assert_eq!(total, 120);
     }
@@ -302,7 +304,7 @@ mod tests {
         let mut t = trainer(workers as usize, 6);
         let r = t.run_ssp_segment(bound, 120).unwrap();
         // One observation per shard per push.
-        let shards = t.store().shard_count() as u64;
+        let shards = t.store().unwrap().shard_count() as u64;
         assert_eq!(r.shard_staleness.total(), 120 * shards);
         // The iteration gate caps per-shard staleness: each of the other
         // workers can land at most 2·bound + 2 applies on a shard between

@@ -152,7 +152,7 @@ mod tests {
     fn switch_preserves_progress_and_applies_config() {
         let mut t = trainer();
         t.run_segment(SyncProtocol::Bsp, 15).unwrap();
-        let params_before = t.store().snapshot_params();
+        let params_before = t.store().unwrap().snapshot_params();
         let plan = SwitchPlan {
             to: SyncProtocol::Asp,
             per_worker_batch: 4,
@@ -162,7 +162,7 @@ mod tests {
         };
         let outcome = execute_switch(&mut t, &plan).unwrap();
         assert_eq!(t.global_step(), 15);
-        assert_eq!(t.store().snapshot_params(), params_before);
+        assert_eq!(t.store().unwrap().snapshot_params(), params_before);
         assert_eq!(t.config().per_worker_batch, 4);
         assert_eq!(t.config().learning_rate, 0.1);
         assert!(outcome.total() >= outcome.checkpoint_time);
@@ -176,7 +176,12 @@ mod tests {
     fn reset_velocity_clears_momentum_state() {
         let mut t = trainer();
         t.run_segment(SyncProtocol::Bsp, 10).unwrap();
-        assert!(t.store().snapshot_velocity().iter().any(|&v| v != 0.0));
+        assert!(t
+            .store()
+            .unwrap()
+            .snapshot_velocity()
+            .iter()
+            .any(|&v| v != 0.0));
         let plan = SwitchPlan {
             to: SyncProtocol::Asp,
             per_worker_batch: 12,
@@ -185,7 +190,12 @@ mod tests {
             reset_velocity: true,
         };
         execute_switch(&mut t, &plan).unwrap();
-        assert!(t.store().snapshot_velocity().iter().all(|&v| v == 0.0));
+        assert!(t
+            .store()
+            .unwrap()
+            .snapshot_velocity()
+            .iter()
+            .all(|&v| v == 0.0));
     }
 
     #[test]

@@ -1,0 +1,249 @@
+//! The in-memory channel backend: each [`PsServer`](crate::PsServer) runs
+//! its own event-loop thread draining an mpsc request queue.
+//!
+//! Messages carry *encoded frames*, not typed requests — the channel is a
+//! byte transport exactly like TCP, so both backends exercise the same
+//! codec path and differ only in how bytes move.
+//!
+//! Buffers ping-pong to keep the steady state allocation-free: a client
+//! sends its request buffer with the message; the server decodes it,
+//! encodes the reply into its own spare buffer, sends that back, and keeps
+//! the request buffer as its next spare. Two buffers per connection
+//! circulate forever; after warm-up neither side allocates.
+
+use std::io;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use super::{wire, Conn, Handled, ServerEndpoint, Transport};
+use crate::server::PsServer;
+
+/// One queued request: the encoded payload and where to send the reply.
+struct Msg {
+    frame: Vec<u8>,
+    reply_tx: mpsc::Sender<Vec<u8>>,
+}
+
+/// The channel transport: one event-loop thread per server.
+pub struct ChannelTransport {
+    /// Request senders, one per server. A connect clones the sender.
+    txs: Vec<mpsc::Sender<Msg>>,
+    /// Event-loop threads, joined on drop.
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ChannelTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelTransport")
+            .field("servers", &self.txs.len())
+            .finish()
+    }
+}
+
+impl ChannelTransport {
+    /// Launches one event-loop thread per server.
+    pub(crate) fn launch(servers: Vec<Arc<PsServer>>) -> Self {
+        let mut txs = Vec::with_capacity(servers.len());
+        let mut threads = Vec::with_capacity(servers.len());
+        for server in servers {
+            let (tx, rx) = mpsc::channel::<Msg>();
+            let id = server.id();
+            let mut endpoint = ServerEndpoint::new(server);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ps-server-{id}"))
+                    .spawn(move || serve(&mut endpoint, &rx))
+                    .expect("spawn ps server event loop"),
+            );
+            txs.push(tx);
+        }
+        ChannelTransport {
+            txs,
+            threads: Mutex::new(threads),
+        }
+    }
+}
+
+/// The event loop: drain the queue until a `Shutdown` frame (or every
+/// sender is gone).
+fn serve(endpoint: &mut ServerEndpoint, rx: &mpsc::Receiver<Msg>) {
+    let mut spare: Vec<u8> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match endpoint.handle(&msg.frame, &mut spare) {
+            Ok(Handled::Reply) => {
+                // Ping-pong: the reply buffer goes to the client, the
+                // request buffer becomes the next reply scratch. A client
+                // that hung up (send error) just drops the buffer.
+                let reply = std::mem::replace(&mut spare, msg.frame);
+                let _ = msg.reply_tx.send(reply);
+            }
+            Ok(Handled::Shutdown) => break,
+            // A malformed frame cannot originate in-process except through
+            // memory corruption; surface it loudly.
+            Err(e) => panic!("ps server event loop: malformed frame: {e}"),
+        }
+    }
+}
+
+impl Transport for ChannelTransport {
+    fn name(&self) -> &'static str {
+        "channel"
+    }
+
+    fn server_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    fn connect(&self, server: usize) -> io::Result<Box<dyn Conn>> {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        Ok(Box::new(ChannelConn {
+            tx: self.txs[server].clone(),
+            reply_tx,
+            reply_rx,
+            request: Vec::new(),
+            reply: Vec::new(),
+        }))
+    }
+}
+
+impl Drop for ChannelTransport {
+    fn drop(&mut self) {
+        // Ask every event loop to exit even if stray senders are still
+        // alive somewhere, then join.
+        let mut frame = Vec::new();
+        wire::encode_bodyless(&mut frame, wire::op::SHUTDOWN);
+        let (reply_tx, _reply_rx) = mpsc::channel();
+        for tx in &self.txs {
+            let _ = tx.send(Msg {
+                frame: frame.clone(),
+                reply_tx: reply_tx.clone(),
+            });
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A client connection on the channel backend.
+struct ChannelConn {
+    tx: mpsc::Sender<Msg>,
+    reply_tx: mpsc::Sender<Vec<u8>>,
+    reply_rx: mpsc::Receiver<Vec<u8>>,
+    /// Next request payload; recycled from the previous reply.
+    request: Vec<u8>,
+    /// Last reply payload, kept alive for the caller's borrow.
+    reply: Vec<u8>,
+}
+
+impl std::fmt::Debug for ChannelConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChannelConn").finish_non_exhaustive()
+    }
+}
+
+impl Conn for ChannelConn {
+    fn request_buf(&mut self) -> &mut Vec<u8> {
+        self.request.clear();
+        &mut self.request
+    }
+
+    fn call(&mut self) -> io::Result<&[u8]> {
+        let frame = std::mem::take(&mut self.request);
+        self.tx
+            .send(Msg {
+                frame,
+                reply_tx: self.reply_tx.clone(),
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "ps server event loop gone"))?;
+        let received = self
+            .reply_rx
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "ps server dropped reply"))?;
+        // Recycle: last round's reply allocation becomes the next request
+        // buffer, and the received buffer serves the reply borrow — two
+        // buffers circulate per connection, neither side allocates in the
+        // steady state.
+        self.request = std::mem::replace(&mut self.reply, received);
+        Ok(&self.reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardLayout;
+    use crate::transport::wire::op;
+
+    fn launch(n: usize, shards: usize, servers: usize) -> ChannelTransport {
+        let initial: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let layout = ShardLayout::new(n, shards);
+        let ownership = ShardLayout::new(layout.len(), servers);
+        let servers: Vec<Arc<PsServer>> = (0..ownership.len())
+            .map(|s| {
+                let (first, count) = ownership.range(s);
+                Arc::new(PsServer::new(s, &layout, first, count, &initial))
+            })
+            .collect();
+        ChannelTransport::launch(servers)
+    }
+
+    #[test]
+    fn request_reply_over_the_queue() {
+        let t = launch(12, 4, 2);
+        assert_eq!(t.server_count(), 2);
+        let mut conn = t.connect(1).unwrap();
+        wire::encode_bodyless(conn.request_buf(), op::CHECK_FINITE);
+        let reply = conn.call().unwrap();
+        assert_eq!(
+            wire::Reply::decode(reply),
+            Ok(wire::Reply::Finite { finite: true })
+        );
+        // A second request on the same conn reuses the circulating buffers.
+        wire::encode_bodyless(conn.request_buf(), op::SYNC_ROUND);
+        let reply = conn.call().unwrap();
+        assert_eq!(wire::Reply::decode(reply), Ok(wire::Reply::Synced));
+    }
+
+    #[test]
+    fn pushes_from_two_conns_serialize_on_the_event_loop() {
+        let t = launch(8, 2, 1);
+        let t = &t;
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                scope.spawn(move || {
+                    let mut conn = t.connect(0).unwrap();
+                    for _ in 0..50 {
+                        wire::encode_push_shard(conn.request_buf(), 0, 0.001, 0.0, &[1.0; 4]);
+                        let reply = conn.call().unwrap();
+                        wire::decode_push_ack(reply).unwrap();
+                    }
+                });
+            }
+        });
+        let mut conn = t.connect(0).unwrap();
+        wire::encode_bodyless(conn.request_buf(), op::SYNC_ROUND);
+        conn.call().unwrap();
+        wire::encode_bodyless(conn.request_buf(), op::PULL_COMMITTED);
+        let reply = conn.call().unwrap();
+        let mut params = [0.0f32; 8];
+        let mut clocks = [0u64; 2];
+        wire::decode_pulled_into(reply, &mut params, &mut clocks).unwrap();
+        // 100 unit-gradient applies at lr 1e-3 moved shard 0 by -0.1.
+        assert_eq!(clocks[0], 100);
+        assert!((params[0] - (0.0 - 0.1)).abs() < 1e-4, "p0 = {}", params[0]);
+    }
+
+    #[test]
+    fn drop_shuts_down_event_loops() {
+        let t = launch(4, 2, 2);
+        let mut conn = t.connect(0).unwrap();
+        drop(t);
+        // The loop is gone: the send (or the reply wait) fails cleanly.
+        wire::encode_bodyless(conn.request_buf(), op::CHECK_FINITE);
+        assert!(conn.call().is_err());
+    }
+}

@@ -1,0 +1,300 @@
+//! The message-passing transport tier: [`PsServer`]s behind a wire
+//! protocol.
+//!
+//! PR 3 sharded the PS tier across N in-process [`PsServer`]s, which left
+//! the "network" cost of the BSP/ASP tradeoff zero by construction. This
+//! module puts a real boundary there:
+//!
+//! * [`wire`] — the compact binary codec (length-prefixed frames, dedicated
+//!   zero-allocation encoders for the hot push/pull messages).
+//! * [`Transport`] / [`Conn`] — the backend abstraction: a transport knows
+//!   how to open a connection to server `s`; a connection sends one encoded
+//!   request payload and blocks for the reply payload.
+//! * [`channel`] — the in-memory backend: each server runs its own
+//!   event-loop thread draining an mpsc request queue; request/reply byte
+//!   buffers ping-pong between client and server, so the steady state is
+//!   allocation-free.
+//! * [`tcp`] — the loopback TCP backend: one listener per server, blocking
+//!   I/O, one connection (and one handler thread) per worker.
+//! * [`NetRouter`] / [`NetPort`] — the client: implements the same routing,
+//!   version-clock, and two-stage-sync semantics as the in-process
+//!   [`crate::ShardRouter`], but reaches the servers only through a
+//!   transport. The engine's BSP/ASP/SSP loops run unchanged on it via
+//!   [`crate::WorkerPort::Net`].
+//!
+//! Per-operation wire time and frame bytes are recorded in
+//! [`crate::profiler::TransportStats`], surfaced on
+//! [`crate::SegmentReport::transport`] — the observable that lets
+//! `cluster::NetworkModel` calibrate its latency/bandwidth constants
+//! against measured loopback costs instead of fitted paper ratios.
+
+pub mod channel;
+mod net_router;
+pub mod tcp;
+pub mod wire;
+
+pub use net_router::{NetPort, NetRouter};
+pub use wire::{Reply, Request, WireError};
+
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+use crate::server::PsServer;
+use wire::op;
+
+/// A transport backend: a way to reach each [`PsServer`] of a tier.
+///
+/// Implementations own the server instances and whatever serving
+/// infrastructure the boundary needs (event-loop threads, listeners);
+/// dropping the transport shuts all of it down.
+pub trait Transport: Send + Sync + fmt::Debug {
+    /// Short backend name for reports ("channel", "tcp").
+    fn name(&self) -> &'static str;
+
+    /// Number of servers behind this transport.
+    fn server_count(&self) -> usize;
+
+    /// Opens a new connection to server `server`. Each worker thread opens
+    /// its own connections (connection-per-worker).
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the server cannot be reached (e.g. the TCP
+    /// listener is gone).
+    fn connect(&self, server: usize) -> io::Result<Box<dyn Conn>>;
+}
+
+/// One client connection to one server: strictly request/reply.
+///
+/// The two-phase API keeps the hot path allocation-free: the caller encodes
+/// the request payload directly into the buffer returned by
+/// [`Conn::request_buf`], then [`Conn::call`] sends it and blocks for the
+/// reply payload, which stays valid until the next call.
+pub trait Conn: Send + fmt::Debug {
+    /// A cleared buffer to encode the next request payload into.
+    fn request_buf(&mut self) -> &mut Vec<u8>;
+
+    /// Sends the encoded request and blocks for the reply payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the server hung up or the stream broke.
+    fn call(&mut self) -> io::Result<&[u8]>;
+}
+
+/// What a serving loop should do after handling one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handled {
+    /// A reply was encoded; send it and keep serving.
+    Reply,
+    /// The client asked the loop to terminate; no reply.
+    Shutdown,
+}
+
+/// Server-side request execution, shared by both backends: decodes a
+/// request payload, executes it against the [`PsServer`], and encodes the
+/// reply. All scratch buffers are reused, so steady-state push/pull/sync
+/// service allocates nothing.
+pub(crate) struct ServerEndpoint {
+    server: Arc<PsServer>,
+    /// Gradient decode scratch (push path).
+    grad: Vec<f32>,
+    /// Stage-2 commit scratch.
+    commit: Vec<f32>,
+    /// Pull/snapshot assembly scratch.
+    params: Vec<f32>,
+    clocks: Vec<u64>,
+}
+
+impl ServerEndpoint {
+    pub(crate) fn new(server: Arc<PsServer>) -> Self {
+        let (_, param_len) = server.param_range();
+        let shards = server.shard_count();
+        ServerEndpoint {
+            server,
+            grad: Vec::new(),
+            commit: Vec::new(),
+            params: vec![0.0; param_len],
+            clocks: vec![0; shards],
+        }
+    }
+
+    /// Handles one request payload, encoding the reply into `reply`
+    /// (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] on a malformed request — the serving loop
+    /// treats that as a broken peer and closes.
+    pub(crate) fn handle(
+        &mut self,
+        request: &[u8],
+        reply: &mut Vec<u8>,
+    ) -> Result<Handled, WireError> {
+        reply.clear();
+        let opcode = *request.first().ok_or(WireError::Truncated)?;
+        match opcode {
+            op::PUSH_SHARD => {
+                let (shard, lr, momentum) = wire::decode_push_shard_into(request, &mut self.grad)?;
+                let prev = self
+                    .server
+                    .apply_local(shard as usize, &self.grad, lr, momentum);
+                wire::encode_push_ack(reply, prev);
+            }
+            op::PULL_COMMITTED => {
+                self.server
+                    .pull_committed_into(&mut self.params, &mut self.clocks);
+                wire::encode_pulled(reply, &self.params, &self.clocks);
+            }
+            op::SYNC_ROUND | op::DRAIN => {
+                self.server.commit_all(&mut self.commit);
+                wire::encode_bodyless(reply, op::SYNCED);
+            }
+            op::SNAPSHOT => {
+                let velocity = match wire::Request::decode(request)? {
+                    wire::Request::Snapshot { velocity } => velocity,
+                    _ => unreachable!("opcode dispatched as SNAPSHOT"),
+                };
+                if velocity {
+                    self.server.live().snapshot_velocity_into(&mut self.params);
+                } else {
+                    self.server.live().snapshot_params_into(&mut self.params);
+                }
+                wire::encode_snapshot_data(reply, &self.params);
+            }
+            op::RESTORE => {
+                let (params, velocity) = match wire::Request::decode(request)? {
+                    wire::Request::Restore { params, velocity } => (params, velocity),
+                    _ => unreachable!("opcode dispatched as RESTORE"),
+                };
+                self.server.live().restore(&params, &velocity);
+                wire::encode_bodyless(reply, op::OK);
+            }
+            op::RESET_VELOCITY => {
+                self.server.live().reset_velocity();
+                wire::encode_bodyless(reply, op::OK);
+            }
+            op::CHECK_FINITE => {
+                reply.push(op::FINITE);
+                reply.push(u8::from(self.server.live().is_finite()));
+            }
+            op::SHUTDOWN => return Ok(Handled::Shutdown),
+            other => return Err(WireError::UnknownOpcode(other)),
+        }
+        Ok(Handled::Reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardLayout;
+
+    fn endpoint(n: usize, shards: usize) -> ServerEndpoint {
+        let initial: Vec<f32> = (0..n).map(|i| i as f32 * 0.1).collect();
+        let layout = ShardLayout::new(n, shards);
+        let server = Arc::new(PsServer::new(0, &layout, 0, shards, &initial));
+        ServerEndpoint::new(server)
+    }
+
+    #[test]
+    fn endpoint_serves_the_full_protocol() {
+        let mut ep = endpoint(10, 2);
+        let mut req = Vec::new();
+        let mut reply = Vec::new();
+
+        // Push to shard 1 (5 params per shard).
+        wire::encode_push_shard(&mut req, 1, 0.5, 0.0, &[1.0; 5]);
+        assert_eq!(ep.handle(&req, &mut reply), Ok(Handled::Reply));
+        assert_eq!(wire::decode_push_ack(&reply), Ok(0));
+
+        // The committed view has not seen the push yet.
+        req.clear();
+        wire::encode_bodyless(&mut req, op::PULL_COMMITTED);
+        ep.handle(&req, &mut reply).unwrap();
+        let mut params = [0.0f32; 10];
+        let mut clocks = [0u64; 2];
+        wire::decode_pulled_into(&reply, &mut params, &mut clocks).unwrap();
+        assert_eq!(clocks, [0, 0]);
+        assert!((params[9] - 0.9).abs() < 1e-6);
+
+        // Sync round publishes it.
+        req.clear();
+        wire::encode_bodyless(&mut req, op::SYNC_ROUND);
+        ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(Reply::decode(&reply), Ok(Reply::Synced));
+        req.clear();
+        wire::encode_bodyless(&mut req, op::PULL_COMMITTED);
+        ep.handle(&req, &mut reply).unwrap();
+        wire::decode_pulled_into(&reply, &mut params, &mut clocks).unwrap();
+        assert_eq!(clocks, [0, 1]);
+        assert!((params[9] - 0.4).abs() < 1e-6, "p9 = {}", params[9]);
+
+        // Finiteness and shutdown.
+        req.clear();
+        wire::encode_bodyless(&mut req, op::CHECK_FINITE);
+        ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(Reply::decode(&reply), Ok(Reply::Finite { finite: true }));
+        req.clear();
+        wire::encode_bodyless(&mut req, op::SHUTDOWN);
+        assert_eq!(ep.handle(&req, &mut reply), Ok(Handled::Shutdown));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip_over_the_endpoint() {
+        let mut ep = endpoint(6, 2);
+        let mut req = Vec::new();
+        let mut reply = Vec::new();
+        wire::encode_push_shard(&mut req, 0, 0.1, 0.9, &[1.0; 3]);
+        ep.handle(&req, &mut reply).unwrap();
+
+        let snap = |ep: &mut ServerEndpoint, velocity: bool| -> Vec<f32> {
+            let mut req = Vec::new();
+            Request::Snapshot { velocity }.encode(&mut req);
+            let mut reply = Vec::new();
+            ep.handle(&req, &mut reply).unwrap();
+            match Reply::decode(&reply).unwrap() {
+                Reply::SnapshotData { data } => data,
+                other => panic!("wrong reply {other:?}"),
+            }
+        };
+        let params = snap(&mut ep, false);
+        let velocity = snap(&mut ep, true);
+        assert!(velocity[..3].iter().all(|&v| v != 0.0));
+
+        // Mutate, then restore.
+        req.clear();
+        wire::encode_push_shard(&mut req, 0, 0.7, 0.9, &[2.0; 3]);
+        ep.handle(&req, &mut reply).unwrap();
+        assert_ne!(snap(&mut ep, false), params);
+        req.clear();
+        Request::Restore {
+            params: params.clone(),
+            velocity: velocity.clone(),
+        }
+        .encode(&mut req);
+        ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(Reply::decode(&reply), Ok(Reply::Ok));
+        assert_eq!(snap(&mut ep, false), params);
+        assert_eq!(snap(&mut ep, true), velocity);
+
+        // Velocity reset.
+        req.clear();
+        wire::encode_bodyless(&mut req, op::RESET_VELOCITY);
+        ep.handle(&req, &mut reply).unwrap();
+        assert!(snap(&mut ep, true).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn malformed_requests_are_errors_not_panics() {
+        let mut ep = endpoint(4, 1);
+        let mut reply = Vec::new();
+        assert!(ep.handle(&[], &mut reply).is_err());
+        assert!(ep.handle(&[0x7f], &mut reply).is_err());
+        // Truncated push.
+        let mut req = Vec::new();
+        wire::encode_push_shard(&mut req, 0, 0.1, 0.0, &[1.0; 4]);
+        assert!(ep.handle(&req[..req.len() - 2], &mut reply).is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! The transport-backed shard router: [`crate::ShardRouter`] semantics —
+//! ownership layout, cluster version clock, OSP-style two-stage sync —
+//! with every server interaction crossing a [`Transport`].
+//!
+//! The split of responsibilities mirrors a real PS deployment:
+//!
+//! * **Server-side state** (live + committed stores, shard clocks) lives in
+//!   the [`PsServer`]s owned by the transport's serving loops; the client
+//!   can only reach it through request/reply frames.
+//! * **Client-side state** (the push-counter version clock, the stage-2
+//!   watermark, the ownership map) lives here, shared by all workers of one
+//!   trainer — the same place [`crate::ShardRouter`] keeps it, so staleness
+//!   is measured identically across the in-process and wire tiers.
+//!
+//! Workers hold a [`NetPort`] clone each; a clone lazily opens its own
+//! connection per server (connection-per-worker on both backends), so
+//! worker threads never share a socket or contend on a connection lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use super::channel::ChannelTransport;
+use super::tcp::TcpTransport;
+use super::wire::{self, op};
+use super::{Conn, Transport};
+use crate::config::{ServerTopology, TransportKind};
+use crate::profiler::{TransportStats, WireOp};
+use crate::router::RouterBuffer;
+use crate::server::PsServer;
+use crate::store::ShardLayout;
+
+/// Client-side description of one server's slice of the tier.
+#[derive(Debug, Clone, Copy)]
+struct ServerMeta {
+    /// First global shard id owned by the server.
+    shard_offset: usize,
+    /// Number of owned shards.
+    shard_count: usize,
+    /// `(offset, len)` of the owned slice of the flat parameter vector.
+    param_range: (usize, usize),
+}
+
+/// Cumulative wire counters for one operation class (lock-free; workers on
+/// different threads record concurrently).
+#[derive(Debug, Default)]
+struct OpCounters {
+    ops: AtomicU64,
+    ns: AtomicU64,
+    bytes_out: AtomicU64,
+    bytes_in: AtomicU64,
+}
+
+impl OpCounters {
+    fn record(&self, elapsed: Duration, bytes_out: usize, bytes_in: usize) {
+        // Relaxed throughout: these are statistics counters; nothing is
+        // published through them and cross-counter skew is tolerable.
+        self.ops.fetch_add(1, Ordering::Relaxed);
+        self.ns
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.bytes_out
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
+        self.bytes_in.fetch_add(bytes_in as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> WireOp {
+        WireOp {
+            ops: self.ops.load(Ordering::Relaxed),
+            wire_ns: self.ns.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct WireCounters {
+    push: OpCounters,
+    pull: OpCounters,
+    sync: OpCounters,
+}
+
+/// A lazily-connected set of connections, one slot per server.
+#[derive(Debug, Default)]
+pub(crate) struct ConnSet {
+    per_server: Vec<Option<Box<dyn Conn>>>,
+}
+
+impl ConnSet {
+    fn with_capacity(servers: usize) -> Self {
+        ConnSet {
+            per_server: (0..servers).map(|_| None).collect(),
+        }
+    }
+
+    fn get(&mut self, server: usize, transport: &dyn Transport) -> &mut dyn Conn {
+        if self.per_server.is_empty() {
+            self.per_server = (0..transport.server_count()).map(|_| None).collect();
+        }
+        let slot = &mut self.per_server[server];
+        if slot.is_none() {
+            *slot = Some(
+                transport
+                    .connect(server)
+                    .unwrap_or_else(|e| panic!("cannot connect to ps server {server}: {e}")),
+            );
+        }
+        slot.as_mut().expect("slot populated above").as_mut()
+    }
+}
+
+/// A multi-server parameter-server tier reached through a wire transport.
+///
+/// Transport failures surface as panics with context: on a loopback
+/// transport inside one process, a broken connection means the tier was
+/// torn down mid-operation (or a bug), not a recoverable network event.
+#[derive(Debug)]
+pub struct NetRouter {
+    kind: TransportKind,
+    /// Global parameter layout (shard id → flat range).
+    layout: ShardLayout,
+    /// Global shard id → owning server index.
+    owner: Vec<usize>,
+    servers: Vec<ServerMeta>,
+    /// Completed pushes — the cluster-global version clock.
+    version: AtomicU64,
+    /// Stage-2 period in completed pushes.
+    sync_every: u64,
+    /// Completed stage-2 rounds (drains included).
+    rounds: AtomicU64,
+    /// Scheduling watermark, exactly as in [`crate::ShardRouter`].
+    synced_version: AtomicU64,
+    stats: WireCounters,
+    /// Serializes stage-2 rounds and the control plane; holds their
+    /// dedicated connections.
+    ///
+    /// Field order is load-bearing: `sync` (and the conns inside it) must
+    /// drop before `transport`, whose Drop joins the serving threads and
+    /// would otherwise wait on our own open connections.
+    sync: Mutex<ConnSet>,
+    transport: Box<dyn Transport>,
+}
+
+impl NetRouter {
+    /// Builds the servers, launches the serving infrastructure for
+    /// `topology.transport`, and returns the client router. Clamping
+    /// matches [`crate::ShardRouter::new`]: servers are clamped to the
+    /// shard count, shards to the parameter count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty, `shards == 0`, the topology is
+    /// invalid, `topology.transport` is [`TransportKind::InProcess`] (that
+    /// is [`crate::ShardRouter`]'s job), or a TCP listener cannot bind.
+    pub fn launch(initial: &[f32], shards: usize, topology: ServerTopology) -> Self {
+        assert!(!initial.is_empty(), "cannot shard zero parameters");
+        assert!(shards > 0, "need at least one shard");
+        if let Err(msg) = topology.validate() {
+            panic!("invalid topology: {msg}");
+        }
+        let layout = ShardLayout::new(initial.len(), shards);
+        let ownership = ShardLayout::new(layout.len(), topology.servers);
+        let mut owner = vec![0usize; layout.len()];
+        let mut metas = Vec::with_capacity(ownership.len());
+        let instances: Vec<Arc<PsServer>> = (0..ownership.len())
+            .map(|s| {
+                let (first, count) = ownership.range(s);
+                owner[first..first + count].iter_mut().for_each(|o| *o = s);
+                let server = PsServer::new(s, &layout, first, count, initial);
+                metas.push(ServerMeta {
+                    shard_offset: first,
+                    shard_count: count,
+                    param_range: server.param_range(),
+                });
+                Arc::new(server)
+            })
+            .collect();
+        let server_count = instances.len();
+        let transport: Box<dyn Transport> = match topology.transport {
+            TransportKind::Channel => Box::new(ChannelTransport::launch(instances)),
+            TransportKind::Tcp => {
+                Box::new(TcpTransport::launch(instances).expect("bind loopback PS listeners"))
+            }
+            TransportKind::InProcess => {
+                panic!("NetRouter requires a wire transport; use ShardRouter in-process")
+            }
+        };
+        NetRouter {
+            kind: topology.transport,
+            layout,
+            owner,
+            servers: metas,
+            version: AtomicU64::new(0),
+            sync_every: topology.sync_every.max(1),
+            rounds: AtomicU64::new(0),
+            synced_version: AtomicU64::new(0),
+            stats: WireCounters::default(),
+            sync: Mutex::new(ConnSet::with_capacity(server_count)),
+            transport,
+        }
+    }
+
+    /// The transport backend kind.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.kind
+    }
+
+    /// Number of servers (after clamping to the shard count).
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Total number of parameters.
+    pub fn param_count(&self) -> usize {
+        self.layout.total()
+    }
+
+    /// Number of global shards.
+    pub fn shard_count(&self) -> usize {
+        self.layout.len()
+    }
+
+    /// `(offset, len)` of global shard `g` in the flat vector.
+    pub fn shard_range(&self, g: usize) -> (usize, usize) {
+        self.layout.range(g)
+    }
+
+    /// The server owning global shard `g`.
+    pub fn owner_of(&self, g: usize) -> usize {
+        self.owner[g]
+    }
+
+    /// Stage-2 period in completed pushes.
+    pub fn sync_every(&self) -> u64 {
+        self.sync_every
+    }
+
+    /// Cluster-global version: number of completed pushes.
+    pub fn version(&self) -> u64 {
+        // Acquire: pairs with the Release bump in `complete_push`.
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Completed stage-2 reconciliation rounds (drains included).
+    pub fn sync_rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Acquire)
+    }
+
+    /// Cumulative wire-cost counters since launch.
+    pub fn stats(&self) -> TransportStats {
+        TransportStats {
+            backend: Some(self.kind),
+            push: self.stats.push.snapshot(),
+            pull: self.stats.pull.snapshot(),
+            sync: self.stats.sync.snapshot(),
+        }
+    }
+
+    /// Completes a logical push: bumps the global version and returns the
+    /// push's staleness relative to `pulled_version`.
+    pub fn complete_push(&self, pulled_version: u64) -> u64 {
+        // Release: pairs with the Acquire loads in `version`/`pull`.
+        self.version
+            .fetch_add(1, Ordering::Release)
+            .saturating_sub(pulled_version)
+    }
+
+    /// Runs a stage-2 round if the push counter has moved `sync_every`
+    /// past the watermark — the same skip-redundant-rounds loop as
+    /// [`crate::ShardRouter::reconcile_if_due`], with the round's
+    /// commit-alls travelling as `SyncRound` frames.
+    pub fn reconcile_if_due(&self) {
+        loop {
+            let synced = self.synced_version.load(Ordering::Acquire);
+            if self.version() < synced.saturating_add(self.sync_every) {
+                return;
+            }
+            let mut conns = self.sync.lock();
+            if self.synced_version.load(Ordering::Acquire) != synced {
+                continue;
+            }
+            self.commit_round(&mut conns, op::SYNC_ROUND);
+        }
+    }
+
+    /// Drains the stage-2 pipeline: waits out any in-flight round, then
+    /// unconditionally commits every server so the committed view equals
+    /// the live view (BSP barriers, switches, restore).
+    pub fn drain(&self) {
+        let mut conns = self.sync.lock();
+        self.commit_round(&mut conns, op::DRAIN);
+    }
+
+    /// One stage-2 round, caller holding the round lock: a commit-all on
+    /// every server, then the watermark advance.
+    fn commit_round(&self, conns: &mut ConnSet, opcode: u8) {
+        let observed = self.version();
+        for s in 0..self.servers.len() {
+            // Connect before starting the clock: lazy connection setup
+            // (TCP handshake, handler-thread spawn) is tier bring-up, not
+            // wire time, and would skew the calibration samples.
+            let conn = conns.get(s, self.transport.as_ref());
+            let t0 = Instant::now();
+            let buf = conn.request_buf();
+            let base = buf.len();
+            wire::encode_bodyless(buf, opcode);
+            let out = buf.len() - base;
+            let reply = conn
+                .call()
+                .unwrap_or_else(|e| panic!("sync round failed on server {s}: {e}"));
+            let reply_len = reply.len();
+            wire::expect_bodyless(reply, op::SYNCED)
+                .unwrap_or_else(|e| panic!("bad sync reply from server {s}: {e}"));
+            self.stats.sync.record(t0.elapsed(), out, reply_len);
+        }
+        self.rounds.fetch_add(1, Ordering::Release);
+        // Release: publishes the committed data (ordered by the servers'
+        // shard locks and the request/reply round trips) with the
+        // watermark, as the in-process router does.
+        self.synced_version.store(observed, Ordering::Release);
+    }
+
+    /// Stage-1 apply through `conns`: routes the gradient for global shard
+    /// `g` to its owner as a `PushShard` frame and returns the owner's
+    /// pre-apply live shard clock from the ack.
+    fn apply_shard_update(
+        &self,
+        conns: &mut ConnSet,
+        g: usize,
+        grad: &[f32],
+        lr: f64,
+        momentum: f64,
+    ) -> u64 {
+        let s = self.owner[g];
+        let local = (g - self.servers[s].shard_offset) as u32;
+        // Connect outside the timed window (see `commit_round`).
+        let conn = conns.get(s, self.transport.as_ref());
+        let t0 = Instant::now();
+        let buf = conn.request_buf();
+        let base = buf.len();
+        wire::encode_push_shard(buf, local, lr, momentum, grad);
+        let out = buf.len() - base;
+        let reply = conn
+            .call()
+            .unwrap_or_else(|e| panic!("push to server {s} failed: {e}"));
+        let reply_len = reply.len();
+        let prev = wire::decode_push_ack(reply)
+            .unwrap_or_else(|e| panic!("bad push ack from server {s}: {e}"));
+        self.stats.push.record(t0.elapsed(), out, reply_len);
+        prev
+    }
+
+    /// Pulls the committed view of every server through `conns` into `buf`,
+    /// decoding each server's `Pulled` frame straight into the flat buffer
+    /// (the decode is the pull's single parameter copy). Returns the
+    /// effective data version — oldest committed shard clock floored by the
+    /// push counter, exactly as [`crate::ShardRouter::pull_committed_into`].
+    fn pull_committed_into(&self, conns: &mut ConnSet, buf: &mut RouterBuffer) -> u64 {
+        // Acquire: see `version`.
+        let version = self.version.load(Ordering::Acquire);
+        buf.params.resize(self.param_count(), 0.0);
+        buf.shard_versions.resize(self.shard_count(), 0);
+        for (s, meta) in self.servers.iter().enumerate() {
+            let (po, pl) = meta.param_range;
+            let so = meta.shard_offset;
+            // Connect outside the timed window (see `commit_round`).
+            let conn = conns.get(s, self.transport.as_ref());
+            let t0 = Instant::now();
+            let req = conn.request_buf();
+            let base = req.len();
+            wire::encode_bodyless(req, op::PULL_COMMITTED);
+            let out = req.len() - base;
+            let reply = conn
+                .call()
+                .unwrap_or_else(|e| panic!("pull from server {s} failed: {e}"));
+            let reply_len = reply.len();
+            wire::decode_pulled_into(
+                reply,
+                &mut buf.params[po..po + pl],
+                &mut buf.shard_versions[so..so + meta.shard_count],
+            )
+            .unwrap_or_else(|e| panic!("bad pull reply from server {s}: {e}"));
+            self.stats.pull.record(t0.elapsed(), out, reply_len);
+        }
+        let effective = buf
+            .shard_versions
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(version)
+            .min(version);
+        buf.version = effective;
+        effective
+    }
+
+    /// Snapshot of the full live parameter vector, assembled from per-server
+    /// `Snapshot` frames.
+    pub fn snapshot_params(&self) -> Vec<f32> {
+        self.snapshot(false)
+    }
+
+    /// Snapshot of the full live velocity vector.
+    pub fn snapshot_velocity(&self) -> Vec<f32> {
+        self.snapshot(true)
+    }
+
+    fn snapshot(&self, velocity: bool) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.param_count()];
+        let mut conns = self.sync.lock();
+        for (s, meta) in self.servers.iter().enumerate() {
+            let (po, pl) = meta.param_range;
+            let conn = conns.get(s, self.transport.as_ref());
+            let req = conn.request_buf();
+            req.push(op::SNAPSHOT);
+            req.push(u8::from(velocity));
+            let reply = conn
+                .call()
+                .unwrap_or_else(|e| panic!("snapshot from server {s} failed: {e}"));
+            wire::decode_snapshot_into(reply, &mut out[po..po + pl])
+                .unwrap_or_else(|e| panic!("bad snapshot reply from server {s}: {e}"));
+        }
+        out
+    }
+
+    /// Overwrites live parameters and velocity from a checkpoint, then
+    /// drains so the committed view matches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ from the parameter count.
+    pub fn restore(&self, params: &[f32], velocity: &[f32]) {
+        assert_eq!(params.len(), self.param_count(), "params length mismatch");
+        assert_eq!(
+            velocity.len(),
+            self.param_count(),
+            "velocity length mismatch"
+        );
+        let mut conns = self.sync.lock();
+        for (s, meta) in self.servers.iter().enumerate() {
+            let (po, pl) = meta.param_range;
+            let conn = conns.get(s, self.transport.as_ref());
+            wire::encode_restore(
+                conn.request_buf(),
+                &params[po..po + pl],
+                &velocity[po..po + pl],
+            );
+            let reply = conn
+                .call()
+                .unwrap_or_else(|e| panic!("restore on server {s} failed: {e}"));
+            wire::expect_bodyless(reply, op::OK)
+                .unwrap_or_else(|e| panic!("bad restore reply from server {s}: {e}"));
+        }
+        self.commit_round(&mut conns, op::DRAIN);
+    }
+
+    /// Resets the live velocity to zero on every server.
+    pub fn reset_velocity(&self) {
+        let mut conns = self.sync.lock();
+        for s in 0..self.servers.len() {
+            let conn = conns.get(s, self.transport.as_ref());
+            wire::encode_bodyless(conn.request_buf(), op::RESET_VELOCITY);
+            let reply = conn
+                .call()
+                .unwrap_or_else(|e| panic!("velocity reset on server {s} failed: {e}"));
+            wire::expect_bodyless(reply, op::OK)
+                .unwrap_or_else(|e| panic!("bad reset reply from server {s}: {e}"));
+        }
+    }
+
+    /// Whether every live parameter on every server is finite.
+    pub fn is_finite(&self) -> bool {
+        let mut conns = self.sync.lock();
+        (0..self.servers.len()).all(|s| {
+            let conn = conns.get(s, self.transport.as_ref());
+            wire::encode_bodyless(conn.request_buf(), op::CHECK_FINITE);
+            let reply = conn
+                .call()
+                .unwrap_or_else(|e| panic!("finiteness check on server {s} failed: {e}"));
+            wire::decode_finite(reply)
+                .unwrap_or_else(|e| panic!("bad finiteness reply from server {s}: {e}"))
+        })
+    }
+}
+
+/// A worker's handle onto a [`NetRouter`]: the shared router plus this
+/// worker's own lazily-opened connections. Cloning yields a handle with an
+/// empty connection set, so every worker thread ends up with its own
+/// connections (connection-per-worker) without any cross-thread sharing —
+/// the per-clone mutex is only ever contended by its owning thread.
+#[derive(Debug)]
+pub struct NetPort {
+    /// Declared before `router` so a clone's connections close before the
+    /// last `Arc` drop can tear the transport down.
+    conns: Mutex<ConnSet>,
+    router: Arc<NetRouter>,
+}
+
+impl Clone for NetPort {
+    fn clone(&self) -> Self {
+        NetPort {
+            conns: Mutex::new(ConnSet::default()),
+            router: Arc::clone(&self.router),
+        }
+    }
+}
+
+impl NetPort {
+    /// Launches a transport-backed tier (see [`NetRouter::launch`]).
+    pub fn launch(initial: &[f32], shards: usize, topology: ServerTopology) -> Self {
+        NetPort {
+            conns: Mutex::new(ConnSet::default()),
+            router: Arc::new(NetRouter::launch(initial, shards, topology)),
+        }
+    }
+
+    /// The shared router.
+    pub fn router(&self) -> &Arc<NetRouter> {
+        &self.router
+    }
+
+    /// Pulls the committed view into `buf` over this worker's connections.
+    pub fn pull_into(&self, buf: &mut RouterBuffer) -> u64 {
+        self.router.pull_committed_into(&mut self.conns.lock(), buf)
+    }
+
+    /// Stage-1 apply over this worker's connection to the owner.
+    pub fn apply_shard_update(&self, g: usize, grad: &[f32], lr: f64, momentum: f64) -> u64 {
+        self.router
+            .apply_shard_update(&mut self.conns.lock(), g, grad, lr, momentum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::ShardRouter;
+
+    fn topologies() -> Vec<ServerTopology> {
+        vec![
+            ServerTopology::new(2, 1).with_transport(TransportKind::Channel),
+            ServerTopology::new(2, 1).with_transport(TransportKind::Tcp),
+        ]
+    }
+
+    #[test]
+    fn net_router_matches_in_process_router() {
+        let initial: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let grad: Vec<f32> = (0..37).map(|i| (i as f32).cos()).collect();
+        for topology in topologies() {
+            let inproc = ShardRouter::new(&initial, 5, ServerTopology::new(2, 1));
+            let net = NetPort::launch(&initial, 5, topology);
+            for step in 0..4 {
+                for g in 0..5 {
+                    let (o, l) = inproc.shard_range(g);
+                    assert_eq!(net.router().shard_range(g), (o, l));
+                    let a = inproc.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                    let b = net.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                    assert_eq!(a, b, "shard clock skew at step {step} shard {g}");
+                }
+                inproc.complete_push(step);
+                net.router().complete_push(step);
+                inproc.reconcile_if_due();
+                net.router().reconcile_if_due();
+            }
+            assert_eq!(inproc.version(), net.router().version());
+            assert_eq!(
+                inproc.snapshot_params(),
+                net.router().snapshot_params(),
+                "{:?} diverged from in-process",
+                net.router().transport_kind()
+            );
+            assert_eq!(inproc.snapshot_velocity(), net.router().snapshot_velocity());
+            let mut a = RouterBuffer::new();
+            let mut b = RouterBuffer::new();
+            let va = inproc.pull_committed_into(&mut a);
+            let vb = net.pull_into(&mut b);
+            assert_eq!(va, vb);
+            assert_eq!(a.params(), b.params());
+            assert_eq!(a.shard_versions(), b.shard_versions());
+        }
+    }
+
+    #[test]
+    fn pulls_see_committed_view_and_honest_version() {
+        for topology in topologies() {
+            let initial = vec![1.0f32; 24];
+            let net = NetPort::launch(&initial, 4, {
+                let mut t = topology;
+                t.sync_every = 8;
+                t
+            });
+            let r = net.router();
+            let mut buf = RouterBuffer::new();
+            net.pull_into(&mut buf);
+            let before = buf.params().to_vec();
+            for g in 0..r.shard_count() {
+                let (_, l) = r.shard_range(g);
+                net.apply_shard_update(g, &vec![1.0; l], 0.5, 0.0);
+            }
+            r.complete_push(0);
+            let v = net.pull_into(&mut buf);
+            assert_eq!(buf.params(), &before[..], "stage-1 leaked into a pull");
+            assert_eq!(v, 0, "pulled version must track the committed data");
+            r.drain();
+            let v = net.pull_into(&mut buf);
+            assert_eq!(v, 1);
+            assert_eq!(buf.params(), &r.snapshot_params()[..]);
+        }
+    }
+
+    #[test]
+    fn restore_round_trips_over_the_wire() {
+        for topology in topologies() {
+            let initial: Vec<f32> = (0..30).map(|i| i as f32 * 0.1).collect();
+            let net = NetPort::launch(&initial, 6, topology);
+            let r = net.router();
+            for g in 0..r.shard_count() {
+                let (_, l) = r.shard_range(g);
+                net.apply_shard_update(g, &vec![1.0; l], 0.1, 0.9);
+            }
+            r.complete_push(0);
+            let params = r.snapshot_params();
+            let velocity = r.snapshot_velocity();
+            for g in 0..r.shard_count() {
+                let (_, l) = r.shard_range(g);
+                net.apply_shard_update(g, &vec![5.0; l], 0.1, 0.9);
+            }
+            assert_ne!(r.snapshot_params(), params);
+            r.restore(&params, &velocity);
+            assert_eq!(r.snapshot_params(), params);
+            assert_eq!(r.snapshot_velocity(), velocity);
+            let mut buf = RouterBuffer::new();
+            net.pull_into(&mut buf);
+            assert_eq!(buf.params(), &params[..], "restore must drain");
+            assert!(r.is_finite());
+            r.reset_velocity();
+            assert!(r.snapshot_velocity().iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn wire_stats_count_every_round_trip() {
+        let net = NetPort::launch(
+            &[0.5f32; 16],
+            4,
+            ServerTopology::new(2, 2).with_transport(TransportKind::Channel),
+        );
+        let r = net.router();
+        let mut buf = RouterBuffer::new();
+        net.pull_into(&mut buf);
+        for g in 0..4 {
+            let (_, l) = r.shard_range(g);
+            net.apply_shard_update(g, &vec![1.0; l], 0.1, 0.0);
+        }
+        r.complete_push(0);
+        r.drain();
+        let stats = r.stats();
+        assert_eq!(stats.backend, Some(TransportKind::Channel));
+        assert_eq!(stats.push.ops, 4, "one push round trip per shard");
+        assert_eq!(stats.pull.ops, 2, "one pull round trip per server");
+        assert_eq!(stats.sync.ops, 2, "one sync round trip per server");
+        assert!(stats.push.bytes_out > 0 && stats.pull.bytes_in > 0);
+        assert!(stats.total_wire_s() > 0.0);
+        // Pull replies carry the parameters; push replies only an ack.
+        assert!(stats.pull.mean_round_trip_bytes() > stats.push.mean_round_trip_bytes() / 2.0);
+        assert_eq!(stats.latency_samples().len(), 3);
+        // Deltas scope to a window.
+        let later = r.stats();
+        assert_eq!(later.delta(&stats).total_ops(), 0);
+    }
+
+    #[test]
+    fn clamps_servers_to_shards() {
+        let net = NetPort::launch(
+            &[1.0f32; 8],
+            2,
+            ServerTopology::new(5, 1).with_transport(TransportKind::Channel),
+        );
+        assert_eq!(net.router().server_count(), 2);
+        assert_eq!(net.router().owner_of(0), 0);
+        assert_eq!(net.router().owner_of(1), 1);
+    }
+}

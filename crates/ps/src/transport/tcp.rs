@@ -1,0 +1,297 @@
+//! The loopback TCP backend: one listener per server, blocking I/O, one
+//! connection (and one handler thread) per worker.
+//!
+//! This is the "real sockets" end of the transport tier: every push, pull,
+//! and sync round crosses the kernel's TCP stack, so the wire cost the
+//! paper's BSP/ASP tradeoff hinges on is measured, not modeled. Nagle is
+//! disabled (`TCP_NODELAY`) — the protocol is strict request/reply, where
+//! delayed ACKs would serialize into ~40 ms stalls per round trip.
+//!
+//! Handler threads execute directly against the shared [`PsServer`]
+//! (`ShardedStore` is internally locked per shard), so two workers pushing
+//! to different shards of one server proceed concurrently — the same
+//! contention profile as the in-process tier, plus the socket hop.
+
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use super::{wire, Conn, Handled, ServerEndpoint, Transport};
+use crate::server::PsServer;
+
+/// The TCP transport: one loopback listener per server.
+pub struct TcpTransport {
+    addrs: Vec<SocketAddr>,
+    stop: Arc<AtomicBool>,
+    /// Accept-loop threads (one per server) followed by any handler threads
+    /// they spawned, all joined on drop.
+    accept_threads: Mutex<Vec<JoinHandle<()>>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("addrs", &self.addrs)
+            .finish()
+    }
+}
+
+impl TcpTransport {
+    /// Binds one loopback listener per server and starts the accept loops.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if a listener cannot bind.
+    pub(crate) fn launch(servers: Vec<Arc<PsServer>>) -> io::Result<Self> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let mut addrs = Vec::with_capacity(servers.len());
+        let mut accept_threads = Vec::with_capacity(servers.len());
+        for server in servers {
+            let listener = TcpListener::bind("127.0.0.1:0")?;
+            addrs.push(listener.local_addr()?);
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            let id = server.id();
+            accept_threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ps-listen-{id}"))
+                    .spawn(move || accept_loop(&listener, &server, &stop, &handlers))
+                    .expect("spawn ps tcp accept loop"),
+            );
+        }
+        Ok(TcpTransport {
+            addrs,
+            stop,
+            accept_threads: Mutex::new(accept_threads),
+            handlers,
+        })
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Arc<PsServer>,
+    stop: &Arc<AtomicBool>,
+    handlers: &Mutex<Vec<JoinHandle<()>>>,
+) {
+    loop {
+        let (stream, _) = match listener.accept() {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        if stop.load(Ordering::Acquire) {
+            // The wake-up connection from shutdown (or a late client).
+            return;
+        }
+        let mut endpoint = ServerEndpoint::new(Arc::clone(server));
+        let handle = std::thread::Builder::new()
+            .name(format!("ps-conn-{}", server.id()))
+            .spawn(move || handle_conn(stream, &mut endpoint))
+            .expect("spawn ps tcp connection handler");
+        let mut guard = handlers.lock();
+        // Reap handlers whose clients already hung up, so a long-lived
+        // tier that keeps opening per-segment connections does not
+        // accumulate dead JoinHandles until drop.
+        let mut i = 0;
+        while i < guard.len() {
+            if guard[i].is_finished() {
+                let _ = guard.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        guard.push(handle);
+    }
+}
+
+/// Serves one client connection until EOF, a `Shutdown` frame, or an error.
+fn handle_conn(mut stream: TcpStream, endpoint: &mut ServerEndpoint) {
+    let _ = stream.set_nodelay(true);
+    let mut request = Vec::new();
+    // Reply frame laid out as [len][payload]; the prefix is patched after
+    // encoding so the whole frame goes out in one write.
+    let mut reply = Vec::new();
+    let mut payload = Vec::new();
+    loop {
+        match wire::read_frame(&mut stream, &mut request) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return, // client hung up / stream broke
+        }
+        match endpoint.handle(&request, &mut payload) {
+            Ok(Handled::Reply) => {
+                reply.clear();
+                reply.extend_from_slice(&[0u8; 4]);
+                reply.extend_from_slice(&payload);
+                wire::patch_frame_len(&mut reply);
+                if stream.write_all(&reply).is_err() {
+                    return;
+                }
+            }
+            Ok(Handled::Shutdown) | Err(_) => return,
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn server_count(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn connect(&self, server: usize) -> io::Result<Box<dyn Conn>> {
+        let stream = TcpStream::connect(self.addrs[server])?;
+        stream.set_nodelay(true)?;
+        Ok(Box::new(TcpConn {
+            stream,
+            send: Vec::new(),
+            reply: Vec::new(),
+        }))
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake each accept loop with a throwaway connection; it observes
+        // the stop flag and returns, dropping the listener.
+        for addr in &self.addrs {
+            let _ = TcpStream::connect(addr);
+        }
+        for t in self.accept_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        // Handler threads exit when their client streams close; every conn
+        // this process opened is dropped before the transport (NetRouter
+        // drops its conn caches first), so these joins cannot hang.
+        for t in self.handlers.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A client connection on the TCP backend.
+struct TcpConn {
+    stream: TcpStream,
+    /// Outgoing frame: `[4-byte length placeholder][payload]`.
+    send: Vec<u8>,
+    /// Last reply payload.
+    reply: Vec<u8>,
+}
+
+impl std::fmt::Debug for TcpConn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpConn")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+impl Conn for TcpConn {
+    fn request_buf(&mut self) -> &mut Vec<u8> {
+        self.send.clear();
+        self.send.extend_from_slice(&[0u8; 4]);
+        &mut self.send
+    }
+
+    fn call(&mut self) -> io::Result<&[u8]> {
+        wire::patch_frame_len(&mut self.send);
+        self.stream.write_all(&self.send)?;
+        if !wire::read_frame(&mut self.stream, &mut self.reply)? {
+            // Clean EOF is fine for a serving loop, but a client waiting
+            // for a reply was hung up on.
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "ps server closed the connection mid-call",
+            ));
+        }
+        Ok(&self.reply)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardLayout;
+    use crate::transport::wire::op;
+    use std::io::Read;
+
+    fn launch(n: usize, shards: usize, servers: usize) -> TcpTransport {
+        let initial: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        let layout = ShardLayout::new(n, shards);
+        let ownership = ShardLayout::new(layout.len(), servers);
+        let servers: Vec<Arc<PsServer>> = (0..ownership.len())
+            .map(|s| {
+                let (first, count) = ownership.range(s);
+                Arc::new(PsServer::new(s, &layout, first, count, &initial))
+            })
+            .collect();
+        TcpTransport::launch(servers).expect("bind loopback listeners")
+    }
+
+    #[test]
+    fn request_reply_over_a_socket() {
+        let t = launch(12, 4, 2);
+        let mut conn = t.connect(0).unwrap();
+        wire::encode_push_shard(conn.request_buf(), 0, 0.5, 0.0, &[1.0; 3]);
+        let reply = conn.call().unwrap();
+        assert_eq!(wire::decode_push_ack(reply), Ok(0));
+        wire::encode_push_shard(conn.request_buf(), 0, 0.5, 0.0, &[1.0; 3]);
+        let reply = conn.call().unwrap();
+        assert_eq!(wire::decode_push_ack(reply), Ok(1), "clock advanced");
+    }
+
+    #[test]
+    fn concurrent_conns_share_one_server() {
+        let t = launch(8, 2, 1);
+        let t = &t;
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(move || {
+                    let mut conn = t.connect(0).unwrap();
+                    for _ in 0..40 {
+                        wire::encode_push_shard(conn.request_buf(), 1, 0.001, 0.0, &[1.0; 4]);
+                        let reply = conn.call().unwrap();
+                        wire::decode_push_ack(reply).unwrap();
+                    }
+                });
+            }
+        });
+        let mut conn = t.connect(0).unwrap();
+        wire::encode_bodyless(conn.request_buf(), op::DRAIN);
+        conn.call().unwrap();
+        wire::encode_bodyless(conn.request_buf(), op::PULL_COMMITTED);
+        let reply = conn.call().unwrap();
+        let mut params = [0.0f32; 8];
+        let mut clocks = [0u64; 2];
+        wire::decode_pulled_into(reply, &mut params, &mut clocks).unwrap();
+        assert_eq!(clocks[1], 120);
+    }
+
+    #[test]
+    fn drop_closes_listeners() {
+        let t = launch(4, 2, 1);
+        let addr = t.addrs[0];
+        drop(t);
+        // The listener is gone: either the connect fails outright or the
+        // socket is closed without serving.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let mut frame = Vec::new();
+            wire::frame_payload(&mut frame, &[op::CHECK_FINITE]);
+            let write = s.write_all(&frame);
+            let mut buf = [0u8; 1];
+            assert!(
+                write.is_err() || matches!(s.read(&mut buf), Ok(0) | Err(_)),
+                "dropped transport still serving"
+            );
+        }
+    }
+}

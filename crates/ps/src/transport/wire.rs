@@ -1,0 +1,754 @@
+//! The PS wire protocol: a compact binary codec for every request a worker
+//! (or the control plane) can make of a [`crate::PsServer`], plus the
+//! length-prefixed framing both transport backends speak.
+//!
+//! Layout is little-endian throughout. A frame on a byte stream is
+//!
+//! ```text
+//! [u32 payload_len][payload]
+//! ```
+//!
+//! and a payload is `[u8 opcode][body]`. Floats are carried as raw IEEE-754
+//! bits (`to_le_bytes`), so encode→decode→encode is byte-exact even for
+//! NaNs — the codec never reinterprets gradients, it only moves them.
+//!
+//! The hot-path messages have dedicated zero-allocation encoders/decoders
+//! (`encode_push_shard`, `decode_push_shard_into`, `decode_pulled_into`)
+//! that the [`crate::transport::NetRouter`] and the server endpoints use to
+//! keep the steady state allocation-free; the owned [`Request`]/[`Reply`]
+//! enums exist for the cold control-plane paths and for exercising the
+//! codec in property tests.
+
+use std::fmt;
+
+/// Frames larger than this are rejected when reading from a stream — a
+/// corrupted length prefix must not trigger a multi-gigabyte allocation.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+/// Decode/framing errors. These indicate protocol corruption (or a version
+/// skew that cannot happen in-process), never ordinary data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the field being read.
+    Truncated,
+    /// The first payload byte is not a known opcode.
+    UnknownOpcode(u8),
+    /// Bytes remained after the last field of the message.
+    TrailingBytes(usize),
+    /// A frame length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversize(usize),
+    /// The reply opcode did not match the request that was sent.
+    UnexpectedReply(u8),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated mid-field"),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::Oversize(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME_BYTES}"),
+            WireError::UnexpectedReply(op) => write!(f, "unexpected reply opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Request opcodes (`0x01..`). Replies live in `0x81..` so a frame's first
+/// byte always identifies its direction.
+pub mod op {
+    /// Stage-1 apply of one shard's gradient on the owning server.
+    pub const PUSH_SHARD: u8 = 0x01;
+    /// Pull the committed view of every owned shard.
+    pub const PULL_COMMITTED: u8 = 0x02;
+    /// Stage-2 reconciliation: commit every owned shard's live state.
+    pub const SYNC_ROUND: u8 = 0x03;
+    /// Unconditional commit-all (BSP barriers, switches, restore).
+    pub const DRAIN: u8 = 0x04;
+    /// Snapshot the live parameters or velocity.
+    pub const SNAPSHOT: u8 = 0x05;
+    /// Overwrite live parameters and velocity from a checkpoint.
+    pub const RESTORE: u8 = 0x06;
+    /// Zero the live velocity.
+    pub const RESET_VELOCITY: u8 = 0x07;
+    /// Ask whether every live parameter is finite.
+    pub const CHECK_FINITE: u8 = 0x08;
+    /// Terminate the server's event loop / connection handler.
+    pub const SHUTDOWN: u8 = 0x09;
+
+    /// Reply to [`PUSH_SHARD`]: the pre-apply shard clock.
+    pub const PUSH_ACK: u8 = 0x81;
+    /// Reply to [`PULL_COMMITTED`]: owned params + committed clocks.
+    pub const PULLED: u8 = 0x82;
+    /// Reply to [`SYNC_ROUND`] / [`DRAIN`].
+    pub const SYNCED: u8 = 0x83;
+    /// Reply to [`SNAPSHOT`]: the requested vector.
+    pub const SNAPSHOT_DATA: u8 = 0x84;
+    /// Generic success reply ([`RESTORE`], [`RESET_VELOCITY`]).
+    pub const OK: u8 = 0x85;
+    /// Reply to [`CHECK_FINITE`].
+    pub const FINITE: u8 = 0x86;
+}
+
+/// A decoded request frame (owned form — the hot paths use the streaming
+/// encoders below instead).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Apply `grad` to the owner's live shard `shard` (server-local index).
+    PushShard {
+        /// Server-local shard index.
+        shard: u32,
+        /// Learning rate for the momentum-SGD step.
+        lr: f64,
+        /// Momentum coefficient.
+        momentum: f64,
+        /// The gradient slice for exactly that shard.
+        grad: Vec<f32>,
+    },
+    /// Pull the committed view of every owned shard.
+    PullCommitted,
+    /// Stage-2 reconciliation round on this server.
+    SyncRound,
+    /// Unconditional commit-all.
+    Drain,
+    /// Snapshot the live parameters (`velocity == false`) or velocity.
+    Snapshot {
+        /// Which vector to snapshot.
+        velocity: bool,
+    },
+    /// Overwrite live parameters and velocity.
+    Restore {
+        /// New parameters for the owned slice.
+        params: Vec<f32>,
+        /// New velocity for the owned slice.
+        velocity: Vec<f32>,
+    },
+    /// Zero the live velocity.
+    ResetVelocity,
+    /// Ask whether every live parameter is finite.
+    CheckFinite,
+    /// Terminate the serving loop.
+    Shutdown,
+}
+
+/// A decoded reply frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Pre-apply shard clock of a [`Request::PushShard`].
+    PushAck {
+        /// The owner's live shard clock before the apply.
+        prev_clock: u64,
+    },
+    /// Committed view of the owned slice.
+    Pulled {
+        /// Owned parameters, in global flat order.
+        params: Vec<f32>,
+        /// Committed clock per owned shard.
+        clocks: Vec<u64>,
+    },
+    /// A sync round / drain completed.
+    Synced,
+    /// Snapshot payload.
+    SnapshotData {
+        /// The requested vector.
+        data: Vec<f32>,
+    },
+    /// Generic success.
+    Ok,
+    /// Finiteness answer.
+    Finite {
+        /// Whether every live parameter is finite.
+        finite: bool,
+    },
+}
+
+// ---------------------------------------------------------------- encoding
+
+#[inline]
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f32s(buf: &mut Vec<u8>, vs: &[f32]) {
+    put_u32(buf, vs.len() as u32);
+    buf.reserve(vs.len() * 4);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn put_u64s(buf: &mut Vec<u8>, vs: &[u64]) {
+    put_u32(buf, vs.len() as u32);
+    buf.reserve(vs.len() * 8);
+    for v in vs {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Appends a `PushShard` payload to `buf` without intermediate allocation.
+pub fn encode_push_shard(buf: &mut Vec<u8>, shard: u32, lr: f64, momentum: f64, grad: &[f32]) {
+    buf.push(op::PUSH_SHARD);
+    put_u32(buf, shard);
+    put_f64(buf, lr);
+    put_f64(buf, momentum);
+    put_f32s(buf, grad);
+}
+
+/// Appends a bodyless request payload (`PullCommitted`, `SyncRound`,
+/// `Drain`, `ResetVelocity`, `CheckFinite`, `Shutdown`).
+pub fn encode_bodyless(buf: &mut Vec<u8>, opcode: u8) {
+    buf.push(opcode);
+}
+
+/// Appends a `Pulled` reply payload directly from the server's slices.
+pub fn encode_pulled(buf: &mut Vec<u8>, params: &[f32], clocks: &[u64]) {
+    buf.push(op::PULLED);
+    put_f32s(buf, params);
+    put_u64s(buf, clocks);
+}
+
+/// Appends a `PushAck` reply payload.
+pub fn encode_push_ack(buf: &mut Vec<u8>, prev_clock: u64) {
+    buf.push(op::PUSH_ACK);
+    put_u64(buf, prev_clock);
+}
+
+/// Appends a `SnapshotData` reply payload.
+pub fn encode_snapshot_data(buf: &mut Vec<u8>, data: &[f32]) {
+    buf.push(op::SNAPSHOT_DATA);
+    put_f32s(buf, data);
+}
+
+/// Appends a `Restore` request payload directly from checkpoint slices.
+pub fn encode_restore(buf: &mut Vec<u8>, params: &[f32], velocity: &[f32]) {
+    buf.push(op::RESTORE);
+    put_f32s(buf, params);
+    put_f32s(buf, velocity);
+}
+
+impl Request {
+    /// Appends this request's payload to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Request::PushShard {
+                shard,
+                lr,
+                momentum,
+                grad,
+            } => encode_push_shard(buf, *shard, *lr, *momentum, grad),
+            Request::PullCommitted => encode_bodyless(buf, op::PULL_COMMITTED),
+            Request::SyncRound => encode_bodyless(buf, op::SYNC_ROUND),
+            Request::Drain => encode_bodyless(buf, op::DRAIN),
+            Request::Snapshot { velocity } => {
+                buf.push(op::SNAPSHOT);
+                buf.push(u8::from(*velocity));
+            }
+            Request::Restore { params, velocity } => encode_restore(buf, params, velocity),
+            Request::ResetVelocity => encode_bodyless(buf, op::RESET_VELOCITY),
+            Request::CheckFinite => encode_bodyless(buf, op::CHECK_FINITE),
+            Request::Shutdown => encode_bodyless(buf, op::SHUTDOWN),
+        }
+    }
+}
+
+impl Reply {
+    /// Appends this reply's payload to `buf`.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            Reply::PushAck { prev_clock } => encode_push_ack(buf, *prev_clock),
+            Reply::Pulled { params, clocks } => encode_pulled(buf, params, clocks),
+            Reply::Synced => encode_bodyless(buf, op::SYNCED),
+            Reply::SnapshotData { data } => encode_snapshot_data(buf, data),
+            Reply::Ok => encode_bodyless(buf, op::OK),
+            Reply::Finite { finite } => {
+                buf.push(op::FINITE);
+                buf.push(u8::from(*finite));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decoding
+
+/// A cursor over a payload; every getter checks bounds.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a length-prefixed f32 run into `out` (resized in place, so a
+    /// reused buffer allocates nothing in the steady state).
+    fn f32s_into(&mut self, out: &mut Vec<f32>) -> Result<(), WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n.checked_mul(4).ok_or(WireError::Truncated)?)?;
+        out.clear();
+        out.reserve(n);
+        out.extend(
+            bytes
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok(())
+    }
+
+    /// Reads a length-prefixed f32 run into an exact-length slice.
+    fn f32s_into_slice(&mut self, out: &mut [f32]) -> Result<(), WireError> {
+        let n = self.u32()? as usize;
+        if n != out.len() {
+            // A size mismatch means the frame disagrees with the layout the
+            // client derived at launch — corruption, not a soft error.
+            return Err(WireError::Truncated);
+        }
+        let bytes = self.take(n.checked_mul(4).ok_or(WireError::Truncated)?)?;
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(4)) {
+            *o = f32::from_le_bytes(c.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    fn u64s_into_slice(&mut self, out: &mut [u64]) -> Result<(), WireError> {
+        let n = self.u32()? as usize;
+        if n != out.len() {
+            return Err(WireError::Truncated);
+        }
+        let bytes = self.take(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        for (o, c) in out.iter_mut().zip(bytes.chunks_exact(8)) {
+            *o = u64::from_le_bytes(c.try_into().unwrap());
+        }
+        Ok(())
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(WireError::TrailingBytes(self.bytes.len() - self.pos));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes a `PushShard` payload, reading the gradient into the reusable
+/// `grad` buffer. Returns `(shard, lr, momentum)`.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed `PushShard`.
+pub fn decode_push_shard_into(
+    payload: &[u8],
+    grad: &mut Vec<f32>,
+) -> Result<(u32, f64, f64), WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::PUSH_SHARD => {}
+        other => return Err(WireError::UnknownOpcode(other)),
+    }
+    let shard = c.u32()?;
+    let lr = c.f64()?;
+    let momentum = c.f64()?;
+    c.f32s_into(grad)?;
+    c.finish()?;
+    Ok((shard, lr, momentum))
+}
+
+/// Decodes a `Pulled` reply straight into the caller's slices — the
+/// zero-allocation pull path: the router points these at the worker's flat
+/// buffer, so the decode is the single parameter copy of the pull.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed `Pulled`
+/// reply or its run lengths differ from the slice lengths.
+pub fn decode_pulled_into(
+    payload: &[u8],
+    params_out: &mut [f32],
+    clocks_out: &mut [u64],
+) -> Result<(), WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::PULLED => {}
+        other => return Err(WireError::UnexpectedReply(other)),
+    }
+    c.f32s_into_slice(params_out)?;
+    c.u64s_into_slice(clocks_out)?;
+    c.finish()
+}
+
+/// Decodes a `SnapshotData` reply straight into an exact-length slice.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed
+/// `SnapshotData` reply of exactly `out.len()` values.
+pub fn decode_snapshot_into(payload: &[u8], out: &mut [f32]) -> Result<(), WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::SNAPSHOT_DATA => {}
+        other => return Err(WireError::UnexpectedReply(other)),
+    }
+    c.f32s_into_slice(out)?;
+    c.finish()
+}
+
+/// Checks that a reply payload is exactly the bodyless `expected` opcode.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on any other payload.
+pub fn expect_bodyless(payload: &[u8], expected: u8) -> Result<(), WireError> {
+    let mut c = Cursor::new(payload);
+    let got = c.u8()?;
+    if got != expected {
+        return Err(WireError::UnexpectedReply(got));
+    }
+    c.finish()
+}
+
+/// Decodes a `Finite` reply.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed `Finite`.
+pub fn decode_finite(payload: &[u8]) -> Result<bool, WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::FINITE => {}
+        other => return Err(WireError::UnexpectedReply(other)),
+    }
+    let finite = c.u8()? != 0;
+    c.finish()?;
+    Ok(finite)
+}
+
+/// Decodes a `PushAck` reply.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed `PushAck`.
+pub fn decode_push_ack(payload: &[u8]) -> Result<u64, WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::PUSH_ACK => {}
+        other => return Err(WireError::UnexpectedReply(other)),
+    }
+    let clock = c.u64()?;
+    c.finish()?;
+    Ok(clock)
+}
+
+impl Request {
+    /// Decodes a request payload into its owned form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is malformed.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            op::PUSH_SHARD => {
+                let shard = c.u32()?;
+                let lr = c.f64()?;
+                let momentum = c.f64()?;
+                let mut grad = Vec::new();
+                c.f32s_into(&mut grad)?;
+                Request::PushShard {
+                    shard,
+                    lr,
+                    momentum,
+                    grad,
+                }
+            }
+            op::PULL_COMMITTED => Request::PullCommitted,
+            op::SYNC_ROUND => Request::SyncRound,
+            op::DRAIN => Request::Drain,
+            op::SNAPSHOT => Request::Snapshot {
+                velocity: c.u8()? != 0,
+            },
+            op::RESTORE => {
+                let mut params = Vec::new();
+                c.f32s_into(&mut params)?;
+                let mut velocity = Vec::new();
+                c.f32s_into(&mut velocity)?;
+                Request::Restore { params, velocity }
+            }
+            op::RESET_VELOCITY => Request::ResetVelocity,
+            op::CHECK_FINITE => Request::CheckFinite,
+            op::SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Reply {
+    /// Decodes a reply payload into its owned form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the payload is malformed.
+    pub fn decode(payload: &[u8]) -> Result<Reply, WireError> {
+        let mut c = Cursor::new(payload);
+        let reply = match c.u8()? {
+            op::PUSH_ACK => Reply::PushAck {
+                prev_clock: c.u64()?,
+            },
+            op::PULLED => {
+                let mut params = Vec::new();
+                c.f32s_into(&mut params)?;
+                let n = c.u32()? as usize;
+                let bytes = c.take(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+                let clocks = bytes
+                    .chunks_exact(8)
+                    .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+                    .collect();
+                Reply::Pulled { params, clocks }
+            }
+            op::SYNCED => Reply::Synced,
+            op::SNAPSHOT_DATA => {
+                let mut data = Vec::new();
+                c.f32s_into(&mut data)?;
+                Reply::SnapshotData { data }
+            }
+            op::OK => Reply::Ok,
+            op::FINITE => Reply::Finite {
+                finite: c.u8()? != 0,
+            },
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        c.finish()?;
+        Ok(reply)
+    }
+}
+
+// ----------------------------------------------------------------- framing
+
+/// Reads one length-prefixed frame from `r` into `buf` (resized in place).
+/// Returns `Ok(false)` on clean EOF at a frame boundary — how a TCP handler
+/// observes its client hanging up.
+///
+/// # Errors
+///
+/// Propagates I/O errors; an oversize length prefix surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl std::io::Read, buf: &mut Vec<u8>) -> std::io::Result<bool> {
+    let mut len_bytes = [0u8; 4];
+    // EOF before the first length byte is a clean close; EOF mid-frame is
+    // an error.
+    match r.read(&mut len_bytes[..1])? {
+        0 => return Ok(false),
+        _ => r.read_exact(&mut len_bytes[1..])?,
+    }
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            WireError::Oversize(len),
+        ));
+    }
+    buf.resize(len, 0);
+    r.read_exact(buf)?;
+    Ok(true)
+}
+
+/// Overwrites `frame` with `[len][payload]` framing for `payload`. Kept as
+/// a copy (rather than encoding in place behind a reserved prefix) only on
+/// cold paths; the hot conns reserve the prefix up front.
+pub fn frame_payload(frame: &mut Vec<u8>, payload: &[u8]) {
+    frame.clear();
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+}
+
+/// Patches the 4-byte length prefix of a buffer laid out as
+/// `[placeholder][payload]` (the zero-copy framing the TCP conn uses:
+/// encode the payload after a reserved prefix, then fix the prefix).
+///
+/// # Panics
+///
+/// Panics if `buf` is shorter than the prefix.
+pub fn patch_frame_len(buf: &mut [u8]) {
+    let len = (buf.len() - 4) as u32;
+    buf[..4].copy_from_slice(&len.to_le_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_shard_round_trips() {
+        let req = Request::PushShard {
+            shard: 3,
+            lr: 0.05,
+            momentum: 0.9,
+            grad: vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0],
+        };
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert_eq!(Request::decode(&buf).unwrap(), req);
+        // The streaming decoder agrees with the owned one.
+        let mut grad = vec![9.9f32; 1];
+        let (shard, lr, mu) = decode_push_shard_into(&buf, &mut grad).unwrap();
+        assert_eq!((shard, lr, mu), (3, 0.05, 0.9));
+        assert_eq!(grad, vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0]);
+    }
+
+    #[test]
+    fn pulled_decodes_into_slices() {
+        let reply = Reply::Pulled {
+            params: vec![0.5, 1.5, 2.5],
+            clocks: vec![7, 9],
+        };
+        let mut buf = Vec::new();
+        reply.encode(&mut buf);
+        let mut params = [0.0f32; 3];
+        let mut clocks = [0u64; 2];
+        decode_pulled_into(&buf, &mut params, &mut clocks).unwrap();
+        assert_eq!(params, [0.5, 1.5, 2.5]);
+        assert_eq!(clocks, [7, 9]);
+        // Length mismatches are corruption, not silent truncation.
+        let mut short = [0.0f32; 2];
+        assert!(decode_pulled_into(&buf, &mut short, &mut clocks).is_err());
+    }
+
+    #[test]
+    fn nan_gradients_survive_byte_exactly() {
+        let weird = f32::from_bits(0x7fc0_dead); // a payloaded NaN
+        let req = Request::PushShard {
+            shard: 0,
+            lr: f64::NAN,
+            momentum: -0.0,
+            grad: vec![weird, f32::NEG_INFINITY],
+        };
+        let mut a = Vec::new();
+        req.encode(&mut a);
+        let back = Request::decode(&a).unwrap();
+        let mut b = Vec::new();
+        back.encode(&mut b);
+        assert_eq!(a, b, "re-encode must be byte-exact");
+        match back {
+            Request::PushShard { grad, .. } => {
+                assert_eq!(grad[0].to_bits(), weird.to_bits());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_errors() {
+        let mut buf = Vec::new();
+        Request::PushShard {
+            shard: 1,
+            lr: 0.1,
+            momentum: 0.0,
+            grad: vec![1.0; 8],
+        }
+        .encode(&mut buf);
+        for cut in [0, 1, 4, buf.len() - 1] {
+            assert!(
+                Request::decode(&buf[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        buf.push(0);
+        assert_eq!(
+            Request::decode(&buf),
+            Err(WireError::TrailingBytes(1)),
+            "trailing byte must fail"
+        );
+    }
+
+    #[test]
+    fn unknown_opcodes_are_rejected() {
+        assert_eq!(
+            Request::decode(&[0x55]),
+            Err(WireError::UnknownOpcode(0x55))
+        );
+        assert_eq!(Reply::decode(&[0x55]), Err(WireError::UnknownOpcode(0x55)));
+        assert_eq!(
+            decode_push_ack(&[op::OK]),
+            Err(WireError::UnexpectedReply(op::OK))
+        );
+    }
+
+    #[test]
+    fn stream_framing_round_trips() {
+        let mut wire = Vec::new();
+        let mut frame = Vec::new();
+        for payload in [&b"abc"[..], &[][..], &[op::SYNCED][..]] {
+            frame_payload(&mut frame, payload);
+            wire.extend_from_slice(&frame);
+        }
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, b"abc");
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert!(buf.is_empty());
+        assert!(read_frame(&mut r, &mut buf).unwrap());
+        assert_eq!(buf, [op::SYNCED]);
+        // Clean EOF at a boundary.
+        assert!(!read_frame(&mut r, &mut buf).unwrap());
+    }
+
+    #[test]
+    fn oversize_frames_are_rejected() {
+        let wire = u32::MAX.to_le_bytes();
+        let mut r = &wire[..];
+        let mut buf = Vec::new();
+        let err = read_frame(&mut r, &mut buf).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn patched_prefix_matches_copy_framing() {
+        let payload = [op::SYNC_ROUND, 1, 2, 3];
+        let mut copied = Vec::new();
+        frame_payload(&mut copied, &payload);
+        let mut patched = vec![0u8; 4];
+        patched.extend_from_slice(&payload);
+        patch_frame_len(&mut patched);
+        assert_eq!(copied, patched);
+    }
+}

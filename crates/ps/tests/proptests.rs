@@ -2,11 +2,18 @@
 
 use proptest::prelude::*;
 use sync_switch_nn::{Dataset, Network};
+use sync_switch_ps::transport::{wire, Reply, Request};
 use sync_switch_ps::{
     Checkpoint, PullBuffer, RouterBuffer, ServerTopology, ShardRouter, ShardedStore, Trainer,
     TrainerConfig,
 };
 use sync_switch_workloads::SyncProtocol;
+
+/// Reinterprets raw u32s as f32s — arbitrary bit patterns, NaNs included,
+/// because the codec must move gradients without reinterpreting them.
+fn bits_to_f32(bits: &[u32]) -> Vec<f32> {
+    bits.iter().map(|&b| f32::from_bits(b)).collect()
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
@@ -27,7 +34,7 @@ proptest! {
                 cfg,
             );
             t.run_segment(SyncProtocol::Bsp, rounds).expect("bsp runs");
-            t.store().snapshot_params()
+            t.store().unwrap().snapshot_params()
         };
         let a = run();
         let b = run();
@@ -198,11 +205,126 @@ proptest! {
         let mut t = Trainer::new(Network::mlp(5, &[8], 3, 7), train, test, cfg);
         let report = t.run_segment(SyncProtocol::Asp, steps).expect("asp runs");
         prop_assert_eq!(report.steps, steps);
-        prop_assert_eq!(t.store().version(), steps);
+        prop_assert_eq!(t.store().unwrap().version(), steps);
         let total: usize = report.worker_profiles.iter().map(|p| p.steps()).sum();
         prop_assert_eq!(total as u64, steps);
         if let Some(max) = report.staleness.max() {
             prop_assert!(max < steps, "staleness {max} of {steps} steps");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wire codec round-trips arbitrary request frames byte-exactly:
+    /// decode(encode(req)) re-encodes to the identical byte string, for
+    /// every opcode and for gradients of arbitrary f32 bit patterns
+    /// (NaNs and infinities included).
+    #[test]
+    fn wire_codec_round_trips_requests_byte_exactly(
+        kind in 0u8..9,
+        shard in any::<u32>(),
+        bits_a in proptest::collection::vec(any::<u32>(), 0..64),
+        bits_b in proptest::collection::vec(any::<u32>(), 0..64),
+        lr_bits in any::<u64>(),
+        mu_bits in any::<u64>(),
+        flag in any::<bool>(),
+    ) {
+        let req = match kind {
+            0 => Request::PushShard {
+                shard,
+                lr: f64::from_bits(lr_bits),
+                momentum: f64::from_bits(mu_bits),
+                grad: bits_to_f32(&bits_a),
+            },
+            1 => Request::PullCommitted,
+            2 => Request::SyncRound,
+            3 => Request::Drain,
+            4 => Request::Snapshot { velocity: flag },
+            5 => Request::Restore {
+                params: bits_to_f32(&bits_a),
+                velocity: bits_to_f32(&bits_b),
+            },
+            6 => Request::ResetVelocity,
+            7 => Request::CheckFinite,
+            _ => Request::Shutdown,
+        };
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes);
+        let back = Request::decode(&bytes);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back);
+        let mut again = Vec::new();
+        back.unwrap().encode(&mut again);
+        prop_assert_eq!(&bytes, &again, "re-encode drifted");
+        // Truncating the frame anywhere must fail, never mis-decode.
+        if !bytes.is_empty() {
+            prop_assert!(Request::decode(&bytes[..bytes.len() - 1]).is_err());
+        }
+    }
+
+    /// Reply frames round-trip byte-exactly too, and the zero-allocation
+    /// slice decoders agree with the owned decoder on pull/ack frames.
+    #[test]
+    fn wire_codec_round_trips_replies_byte_exactly(
+        kind in 0u8..6,
+        clock in any::<u64>(),
+        bits in proptest::collection::vec(any::<u32>(), 0..64),
+        clocks in proptest::collection::vec(any::<u64>(), 0..16),
+        flag in any::<bool>(),
+    ) {
+        let reply = match kind {
+            0 => Reply::PushAck { prev_clock: clock },
+            1 => Reply::Pulled { params: bits_to_f32(&bits), clocks: clocks.clone() },
+            2 => Reply::Synced,
+            3 => Reply::SnapshotData { data: bits_to_f32(&bits) },
+            4 => Reply::Ok,
+            _ => Reply::Finite { finite: flag },
+        };
+        let mut bytes = Vec::new();
+        reply.encode(&mut bytes);
+        let back = Reply::decode(&bytes);
+        prop_assert!(back.is_ok(), "decode failed: {:?}", back);
+        let mut again = Vec::new();
+        back.unwrap().encode(&mut again);
+        prop_assert_eq!(&bytes, &again, "re-encode drifted");
+
+        // Slice decoders see the same values bit-for-bit.
+        if kind == 0 {
+            prop_assert_eq!(wire::decode_push_ack(&bytes), Ok(clock));
+        }
+        if kind == 1 {
+            let mut params_out = vec![0.0f32; bits.len()];
+            let mut clocks_out = vec![0u64; clocks.len()];
+            prop_assert!(
+                wire::decode_pulled_into(&bytes, &mut params_out, &mut clocks_out).is_ok()
+            );
+            let out_bits: Vec<u32> = params_out.iter().map(|p| p.to_bits()).collect();
+            prop_assert_eq!(&out_bits, &bits);
+            prop_assert_eq!(&clocks_out, &clocks);
+        }
+    }
+
+    /// The streaming push encoder and the owned request encoder emit
+    /// identical bytes, so the hot path and the cold path speak one format.
+    #[test]
+    fn streaming_push_encoder_matches_owned_encoder(
+        shard in any::<u32>(),
+        bits in proptest::collection::vec(any::<u32>(), 1..128),
+        lr in 1e-6f64..10.0,
+        mu in 0.0f64..1.0,
+    ) {
+        let grad = bits_to_f32(&bits);
+        let mut streamed = Vec::new();
+        wire::encode_push_shard(&mut streamed, shard, lr, mu, &grad);
+        let mut owned = Vec::new();
+        Request::PushShard { shard, lr, momentum: mu, grad: grad.clone() }.encode(&mut owned);
+        prop_assert_eq!(&streamed, &owned);
+        // And the in-place gradient decoder returns the exact bits.
+        let mut grad_out = Vec::new();
+        let (s, l, m) = wire::decode_push_shard_into(&streamed, &mut grad_out).unwrap();
+        prop_assert_eq!((s, l, m), (shard, lr, mu));
+        let out_bits: Vec<u32> = grad_out.iter().map(|g| g.to_bits()).collect();
+        prop_assert_eq!(&out_bits, &bits);
     }
 }

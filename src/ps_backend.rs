@@ -10,7 +10,7 @@ use std::time::Duration;
 use sync_switch_convergence::MomentumScaling;
 use sync_switch_core::{AdjustedConfig, BackendChunk, CoreError, TrainingBackend};
 use sync_switch_nn::{Dataset, Network};
-use sync_switch_ps::{PsError, Trainer, TrainerConfig};
+use sync_switch_ps::{PsError, ServerTopology, Trainer, TrainerConfig};
 use sync_switch_sim::SimTime;
 use sync_switch_workloads::SyncProtocol;
 
@@ -63,11 +63,29 @@ impl std::fmt::Debug for PsBackend {
 
 impl PsBackend {
     /// Creates a backend training `model` on `train`/`test` with `workers`
-    /// worker threads.
+    /// worker threads on the default single in-process parameter store.
     pub fn new(model: Network, train: Dataset, test: Dataset, workers: usize, seed: u64) -> Self {
+        Self::with_topology(model, train, test, workers, seed, ServerTopology::single())
+    }
+
+    /// Creates a backend whose parameter-server tier uses `topology` —
+    /// multi-server sharding and, through
+    /// [`ServerTopology::with_transport`], the channel or TCP wire backend.
+    /// The policy engine runs unchanged; the wire cost it pays surfaces in
+    /// `TrainingReport::transport_wire_s`.
+    pub fn with_topology(
+        model: Network,
+        train: Dataset,
+        test: Dataset,
+        workers: usize,
+        seed: u64,
+        topology: ServerTopology,
+    ) -> Self {
         // Placeholder hyper-parameters; every chunk overwrites them from
         // the AdjustedConfig the policy engine provides.
-        let cfg = TrainerConfig::new(workers, 1, 0.1, 0.9).with_seed(seed);
+        let cfg = TrainerConfig::new(workers, 1, 0.1, 0.9)
+            .with_seed(seed)
+            .with_topology(topology);
         PsBackend {
             trainer: Trainer::new(model, train, test, cfg),
             elapsed: SimTime::ZERO,
@@ -139,6 +157,7 @@ impl TrainingBackend for PsBackend {
                         .map(|p| (p.steps() > 0).then(|| p.images_per_sec(batch)))
                         .collect(),
                     mean_staleness: report.staleness.mean(),
+                    wire_time_s: report.transport.total_wire_s(),
                 })
             }
             Err(PsError::Diverged { step }) => {
@@ -261,6 +280,38 @@ mod tests {
         );
         // Cluster restored for the ASP phase.
         assert_eq!(b.active_workers(), 4);
+    }
+
+    #[test]
+    fn manager_drives_transport_tier_and_reports_wire_time() {
+        // The same policy engine over a channel-transport PS tier: every
+        // push/pull crosses the wire protocol, and the report accounts the
+        // measured wire time.
+        let setup = small_setup(4, 120);
+        let data = Dataset::gaussian_blobs(4, 80, 8, 0.35, 5);
+        let (train, test) = data.split(0.25);
+        let mut b = PsBackend::with_topology(
+            Network::mlp(8, &[16], 4, 5),
+            train,
+            test,
+            4,
+            5,
+            sync_switch_ps::ServerTopology::new(2, 4)
+                .with_transport(sync_switch_ps::TransportKind::Channel),
+        );
+        assert_eq!(b.trainer().server_count(), 2);
+        let mut policy = SyncSwitchPolicy::new(0.25, 4);
+        policy.eval_interval = 60;
+        policy.tta_target = Some(0.99); // effectively disabled
+        let report = ClusterManager::new(policy).run(&mut b, &setup).unwrap();
+        assert!(report.completed());
+        assert_eq!(report.total_steps, 120);
+        assert!(
+            report.transport_wire_s > 0.0,
+            "wire time must be accounted: {}",
+            report.transport_wire_s
+        );
+        assert!(b.trainer().transport_stats().total_ops() > 0);
     }
 
     #[test]
