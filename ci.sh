@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt build test transport clippy bench-compile bench-smoke exhibits examples)
+STAGES=(fmt build test transport workloads clippy bench-compile bench-smoke exhibits examples)
 # Stages skipped by --fast: each of these compiles the release or bench
 # profile, which dwarfs the debug stages' wall time.
 RELEASE_STAGES=(build bench-compile bench-smoke exhibits)
@@ -46,6 +46,20 @@ stage_transport() {
     timeout -k 10 120 \
         cargo test -q -p sync-switch-ps --test transport || {
         echo "transport tests failed or timed out (120s budget)" >&2
+        return 1
+    }
+}
+
+# Workload-breadth convergence harness: every registered trainable workload
+# (MLP, conv, sparse embedding) trains under BSP, ASP, SSP(2), and a
+# BSP→ASP switch on the real PS tier, gated on per-workload loss
+# thresholds. Hard KILL timeout: a convergence stall must fail the gate,
+# not wedge it. Built first so compilation does not eat the run budget.
+stage_workloads() {
+    cargo test -q -p sync-switch-ps --test workloads --no-run
+    timeout -sKILL 180 \
+        cargo test -q -p sync-switch-ps --test workloads || {
+        echo "workload convergence harness failed or timed out (180s budget)" >&2
         return 1
     }
 }

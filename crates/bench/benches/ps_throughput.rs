@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use sync_switch_bench::output::{load_json, Exhibit};
 use sync_switch_nn::{Dataset, Network};
 use sync_switch_ps::{SegmentReport, ServerTopology, Trainer, TrainerConfig, TransportKind};
-use sync_switch_workloads::SyncProtocol;
+use sync_switch_workloads::{SyncProtocol, TrainableKind};
 
 /// The original headline configuration: 4 workers, 4 shards, tiny MLP.
 fn headline_trainer(workers: usize) -> Trainer {
@@ -44,6 +44,21 @@ fn transport_trainer(kind: TransportKind) -> Trainer {
         .with_seed(1)
         .with_topology(ServerTopology::new(2, 4).with_transport(kind));
     Trainer::new(Network::mlp(8, &[32], 4, 1), train, test, cfg)
+}
+
+/// The sparse-vs-dense pair: the registered sparse-embedding workload
+/// (512×16 table, Zipf tokens) on a 2-server channel tier, with the sparse
+/// push path enabled vs forced dense. Same model, same wire, same two-stage
+/// schedule — the only difference is whether ASP pushes ship touched rows
+/// or whole shards.
+fn sparse_pair_trainer(sparse_push: bool) -> Trainer {
+    let (model, train, test) = TrainableKind::SparseEmbedding.build(1);
+    let h = TrainableKind::SparseEmbedding.hyper();
+    let cfg = TrainerConfig::new(4, h.batch_size, h.learning_rate, h.momentum)
+        .with_seed(1)
+        .with_sparse_push(sparse_push)
+        .with_topology(ServerTopology::new(2, 4).with_transport(TransportKind::Channel));
+    Trainer::new(model, train, test, cfg)
 }
 
 /// Sweep configuration: a larger MLP so sharding has parameters to split.
@@ -208,6 +223,56 @@ fn main() {
         &transport_rows,
     );
 
+    // Sparse-vs-dense headline pair: the sparse-embedding workload over
+    // the channel tier with the sparse push path on vs off. Wire payload
+    // bytes are the point; throughput rides along.
+    let mut sparse_points = Vec::new();
+    let mut sparse_rows = Vec::new();
+    for (mode, sparse_push) in [("sparse", true), ("dense", false)] {
+        let m = measure(
+            || sparse_pair_trainer(sparse_push),
+            SyncProtocol::Asp,
+            headline_steps,
+            samples,
+        );
+        let wire = &m.last.transport;
+        println!(
+            "ps_ASP_sparse_embedding_{mode}          mean {:>10.2} µs min {:>10.2} µs ({samples} samples, {} push bytes out)",
+            fmt_us(m.mean),
+            fmt_us(m.min),
+            wire.push.bytes_out,
+        );
+        sparse_rows.push(vec![
+            mode.to_string(),
+            format!("{:.0}", m.best_steps_per_sec()),
+            format!("{:.2}", fmt_us(m.mean) / 1.0e3),
+            wire.push.bytes_out.to_string(),
+            format!("{:.1}", wire.push.mean_us()),
+        ]);
+        sparse_points.push(serde_json::json!({
+            "name": format!("ps_ASP_sparse_embedding_{mode}"),
+            "workload": TrainableKind::SparseEmbedding.name(),
+            "mode": mode,
+            "protocol": "ASP",
+            "workers": 4,
+            "servers": 2,
+            "transport": "channel",
+            "steps": m.steps,
+            "mean_us": fmt_us(m.mean),
+            "min_us": fmt_us(m.min),
+            "steps_per_sec": m.best_steps_per_sec(),
+            "wire_push_bytes_out": wire.push.bytes_out,
+            "wire_push_mean_us": wire.push.mean_us(),
+            "wire_total_s": wire.total_wire_s(),
+        }));
+    }
+    exhibit.line("");
+    exhibit.line("Sparse-vs-dense pair (sparse_embedding workload, channel, 2 servers):");
+    exhibit.table(
+        &["mode", "steps/s", "mean ms", "push bytes out", "push µs"],
+        &sparse_rows,
+    );
+
     // Scaling sweep: workers × shards × servers under both protocols
     // (server counts above the shard count would just clamp — skipped),
     // plus the transport axis at the 4w/4s/2srv configuration.
@@ -290,6 +355,7 @@ fn main() {
         "fast": fast,
         "headline": headline,
         "transport": transport_points,
+        "sparse": sparse_points,
         "sweep": sweep,
         // Historical reference point, NOT re-measured: the headline
         // numbers recorded immediately before the shard-parallel

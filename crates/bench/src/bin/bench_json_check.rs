@@ -265,6 +265,39 @@ fn validate(path: &Path) -> Result<(Value, usize, usize), String> {
             positive_f64(entry, "steps_per_sec").map_err(|e| format!("transport[{i}]: {e}"))?;
         }
     }
+    // The sparse-vs-dense pair (sparse-embedding workload, channel tier):
+    // optional for older artifacts. When present, each entry must be
+    // well-formed, and if both modes are recorded the sparse push volume
+    // must actually undercut the dense one — the structural property the
+    // sparse push path exists for, gated here so a regression that quietly
+    // ships dense payloads cannot keep emitting a green-looking JSON.
+    if let Some(sparse) = v.get("sparse") {
+        let entries = sparse.as_array().ok_or("\"sparse\" is not an array")?;
+        let mut bytes_by_mode: BTreeMap<String, f64> = BTreeMap::new();
+        for (i, entry) in entries.iter().enumerate() {
+            entry
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or(format!("sparse[{i}]: missing \"name\""))?;
+            let mode = entry
+                .get("mode")
+                .and_then(Value::as_str)
+                .filter(|m| ["sparse", "dense"].contains(m))
+                .ok_or(format!("sparse[{i}]: missing/unknown \"mode\""))?;
+            positive_f64(entry, "steps_per_sec").map_err(|e| format!("sparse[{i}]: {e}"))?;
+            let bytes = positive_f64(entry, "wire_push_bytes_out")
+                .map_err(|e| format!("sparse[{i}]: {e}"))?;
+            bytes_by_mode.insert(mode.to_string(), bytes);
+        }
+        if let (Some(&s), Some(&d)) = (bytes_by_mode.get("sparse"), bytes_by_mode.get("dense")) {
+            if s >= d {
+                return Err(format!(
+                    "sparse pushes moved {s} bytes, not below the dense {d} — the sparse path \
+                     is not saving wire volume"
+                ));
+            }
+        }
+    }
     let counts = (headline.len(), sweep.len());
     Ok((v, counts.0, counts.1))
 }

@@ -122,6 +122,110 @@ impl Dataset {
         }
     }
 
+    /// Shifted-patterns signals: class `c` is a short class-specific
+    /// waveform (a windowed sinusoid at class-dependent frequency) placed at
+    /// a **uniformly random shift** within a `length`-sample signal, plus
+    /// Gaussian noise. Because the class evidence can sit anywhere, locality
+    /// matters: a convolutional detector finds the pattern at any shift,
+    /// while a position-bound model has to learn every placement
+    /// separately. Fully determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, `length < 8`, or `noise` is negative.
+    pub fn shifted_patterns(
+        classes: usize,
+        per_class: usize,
+        length: usize,
+        noise: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(classes > 0 && per_class > 0, "empty dataset");
+        assert!(length >= 8, "signal too short for a pattern");
+        assert!(noise >= 0.0, "noise must be non-negative");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = 8usize;
+        let n = classes * per_class;
+        let mut data = Vec::with_capacity(n * length);
+        let mut labels = Vec::with_capacity(n);
+        // Interleave classes so contiguous shards stay class-balanced.
+        for _ in 0..per_class {
+            for c in 0..classes {
+                // Class template: half-sine envelope × class frequency.
+                let freq = 1.0 + c as f64;
+                let shift = rng.gen_range(0..length - width + 1);
+                for j in 0..length {
+                    let signal = if (shift..shift + width).contains(&j) {
+                        let u = (j - shift) as f64 / (width - 1) as f64;
+                        let envelope = (std::f64::consts::PI * u).sin();
+                        envelope * (std::f64::consts::TAU * freq * u).cos()
+                    } else {
+                        0.0
+                    };
+                    data.push((signal + noise * normal(&mut rng)) as f32);
+                }
+                labels.push(c);
+            }
+        }
+        Dataset {
+            x: Tensor::from_vec(data, &[n, length]),
+            y: labels,
+            classes,
+        }
+    }
+
+    /// Zipf-sampled token sequences: each example is `tokens` integer token
+    /// ids (carried as `f32`, the input an embedding layer expects) drawn
+    /// from a Zipf distribution with exponent `skew` — a few head tokens
+    /// dominate, the tail is rare, like real vocabularies. Class signal:
+    /// each class owns a contiguous band of `vocab / classes` ids, and
+    /// every token is drawn from the class band with probability 0.7
+    /// (Zipf-ranked within the band) or from the shared global Zipf
+    /// otherwise. Gradients of an embedding trained on this touch only the
+    /// sampled rows, making it the canonical sparse-push workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count is zero, `vocab < classes`, or `skew` is not
+    /// positive.
+    pub fn zipf_tokens(
+        classes: usize,
+        per_class: usize,
+        vocab: usize,
+        tokens: usize,
+        skew: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(classes > 0 && per_class > 0 && tokens > 0, "empty dataset");
+        assert!(vocab >= classes, "vocab smaller than class count");
+        assert!(skew > 0.0, "skew must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let band = vocab / classes;
+        let global_cdf = zipf_cdf(vocab, skew);
+        let band_cdf = zipf_cdf(band, skew);
+        let n = classes * per_class;
+        let mut data = Vec::with_capacity(n * tokens);
+        let mut labels = Vec::with_capacity(n);
+        for _ in 0..per_class {
+            for c in 0..classes {
+                for _ in 0..tokens {
+                    let id = if rng.gen::<f64>() < 0.7 {
+                        c * band + zipf_draw(&band_cdf, &mut rng)
+                    } else {
+                        zipf_draw(&global_cdf, &mut rng)
+                    };
+                    data.push(id as f32);
+                }
+                labels.push(c);
+            }
+        }
+        Dataset {
+            x: Tensor::from_vec(data, &[n, tokens]),
+            y: labels,
+            classes,
+        }
+    }
+
     /// Number of examples.
     pub fn len(&self) -> usize {
         self.y.len()
@@ -236,6 +340,28 @@ impl Dataset {
     }
 }
 
+/// Cumulative distribution of a Zipf law over ranks `0..n` with exponent
+/// `s`: `P(k) ∝ 1 / (k + 1)^s`.
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for k in 0..n {
+        acc += 1.0 / ((k + 1) as f64).powf(s);
+        cdf.push(acc);
+    }
+    let total = acc;
+    for c in &mut cdf {
+        *c /= total;
+    }
+    cdf
+}
+
+/// Draws a rank from a precomputed Zipf CDF by binary search.
+fn zipf_draw<R: Rng>(cdf: &[f64], rng: &mut R) -> usize {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c < u).min(cdf.len() - 1)
+}
+
 fn normal<R: Rng>(rng: &mut R) -> f64 {
     let u1: f64 = 1.0 - rng.gen::<f64>();
     let u2: f64 = rng.gen::<f64>();
@@ -330,5 +456,82 @@ mod tests {
     fn bad_shard_panics() {
         let d = Dataset::gaussian_blobs(2, 5, 2, 0.1, 0);
         let _ = d.shard(3, 3);
+    }
+
+    #[test]
+    fn shifted_patterns_shape_and_determinism() {
+        let a = Dataset::shifted_patterns(3, 10, 24, 0.05, 7);
+        let b = Dataset::shifted_patterns(3, 10, 24, 0.05, 7);
+        assert_eq!(a.len(), 30);
+        assert_eq!(a.dim(), 24);
+        assert_eq!(a.classes(), 3);
+        assert_eq!(a.features().data(), b.features().data());
+        assert_ne!(
+            a.features().data(),
+            Dataset::shifted_patterns(3, 10, 24, 0.05, 8)
+                .features()
+                .data()
+        );
+        // The pattern actually moves: two same-class examples with the
+        // noiseless generator differ (different shifts).
+        let clean = Dataset::shifted_patterns(2, 20, 24, 0.0, 1);
+        let rows: Vec<&[f32]> = (0..clean.len())
+            .filter(|&i| clean.labels()[i] == 0)
+            .map(|i| &clean.features().data()[i * 24..(i + 1) * 24])
+            .collect();
+        assert!(
+            rows.windows(2).any(|w| w[0] != w[1]),
+            "every class-0 example sits at the same shift"
+        );
+    }
+
+    #[test]
+    fn zipf_tokens_are_valid_ids_with_head_mass() {
+        let d = Dataset::zipf_tokens(4, 25, 64, 8, 1.1, 3);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d.dim(), 8);
+        let mut counts = vec![0usize; 64];
+        for &raw in d.features().data() {
+            assert!(raw >= 0.0 && raw.fract() == 0.0, "non-integer token {raw}");
+            let id = raw as usize;
+            assert!(id < 64, "token {id} out of vocab");
+            counts[id] += 1;
+        }
+        // Zipf head: band-leading tokens (rank 0 of each class band) carry
+        // far more mass than the band tails.
+        let band = 64 / 4;
+        let heads: usize = (0..4).map(|c| counts[c * band]).sum();
+        let tails: usize = (0..4).map(|c| counts[c * band + band - 1]).sum();
+        assert!(heads > 4 * tails.max(1), "no Zipf skew: {heads} vs {tails}");
+        // Determinism.
+        let e = Dataset::zipf_tokens(4, 25, 64, 8, 1.1, 3);
+        assert_eq!(d.features().data(), e.features().data());
+    }
+
+    #[test]
+    fn zipf_tokens_carry_class_signal() {
+        let d = Dataset::zipf_tokens(2, 50, 32, 10, 1.0, 5);
+        let band = 16;
+        // Most tokens of a class-c example land in c's band.
+        let mut in_band = 0usize;
+        let mut total = 0usize;
+        for i in 0..d.len() {
+            let c = d.labels()[i];
+            for &raw in &d.features().data()[i * 10..(i + 1) * 10] {
+                let id = raw as usize;
+                // Class 0's band doubles as the global Zipf head, so only
+                // count class-1 rows for an unambiguous signal.
+                if c == 1 {
+                    total += 1;
+                    if id / band == 1 {
+                        in_band += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            in_band * 2 > total,
+            "class band carries no signal: {in_band}/{total}"
+        );
     }
 }

@@ -39,6 +39,22 @@ pub trait Layer: Send {
     fn param_count(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
     }
+
+    /// Appends the `(offset, len)` runs of this layer's possibly-nonzero
+    /// gradient — relative to `base`, the layer's first index in the flat
+    /// parameter vector — to `out`, in increasing offset order, and returns
+    /// whether the gradient is *sparse*. The default (dense) implementation
+    /// appends the full parameter range and returns `false`; a sparse layer
+    /// (e.g. [`crate::Embedding`]) appends only the runs its last
+    /// `backward` actually wrote, which is what lets the parameter-server
+    /// worker loop ship row-sized updates instead of the whole tensor.
+    fn grad_nonzero_runs(&self, base: usize, out: &mut Vec<(usize, usize)>) -> bool {
+        let n = self.param_count();
+        if n > 0 {
+            out.push((base, n));
+        }
+        false
+    }
 }
 
 /// Fully-connected layer: `y = x·W + b`.

@@ -29,14 +29,18 @@
 //! assert!(net.loss(&x, &y) < before);
 //! ```
 
+pub mod conv;
 pub mod data;
+pub mod embedding;
 pub mod layer;
 pub mod loss;
 pub mod metrics;
 pub mod model;
 pub mod optimizer;
 
+pub use conv::{Conv1d, MaxPool1d};
 pub use data::Dataset;
+pub use embedding::Embedding;
 pub use layer::{Dense, Layer, Relu, ResidualBlock};
 pub use loss::SoftmaxCrossEntropy;
 pub use metrics::accuracy;

@@ -2,6 +2,8 @@
 
 use sync_switch_tensor::Tensor;
 
+use crate::conv::{Conv1d, MaxPool1d};
+use crate::embedding::Embedding;
 use crate::layer::{Dense, Layer, Relu, ResidualBlock};
 use crate::loss::SoftmaxCrossEntropy;
 
@@ -102,6 +104,88 @@ impl Network {
         }
     }
 
+    /// Builds a 1-D convnet classifier: `Conv1d(channels, kernel)` over a
+    /// single-channel signal of `length` samples, ReLU, per-channel max
+    /// pooling with the given `pool` window, and a dense classifier head.
+    /// The structural stand-in for the paper's convolutional workloads —
+    /// the filters detect class patterns at any shift, which is what makes
+    /// the workload's locality matter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, `length < kernel`, or the conv
+    /// output length is not divisible by `pool`.
+    pub fn conv1d_classifier(
+        length: usize,
+        channels: usize,
+        kernel: usize,
+        pool: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            length > 0 && channels > 0 && classes > 0,
+            "dimensions must be positive"
+        );
+        let conv = Conv1d::new(channels, kernel, seed);
+        let out_len = conv.out_len(length);
+        assert_eq!(
+            out_len % pool,
+            0,
+            "conv output {out_len} not divisible by pool {pool}"
+        );
+        let head_in = channels * (out_len / pool);
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(conv),
+            Box::new(Relu::new()),
+            Box::new(MaxPool1d::new(channels, pool)),
+            Box::new(Dense::new(head_in, classes, seed.wrapping_add(999))),
+        ];
+        Network {
+            layers,
+            loss: SoftmaxCrossEntropy::new(),
+            input_dim: length,
+            classes,
+        }
+    }
+
+    /// Builds a vocab-style classifier with a sparse-gradient trunk: a
+    /// mean-pooled `Embedding(vocab, dim)` over `tokens` token ids per
+    /// example, a hidden dense layer, and a classifier head. The embedding
+    /// table dominates the parameter count while each batch's gradient
+    /// touches only the rows of the tokens it saw —
+    /// [`Network::grad_nonzero_runs_into`] reports exactly those runs, so
+    /// the parameter-server push path can ship only the touched rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn embedding_classifier(
+        vocab: usize,
+        dim: usize,
+        hidden: usize,
+        tokens: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            vocab > 0 && dim > 0 && hidden > 0 && tokens > 0 && classes > 0,
+            "dimensions must be positive"
+        );
+        let layers: Vec<Box<dyn Layer>> = vec![
+            Box::new(Embedding::new(vocab, dim, seed)),
+            Box::new(Dense::new(dim, hidden, seed.wrapping_add(1))),
+            Box::new(Relu::new()),
+            Box::new(Dense::new(hidden, classes, seed.wrapping_add(999))),
+        ];
+        Network {
+            layers,
+            loss: SoftmaxCrossEntropy::new(),
+            input_dim: tokens,
+            classes,
+        }
+    }
+
     /// Input feature dimension.
     pub fn input_dim(&self) -> usize {
         self.input_dim
@@ -152,6 +236,39 @@ impl Network {
             }
         }
         out
+    }
+
+    /// Fills `out` with the sorted, disjoint `(offset, len)` runs of the
+    /// flat gradient that the last backward pass could have written, and
+    /// returns whether the gradient is sparse. Returns `false` (with `out`
+    /// cleared) when every layer is dense — the caller should then treat
+    /// the whole vector as live rather than enumerate one full-length run.
+    /// Valid after [`Network::loss_and_grad`]; reuses `out`'s allocation.
+    pub fn grad_nonzero_runs_into(&self, out: &mut Vec<(usize, usize)>) -> bool {
+        out.clear();
+        let mut sparse = false;
+        let mut offset = 0;
+        for layer in &self.layers {
+            sparse |= layer.grad_nonzero_runs(offset, out);
+            offset += layer.param_count();
+        }
+        if !sparse || out.is_empty() {
+            out.clear();
+            return false;
+        }
+        // Coalesce adjacent runs (layer order keeps them sorted): fewer,
+        // longer segments mean fewer spans on the wire.
+        let mut w = 0;
+        for r in 1..out.len() {
+            if out[w].0 + out[w].1 == out[r].0 {
+                out[w].1 += out[r].1;
+            } else {
+                w += 1;
+                out[w] = out[r];
+            }
+        }
+        out.truncate(w + 1);
+        true
     }
 
     /// Flattens all gradients into one vector (valid after
@@ -295,5 +412,98 @@ mod tests {
     fn bad_flat_length_panics() {
         let mut net = Network::mlp(3, &[], 2, 0);
         net.set_params_flat(&[0.0; 3]);
+    }
+
+    #[test]
+    fn conv_classifier_shapes_and_counts() {
+        // length 12, kernel 5 → out_len 8; pool 4 → 2 per channel.
+        let mut net = Network::conv1d_classifier(12, 3, 5, 4, 4, 1);
+        assert_eq!(net.input_dim(), 12);
+        assert_eq!(net.param_count(), (3 * 5 + 3) + (3 * 2 * 4 + 4));
+        let x = Tensor::zeros(&[5, 12]);
+        assert_eq!(net.forward(&x).shape(), &[5, 4]);
+        // Dense everywhere: no sparse runs reported.
+        let (_, grad) = net.loss_and_grad(&x, &[0, 1, 2, 3, 0]);
+        assert_eq!(grad.len(), net.param_count());
+        let mut runs = Vec::new();
+        assert!(!net.grad_nonzero_runs_into(&mut runs));
+        assert!(runs.is_empty());
+    }
+
+    #[test]
+    fn embedding_classifier_reports_sparse_runs() {
+        let (vocab, dim, hidden, tokens, classes) = (20, 4, 6, 3, 2);
+        let mut net = Network::embedding_classifier(vocab, dim, hidden, tokens, classes, 2);
+        let table = vocab * dim;
+        let head = (dim * hidden + hidden) + (hidden * classes + classes);
+        assert_eq!(net.param_count(), table + head);
+        // One example touching tokens {1, 7} (7 twice).
+        let x = Tensor::from_vec(vec![7.0, 1.0, 7.0], &[1, tokens]);
+        let (_, grad) = net.loss_and_grad(&x, &[1]);
+        assert_eq!(grad.len(), net.param_count());
+        let mut runs = Vec::new();
+        assert!(net.grad_nonzero_runs_into(&mut runs));
+        // Touched table rows 1 and 7, plus the dense head as one run.
+        assert_eq!(runs, vec![(dim, dim), (7 * dim, dim), (table, head)]);
+        // The runs cover every nonzero gradient entry.
+        for (i, &g) in grad.iter().enumerate() {
+            if g != 0.0 {
+                assert!(
+                    runs.iter().any(|&(o, l)| i >= o && i < o + l),
+                    "nonzero grad at {i} outside the reported runs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn embedding_adjacent_rows_coalesce() {
+        let mut net = Network::embedding_classifier(10, 4, 3, 2, 2, 3);
+        let x = Tensor::from_vec(vec![4.0, 5.0], &[1, 2]);
+        net.loss_and_grad(&x, &[0]);
+        let mut runs = Vec::new();
+        assert!(net.grad_nonzero_runs_into(&mut runs));
+        // Rows 4 and 5 are adjacent → one run of 2·dim.
+        assert_eq!(runs[0], (16, 8));
+        assert_eq!(runs.len(), 2, "rows + head: {runs:?}");
+    }
+
+    #[test]
+    fn conv_classifier_learns_shifted_patterns() {
+        let mut net = Network::conv1d_classifier(16, 4, 5, 4, 2, 5);
+        // Two classes: a bump at a random-ish shift vs an alternating
+        // pattern. SGD should separate them quickly.
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            let mut row = vec![0.0f32; 16];
+            if i % 2 == 0 {
+                let s = (i * 3) % 11;
+                row[s] = 1.5;
+                row[s + 1] = 1.5;
+                labels.push(0);
+            } else {
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = if j % 2 == 0 { 0.8 } else { -0.8 };
+                }
+                labels.push(1);
+            }
+            data.extend_from_slice(&row);
+        }
+        let x = Tensor::from_vec(data, &[16, 16]);
+        let initial = net.loss(&x, &labels);
+        for _ in 0..200 {
+            let (_, grad) = net.loss_and_grad(&x, &labels);
+            let mut p = net.params_flat();
+            for (pv, gv) in p.iter_mut().zip(&grad) {
+                *pv -= 0.1 * gv;
+            }
+            net.set_params_flat(&p);
+        }
+        let trained = net.loss(&x, &labels);
+        assert!(
+            trained < initial * 0.5,
+            "conv loss {initial} -> {trained} did not improve enough"
+        );
     }
 }

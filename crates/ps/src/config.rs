@@ -147,6 +147,14 @@ pub struct TrainerConfig {
     pub straggler_delay: Vec<Option<Duration>>,
     /// Workers excluded from this segment (elastic policy evictions).
     pub excluded_workers: Vec<usize>,
+    /// Whether asynchronous pushes may use the sparse path when the model
+    /// reports sparse gradients (embedding workloads): only the touched
+    /// rows are shipped per shard, numerically identical to the dense push
+    /// of the same rows scattered into a zero gradient. Disable to force
+    /// dense pushes everywhere — the control arm of the sparse-vs-dense
+    /// wire-byte comparisons. BSP ignores this (barrier aggregation is
+    /// inherently dense).
+    pub sparse_push: bool,
     /// Base seed for batch sampling (combined with worker id and step).
     pub seed: u64,
     /// Abort the segment with [`crate::PsError::Diverged`] when a worker
@@ -173,6 +181,7 @@ impl TrainerConfig {
             topology: ServerTopology::single(),
             straggler_delay: vec![None; workers],
             excluded_workers: Vec::new(),
+            sparse_push: true,
             seed: 0,
             divergence_loss_threshold: 1e4,
         }
@@ -181,6 +190,12 @@ impl TrainerConfig {
     /// Sets the base RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the sparse push path (enabled by default).
+    pub fn with_sparse_push(mut self, sparse_push: bool) -> Self {
+        self.sparse_push = sparse_push;
         self
     }
 
@@ -256,6 +271,15 @@ mod tests {
         assert!(cfg.validate().is_ok());
         assert_eq!(cfg.shards, 4);
         assert_eq!(cfg.active_workers(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn sparse_push_defaults_on_and_toggles() {
+        let cfg = TrainerConfig::new(2, 8, 0.1, 0.9);
+        assert!(cfg.sparse_push);
+        let cfg = cfg.with_sparse_push(false);
+        assert!(!cfg.sparse_push);
+        assert!(cfg.validate().is_ok());
     }
 
     #[test]

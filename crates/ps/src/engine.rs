@@ -61,6 +61,110 @@ pub(crate) fn push_sharded(
     staleness
 }
 
+/// Pushes a worker's gradient through the dense or the sparse path — the
+/// single dispatch point shared by the ASP and SSP loops, so the two
+/// protocols cannot drift on push selection: sparse when the config allows
+/// it *and* the model's last backward reported sparse nonzero runs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn push_maybe_sparse(
+    port: &WorkerPort,
+    model: &Network,
+    grad: &[f32],
+    sparse_enabled: bool,
+    scratch: &mut SparseScratch,
+    buf: &PortBuffer,
+    lr: f64,
+    momentum: f64,
+    shard_hist: &mut ServerShardStaleness,
+) -> u64 {
+    if sparse_enabled && model.grad_nonzero_runs_into(&mut scratch.runs) {
+        push_sharded_sparse(port, grad, scratch, buf, lr, momentum, shard_hist)
+    } else {
+        push_sharded(port, grad, buf, lr, momentum, shard_hist)
+    }
+}
+
+/// Per-worker scratch for the sparse push path. All three vectors are
+/// reused across steps, so the steady state allocates nothing beyond what
+/// the dense path already does.
+#[derive(Debug, Default)]
+pub(crate) struct SparseScratch {
+    /// Global `(offset, len)` runs of the model's possibly-nonzero
+    /// gradient, filled by `Network::grad_nonzero_runs_into`.
+    pub(crate) runs: Vec<(usize, usize)>,
+    /// Shard-relative segments of the shard currently being pushed.
+    spans: Vec<(u32, u32)>,
+    /// The segments' gradient values, gathered from the flat gradient.
+    values: Vec<f32>,
+}
+
+/// The sparse counterpart of [`push_sharded`]: walks the shards in order,
+/// intersects the model's nonzero runs (`scratch.runs`, sorted and
+/// disjoint) with each shard's range, and pushes only the overlapping
+/// segments. A shard fully covered by one run falls back to the dense apply
+/// (no gather, no segment list); a shard with no overlap still pushes an
+/// empty sparse update so its clock ticks and its momentum decays exactly
+/// as a dense zero push would. Every invariant of the dense path —
+/// per-shard staleness observations, global staleness, stage-2 scheduling —
+/// is preserved because the apply itself is numerically identical.
+pub(crate) fn push_sharded_sparse(
+    port: &WorkerPort,
+    grad: &[f32],
+    scratch: &mut SparseScratch,
+    buf: &PortBuffer,
+    lr: f64,
+    momentum: f64,
+    shard_hist: &mut ServerShardStaleness,
+) -> u64 {
+    // Shards iterate in flat order, so a single cursor over the sorted
+    // runs suffices (no per-shard rescans).
+    let mut first_run = 0usize;
+    for i in 0..port.shard_count() {
+        let (offset, len) = port.shard_range(i);
+        let end = offset + len;
+        // Runs entirely before this shard are done for good.
+        while first_run < scratch.runs.len() {
+            let (ro, rl) = scratch.runs[first_run];
+            if ro + rl <= offset {
+                first_run += 1;
+            } else {
+                break;
+            }
+        }
+        scratch.spans.clear();
+        scratch.values.clear();
+        let mut full_cover = false;
+        for &(ro, rl) in &scratch.runs[first_run..] {
+            if ro >= end {
+                break;
+            }
+            let start = ro.max(offset);
+            let stop = (ro + rl).min(end);
+            if start == offset && stop == end {
+                full_cover = true;
+                break;
+            }
+            scratch
+                .spans
+                .push(((start - offset) as u32, (stop - start) as u32));
+            scratch.values.extend_from_slice(&grad[start..stop]);
+        }
+        let prev = if full_cover {
+            port.apply_shard_update(i, &grad[offset..end], lr, momentum)
+        } else {
+            port.apply_shard_update_sparse(i, &scratch.spans, &scratch.values, lr, momentum)
+        };
+        shard_hist.record(
+            port.owner_of(i),
+            i,
+            prev.saturating_sub(buf.shard_version(i)),
+        );
+    }
+    let staleness = port.complete_push(buf.version());
+    port.after_push();
+    staleness
+}
+
 /// The parameter-server data plane behind a trainer: the control-plane
 /// face of the same store/router pair workers reach through [`WorkerPort`].
 /// Wrapping the port (rather than mirroring its enum) keeps the dispatch in
@@ -368,6 +472,27 @@ impl Trainer {
     /// single store then; use [`Trainer::router`],
     /// [`Trainer::net_router`], the snapshot APIs, or the segment reports
     /// instead.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use sync_switch_nn::{Dataset, Network};
+    /// use sync_switch_ps::{Trainer, TrainerConfig};
+    ///
+    /// let data = Dataset::gaussian_blobs(3, 40, 5, 0.3, 1);
+    /// let (train, test) = data.split(0.25);
+    /// let trainer = Trainer::new(
+    ///     Network::mlp(5, &[8], 3, 1),
+    ///     train,
+    ///     test,
+    ///     TrainerConfig::new(2, 8, 0.05, 0.9),
+    /// );
+    /// // Single-server plane: the accessor succeeds. On a multi-server or
+    /// // wire-backed topology it returns Err(PsError::NoSingleStore)
+    /// // instead of panicking — match on it or use the snapshot APIs.
+    /// let store = trainer.store().expect("single-server plane");
+    /// assert_eq!(store.version(), 0);
+    /// ```
     pub fn store(&self) -> Result<&ShardedStore, PsError> {
         match &self.plane.0 {
             WorkerPort::Single(s) => Ok(s),
@@ -430,6 +555,13 @@ impl Trainer {
     /// Resets the optimizer velocity to zero on every server.
     pub fn reset_velocity(&self) {
         self.plane.reset_velocity();
+    }
+
+    /// Whether every parameter on every server is currently finite — the
+    /// segment runner checks this after each push internally; this exposes
+    /// the same probe to harnesses that want to assert it between segments.
+    pub fn check_finite(&self) -> bool {
+        self.plane.is_finite()
     }
 
     /// A worker-facing port onto the data plane (crate-internal: SSP
@@ -777,11 +909,13 @@ impl Trainer {
                 let (lr, mu) = (cfg.learning_rate, cfg.momentum);
                 let seed = cfg.seed;
                 let threshold = cfg.divergence_loss_threshold;
+                let sparse_enabled = cfg.sparse_push;
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
                     let mut shard_hist = ServerShardStaleness::new(n_servers, n_shards);
                     let mut buf = port.new_buffer();
+                    let mut scratch = SparseScratch::default();
                     loop {
                         // Relaxed: latest-wins flag; diverged_at is read
                         // after thread join, which synchronizes.
@@ -812,8 +946,19 @@ impl Trainer {
                         }
                         // Shard-granular push: per-shard staleness comes
                         // from each shard clock's pre-apply value versus
-                        // the clock captured at pull time.
-                        let staleness = push_sharded(&port, &grad, &buf, lr, mu, &mut shard_hist);
+                        // the clock captured at pull time. Sparse-gradient
+                        // models ship only their touched rows.
+                        let staleness = push_maybe_sparse(
+                            &port,
+                            &model,
+                            &grad,
+                            sparse_enabled,
+                            &mut scratch,
+                            &buf,
+                            lr,
+                            mu,
+                            &mut shard_hist,
+                        );
                         profile.step_durations.push(t0.elapsed());
                         profile.losses.push(loss);
                         hist.record(staleness);

@@ -53,6 +53,6 @@ pub use profiler::{
 };
 pub use router::{PortBuffer, RouterBuffer, ShardRouter, WorkerPort};
 pub use server::PsServer;
-pub use store::{PullBuffer, ShardLayout, ShardedStore};
+pub use store::{PullBuffer, ShardLayout, ShardedStore, UpdateData};
 pub use switcher::{execute_switch, SwitchOutcome, SwitchPlan};
 pub use transport::{NetPort, NetRouter};

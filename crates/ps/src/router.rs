@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 
 use crate::config::ServerTopology;
 use crate::server::PsServer;
-use crate::store::{PullBuffer, ShardLayout, ShardedStore};
+use crate::store::{PullBuffer, ShardLayout, ShardedStore, UpdateData};
 use crate::transport::NetPort;
 
 /// A multi-server parameter-server tier: N owners behind one routing layer.
@@ -141,6 +141,21 @@ impl ShardRouter {
     pub fn apply_shard_update(&self, g: usize, grad: &[f32], lr: f64, momentum: f64) -> u64 {
         let server = &self.servers[self.owner[g]];
         server.apply_local(g - server.shard_offset(), grad, lr, momentum)
+    }
+
+    /// Stage-1 apply of an [`UpdateData`] payload for global shard `g`:
+    /// routed to the owner like the dense path, with identical clock and
+    /// staleness semantics (a sparse payload is numerically a dense push of
+    /// the segments scattered into a zero gradient).
+    pub fn apply_shard_update_data(
+        &self,
+        g: usize,
+        data: UpdateData<'_>,
+        lr: f64,
+        momentum: f64,
+    ) -> u64 {
+        let server = &self.servers[self.owner[g]];
+        server.apply_local_data(g - server.shard_offset(), data, lr, momentum)
     }
 
     /// Completes a logical push: bumps the global version and returns the
@@ -464,6 +479,32 @@ impl WorkerPort {
             WorkerPort::Single(s) => s.apply_shard_update(g, grad, lr, momentum),
             WorkerPort::Routed(r) => r.apply_shard_update(g, grad, lr, momentum),
             WorkerPort::Net(p) => p.apply_shard_update(g, grad, lr, momentum),
+        }
+    }
+
+    /// Stage-1 sparse apply for global shard `g`: only the `(start, len)`
+    /// segments in `indices` carry gradient (`rows`); the rest of the shard
+    /// takes the zero-gradient momentum step. In-process planes apply the
+    /// payload directly ([`UpdateData::Sparse`]); a transport-backed plane
+    /// ships it as a `PushShardSparse` frame, which is where the payload
+    /// saving becomes real wire bytes. Clock semantics match the dense
+    /// apply exactly.
+    pub fn apply_shard_update_sparse(
+        &self,
+        g: usize,
+        indices: &[(u32, u32)],
+        rows: &[f32],
+        lr: f64,
+        momentum: f64,
+    ) -> u64 {
+        match self {
+            WorkerPort::Single(s) => {
+                s.apply_shard_update_data(g, UpdateData::Sparse { indices, rows }, lr, momentum)
+            }
+            WorkerPort::Routed(r) => {
+                r.apply_shard_update_data(g, UpdateData::Sparse { indices, rows }, lr, momentum)
+            }
+            WorkerPort::Net(p) => p.apply_shard_update_sparse(g, indices, rows, lr, momentum),
         }
     }
 

@@ -18,7 +18,7 @@
 //! cluster has not yet seen. The router bounds it by running a round every
 //! `sync_every` pushes (BSP drains it at every barrier round).
 
-use crate::store::{ShardLayout, ShardedStore};
+use crate::store::{ShardLayout, ShardedStore, UpdateData};
 
 /// One parameter server: authoritative (live + committed) state for a
 /// contiguous run of global shards.
@@ -111,6 +111,20 @@ impl PsServer {
     /// [`ShardedStore::apply_shard_update`] does.
     pub fn apply_local(&self, local: usize, grad: &[f32], lr: f64, momentum: f64) -> u64 {
         self.live.apply_shard_update(local, grad, lr, momentum)
+    }
+
+    /// Stage-1 apply of an [`UpdateData`] payload (dense or sparse) on
+    /// owned shard `local` — the entry point the wire endpoints and the
+    /// router's sparse push route through. Same clock contract as
+    /// [`PsServer::apply_local`].
+    pub fn apply_local_data(
+        &self,
+        local: usize,
+        data: UpdateData<'_>,
+        lr: f64,
+        momentum: f64,
+    ) -> u64 {
+        self.live.apply_shard_update_data(local, data, lr, momentum)
     }
 
     /// Stage-2 commit of one owned shard: copies the live parameters and

@@ -99,11 +99,13 @@ impl Trainer {
                 let (lr, mu) = (cfg.learning_rate, cfg.momentum);
                 let seed = cfg.seed;
                 let threshold = cfg.divergence_loss_threshold;
+                let sparse_enabled = cfg.sparse_push;
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
                     let mut shard_hist = ServerShardStaleness::new(n_servers, n_shards);
                     let mut buf = port.new_buffer();
+                    let mut scratch = crate::engine::SparseScratch::default();
                     let mut my_iter = 0u64;
                     loop {
                         // Relaxed: latest-wins flag; diverged_at is
@@ -164,10 +166,14 @@ impl Trainer {
                         // Shard-granular push with per-shard staleness
                         // measured against the pull-time shard clocks
                         // (shared with the ASP loop so both protocols
-                        // measure identically).
-                        let staleness = crate::engine::push_sharded(
+                        // measure identically — including the sparse path
+                        // for embedding workloads).
+                        let staleness = crate::engine::push_maybe_sparse(
                             &port,
+                            &model,
                             &grad,
+                            sparse_enabled,
+                            &mut scratch,
                             &buf,
                             lr,
                             mu,

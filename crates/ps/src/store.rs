@@ -80,6 +80,33 @@ impl ShardLayout {
     }
 }
 
+/// The payload of one shard update: the full dense gradient slice, or a
+/// sparse set of segments for workloads (embedding tables) whose per-batch
+/// gradient touches only a few rows.
+///
+/// `Sparse` is **semantically identical** to a dense update whose gradient
+/// is the segments scattered into a zero vector: momentum still decays on
+/// every element (`v ← μv` where the gradient is zero), the shard clock
+/// still bumps once, and the numerics match the dense apply bit for bit.
+/// What changes is what has to *move* — a push ships only the touched rows,
+/// which is the entire point once the update crosses a wire
+/// ([`crate::transport::wire`]'s `PushShardSparse` frame).
+#[derive(Debug, Clone, Copy)]
+pub enum UpdateData<'a> {
+    /// The gradient slice for the whole shard.
+    Dense(&'a [f32]),
+    /// Sorted, disjoint `(start, len)` segments within the shard plus their
+    /// concatenated gradient values.
+    Sparse {
+        /// `(start, len)` of each segment, shard-relative, ascending and
+        /// non-overlapping.
+        indices: &'a [(u32, u32)],
+        /// The segments' gradient values, concatenated in segment order
+        /// (`rows.len()` = sum of segment lengths).
+        rows: &'a [f32],
+    },
+}
+
 /// One parameter shard: a contiguous slice of the flat parameter vector and
 /// its momentum (velocity) state. In TensorFlow each PS owns a subset of the
 /// model variables; a shard plays exactly that role.
@@ -304,6 +331,82 @@ impl ShardedStore {
         // already get the mutex's ordering. The fetch_add return value is
         // what makes per-shard staleness race-free: it is exactly the
         // number of applies that landed before this one.
+        self.shard_versions[shard].fetch_add(1, Ordering::Release)
+    }
+
+    /// Applies a momentum-SGD step carried as [`UpdateData`] to a single
+    /// shard: dense payloads take the [`ShardedStore::apply_shard_update`]
+    /// path verbatim; sparse payloads apply the segments and decay the
+    /// velocity of every untouched element, producing **bit-identical**
+    /// state to a dense apply of the same segments scattered into a zero
+    /// gradient. Bumps the shard clock once and returns its pre-apply value
+    /// either way, so staleness accounting cannot tell the two apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range, a dense payload's length differs
+    /// from the shard's, or a sparse payload's segments are unsorted,
+    /// overlapping, out of bounds, or disagree with `rows.len()`.
+    pub fn apply_shard_update_data(
+        &self,
+        shard: usize,
+        data: UpdateData<'_>,
+        lr: f64,
+        momentum: f64,
+    ) -> u64 {
+        let (indices, rows) = match data {
+            UpdateData::Dense(grad) => return self.apply_shard_update(shard, grad, lr, momentum),
+            UpdateData::Sparse { indices, rows } => (indices, rows),
+        };
+        let (_, len) = self.layout.range(shard);
+        let mu = momentum as f32;
+        let eta = lr as f32;
+        let mut guard = self.shards[shard].lock();
+        let state = &mut *guard;
+        // Untouched prefix/gap/tail elements still take the dense step with
+        // gradient zero: `v ← μv − η·0; p ← p + v`. Writing it as `μv`
+        // is bit-identical for finite `η` (x − 0.0 == x in IEEE-754).
+        let decay = |params: &mut [f32], velocity: &mut [f32]| {
+            for (p, v) in params.iter_mut().zip(velocity) {
+                *v *= mu;
+                *p += *v;
+            }
+        };
+        let mut cursor = 0usize;
+        let mut row_offset = 0usize;
+        for &(start, seg_len) in indices {
+            let (start, seg_len) = (start as usize, seg_len as usize);
+            assert!(
+                start >= cursor && start + seg_len <= len,
+                "sparse segment ({start}, {seg_len}) invalid for shard {shard} of {len} \
+                 (cursor {cursor})"
+            );
+            let (params, velocity) = (&mut state.params, &mut state.velocity);
+            decay(&mut params[cursor..start], &mut velocity[cursor..start]);
+            let seg = rows
+                .get(row_offset..row_offset + seg_len)
+                .expect("sparse rows shorter than the segment lengths");
+            for ((p, v), gv) in params[start..start + seg_len]
+                .iter_mut()
+                .zip(&mut velocity[start..start + seg_len])
+                .zip(seg)
+            {
+                *v = mu * *v - eta * gv;
+                *p += *v;
+            }
+            cursor = start + seg_len;
+            row_offset += seg_len;
+        }
+        assert_eq!(
+            row_offset,
+            rows.len(),
+            "sparse rows longer than the segment lengths"
+        );
+        decay(
+            &mut state.params[cursor..len],
+            &mut state.velocity[cursor..len],
+        );
+        // Release: same contract as `apply_shard_update`.
         self.shard_versions[shard].fetch_add(1, Ordering::Release)
     }
 
@@ -742,6 +845,102 @@ mod tests {
         // Untouched shards keep their initial contents and clock 0.
         assert_eq!(&replica_params[..offset], &init[..offset]);
         assert_eq!(replica.shard_version(0), 0);
+    }
+
+    #[test]
+    fn sparse_update_equals_scattered_dense_update() {
+        let init: Vec<f32> = (0..12).map(|i| (i as f32 * 0.3).sin()).collect();
+        let dense_store = ShardedStore::new(&init, 3);
+        let sparse_store = ShardedStore::new(&init, 3);
+        // Two pushes so momentum state (incl. decay of untouched entries)
+        // is exercised, not just the first step.
+        for push in 0..2u64 {
+            for shard in 0..3 {
+                let (_, len) = dense_store.shard_range(shard);
+                // Touch the first and last element of every shard.
+                let mut grad = vec![0.0f32; len];
+                grad[0] = 1.0 + push as f32;
+                grad[len - 1] = -0.5;
+                let indices = [(0u32, 1u32), ((len - 1) as u32, 1u32)];
+                let rows = [grad[0], grad[len - 1]];
+                let a = dense_store.apply_shard_update(shard, &grad, 0.1, 0.9);
+                let b = sparse_store.apply_shard_update_data(
+                    shard,
+                    UpdateData::Sparse {
+                        indices: &indices,
+                        rows: &rows,
+                    },
+                    0.1,
+                    0.9,
+                );
+                assert_eq!(a, b, "clock skew at push {push} shard {shard}");
+            }
+            assert_eq!(
+                dense_store.complete_push(push),
+                sparse_store.complete_push(push)
+            );
+        }
+        assert_eq!(
+            dense_store.snapshot_params(),
+            sparse_store.snapshot_params()
+        );
+        assert_eq!(
+            dense_store.snapshot_velocity(),
+            sparse_store.snapshot_velocity()
+        );
+    }
+
+    #[test]
+    fn sparse_update_with_no_segments_still_decays_and_ticks() {
+        let store = ShardedStore::new(&[1.0, 1.0], 1);
+        store.apply_shard_update(0, &[1.0, 1.0], 0.5, 0.5);
+        let prev = store.apply_shard_update_data(
+            0,
+            UpdateData::Sparse {
+                indices: &[],
+                rows: &[],
+            },
+            0.5,
+            0.5,
+        );
+        assert_eq!(prev, 1);
+        assert_eq!(store.shard_version(0), 2);
+        // v was -0.5; empty push decays it to -0.25 and applies it.
+        let reference = ShardedStore::new(&[1.0, 1.0], 1);
+        reference.apply_shard_update(0, &[1.0, 1.0], 0.5, 0.5);
+        reference.apply_shard_update(0, &[0.0, 0.0], 0.5, 0.5);
+        assert_eq!(store.snapshot_params(), reference.snapshot_params());
+        assert_eq!(store.snapshot_velocity(), reference.snapshot_velocity());
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse segment")]
+    fn overlapping_sparse_segments_panic() {
+        let store = ShardedStore::new(&[0.0; 8], 1);
+        store.apply_shard_update_data(
+            0,
+            UpdateData::Sparse {
+                indices: &[(0, 3), (2, 2)],
+                rows: &[1.0; 5],
+            },
+            0.1,
+            0.0,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sparse rows longer")]
+    fn oversized_sparse_rows_panic() {
+        let store = ShardedStore::new(&[0.0; 8], 1);
+        store.apply_shard_update_data(
+            0,
+            UpdateData::Sparse {
+                indices: &[(0, 2)],
+                rows: &[1.0; 3],
+            },
+            0.1,
+            0.0,
+        );
     }
 
     #[test]

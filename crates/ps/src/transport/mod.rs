@@ -41,6 +41,7 @@ use std::io;
 use std::sync::Arc;
 
 use crate::server::PsServer;
+use crate::store::UpdateData;
 use wire::op;
 
 /// A transport backend: a way to reach each [`PsServer`] of a tier.
@@ -100,6 +101,8 @@ pub(crate) struct ServerEndpoint {
     server: Arc<PsServer>,
     /// Gradient decode scratch (push path).
     grad: Vec<f32>,
+    /// Segment-list decode scratch (sparse push path).
+    segments: Vec<(u32, u32)>,
     /// Stage-2 commit scratch.
     commit: Vec<f32>,
     /// Pull/snapshot assembly scratch.
@@ -114,6 +117,7 @@ impl ServerEndpoint {
         ServerEndpoint {
             server,
             grad: Vec::new(),
+            segments: Vec::new(),
             commit: Vec::new(),
             params: vec![0.0; param_len],
             clocks: vec![0; shards],
@@ -140,6 +144,23 @@ impl ServerEndpoint {
                 let prev = self
                     .server
                     .apply_local(shard as usize, &self.grad, lr, momentum);
+                wire::encode_push_ack(reply, prev);
+            }
+            op::PUSH_SHARD_SPARSE => {
+                let (shard, lr, momentum) = wire::decode_push_shard_sparse_into(
+                    request,
+                    &mut self.segments,
+                    &mut self.grad,
+                )?;
+                let prev = self.server.apply_local_data(
+                    shard as usize,
+                    UpdateData::Sparse {
+                        indices: &self.segments,
+                        rows: &self.grad,
+                    },
+                    lr,
+                    momentum,
+                );
                 wire::encode_push_ack(reply, prev);
             }
             op::PULL_COMMITTED => {
@@ -239,6 +260,47 @@ mod tests {
         req.clear();
         wire::encode_bodyless(&mut req, op::SHUTDOWN);
         assert_eq!(ep.handle(&req, &mut reply), Ok(Handled::Shutdown));
+    }
+
+    #[test]
+    fn endpoint_sparse_push_matches_dense_scatter() {
+        // Same state through PUSH_SHARD with a scattered-zero gradient and
+        // through PUSH_SHARD_SPARSE with only the touched segment.
+        let mut dense_ep = endpoint(20, 2);
+        let mut sparse_ep = endpoint(20, 2);
+        let mut req = Vec::new();
+        let mut reply = Vec::new();
+        // Shard 0 holds 10 params; touch [1..3).
+        let mut grad = [0.0f32; 10];
+        grad[1] = 2.0;
+        grad[2] = -1.0;
+        wire::encode_push_shard(&mut req, 0, 0.2, 0.9, &grad);
+        dense_ep.handle(&req, &mut reply).unwrap();
+        let dense_ack = wire::decode_push_ack(&reply).unwrap();
+        let dense_bytes = req.len();
+        req.clear();
+        wire::encode_push_shard_sparse(&mut req, 0, 0.2, 0.9, &[(1, 2)], &[2.0, -1.0]);
+        sparse_ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(wire::decode_push_ack(&reply), Ok(dense_ack));
+        assert!(req.len() < dense_bytes, "sparse frame not smaller");
+        // Both committed views agree after a sync round.
+        let mut params_a = [0.0f32; 20];
+        let mut params_b = [0.0f32; 20];
+        let mut clocks = [0u64; 2];
+        for (ep, params) in [
+            (&mut dense_ep, &mut params_a),
+            (&mut sparse_ep, &mut params_b),
+        ] {
+            req.clear();
+            wire::encode_bodyless(&mut req, op::SYNC_ROUND);
+            ep.handle(&req, &mut reply).unwrap();
+            req.clear();
+            wire::encode_bodyless(&mut req, op::PULL_COMMITTED);
+            ep.handle(&req, &mut reply).unwrap();
+            wire::decode_pulled_into(&reply, params, &mut clocks).unwrap();
+        }
+        assert_eq!(params_a, params_b);
+        assert_eq!(clocks, [1, 0]);
     }
 
     #[test]

@@ -352,6 +352,39 @@ impl NetRouter {
         prev
     }
 
+    /// Stage-1 sparse apply through `conns`: ships only the touched
+    /// segments of global shard `g` as a `PushShardSparse` frame. Counted
+    /// under the same `push` wire-stats class as the dense path (same op
+    /// count, smaller payloads — exactly the comparison the bench pair and
+    /// the transport tests read off).
+    fn apply_shard_update_sparse(
+        &self,
+        conns: &mut ConnSet,
+        g: usize,
+        indices: &[(u32, u32)],
+        rows: &[f32],
+        lr: f64,
+        momentum: f64,
+    ) -> u64 {
+        let s = self.owner[g];
+        let local = (g - self.servers[s].shard_offset) as u32;
+        // Connect outside the timed window (see `commit_round`).
+        let conn = conns.get(s, self.transport.as_ref());
+        let t0 = Instant::now();
+        let buf = conn.request_buf();
+        let base = buf.len();
+        wire::encode_push_shard_sparse(buf, local, lr, momentum, indices, rows);
+        let out = buf.len() - base;
+        let reply = conn
+            .call()
+            .unwrap_or_else(|e| panic!("sparse push to server {s} failed: {e}"));
+        let reply_len = reply.len();
+        let prev = wire::decode_push_ack(reply)
+            .unwrap_or_else(|e| panic!("bad push ack from server {s}: {e}"));
+        self.stats.push.record(t0.elapsed(), out, reply_len);
+        prev
+    }
+
     /// Pulls the committed view of every server through `conns` into `buf`,
     /// decoding each server's `Pulled` frame straight into the flat buffer
     /// (the decode is the pull's single parameter copy). Returns the
@@ -529,6 +562,26 @@ impl NetPort {
     pub fn apply_shard_update(&self, g: usize, grad: &[f32], lr: f64, momentum: f64) -> u64 {
         self.router
             .apply_shard_update(&mut self.conns.lock(), g, grad, lr, momentum)
+    }
+
+    /// Stage-1 sparse apply over this worker's connection to the owner:
+    /// only the touched segments of shard `g` cross the wire.
+    pub fn apply_shard_update_sparse(
+        &self,
+        g: usize,
+        indices: &[(u32, u32)],
+        rows: &[f32],
+        lr: f64,
+        momentum: f64,
+    ) -> u64 {
+        self.router.apply_shard_update_sparse(
+            &mut self.conns.lock(),
+            g,
+            indices,
+            rows,
+            lr,
+            momentum,
+        )
     }
 }
 

@@ -76,6 +76,9 @@ pub mod op {
     pub const CHECK_FINITE: u8 = 0x08;
     /// Terminate the server's event loop / connection handler.
     pub const SHUTDOWN: u8 = 0x09;
+    /// Stage-1 apply of a *sparse* gradient — only the touched segments of
+    /// the shard travel, the ASP payload saver for embedding workloads.
+    pub const PUSH_SHARD_SPARSE: u8 = 0x0a;
 
     /// Reply to [`PUSH_SHARD`]: the pre-apply shard clock.
     pub const PUSH_ACK: u8 = 0x81;
@@ -105,6 +108,22 @@ pub enum Request {
         momentum: f64,
         /// The gradient slice for exactly that shard.
         grad: Vec<f32>,
+    },
+    /// Apply a sparse gradient to the owner's live shard `shard`: only the
+    /// listed segments carry values; the rest of the shard takes the
+    /// zero-gradient momentum step (see
+    /// [`crate::store::UpdateData::Sparse`]).
+    PushShardSparse {
+        /// Server-local shard index.
+        shard: u32,
+        /// Learning rate for the momentum-SGD step.
+        lr: f64,
+        /// Momentum coefficient.
+        momentum: f64,
+        /// Shard-relative `(start, len)` segments, ascending and disjoint.
+        indices: Vec<(u32, u32)>,
+        /// Concatenated gradient values of the segments.
+        rows: Vec<f32>,
     },
     /// Pull the committed view of every owned shard.
     PullCommitted,
@@ -205,6 +224,29 @@ pub fn encode_push_shard(buf: &mut Vec<u8>, shard: u32, lr: f64, momentum: f64, 
     put_f32s(buf, grad);
 }
 
+/// Appends a `PushShardSparse` payload to `buf` without intermediate
+/// allocation: `[shard][lr][momentum][n_segments][(start, len)…][values]`.
+pub fn encode_push_shard_sparse(
+    buf: &mut Vec<u8>,
+    shard: u32,
+    lr: f64,
+    momentum: f64,
+    indices: &[(u32, u32)],
+    rows: &[f32],
+) {
+    buf.push(op::PUSH_SHARD_SPARSE);
+    put_u32(buf, shard);
+    put_f64(buf, lr);
+    put_f64(buf, momentum);
+    put_u32(buf, indices.len() as u32);
+    buf.reserve(indices.len() * 8);
+    for &(start, len) in indices {
+        put_u32(buf, start);
+        put_u32(buf, len);
+    }
+    put_f32s(buf, rows);
+}
+
 /// Appends a bodyless request payload (`PullCommitted`, `SyncRound`,
 /// `Drain`, `ResetVelocity`, `CheckFinite`, `Shutdown`).
 pub fn encode_bodyless(buf: &mut Vec<u8>, opcode: u8) {
@@ -247,6 +289,13 @@ impl Request {
                 momentum,
                 grad,
             } => encode_push_shard(buf, *shard, *lr, *momentum, grad),
+            Request::PushShardSparse {
+                shard,
+                lr,
+                momentum,
+                indices,
+                rows,
+            } => encode_push_shard_sparse(buf, *shard, *lr, *momentum, indices, rows),
             Request::PullCommitted => encode_bodyless(buf, op::PULL_COMMITTED),
             Request::SyncRound => encode_bodyless(buf, op::SYNC_ROUND),
             Request::Drain => encode_bodyless(buf, op::DRAIN),
@@ -333,6 +382,22 @@ impl<'a> Cursor<'a> {
         Ok(())
     }
 
+    /// Reads a length-prefixed `(u32, u32)` segment list into `out`
+    /// (resized in place, zero-alloc when reused).
+    fn segments_into(&mut self, out: &mut Vec<(u32, u32)>) -> Result<(), WireError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        out.clear();
+        out.reserve(n);
+        out.extend(bytes.chunks_exact(8).map(|c| {
+            (
+                u32::from_le_bytes(c[..4].try_into().unwrap()),
+                u32::from_le_bytes(c[4..].try_into().unwrap()),
+            )
+        }));
+        Ok(())
+    }
+
     /// Reads a length-prefixed f32 run into an exact-length slice.
     fn f32s_into_slice(&mut self, out: &mut [f32]) -> Result<(), WireError> {
         let n = self.u32()? as usize;
@@ -387,6 +452,33 @@ pub fn decode_push_shard_into(
     let lr = c.f64()?;
     let momentum = c.f64()?;
     c.f32s_into(grad)?;
+    c.finish()?;
+    Ok((shard, lr, momentum))
+}
+
+/// Decodes a `PushShardSparse` payload, reading the segment list and the
+/// values into the reusable buffers. Returns `(shard, lr, momentum)`.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed
+/// `PushShardSparse` (segment *semantics* — ordering, bounds — are checked
+/// at apply time, not here; the codec only moves bytes).
+pub fn decode_push_shard_sparse_into(
+    payload: &[u8],
+    indices: &mut Vec<(u32, u32)>,
+    rows: &mut Vec<f32>,
+) -> Result<(u32, f64, f64), WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::PUSH_SHARD_SPARSE => {}
+        other => return Err(WireError::UnknownOpcode(other)),
+    }
+    let shard = c.u32()?;
+    let lr = c.f64()?;
+    let momentum = c.f64()?;
+    c.segments_into(indices)?;
+    c.f32s_into(rows)?;
     c.finish()?;
     Ok((shard, lr, momentum))
 }
@@ -496,6 +588,22 @@ impl Request {
                     lr,
                     momentum,
                     grad,
+                }
+            }
+            op::PUSH_SHARD_SPARSE => {
+                let shard = c.u32()?;
+                let lr = c.f64()?;
+                let momentum = c.f64()?;
+                let mut indices = Vec::new();
+                c.segments_into(&mut indices)?;
+                let mut rows = Vec::new();
+                c.f32s_into(&mut rows)?;
+                Request::PushShardSparse {
+                    shard,
+                    lr,
+                    momentum,
+                    indices,
+                    rows,
                 }
             }
             op::PULL_COMMITTED => Request::PullCommitted,
@@ -632,6 +740,36 @@ mod tests {
         let (shard, lr, mu) = decode_push_shard_into(&buf, &mut grad).unwrap();
         assert_eq!((shard, lr, mu), (3, 0.05, 0.9));
         assert_eq!(grad, vec![1.0, -2.5, f32::MIN_POSITIVE, 0.0]);
+    }
+
+    #[test]
+    fn push_shard_sparse_round_trips() {
+        let req = Request::PushShardSparse {
+            shard: 2,
+            lr: 0.25,
+            momentum: 0.9,
+            indices: vec![(4, 2), (10, 3)],
+            rows: vec![1.0, -2.0, 0.5, f32::MIN_POSITIVE, -0.0],
+        };
+        let mut buf = Vec::new();
+        req.encode(&mut buf);
+        assert_eq!(Request::decode(&buf).unwrap(), req);
+        // The streaming decoder agrees with the owned one, reusing buffers.
+        let mut indices = vec![(9u32, 9u32)];
+        let mut rows = vec![9.9f32];
+        let (shard, lr, mu) = decode_push_shard_sparse_into(&buf, &mut indices, &mut rows).unwrap();
+        assert_eq!((shard, lr, mu), (2, 0.25, 0.9));
+        assert_eq!(indices, vec![(4, 2), (10, 3)]);
+        assert_eq!(rows.len(), 5);
+        // The sparse frame is smaller than the dense frame it replaces
+        // whenever the touched fraction is below 1 (here: 5 of 16 values).
+        let mut dense = Vec::new();
+        encode_push_shard(&mut dense, 2, 0.25, 0.9, &[0.0; 16]);
+        assert!(buf.len() < dense.len(), "{} vs {}", buf.len(), dense.len());
+        // Truncations fail loudly.
+        for cut in [0, 1, 5, buf.len() - 1] {
+            assert!(Request::decode(&buf[..cut]).is_err(), "cut {cut}");
+        }
     }
 
     #[test]

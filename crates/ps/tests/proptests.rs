@@ -5,7 +5,7 @@ use sync_switch_nn::{Dataset, Network};
 use sync_switch_ps::transport::{wire, Reply, Request};
 use sync_switch_ps::{
     Checkpoint, PullBuffer, RouterBuffer, ServerTopology, ShardRouter, ShardedStore, Trainer,
-    TrainerConfig,
+    TrainerConfig, UpdateData,
 };
 use sync_switch_workloads::SyncProtocol;
 
@@ -13,6 +13,34 @@ use sync_switch_workloads::SyncProtocol;
 /// because the codec must move gradients without reinterpreting them.
 fn bits_to_f32(bits: &[u32]) -> Vec<f32> {
     bits.iter().map(|&b| f32::from_bits(b)).collect()
+}
+
+/// Splits raw u64s into `(start, len)` segment pairs for the sparse frame —
+/// the codec moves them without interpreting, so arbitrary values are fair.
+fn bits_to_segments(bits: &[u64]) -> Vec<(u32, u32)> {
+    bits.iter().map(|&b| ((b >> 32) as u32, b as u32)).collect()
+}
+
+/// The shard-relative `(start, len)` spans where `mask` is set over
+/// `flat[offset..offset + len]`, plus the gathered gradient values — the
+/// sparse payload equivalent to the dense slice with zeros elsewhere.
+fn spans_of(mask: &[bool], grad: &[f32], offset: usize, len: usize) -> (Vec<(u32, u32)>, Vec<f32>) {
+    let mut spans = Vec::new();
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < len {
+        if mask[offset + i] {
+            let start = i;
+            while i < len && mask[offset + i] {
+                i += 1;
+            }
+            spans.push((start as u32, (i - start) as u32));
+            values.extend_from_slice(&grad[offset + start..offset + i]);
+        } else {
+            i += 1;
+        }
+    }
+    (spans, values)
 }
 
 proptest! {
@@ -183,6 +211,93 @@ proptest! {
         }
     }
 
+    /// Sparse push ≡ dense push on the single store: applying the same
+    /// touched values as a sparse segment list or as a dense gradient with
+    /// zeros elsewhere leaves **bit-identical** parameters, velocity, shard
+    /// clocks, and staleness, for arbitrary shapes, masks, and push counts.
+    #[test]
+    fn sparse_push_equals_dense_push_on_store(
+        params in proptest::collection::vec(-2.0f32..2.0, 2..150),
+        mask_bits in proptest::collection::vec(any::<bool>(), 1..64),
+        shards in 1usize..8,
+        pushes in 1u64..4,
+    ) {
+        let n = params.len();
+        let mask: Vec<bool> = (0..n).map(|i| mask_bits[i % mask_bits.len()]).collect();
+        let dense = ShardedStore::new(&params, shards);
+        let sparse = ShardedStore::new(&params, shards);
+        for p in 0..pushes {
+            let grad: Vec<f32> = (0..n)
+                .map(|i| if mask[i] { ((i as f32) + 0.3 * p as f32).sin() } else { 0.0 })
+                .collect();
+            for s in 0..dense.shard_count() {
+                let (o, l) = dense.shard_range(s);
+                let a = dense.apply_shard_update(s, &grad[o..o + l], 0.07, 0.9);
+                let (spans, values) = spans_of(&mask, &grad, o, l);
+                let b = sparse.apply_shard_update_data(
+                    s,
+                    UpdateData::Sparse { indices: &spans, rows: &values },
+                    0.07,
+                    0.9,
+                );
+                prop_assert_eq!(a, b, "pre-apply clock skew at push {} shard {}", p, s);
+                prop_assert_eq!(dense.shard_version(s), sparse.shard_version(s));
+            }
+            prop_assert_eq!(dense.complete_push(p), sparse.complete_push(p));
+        }
+        prop_assert_eq!(dense.snapshot_params(), sparse.snapshot_params());
+        prop_assert_eq!(dense.snapshot_velocity(), sparse.snapshot_velocity());
+    }
+
+    /// Sparse push ≡ dense push through a 2-server router: same routing,
+    /// same two-stage schedule, same committed views and clocks — the
+    /// sparse payload changes nothing but what would cross a wire.
+    #[test]
+    fn sparse_push_equals_dense_push_through_router(
+        n in 2usize..200,
+        mask_bits in proptest::collection::vec(any::<bool>(), 1..48),
+        shards in 2usize..10,
+        pushes in 1u64..5,
+    ) {
+        let initial: Vec<f32> = (0..n).map(|i| (i as f32 * 0.17).cos()).collect();
+        let mask: Vec<bool> = (0..n).map(|i| mask_bits[i % mask_bits.len()]).collect();
+        let topology = ServerTopology::new(2, 2);
+        let dense = ShardRouter::new(&initial, shards, topology);
+        let sparse = ShardRouter::new(&initial, shards, topology);
+        for p in 0..pushes {
+            let grad: Vec<f32> = (0..n)
+                .map(|i| if mask[i] { ((i as f32) * 0.41 + p as f32).sin() } else { 0.0 })
+                .collect();
+            for g in 0..dense.shard_count() {
+                let (o, l) = dense.shard_range(g);
+                let a = dense.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                let (spans, values) = spans_of(&mask, &grad, o, l);
+                let b = sparse.apply_shard_update_data(
+                    g,
+                    UpdateData::Sparse { indices: &spans, rows: &values },
+                    0.05,
+                    0.9,
+                );
+                prop_assert_eq!(a, b, "clock skew at push {} shard {}", p, g);
+            }
+            // Staleness equality through the global clock.
+            prop_assert_eq!(dense.complete_push(p), sparse.complete_push(p));
+            dense.reconcile_if_due();
+            sparse.reconcile_if_due();
+        }
+        // Live state, committed views, and committed clocks all agree.
+        prop_assert_eq!(dense.snapshot_params(), sparse.snapshot_params());
+        prop_assert_eq!(dense.snapshot_velocity(), sparse.snapshot_velocity());
+        let mut a = RouterBuffer::new();
+        let mut b = RouterBuffer::new();
+        let va = dense.pull_committed_into(&mut a);
+        let vb = sparse.pull_committed_into(&mut b);
+        prop_assert_eq!(va, vb, "committed data versions diverged");
+        prop_assert_eq!(a.params(), b.params());
+        prop_assert_eq!(a.shard_versions(), b.shard_versions());
+        prop_assert_eq!(dense.sync_rounds(), sparse.sync_rounds());
+    }
+
     /// Checkpoints round-trip through bytes for arbitrary contents.
     #[test]
     fn checkpoint_bytes_round_trip(
@@ -223,10 +338,11 @@ proptest! {
     /// (NaNs and infinities included).
     #[test]
     fn wire_codec_round_trips_requests_byte_exactly(
-        kind in 0u8..9,
+        kind in 0u8..10,
         shard in any::<u32>(),
         bits_a in proptest::collection::vec(any::<u32>(), 0..64),
         bits_b in proptest::collection::vec(any::<u32>(), 0..64),
+        seg_bits in proptest::collection::vec(any::<u64>(), 0..16),
         lr_bits in any::<u64>(),
         mu_bits in any::<u64>(),
         flag in any::<bool>(),
@@ -248,6 +364,13 @@ proptest! {
             },
             6 => Request::ResetVelocity,
             7 => Request::CheckFinite,
+            8 => Request::PushShardSparse {
+                shard,
+                lr: f64::from_bits(lr_bits),
+                momentum: f64::from_bits(mu_bits),
+                indices: bits_to_segments(&seg_bits),
+                rows: bits_to_f32(&bits_b),
+            },
             _ => Request::Shutdown,
         };
         let mut bytes = Vec::new();
@@ -303,6 +426,46 @@ proptest! {
             prop_assert_eq!(&out_bits, &bits);
             prop_assert_eq!(&clocks_out, &clocks);
         }
+    }
+
+    /// The streaming sparse-push encoder and decoder agree with the owned
+    /// codec bit-for-bit — NaN payloads and arbitrary segment descriptors
+    /// included — and the sparse frame undercuts the dense frame whenever
+    /// the carried values are fewer than the shard's (8 bytes of segment
+    /// descriptor vs 4 bytes per skipped value).
+    #[test]
+    fn streaming_sparse_push_encoder_round_trips(
+        shard in any::<u32>(),
+        seg_bits in proptest::collection::vec(any::<u64>(), 0..16),
+        bits in proptest::collection::vec(any::<u32>(), 0..64),
+        lr in 1e-6f64..10.0,
+        mu in 0.0f64..1.0,
+    ) {
+        let indices = bits_to_segments(&seg_bits);
+        let rows = bits_to_f32(&bits);
+        let mut streamed = Vec::new();
+        wire::encode_push_shard_sparse(&mut streamed, shard, lr, mu, &indices, &rows);
+        let mut owned = Vec::new();
+        Request::PushShardSparse {
+            shard,
+            lr,
+            momentum: mu,
+            indices: indices.clone(),
+            rows: rows.clone(),
+        }
+        .encode(&mut owned);
+        prop_assert_eq!(&streamed, &owned);
+        // Reused decode buffers come back with the exact bits.
+        let mut idx_out = vec![(1u32, 1u32)];
+        let mut rows_out = vec![0.5f32];
+        let (s, l, m) =
+            wire::decode_push_shard_sparse_into(&streamed, &mut idx_out, &mut rows_out).unwrap();
+        prop_assert_eq!((s, l, m), (shard, lr, mu));
+        prop_assert_eq!(&idx_out, &indices);
+        let out_bits: Vec<u32> = rows_out.iter().map(|g| g.to_bits()).collect();
+        prop_assert_eq!(&out_bits, &bits);
+        // Truncations fail, never mis-decode.
+        prop_assert!(Request::decode(&streamed[..streamed.len() - 1]).is_err());
     }
 
     /// The streaming push encoder and the owned request encoder emit

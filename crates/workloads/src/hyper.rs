@@ -135,6 +135,49 @@ impl HyperParams {
         }
     }
 
+    /// Hyper-parameters for the MLP-on-Gaussian-blobs trainable workload
+    /// (the real-PS smoke workload: small batch, short constant-rate run).
+    pub fn mlp_blobs() -> Self {
+        HyperParams {
+            batch_size: 8,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            total_steps: 240,
+            lr_schedule: LrSchedule::constant(),
+        }
+    }
+
+    /// Hyper-parameters for the conv-on-shifted-patterns trainable
+    /// workload. Same batch and momentum as the MLP; the filter bank
+    /// tolerates a slightly hotter rate because max pooling sparsifies the
+    /// backward signal.
+    pub fn conv_shifted() -> Self {
+        HyperParams {
+            batch_size: 8,
+            learning_rate: 0.08,
+            momentum: 0.9,
+            total_steps: 240,
+            lr_schedule: LrSchedule::constant(),
+        }
+    }
+
+    /// Hyper-parameters for the sparse-embedding trainable workload. The
+    /// mean-pooled table rows see roughly `tokens`-fold smaller gradients
+    /// than a dense layer of the same width, hence the hotter base rate —
+    /// but not hotter than ASP staleness tolerates: 0.25 diverges under
+    /// 4 async workers on a committed-view (wire) tier, 0.15 trains
+    /// under every supported discipline. Exactly the workload-dependent
+    /// BSP/ASP sensitivity the paper's argument rests on.
+    pub fn sparse_embedding() -> Self {
+        HyperParams {
+            batch_size: 8,
+            learning_rate: 0.15,
+            momentum: 0.9,
+            total_steps: 240,
+            lr_schedule: LrSchedule::constant(),
+        }
+    }
+
     /// Learning rate in effect at `step` (base rate × schedule factor).
     pub fn lr_at(&self, step: u64) -> f64 {
         self.learning_rate * self.lr_schedule.factor_at(step)

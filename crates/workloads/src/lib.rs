@@ -33,4 +33,4 @@ pub use dataset::DatasetSpec;
 pub use hyper::{HyperParams, LrSchedule};
 pub use model::ModelSpec;
 pub use protocol::SyncProtocol;
-pub use setup::{ExperimentSetup, GpuKind, SetupId, Workload};
+pub use setup::{ExperimentSetup, GpuKind, SetupId, TrainableKind, Workload};

@@ -1,6 +1,9 @@
-//! Experiment setups (paper Table I).
+//! Experiment setups (paper Table I) and the registry of workloads that
+//! train end-to-end on the real parameter-server tier.
 
 use serde::{Deserialize, Serialize};
+
+use sync_switch_nn::{Dataset, Network};
 
 use crate::dataset::DatasetSpec;
 use crate::hyper::HyperParams;
@@ -135,6 +138,120 @@ impl ExperimentSetup {
     }
 }
 
+/// A workload that trains **for real** — model, data, and gradients on the
+/// multi-threaded PS tier of `sync-switch-ps` — as opposed to the
+/// [`ExperimentSetup`]s, whose ResNet profiles drive the cluster
+/// *simulator*. The three kinds deliberately differ in communication
+/// structure, the axis Sync-Switch's BSP/ASP tradeoff pivots on:
+///
+/// * [`TrainableKind::MlpBlobs`] — dense gradients, tiny payloads (the
+///   original smoke workload).
+/// * [`TrainableKind::ConvShifted`] — dense gradients over a filter bank;
+///   the shifted-patterns data makes locality (and therefore the conv
+///   structure) matter.
+/// * [`TrainableKind::SparseEmbedding`] — a vocab-dominated model whose
+///   per-batch gradient touches only the embedding rows of the sampled
+///   tokens; the workload the PS sparse push path ships row-sized updates
+///   for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrainableKind {
+    /// MLP on Gaussian blobs (dense, small).
+    MlpBlobs,
+    /// 1-D convnet on shifted patterns (dense, locality-sensitive).
+    ConvShifted,
+    /// Mean-pooled embedding classifier on Zipf-sampled tokens (sparse).
+    SparseEmbedding,
+}
+
+impl TrainableKind {
+    /// Every registered trainable workload, in registry order.
+    pub fn all() -> [TrainableKind; 3] {
+        [
+            TrainableKind::MlpBlobs,
+            TrainableKind::ConvShifted,
+            TrainableKind::SparseEmbedding,
+        ]
+    }
+
+    /// Short stable name, for reports and bench axes.
+    pub fn name(self) -> &'static str {
+        match self {
+            TrainableKind::MlpBlobs => "mlp_blobs",
+            TrainableKind::ConvShifted => "conv_shifted",
+            TrainableKind::SparseEmbedding => "sparse_embedding",
+        }
+    }
+
+    /// The practitioner-supplied hyper-parameters for this workload.
+    pub fn hyper(self) -> HyperParams {
+        match self {
+            TrainableKind::MlpBlobs => HyperParams::mlp_blobs(),
+            TrainableKind::ConvShifted => HyperParams::conv_shifted(),
+            TrainableKind::SparseEmbedding => HyperParams::sparse_embedding(),
+        }
+    }
+
+    /// Training-loss gate for the convergence harness: after the
+    /// [`HyperParams::total_steps`] budget under any supported sync
+    /// discipline, the probe loss must sit below this (all three start
+    /// near `ln(classes) ≈ 1.39`).
+    pub fn loss_threshold(self) -> f32 {
+        match self {
+            TrainableKind::MlpBlobs => 0.9,
+            TrainableKind::ConvShifted => 0.9,
+            TrainableKind::SparseEmbedding => 0.9,
+        }
+    }
+
+    /// Whether this workload's per-batch gradient is sparse (and therefore
+    /// exercises the PS sparse push path).
+    pub fn has_sparse_gradients(self) -> bool {
+        matches!(self, TrainableKind::SparseEmbedding)
+    }
+
+    /// Builds the model and the `(train, test)` datasets, fully determined
+    /// by `seed`. The returned pieces plug directly into
+    /// `sync_switch_ps::Trainer::new` — the trainer, the switcher, and the
+    /// examples run every kind through the same code path.
+    pub fn build(self, seed: u64) -> (Network, Dataset, Dataset) {
+        match self {
+            TrainableKind::MlpBlobs => {
+                let data = Dataset::gaussian_blobs(4, 80, 8, 0.35, seed);
+                let (train, test) = data.split(0.25);
+                (Network::mlp(8, &[16], 4, seed), train, test)
+            }
+            TrainableKind::ConvShifted => {
+                // length 32, kernel 5 → out_len 28; pool 7 → 4 per channel.
+                let data = Dataset::shifted_patterns(4, 60, 32, 0.15, seed);
+                let (train, test) = data.split(0.25);
+                (
+                    Network::conv1d_classifier(32, 8, 5, 7, 4, seed),
+                    train,
+                    test,
+                )
+            }
+            TrainableKind::SparseEmbedding => {
+                // The 512×16 table is ~95% of the parameters; a batch of 8
+                // examples × 8 tokens touches at most 64 of its 512 rows.
+                let data = Dataset::zipf_tokens(4, 60, 512, 8, 1.1, seed);
+                let (train, test) = data.split(0.25);
+                (
+                    Network::embedding_classifier(512, 16, 24, 8, 4, seed),
+                    train,
+                    test,
+                )
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for TrainableKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `pad` (not `write_str`) so width specifiers in report tables work.
+        f.pad(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +280,69 @@ mod tests {
     #[test]
     fn display_matches_paper_wording() {
         assert_eq!(SetupId::Two.to_string(), "Exp. Setup 2");
+    }
+
+    #[test]
+    fn trainable_registry_builds_consistent_pieces() {
+        for kind in TrainableKind::all() {
+            let (mut model, train, test) = kind.build(11);
+            assert_eq!(model.input_dim(), train.dim(), "{kind}");
+            assert_eq!(model.classes(), train.classes(), "{kind}");
+            assert_eq!(train.classes(), test.classes(), "{kind}");
+            assert!(train.len() > test.len(), "{kind}");
+            let hyper = kind.hyper();
+            assert!(hyper.learning_rate > 0.0 && hyper.total_steps > 0);
+            assert!(kind.loss_threshold() > 0.0);
+            // Forward runs on a real batch (ids in vocab, shapes align).
+            let (x, y) = train.batch(&[0, 1, 2]);
+            let loss = {
+                let logits = model.forward(&x);
+                assert_eq!(logits.shape(), &[3, model.classes()]);
+                model.loss(&x, &y)
+            };
+            assert!(loss.is_finite(), "{kind} initial loss {loss}");
+        }
+    }
+
+    #[test]
+    fn trainable_builds_are_seed_deterministic() {
+        for kind in TrainableKind::all() {
+            let (a, tr_a, _) = kind.build(3);
+            let (b, tr_b, _) = kind.build(3);
+            assert_eq!(a.params_flat(), b.params_flat(), "{kind}");
+            assert_eq!(tr_a.features().data(), tr_b.features().data(), "{kind}");
+            let (c, _, _) = kind.build(4);
+            assert_ne!(a.params_flat(), c.params_flat(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn sparse_flag_marks_the_embedding_workload() {
+        assert!(!TrainableKind::MlpBlobs.has_sparse_gradients());
+        assert!(!TrainableKind::ConvShifted.has_sparse_gradients());
+        assert!(TrainableKind::SparseEmbedding.has_sparse_gradients());
+        // The embedding workload really produces sparse runs after a
+        // backward, and the dense kinds do not.
+        for kind in TrainableKind::all() {
+            let (mut model, train, _) = kind.build(5);
+            let (x, y) = train.batch(&[0, 1, 2, 3]);
+            model.loss_and_grad(&x, &y);
+            let mut runs = Vec::new();
+            assert_eq!(
+                model.grad_nonzero_runs_into(&mut runs),
+                kind.has_sparse_gradients(),
+                "{kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn trainable_names_are_stable() {
+        assert_eq!(TrainableKind::MlpBlobs.to_string(), "mlp_blobs");
+        assert_eq!(TrainableKind::ConvShifted.to_string(), "conv_shifted");
+        assert_eq!(
+            TrainableKind::SparseEmbedding.to_string(),
+            "sparse_embedding"
+        );
     }
 }
