@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt build test transport workloads clippy bench-compile bench-smoke exhibits examples)
+STAGES=(fmt build test transport workloads chaos clippy bench-compile bench-smoke exhibits examples)
 # Stages skipped by --fast: each of these compiles the release or bench
 # profile, which dwarfs the debug stages' wall time.
 RELEASE_STAGES=(build bench-compile bench-smoke exhibits)
@@ -60,6 +60,21 @@ stage_workloads() {
     timeout -sKILL 180 \
         cargo test -q -p sync-switch-ps --test workloads || {
         echo "workload convergence harness failed or timed out (180s budget)" >&2
+        return 1
+    }
+}
+
+# Chaos suite: every trainable workload under BSP and ASP on a TCP tier
+# with seeded fault injection (dropped replies, stragglers) plus a mid-run
+# server kill healed from a supervisor checkpoint, and the hot-lr
+# divergence specimen absorbed by the watchdog. Hard KILL timeout: a
+# wedged retry loop or a dead server that never heals must fail the gate,
+# not hang it. Built first so compilation does not eat the run budget.
+stage_chaos() {
+    cargo test -q -p sync-switch-ps --test chaos --no-run
+    timeout -sKILL 180 \
+        cargo test -q -p sync-switch-ps --test chaos || {
+        echo "chaos suite failed or timed out (180s budget)" >&2
         return 1
     }
 }

@@ -205,6 +205,8 @@ fn main() {
                 "wire_total_s": wire.total_wire_s(),
                 "wire_round_trips": wire.total_ops(),
                 "wire_bytes": wire.total_bytes(),
+                "wire_retries": wire.retries,
+                "wire_reconnects": wire.reconnects,
             }));
         }
     }

@@ -263,6 +263,21 @@ fn validate(path: &Path) -> Result<(Value, usize, usize), String> {
                 return Err(format!("transport[{i}]: missing/unknown \"transport\""));
             }
             positive_f64(entry, "steps_per_sec").map_err(|e| format!("transport[{i}]: {e}"))?;
+            // The retry machinery must be free on the clean loopback
+            // network the bench runs on: any nonzero count means spurious
+            // timeouts or reconnects are eating into the headline numbers.
+            for key in ["wire_retries", "wire_reconnects"] {
+                if let Some(raw) = entry.get(key) {
+                    let n = raw
+                        .as_u64()
+                        .ok_or(format!("transport[{i}]: \"{key}\" is not an integer"))?;
+                    if n != 0 {
+                        return Err(format!(
+                            "transport[{i}]: \"{key}\" = {n} on a fault-free bench run"
+                        ));
+                    }
+                }
+            }
         }
     }
     // The sparse-vs-dense pair (sparse-embedding workload, channel tier):

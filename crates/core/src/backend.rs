@@ -25,6 +25,11 @@ pub struct BackendChunk {
     /// (0 for the simulator and for in-process parameter servers; real
     /// transport-backed tiers report their measured per-op wire time).
     pub wire_time_s: f64,
+    /// Wire requests re-sent after a failure during the chunk (0 for the
+    /// simulator and in-process tiers).
+    pub wire_retries: u64,
+    /// Connections re-established during the chunk.
+    pub wire_reconnects: u64,
 }
 
 /// An execution substrate Sync-Switch can drive: either the cluster
@@ -168,6 +173,8 @@ impl TrainingBackend for SimBackend {
                 per_worker_images_per_sec: vec![None; self.cluster.cluster_size()],
                 mean_staleness: 0.0,
                 wire_time_s: 0.0,
+                wire_retries: 0,
+                wire_reconnects: 0,
             });
         }
         self.cluster.set_batch(cfg.per_worker_batch);
@@ -194,6 +201,8 @@ impl TrainingBackend for SimBackend {
                 .collect(),
             mean_staleness: stats.mean_staleness,
             wire_time_s: 0.0,
+            wire_retries: 0,
+            wire_reconnects: 0,
         })
     }
 

@@ -77,6 +77,8 @@ impl ClusterManager {
         let mut bsp_steps: u64 = 0;
         let mut asp_steps: u64 = 0;
         let mut transport_wire_s: f64 = 0.0;
+        let mut transport_retries: u64 = 0;
+        let mut transport_reconnects: u64 = 0;
 
         // Protocol state. `greedy_detour` marks a temporary ASP excursion
         // taken by the greedy policy before the BSP budget is met.
@@ -141,6 +143,8 @@ impl ClusterManager {
                 SyncProtocol::Asp => asp_steps += chunk_stats.steps_done,
             }
             transport_wire_s += chunk_stats.wire_time_s;
+            transport_retries += chunk_stats.wire_retries;
+            transport_reconnects += chunk_stats.wire_reconnects;
 
             // Feed the straggler detector and react per the online policy,
             // but only while the BSP budget is unmet (after the main switch
@@ -265,6 +269,8 @@ impl ClusterManager {
             tta_target,
             diverged_at,
             transport_wire_s,
+            transport_retries,
+            transport_reconnects,
         })
     }
 }

@@ -73,6 +73,11 @@ pub struct TrainingReport {
     /// (0 on the simulator and on in-process tiers; populated when the
     /// backend runs a transport-backed PS).
     pub transport_wire_s: f64,
+    /// Wire operations re-sent after a failure (0 on the simulator, on
+    /// in-process tiers, and — by design — on a clean network).
+    pub transport_retries: u64,
+    /// Connections to parameter servers re-established after breaking.
+    pub transport_reconnects: u64,
 }
 
 impl TrainingReport {
@@ -156,6 +161,8 @@ mod tests {
             diverged_at: None,
             final_loss: 0.01,
             transport_wire_s: 0.0,
+            transport_retries: 0,
+            transport_reconnects: 0,
         }
     }
 

@@ -2,6 +2,42 @@
 
 use std::time::Duration;
 
+use crate::transport::faulty::FaultPlan;
+
+/// Client-side resilience knobs for the wire transports: how long one
+/// request/reply round trip may block, and how a failed operation is
+/// retried.
+///
+/// Retries use exponential backoff with deterministic jitter:
+/// attempt `k` sleeps `min(backoff_base_ms << k, backoff_max_ms)` plus a
+/// jitter drawn from a process-local stream. Mutating requests are
+/// re-sent under a sequence header ([`crate::transport::wire::op::SEQUENCED`])
+/// so a retry whose original actually executed is applied at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Per-operation timeout, milliseconds. One round trip blocking longer
+    /// than this counts as a failed attempt.
+    pub op_timeout_ms: u64,
+    /// Retries after the initial attempt before the operation fails with
+    /// [`crate::PsError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// First backoff sleep, milliseconds; doubles per subsequent attempt.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_max_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            op_timeout_ms: 5_000,
+            max_retries: 4,
+            backoff_base_ms: 5,
+            backoff_max_ms: 200,
+        }
+    }
+}
+
 /// How workers reach the parameter-server tier.
 ///
 /// `InProcess` is the PR 2/3 fast path: servers are plain structs and a
@@ -64,6 +100,13 @@ pub struct ServerTopology {
     /// kind puts the tier (even one server) behind the wire protocol, so
     /// pulls always read the committed view.
     pub transport: TransportKind,
+    /// Client-side timeout/retry/backoff policy for the wire transports
+    /// (ignored in-process — a method call cannot time out).
+    pub retry: RetryPolicy,
+    /// Optional fault-injection plan: when set on a wire transport, the
+    /// backend is wrapped in a [`crate::transport::FaultyTransport`] and
+    /// every connection is perturbed per the plan (chaos testing).
+    pub faults: Option<FaultPlan>,
 }
 
 impl ServerTopology {
@@ -73,6 +116,8 @@ impl ServerTopology {
             servers: 1,
             sync_every: 1,
             transport: TransportKind::InProcess,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 
@@ -89,12 +134,26 @@ impl ServerTopology {
             servers,
             sync_every,
             transport: TransportKind::InProcess,
+            retry: RetryPolicy::default(),
+            faults: None,
         }
     }
 
     /// Selects the worker↔server transport backend.
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = transport;
+        self
+    }
+
+    /// Sets the client-side timeout/retry policy for the wire transports.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Installs a fault-injection plan on the wire transport.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -328,6 +387,26 @@ mod tests {
         let mut bad = cfg;
         bad.topology.sync_every = 0;
         assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn retry_and_fault_builders() {
+        let t = ServerTopology::new(2, 4)
+            .with_retry(RetryPolicy {
+                op_timeout_ms: 100,
+                max_retries: 2,
+                backoff_base_ms: 1,
+                backoff_max_ms: 10,
+            })
+            .with_faults(FaultPlan::seeded(9));
+        assert_eq!(t.retry.max_retries, 2);
+        assert_eq!(t.faults.unwrap().seed, 9);
+        assert!(t.validate().is_ok());
+        // Defaults: no faults, a positive retry budget.
+        let d = ServerTopology::single();
+        assert!(d.faults.is_none());
+        assert!(d.retry.max_retries > 0);
+        assert!(d.retry.op_timeout_ms > 0);
     }
 
     #[test]

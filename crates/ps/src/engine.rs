@@ -323,6 +323,12 @@ pub struct SegmentReport {
     /// Wire cost of the segment on a transport-backed data plane (all
     /// zeros, `backend == None`, when the tier is in-process).
     pub transport: TransportStats,
+    /// Whether every live parameter was finite when the segment ended —
+    /// the post-segment [`Trainer::check_finite`] result, surfaced so
+    /// switching policies (and the divergence watchdog) can react without
+    /// a second wire round trip. An `Ok` engine segment implies `true`;
+    /// SSP segments report the observed check.
+    pub finite: bool,
     /// Mean training loss over the last few recorded steps.
     pub final_loss: f32,
 }
@@ -659,6 +665,7 @@ impl Trainer {
                     let s = self.plane.transport_stats();
                     s.delta(&s)
                 },
+                finite: true,
                 final_loss: 0.0,
             });
         }
@@ -688,7 +695,8 @@ impl Trainer {
         if diverged != u64::MAX {
             return Err(PsError::Diverged { step: diverged });
         }
-        if !self.plane.is_finite() {
+        let finite = self.plane.is_finite();
+        if !finite {
             return Err(PsError::Diverged {
                 step: self.global_step + steps,
             });
@@ -722,6 +730,7 @@ impl Trainer {
             server_shard_staleness,
             sync_rounds: self.plane.sync_rounds() - rounds_before,
             transport: self.plane.transport_stats().delta(&wire_before),
+            finite,
             final_loss,
         })
     }

@@ -29,6 +29,23 @@ pub enum PsError {
         /// Number of servers in the tier that was actually configured.
         servers: usize,
     },
+    /// A wire operation exceeded its per-op timeout on every retry.
+    Timeout {
+        /// Server the operation was addressed to.
+        server: usize,
+    },
+    /// A server's connection broke and could not be re-established.
+    ConnLost {
+        /// Server the connection belonged to.
+        server: usize,
+    },
+    /// A wire operation kept failing after exhausting its retry budget.
+    RetriesExhausted {
+        /// Server the operation was addressed to.
+        server: usize,
+        /// Attempts made (initial send plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for PsError {
@@ -44,6 +61,19 @@ impl fmt::Display for PsError {
                 f,
                 "no single parameter store: the data plane is a {servers}-server tier \
                  behind a router/transport (use router()/net_router() or the snapshot APIs)"
+            ),
+            PsError::Timeout { server } => {
+                write!(f, "wire operation to server {server} timed out")
+            }
+            PsError::ConnLost { server } => {
+                write!(
+                    f,
+                    "connection to server {server} lost and not re-established"
+                )
+            }
+            PsError::RetriesExhausted { server, attempts } => write!(
+                f,
+                "wire operation to server {server} failed after {attempts} attempts"
             ),
         }
     }

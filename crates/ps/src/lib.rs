@@ -41,11 +41,13 @@ pub mod router;
 pub mod server;
 pub mod ssp;
 pub mod store;
+pub mod supervisor;
 pub mod switcher;
 pub mod transport;
+pub mod watchdog;
 
 pub use checkpoint::Checkpoint;
-pub use config::{ServerTopology, TrainerConfig, TransportKind};
+pub use config::{RetryPolicy, ServerTopology, TrainerConfig, TransportKind};
 pub use engine::{SegmentReport, Trainer};
 pub use error::PsError;
 pub use profiler::{
@@ -54,5 +56,7 @@ pub use profiler::{
 pub use router::{PortBuffer, RouterBuffer, ShardRouter, WorkerPort};
 pub use server::PsServer;
 pub use store::{PullBuffer, ShardLayout, ShardedStore, UpdateData};
+pub use supervisor::ServerSupervisor;
 pub use switcher::{execute_switch, SwitchOutcome, SwitchPlan};
-pub use transport::{NetPort, NetRouter};
+pub use transport::{FaultPlan, FaultyTransport, NetPort, NetRouter};
+pub use watchdog::{DivergenceWatchdog, WatchdogConfig};

@@ -133,6 +133,11 @@ pub struct TransportStats {
     /// Stage-2 reconciliation rounds and drains (one round trip per server
     /// per round).
     pub sync: WireOp,
+    /// Failed attempts that were re-sent by the resilience layer. Zero on a
+    /// clean network — retry machinery must be free when nothing fails.
+    pub retries: u64,
+    /// Connections re-established after breaking mid-segment.
+    pub reconnects: u64,
 }
 
 impl TransportStats {
@@ -164,6 +169,8 @@ impl TransportStats {
             push: self.push.delta(&earlier.push),
             pull: self.pull.delta(&earlier.pull),
             sync: self.sync.delta(&earlier.sync),
+            retries: self.retries.saturating_sub(earlier.retries),
+            reconnects: self.reconnects.saturating_sub(earlier.reconnects),
         }
     }
 

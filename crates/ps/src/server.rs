@@ -18,7 +18,23 @@
 //! cluster has not yet seen. The router bounds it by running a round every
 //! `sync_every` pushes (BSP drains it at every barrier round).
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
 use crate::store::{ShardLayout, ShardedStore, UpdateData};
+
+/// Per-client deduplication state for sequenced (idempotent re-send)
+/// requests: the last sequence number executed and the reply it produced,
+/// replayed verbatim on a duplicate.
+#[derive(Debug, Default)]
+pub(crate) struct SeqEntry {
+    /// Sequence number of the last executed mutating request, if any.
+    pub(crate) last: Option<u32>,
+    /// Cached reply payload of that request.
+    pub(crate) reply: Vec<u8>,
+}
 
 /// One parameter server: authoritative (live + committed) state for a
 /// contiguous run of global shards.
@@ -33,6 +49,10 @@ pub struct PsServer {
     live: ShardedStore,
     /// Stage-2 state: the committed view workers pull.
     committed: ShardedStore,
+    /// Sequenced-request dedup table, keyed by client id. Lives on the
+    /// server (not the per-connection endpoint) so a retry arriving on a
+    /// *fresh* connection still deduplicates against the original send.
+    seq_dedup: Mutex<HashMap<u64, Arc<Mutex<SeqEntry>>>>,
 }
 
 impl PsServer {
@@ -76,7 +96,16 @@ impl PsServer {
             param_range: (param_offset, param_len),
             committed: ShardedStore::new(slice, owned_shards),
             live,
+            seq_dedup: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// This client's dedup entry, created on first use. The returned arc is
+    /// locked *across* the execution of a sequenced request, serializing a
+    /// retry against a still-running original so the apply cannot land
+    /// twice.
+    pub(crate) fn seq_entry(&self, client: u64) -> Arc<Mutex<SeqEntry>> {
+        self.seq_dedup.lock().entry(client).or_default().clone()
     }
 
     /// This server's id (its index in the router's server list).

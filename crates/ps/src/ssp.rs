@@ -225,6 +225,7 @@ impl Trainer {
             server_shard_staleness,
             sync_rounds: self.sync_rounds() - rounds_before,
             transport: self.transport_stats().delta(&wire_before),
+            finite: self.check_finite(),
             final_loss: if tail.is_empty() {
                 0.0
             } else {

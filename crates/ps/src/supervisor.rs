@@ -1,0 +1,141 @@
+//! Crash recovery for a transport-backed PS tier: detect a dead
+//! [`PsServer`](crate::PsServer), bring a fresh instance up in its place,
+//! and replay its state from the last checkpoint.
+//!
+//! The supervisor is deliberately client-driven — it runs wherever the
+//! [`NetRouter`] runs and works entirely through wire frames (`CheckFinite`
+//! probes, `Snapshot`, `Restore`, `Drain`), so recovery exercises exactly
+//! the protocol a remote control plane would use. Detection is a failed
+//! probe: a killed server's listener answers the dial but drops the
+//! connection, which the short-budget ping reports as an error.
+
+use crate::error::PsError;
+use crate::transport::NetRouter;
+
+/// Detects and heals dead servers behind a [`NetRouter`].
+///
+/// Usage pattern: call [`checkpoint`](Self::checkpoint) at a quiescent
+/// point (e.g. after a drain, between segments) to capture every server's
+/// `(params, velocity)` slice, then [`heal`](Self::heal) whenever a crash
+/// is suspected. `heal` probes every server; each one that fails the probe
+/// is revived as a fresh instance and re-seeded from its snapshot, then
+/// committed so the next pull sees the restored data.
+///
+/// Recovery is lossy in exactly the way a real PS checkpoint scheme is:
+/// pushes applied to a server after its last `checkpoint` die with it.
+/// Callers bound the loss by checkpointing at segment boundaries.
+#[derive(Debug, Default)]
+pub struct ServerSupervisor {
+    /// Last checkpointed `(params, velocity)` slice per server; `None`
+    /// until the first [`checkpoint`](Self::checkpoint).
+    snapshots: Vec<Option<(Vec<f32>, Vec<f32>)>>,
+}
+
+impl ServerSupervisor {
+    /// A supervisor for a tier of `servers` servers, with no snapshots yet.
+    pub fn new(servers: usize) -> Self {
+        ServerSupervisor {
+            snapshots: (0..servers).map(|_| None).collect(),
+        }
+    }
+
+    /// Snapshots every server's live `(params, velocity)` slice over the
+    /// wire, replacing any previous snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first wire failure; earlier servers' snapshots are
+    /// still replaced.
+    pub fn checkpoint(&mut self, router: &NetRouter) -> Result<(), PsError> {
+        if self.snapshots.len() != router.server_count() {
+            self.snapshots = (0..router.server_count()).map(|_| None).collect();
+        }
+        for s in 0..router.server_count() {
+            let params = router.snapshot_server(s, false)?;
+            let velocity = router.snapshot_server(s, true)?;
+            self.snapshots[s] = Some((params, velocity));
+        }
+        Ok(())
+    }
+
+    /// Probes every server; each one that fails the probe is revived and
+    /// re-seeded from its snapshot (fresh zero state if none was taken),
+    /// then re-probed. Returns the number of servers healed.
+    ///
+    /// # Errors
+    ///
+    /// Returns the revive/restore/re-probe failure of the first server
+    /// that could not be brought back.
+    pub fn heal(&mut self, router: &NetRouter) -> Result<usize, PsError> {
+        let mut healed = 0;
+        for s in 0..router.server_count() {
+            if router.ping_server(s).is_ok() {
+                continue;
+            }
+            router
+                .revive_server(s)
+                .map_err(|_| PsError::ConnLost { server: s })?;
+            if let Some(Some((params, velocity))) = self.snapshots.get(s) {
+                router.restore_server(s, params, velocity)?;
+            }
+            router.ping_server(s)?;
+            healed += 1;
+        }
+        Ok(healed)
+    }
+
+    /// Whether server `s` has a snapshot to restore from.
+    pub fn has_snapshot(&self, s: usize) -> bool {
+        matches!(self.snapshots.get(s), Some(Some(_)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ServerTopology, TransportKind};
+    use crate::router::RouterBuffer;
+    use crate::transport::NetPort;
+
+    #[test]
+    fn heal_is_a_no_op_on_a_healthy_tier() {
+        let net = NetPort::launch(
+            &[1.0f32; 16],
+            4,
+            ServerTopology::new(2, 1).with_transport(TransportKind::Tcp),
+        );
+        let mut sup = ServerSupervisor::new(net.router().server_count());
+        sup.checkpoint(net.router()).expect("checkpoint");
+        assert!(sup.has_snapshot(0) && sup.has_snapshot(1));
+        assert_eq!(sup.heal(net.router()).expect("heal"), 0);
+    }
+
+    #[test]
+    fn kill_then_heal_restores_the_checkpointed_state() {
+        let initial: Vec<f32> = (0..24).map(|i| i as f32 * 0.1).collect();
+        let net = NetPort::launch(
+            &initial,
+            4,
+            ServerTopology::new(2, 1).with_transport(TransportKind::Tcp),
+        );
+        let r = net.router();
+        for g in 0..r.shard_count() {
+            let (_, l) = r.shard_range(g);
+            net.apply_shard_update(g, &vec![1.0; l], 0.1, 0.9);
+        }
+        r.complete_push(0);
+        r.drain();
+        let expected = r.snapshot_params();
+        let mut sup = ServerSupervisor::new(r.server_count());
+        sup.checkpoint(r).expect("checkpoint");
+
+        r.kill_server(1).expect("kill");
+        assert!(r.ping_server(1).is_err(), "killed server must fail probes");
+        assert_eq!(sup.heal(r).expect("heal"), 1);
+
+        assert_eq!(r.snapshot_params(), expected, "state replayed on revive");
+        let mut buf = RouterBuffer::new();
+        net.pull_into(&mut buf);
+        assert_eq!(buf.params(), &expected[..], "restored state is committed");
+    }
+}

@@ -105,6 +105,7 @@ impl Transport for ChannelTransport {
             reply_rx,
             request: Vec::new(),
             reply: Vec::new(),
+            timeout: None,
         }))
     }
 }
@@ -137,6 +138,8 @@ struct ChannelConn {
     request: Vec<u8>,
     /// Last reply payload, kept alive for the caller's borrow.
     reply: Vec<u8>,
+    /// Per-call reply wait bound, if any.
+    timeout: Option<std::time::Duration>,
 }
 
 impl std::fmt::Debug for ChannelConn {
@@ -159,16 +162,29 @@ impl Conn for ChannelConn {
                 reply_tx: self.reply_tx.clone(),
             })
             .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "ps server event loop gone"))?;
-        let received = self
-            .reply_rx
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "ps server dropped reply"))?;
+        let received = match self.timeout {
+            Some(t) => self.reply_rx.recv_timeout(t).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => {
+                    io::Error::new(io::ErrorKind::TimedOut, "ps server reply timed out")
+                }
+                mpsc::RecvTimeoutError::Disconnected => {
+                    io::Error::new(io::ErrorKind::BrokenPipe, "ps server dropped reply")
+                }
+            })?,
+            None => self.reply_rx.recv().map_err(|_| {
+                io::Error::new(io::ErrorKind::BrokenPipe, "ps server dropped reply")
+            })?,
+        };
         // Recycle: last round's reply allocation becomes the next request
         // buffer, and the received buffer serves the reply borrow — two
         // buffers circulate per connection, neither side allocates in the
         // steady state.
         self.request = std::mem::replace(&mut self.reply, received);
         Ok(&self.reply)
+    }
+
+    fn set_op_timeout(&mut self, timeout: Option<std::time::Duration>) {
+        self.timeout = timeout;
     }
 }
 

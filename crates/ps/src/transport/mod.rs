@@ -29,16 +29,19 @@
 //! against measured loopback costs instead of fitted paper ratios.
 
 pub mod channel;
+pub mod faulty;
 mod net_router;
 pub mod tcp;
 pub mod wire;
 
+pub use faulty::{FaultPlan, FaultyTransport};
 pub use net_router::{NetPort, NetRouter};
 pub use wire::{Reply, Request, WireError};
 
 use std::fmt;
 use std::io;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::server::PsServer;
 use crate::store::UpdateData;
@@ -64,6 +67,34 @@ pub trait Transport: Send + Sync + fmt::Debug {
     /// Returns an I/O error if the server cannot be reached (e.g. the TCP
     /// listener is gone).
     fn connect(&self, server: usize) -> io::Result<Box<dyn Conn>>;
+
+    /// Crash-testing hook: kills server `server` without tearing down the
+    /// transport, severing its open connections. Backends that cannot kill
+    /// a server in place return [`io::ErrorKind::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the backend does not support in-place kills.
+    fn kill_server(&self, _server: usize) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport does not support killing servers",
+        ))
+    }
+
+    /// Recovery hook paired with [`Transport::kill_server`]: installs
+    /// `fresh` as the new instance behind server slot `server` and resumes
+    /// accepting connections to it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the backend does not support revival.
+    fn revive_server(&self, _server: usize, _fresh: Arc<PsServer>) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport does not support reviving servers",
+        ))
+    }
 }
 
 /// One client connection to one server: strictly request/reply.
@@ -82,6 +113,25 @@ pub trait Conn: Send + fmt::Debug {
     ///
     /// Returns an I/O error if the server hung up or the stream broke.
     fn call(&mut self) -> io::Result<&[u8]>;
+
+    /// Bounds how long a single [`Conn::call`] may block (`None` removes
+    /// the bound). Backends without timeout support ignore this; the retry
+    /// layer then relies on broken-connection errors alone.
+    fn set_op_timeout(&mut self, _timeout: Option<Duration>) {}
+
+    /// Fault-injection hook: writes a deliberately torn (truncated) frame
+    /// to the peer, as a crashing client would. Backends whose framing
+    /// cannot be torn mid-frame return [`io::ErrorKind::Unsupported`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if tearing is unsupported or the write fails.
+    fn inject_torn(&mut self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "connection does not support torn frames",
+        ))
+    }
 }
 
 /// What a serving loop should do after handling one frame.
@@ -127,6 +177,11 @@ impl ServerEndpoint {
     /// Handles one request payload, encoding the reply into `reply`
     /// (cleared first).
     ///
+    /// A [`op::SEQUENCED`] wrapper is unwrapped here: a duplicate
+    /// `(client, seq)` replays the cached reply without re-executing, so a
+    /// client that re-sends after a lost reply gets at-most-once apply
+    /// semantics for mutating requests.
+    ///
     /// # Errors
     ///
     /// Returns a [`WireError`] on a malformed request — the serving loop
@@ -137,6 +192,29 @@ impl ServerEndpoint {
         reply: &mut Vec<u8>,
     ) -> Result<Handled, WireError> {
         reply.clear();
+        let opcode = *request.first().ok_or(WireError::Truncated)?;
+        if opcode == op::SEQUENCED {
+            let (client, seq, inner) = wire::decode_sequenced_prefix(request)?;
+            let entry = self.server.seq_entry(client);
+            // Held across execution: a duplicate racing a still-running
+            // original waits here and then sees the cached reply.
+            let mut entry = entry.lock();
+            if entry.last == Some(seq) {
+                reply.extend_from_slice(&entry.reply);
+                return Ok(Handled::Reply);
+            }
+            let handled = self.handle_inner(inner, reply)?;
+            if handled == Handled::Reply {
+                entry.last = Some(seq);
+                entry.reply.clear();
+                entry.reply.extend_from_slice(reply);
+            }
+            return Ok(handled);
+        }
+        self.handle_inner(request, reply)
+    }
+
+    fn handle_inner(&mut self, request: &[u8], reply: &mut Vec<u8>) -> Result<Handled, WireError> {
         let opcode = *request.first().ok_or(WireError::Truncated)?;
         match opcode {
             op::PUSH_SHARD => {
@@ -346,6 +424,33 @@ mod tests {
         wire::encode_bodyless(&mut req, op::RESET_VELOCITY);
         ep.handle(&req, &mut reply).unwrap();
         assert!(snap(&mut ep, true).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn duplicate_sequenced_push_replays_cached_ack() {
+        let mut ep = endpoint(10, 2);
+        let mut req = Vec::new();
+        let mut reply = Vec::new();
+        wire::encode_sequenced_prefix(&mut req, 7, 0);
+        wire::encode_push_shard(&mut req, 1, 0.5, 0.0, &[1.0; 5]);
+        ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(wire::decode_push_ack(&reply), Ok(0));
+        // Same (client, seq): the apply does not land twice and the ack is
+        // byte-identical (same pre-apply clock, not the advanced one).
+        ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(wire::decode_push_ack(&reply), Ok(0));
+        // A new seq from the same client executes.
+        req.clear();
+        wire::encode_sequenced_prefix(&mut req, 7, 1);
+        wire::encode_push_shard(&mut req, 1, 0.5, 0.0, &[1.0; 5]);
+        ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(wire::decode_push_ack(&reply), Ok(1));
+        // A different client is not confused by client 7's window.
+        req.clear();
+        wire::encode_sequenced_prefix(&mut req, 8, 1);
+        wire::encode_push_shard(&mut req, 1, 0.5, 0.0, &[1.0; 5]);
+        ep.handle(&req, &mut reply).unwrap();
+        assert_eq!(wire::decode_push_ack(&reply), Ok(2));
     }
 
     #[test]

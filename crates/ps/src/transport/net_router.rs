@@ -16,6 +16,7 @@
 //! connection per server (connection-per-worker on both backends), so
 //! worker threads never share a socket or contend on a connection lock.
 
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,14 +24,38 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use super::channel::ChannelTransport;
+use super::faulty::FaultyTransport;
 use super::tcp::TcpTransport;
-use super::wire::{self, op};
+use super::wire::{self, op, WireError};
 use super::{Conn, Transport};
-use crate::config::{ServerTopology, TransportKind};
+use crate::config::{RetryPolicy, ServerTopology, TransportKind};
+use crate::error::PsError;
 use crate::profiler::{TransportStats, WireOp};
 use crate::router::RouterBuffer;
 use crate::server::PsServer;
 use crate::store::ShardLayout;
+
+/// Process-wide client-id allocator for sequenced requests: every
+/// connection slot gets a unique id, so the servers' dedup windows never
+/// collide across workers, trainers, or tests in one process.
+static CLIENT_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Process-local deterministic jitter stream for retry backoff
+/// (decorrelates workers that fail simultaneously without pulling in an
+/// entropy source).
+static JITTER_STATE: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+fn jitter_ms(cap: u64) -> u64 {
+    let mut x = JITTER_STATE.fetch_add(0xa076_1d64_78bd_642f, Ordering::Relaxed);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xe993_7d59_3d0d_85f2);
+    x ^= x >> 29;
+    if cap == 0 {
+        0
+    } else {
+        x % cap
+    }
+}
 
 /// Client-side description of one server's slice of the tier.
 #[derive(Debug, Clone, Copy)]
@@ -80,42 +105,78 @@ struct WireCounters {
     push: OpCounters,
     pull: OpCounters,
     sync: OpCounters,
+    /// Failed attempts that were re-sent (zero on a clean network).
+    retries: AtomicU64,
+    /// Connections re-established after breaking.
+    reconnects: AtomicU64,
+}
+
+/// One server's connection slot: the (lazily opened) connection plus the
+/// idempotent re-send state — this slot's process-unique client id and its
+/// next request sequence number.
+#[derive(Debug)]
+struct ConnSlot {
+    conn: Option<Box<dyn Conn>>,
+    /// Client id carried in sequenced request headers.
+    client: u64,
+    /// Sequence of the next mutating request. Advanced only on success, so
+    /// every retry of one logical request re-sends the same sequence.
+    next_seq: u32,
+    /// Whether this slot ever held a connection — distinguishes the first
+    /// lazy connect from a reconnect in the stats.
+    connected_before: bool,
+}
+
+impl ConnSlot {
+    fn fresh() -> Self {
+        ConnSlot {
+            conn: None,
+            client: CLIENT_IDS.fetch_add(1, Ordering::Relaxed),
+            next_seq: 0,
+            connected_before: false,
+        }
+    }
 }
 
 /// A lazily-connected set of connections, one slot per server.
 #[derive(Debug, Default)]
 pub(crate) struct ConnSet {
-    per_server: Vec<Option<Box<dyn Conn>>>,
+    per_server: Vec<ConnSlot>,
 }
 
 impl ConnSet {
     fn with_capacity(servers: usize) -> Self {
         ConnSet {
-            per_server: (0..servers).map(|_| None).collect(),
+            per_server: (0..servers).map(|_| ConnSlot::fresh()).collect(),
         }
     }
 
-    fn get(&mut self, server: usize, transport: &dyn Transport) -> &mut dyn Conn {
+    fn slot(&mut self, server: usize, servers: usize) -> &mut ConnSlot {
         if self.per_server.is_empty() {
-            self.per_server = (0..transport.server_count()).map(|_| None).collect();
+            self.per_server = (0..servers).map(|_| ConnSlot::fresh()).collect();
         }
-        let slot = &mut self.per_server[server];
-        if slot.is_none() {
-            *slot = Some(
-                transport
-                    .connect(server)
-                    .unwrap_or_else(|e| panic!("cannot connect to ps server {server}: {e}")),
-            );
+        &mut self.per_server[server]
+    }
+
+    /// Drops the cached connection to `server` (after a kill/revive the old
+    /// socket points at a dead instance).
+    fn invalidate(&mut self, server: usize) {
+        if let Some(slot) = self.per_server.get_mut(server) {
+            slot.conn = None;
         }
-        slot.as_mut().expect("slot populated above").as_mut()
     }
 }
 
 /// A multi-server parameter-server tier reached through a wire transport.
 ///
-/// Transport failures surface as panics with context: on a loopback
-/// transport inside one process, a broken connection means the tier was
-/// torn down mid-operation (or a bug), not a recoverable network event.
+/// Every wire operation runs under the topology's [`RetryPolicy`]: a per-op
+/// timeout, then bounded re-send with exponential backoff and jitter over a
+/// freshly opened connection. Mutating requests carry a `(client, seq)`
+/// header so a re-send of an already-applied request is deduplicated
+/// server-side (the cached ack is replayed) — a dropped *reply* cannot
+/// double-apply a gradient. Only when the budget is exhausted does the
+/// failure surface, as a [`PsError`] on the fallible APIs or a panic
+/// carrying its message on the infallible worker-path ones.
 #[derive(Debug)]
 pub struct NetRouter {
     kind: TransportKind,
@@ -132,6 +193,8 @@ pub struct NetRouter {
     rounds: AtomicU64,
     /// Scheduling watermark, exactly as in [`crate::ShardRouter`].
     synced_version: AtomicU64,
+    /// Timeout/retry/backoff budget for every wire operation.
+    retry: RetryPolicy,
     stats: WireCounters,
     /// Serializes stage-2 rounds and the control plane; holds their
     /// dedicated connections.
@@ -178,7 +241,7 @@ impl NetRouter {
             })
             .collect();
         let server_count = instances.len();
-        let transport: Box<dyn Transport> = match topology.transport {
+        let base: Box<dyn Transport> = match topology.transport {
             TransportKind::Channel => Box::new(ChannelTransport::launch(instances)),
             TransportKind::Tcp => {
                 Box::new(TcpTransport::launch(instances).expect("bind loopback PS listeners"))
@@ -186,6 +249,10 @@ impl NetRouter {
             TransportKind::InProcess => {
                 panic!("NetRouter requires a wire transport; use ShardRouter in-process")
             }
+        };
+        let transport: Box<dyn Transport> = match topology.faults {
+            Some(plan) if plan.any_fault() => Box::new(FaultyTransport::new(base, plan)),
+            _ => base,
         };
         NetRouter {
             kind: topology.transport,
@@ -196,6 +263,7 @@ impl NetRouter {
             sync_every: topology.sync_every.max(1),
             rounds: AtomicU64::new(0),
             synced_version: AtomicU64::new(0),
+            retry: topology.retry,
             stats: WireCounters::default(),
             sync: Mutex::new(ConnSet::with_capacity(server_count)),
             transport,
@@ -255,6 +323,8 @@ impl NetRouter {
             push: self.stats.push.snapshot(),
             pull: self.stats.pull.snapshot(),
             sync: self.stats.sync.snapshot(),
+            retries: self.stats.retries.load(Ordering::Relaxed),
+            reconnects: self.stats.reconnects.load(Ordering::Relaxed),
         }
     }
 
@@ -293,33 +363,141 @@ impl NetRouter {
         self.commit_round(&mut conns, op::DRAIN);
     }
 
+    /// One wire round trip under the retry policy.
+    ///
+    /// Per attempt: ensure a connection (opened lazily with the policy's
+    /// op timeout installed; a re-open after a break counts as a
+    /// reconnect), encode the request — prefixed with this slot's
+    /// `(client, seq)` header when `sequenced` — call, decode. Any failure
+    /// drops the connection, sleeps the exponential backoff (plus jitter)
+    /// and re-sends **the same sequence number**, so a server that already
+    /// applied the request replays its cached ack instead of re-applying.
+    /// Wire stats are recorded once, from the successful attempt only, so
+    /// a clean network sees byte/latency numbers identical to a
+    /// retry-free build.
+    #[allow(clippy::too_many_arguments)]
+    fn call_resilient<T>(
+        &self,
+        conns: &mut ConnSet,
+        server: usize,
+        policy: RetryPolicy,
+        counters: Option<&OpCounters>,
+        sequenced: bool,
+        encode: &dyn Fn(&mut Vec<u8>),
+        decode: &mut dyn FnMut(&[u8]) -> Result<T, WireError>,
+    ) -> Result<T, PsError> {
+        let timeout = Duration::from_millis(policy.op_timeout_ms);
+        let slot = conns.slot(server, self.servers.len());
+        let seq = slot.next_seq;
+        let attempts = policy.max_retries.saturating_add(1);
+        let mut timed_out = false;
+        let mut unreachable = false;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = policy
+                    .backoff_base_ms
+                    .checked_shl(attempt - 1)
+                    .unwrap_or(u64::MAX)
+                    .min(policy.backoff_max_ms);
+                std::thread::sleep(Duration::from_millis(backoff + jitter_ms(backoff.max(1))));
+            }
+            if slot.conn.is_none() {
+                match self.transport.connect(server) {
+                    Ok(mut c) => {
+                        c.set_op_timeout(Some(timeout));
+                        if slot.connected_before {
+                            self.stats.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                        slot.connected_before = true;
+                        slot.conn = Some(c);
+                    }
+                    Err(_) => {
+                        unreachable = true;
+                        timed_out = false;
+                        continue;
+                    }
+                }
+            }
+            let client = slot.client;
+            let conn = slot.conn.as_mut().expect("connected above").as_mut();
+            // Timed window starts after connection setup: handshakes and
+            // handler-thread spawn are tier bring-up, not wire time, and
+            // would skew the calibration samples.
+            let t0 = Instant::now();
+            let buf = conn.request_buf();
+            let base = buf.len();
+            if sequenced {
+                wire::encode_sequenced_prefix(buf, client, seq);
+            }
+            encode(buf);
+            let out = buf.len() - base;
+            let outcome = match conn.call() {
+                Ok(reply) => Ok((decode(reply), reply.len())),
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok((Ok(v), reply_len)) => {
+                    if sequenced {
+                        slot.next_seq = seq.wrapping_add(1);
+                    }
+                    if let Some(c) = counters {
+                        c.record(t0.elapsed(), out, reply_len);
+                    }
+                    return Ok(v);
+                }
+                Ok((Err(_), _)) => {
+                    // Corrupt reply: the stream may be desynchronized, so
+                    // re-send over a fresh connection.
+                    slot.conn = None;
+                    timed_out = false;
+                    unreachable = false;
+                }
+                Err(e) => {
+                    slot.conn = None;
+                    timed_out = matches!(
+                        e.kind(),
+                        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                    );
+                    unreachable = false;
+                }
+            }
+        }
+        Err(if timed_out {
+            PsError::Timeout { server }
+        } else if unreachable {
+            PsError::ConnLost { server }
+        } else {
+            PsError::RetriesExhausted { server, attempts }
+        })
+    }
+
     /// One stage-2 round, caller holding the round lock: a commit-all on
     /// every server, then the watermark advance.
     fn commit_round(&self, conns: &mut ConnSet, opcode: u8) {
         let observed = self.version();
         for s in 0..self.servers.len() {
-            // Connect before starting the clock: lazy connection setup
-            // (TCP handshake, handler-thread spawn) is tier bring-up, not
-            // wire time, and would skew the calibration samples.
-            let conn = conns.get(s, self.transport.as_ref());
-            let t0 = Instant::now();
-            let buf = conn.request_buf();
-            let base = buf.len();
-            wire::encode_bodyless(buf, opcode);
-            let out = buf.len() - base;
-            let reply = conn
-                .call()
-                .unwrap_or_else(|e| panic!("sync round failed on server {s}: {e}"));
-            let reply_len = reply.len();
-            wire::expect_bodyless(reply, op::SYNCED)
-                .unwrap_or_else(|e| panic!("bad sync reply from server {s}: {e}"));
-            self.stats.sync.record(t0.elapsed(), out, reply_len);
+            self.sync_one(conns, s, opcode)
+                .unwrap_or_else(|e| panic!("sync round failed: {e}"));
         }
         self.rounds.fetch_add(1, Ordering::Release);
         // Release: publishes the committed data (ordered by the servers'
         // shard locks and the request/reply round trips) with the
         // watermark, as the in-process router does.
         self.synced_version.store(observed, Ordering::Release);
+    }
+
+    /// One commit-all frame (`SyncRound` or `Drain`) to one server.
+    fn sync_one(&self, conns: &mut ConnSet, s: usize, opcode: u8) -> Result<(), PsError> {
+        self.call_resilient(
+            conns,
+            s,
+            self.retry,
+            Some(&self.stats.sync),
+            true,
+            &|buf| wire::encode_bodyless(buf, opcode),
+            &mut |reply| wire::expect_bodyless(reply, op::SYNCED),
+        )
     }
 
     /// Stage-1 apply through `conns`: routes the gradient for global shard
@@ -335,21 +513,16 @@ impl NetRouter {
     ) -> u64 {
         let s = self.owner[g];
         let local = (g - self.servers[s].shard_offset) as u32;
-        // Connect outside the timed window (see `commit_round`).
-        let conn = conns.get(s, self.transport.as_ref());
-        let t0 = Instant::now();
-        let buf = conn.request_buf();
-        let base = buf.len();
-        wire::encode_push_shard(buf, local, lr, momentum, grad);
-        let out = buf.len() - base;
-        let reply = conn
-            .call()
-            .unwrap_or_else(|e| panic!("push to server {s} failed: {e}"));
-        let reply_len = reply.len();
-        let prev = wire::decode_push_ack(reply)
-            .unwrap_or_else(|e| panic!("bad push ack from server {s}: {e}"));
-        self.stats.push.record(t0.elapsed(), out, reply_len);
-        prev
+        self.call_resilient(
+            conns,
+            s,
+            self.retry,
+            Some(&self.stats.push),
+            true,
+            &|buf| wire::encode_push_shard(buf, local, lr, momentum, grad),
+            &mut wire::decode_push_ack,
+        )
+        .unwrap_or_else(|e| panic!("push failed: {e}"))
     }
 
     /// Stage-1 sparse apply through `conns`: ships only the touched
@@ -368,21 +541,16 @@ impl NetRouter {
     ) -> u64 {
         let s = self.owner[g];
         let local = (g - self.servers[s].shard_offset) as u32;
-        // Connect outside the timed window (see `commit_round`).
-        let conn = conns.get(s, self.transport.as_ref());
-        let t0 = Instant::now();
-        let buf = conn.request_buf();
-        let base = buf.len();
-        wire::encode_push_shard_sparse(buf, local, lr, momentum, indices, rows);
-        let out = buf.len() - base;
-        let reply = conn
-            .call()
-            .unwrap_or_else(|e| panic!("sparse push to server {s} failed: {e}"));
-        let reply_len = reply.len();
-        let prev = wire::decode_push_ack(reply)
-            .unwrap_or_else(|e| panic!("bad push ack from server {s}: {e}"));
-        self.stats.push.record(t0.elapsed(), out, reply_len);
-        prev
+        self.call_resilient(
+            conns,
+            s,
+            self.retry,
+            Some(&self.stats.push),
+            true,
+            &|buf| wire::encode_push_shard_sparse(buf, local, lr, momentum, indices, rows),
+            &mut wire::decode_push_ack,
+        )
+        .unwrap_or_else(|e| panic!("sparse push failed: {e}"))
     }
 
     /// Pulls the committed view of every server through `conns` into `buf`,
@@ -398,24 +566,18 @@ impl NetRouter {
         for (s, meta) in self.servers.iter().enumerate() {
             let (po, pl) = meta.param_range;
             let so = meta.shard_offset;
-            // Connect outside the timed window (see `commit_round`).
-            let conn = conns.get(s, self.transport.as_ref());
-            let t0 = Instant::now();
-            let req = conn.request_buf();
-            let base = req.len();
-            wire::encode_bodyless(req, op::PULL_COMMITTED);
-            let out = req.len() - base;
-            let reply = conn
-                .call()
-                .unwrap_or_else(|e| panic!("pull from server {s} failed: {e}"));
-            let reply_len = reply.len();
-            wire::decode_pulled_into(
-                reply,
-                &mut buf.params[po..po + pl],
-                &mut buf.shard_versions[so..so + meta.shard_count],
+            let params = &mut buf.params[po..po + pl];
+            let clocks = &mut buf.shard_versions[so..so + meta.shard_count];
+            self.call_resilient(
+                conns,
+                s,
+                self.retry,
+                Some(&self.stats.pull),
+                false,
+                &|req| wire::encode_bodyless(req, op::PULL_COMMITTED),
+                &mut |reply| wire::decode_pulled_into(reply, params, clocks),
             )
-            .unwrap_or_else(|e| panic!("bad pull reply from server {s}: {e}"));
-            self.stats.pull.record(t0.elapsed(), out, reply_len);
+            .unwrap_or_else(|e| panic!("pull failed: {e}"));
         }
         let effective = buf
             .shard_versions
@@ -444,17 +606,44 @@ impl NetRouter {
         let mut conns = self.sync.lock();
         for (s, meta) in self.servers.iter().enumerate() {
             let (po, pl) = meta.param_range;
-            let conn = conns.get(s, self.transport.as_ref());
-            let req = conn.request_buf();
-            req.push(op::SNAPSHOT);
-            req.push(u8::from(velocity));
-            let reply = conn
-                .call()
-                .unwrap_or_else(|e| panic!("snapshot from server {s} failed: {e}"));
-            wire::decode_snapshot_into(reply, &mut out[po..po + pl])
-                .unwrap_or_else(|e| panic!("bad snapshot reply from server {s}: {e}"));
+            let slice = &mut out[po..po + pl];
+            self.snapshot_one(&mut conns, s, velocity, slice)
+                .unwrap_or_else(|e| panic!("snapshot failed: {e}"));
         }
         out
+    }
+
+    /// `Snapshot` frame to one server, decoded into its owned slice.
+    fn snapshot_one(
+        &self,
+        conns: &mut ConnSet,
+        s: usize,
+        velocity: bool,
+        slice: &mut [f32],
+    ) -> Result<(), PsError> {
+        self.call_resilient(
+            conns,
+            s,
+            self.retry,
+            None,
+            false,
+            &|req| {
+                req.push(op::SNAPSHOT);
+                req.push(u8::from(velocity));
+            },
+            &mut |reply| wire::decode_snapshot_into(reply, slice),
+        )
+    }
+
+    /// Live snapshot of one server's owned parameter (or velocity) slice —
+    /// the building block [`crate::supervisor::ServerSupervisor`] uses to
+    /// checkpoint servers individually.
+    pub fn snapshot_server(&self, s: usize, velocity: bool) -> Result<Vec<f32>, PsError> {
+        let (_, pl) = self.servers[s].param_range;
+        let mut out = vec![0.0f32; pl];
+        let mut conns = self.sync.lock();
+        self.snapshot_one(&mut conns, s, velocity, &mut out)?;
+        Ok(out)
     }
 
     /// Overwrites live parameters and velocity from a checkpoint, then
@@ -473,32 +662,68 @@ impl NetRouter {
         let mut conns = self.sync.lock();
         for (s, meta) in self.servers.iter().enumerate() {
             let (po, pl) = meta.param_range;
-            let conn = conns.get(s, self.transport.as_ref());
-            wire::encode_restore(
-                conn.request_buf(),
-                &params[po..po + pl],
-                &velocity[po..po + pl],
-            );
-            let reply = conn
-                .call()
-                .unwrap_or_else(|e| panic!("restore on server {s} failed: {e}"));
-            wire::expect_bodyless(reply, op::OK)
-                .unwrap_or_else(|e| panic!("bad restore reply from server {s}: {e}"));
+            self.restore_one(&mut conns, s, &params[po..po + pl], &velocity[po..po + pl])
+                .unwrap_or_else(|e| panic!("restore failed: {e}"));
         }
         self.commit_round(&mut conns, op::DRAIN);
+    }
+
+    /// `Restore` frame to one server: overwrites its live slice.
+    fn restore_one(
+        &self,
+        conns: &mut ConnSet,
+        s: usize,
+        params: &[f32],
+        velocity: &[f32],
+    ) -> Result<(), PsError> {
+        self.call_resilient(
+            conns,
+            s,
+            self.retry,
+            None,
+            true,
+            &|buf| wire::encode_restore(buf, params, velocity),
+            &mut |reply| wire::expect_bodyless(reply, op::OK),
+        )
+    }
+
+    /// Re-seeds server `s` from a checkpoint of its owned slice (as
+    /// captured by [`Self::snapshot_server`]) and commits it, so pulls see
+    /// the restored data — the crash-recovery path after
+    /// [`Self::revive_server`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slice's length differs from the server's owned
+    /// parameter count.
+    pub fn restore_server(
+        &self,
+        s: usize,
+        params: &[f32],
+        velocity: &[f32],
+    ) -> Result<(), PsError> {
+        let (_, pl) = self.servers[s].param_range;
+        assert_eq!(params.len(), pl, "params slice length mismatch");
+        assert_eq!(velocity.len(), pl, "velocity slice length mismatch");
+        let mut conns = self.sync.lock();
+        self.restore_one(&mut conns, s, params, velocity)?;
+        self.sync_one(&mut conns, s, op::DRAIN)
     }
 
     /// Resets the live velocity to zero on every server.
     pub fn reset_velocity(&self) {
         let mut conns = self.sync.lock();
         for s in 0..self.servers.len() {
-            let conn = conns.get(s, self.transport.as_ref());
-            wire::encode_bodyless(conn.request_buf(), op::RESET_VELOCITY);
-            let reply = conn
-                .call()
-                .unwrap_or_else(|e| panic!("velocity reset on server {s} failed: {e}"));
-            wire::expect_bodyless(reply, op::OK)
-                .unwrap_or_else(|e| panic!("bad reset reply from server {s}: {e}"));
+            self.call_resilient(
+                &mut conns,
+                s,
+                self.retry,
+                None,
+                true,
+                &|buf| wire::encode_bodyless(buf, op::RESET_VELOCITY),
+                &mut |reply| wire::expect_bodyless(reply, op::OK),
+            )
+            .unwrap_or_else(|e| panic!("velocity reset failed: {e}"));
         }
     }
 
@@ -506,14 +731,70 @@ impl NetRouter {
     pub fn is_finite(&self) -> bool {
         let mut conns = self.sync.lock();
         (0..self.servers.len()).all(|s| {
-            let conn = conns.get(s, self.transport.as_ref());
-            wire::encode_bodyless(conn.request_buf(), op::CHECK_FINITE);
-            let reply = conn
-                .call()
-                .unwrap_or_else(|e| panic!("finiteness check on server {s} failed: {e}"));
-            wire::decode_finite(reply)
-                .unwrap_or_else(|e| panic!("bad finiteness reply from server {s}: {e}"))
+            self.call_resilient(
+                &mut conns,
+                s,
+                self.retry,
+                None,
+                false,
+                &|buf| wire::encode_bodyless(buf, op::CHECK_FINITE),
+                &mut wire::decode_finite,
+            )
+            .unwrap_or_else(|e| panic!("finiteness check failed: {e}"))
         })
+    }
+
+    /// Probes server `s` with a short-timeout round trip; `Ok` means the
+    /// server answered. The liveness check behind
+    /// [`crate::supervisor::ServerSupervisor::heal`].
+    ///
+    /// The probe keeps a small retry budget so a transiently lossy link
+    /// (fault injection, a congested box) cannot brand a live server dead;
+    /// a genuinely dead server fails every attempt fast — its connections
+    /// drop at dial or first read — so detection stays prompt.
+    pub fn ping_server(&self, s: usize) -> Result<(), PsError> {
+        let probe = RetryPolicy {
+            max_retries: 2,
+            op_timeout_ms: self.retry.op_timeout_ms.min(1000),
+            ..self.retry
+        };
+        let mut conns = self.sync.lock();
+        // A cached connection to a killed server fails the probe (as it
+        // should); drop it so the probe dials fresh and the verdict
+        // reflects the server, not the stale socket.
+        conns.invalidate(s);
+        self.call_resilient(
+            &mut conns,
+            s,
+            probe,
+            None,
+            false,
+            &|buf| wire::encode_bodyless(buf, op::CHECK_FINITE),
+            &mut wire::decode_finite,
+        )
+        .map(|_| ())
+    }
+
+    /// Kills server `s`'s serving loop through the transport's
+    /// fault-injection hook (TCP backend; chaos testing). In-flight and
+    /// cached connections are severed; this router's control-plane slot is
+    /// invalidated so later ops dial fresh.
+    pub fn kill_server(&self, s: usize) -> io::Result<()> {
+        self.transport.kill_server(s)?;
+        self.sync.lock().invalidate(s);
+        Ok(())
+    }
+
+    /// Brings a fresh, zero-initialised instance of server `s` back up in
+    /// place of a killed one. The instance serves immediately but holds no
+    /// trained state — re-seed it with [`Self::restore_server`].
+    pub fn revive_server(&self, s: usize) -> io::Result<()> {
+        let meta = self.servers[s];
+        let zeros = vec![0.0f32; self.layout.total()];
+        let fresh = PsServer::new(s, &self.layout, meta.shard_offset, meta.shard_count, &zeros);
+        self.transport.revive_server(s, Arc::new(fresh))?;
+        self.sync.lock().invalidate(s);
+        Ok(())
     }
 }
 
@@ -719,9 +1000,85 @@ mod tests {
         // Pull replies carry the parameters; push replies only an ack.
         assert!(stats.pull.mean_round_trip_bytes() > stats.push.mean_round_trip_bytes() / 2.0);
         assert_eq!(stats.latency_samples().len(), 3);
+        // The retry machinery must be free when nothing fails.
+        assert_eq!(stats.retries, 0, "clean network must not retry");
+        assert_eq!(stats.reconnects, 0, "clean network must not reconnect");
         // Deltas scope to a window.
         let later = r.stats();
         assert_eq!(later.delta(&stats).total_ops(), 0);
+    }
+
+    #[test]
+    fn retries_recover_and_dedup_keeps_state_exact() {
+        let initial: Vec<f32> = (0..32).map(|i| i as f32 * 0.05).collect();
+        let grad: Vec<f32> = (0..32).map(|i| (i as f32).cos()).collect();
+        let mut plan = crate::transport::FaultPlan::seeded(7);
+        plan.drop_reply_per_mille = 150;
+        let clean = ShardRouter::new(&initial, 4, ServerTopology::new(2, 2));
+        let net = NetPort::launch(
+            &initial,
+            4,
+            ServerTopology::new(2, 2)
+                .with_transport(TransportKind::Channel)
+                .with_faults(plan),
+        );
+        for step in 0..6 {
+            for g in 0..4 {
+                let (o, l) = clean.shard_range(g);
+                let a = clean.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                let b = net.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                // A dropped-reply retry must replay the cached ack, so even
+                // the pre-apply clocks match the fault-free run.
+                assert_eq!(a, b, "shard clock skew at step {step} shard {g}");
+            }
+            clean.complete_push(step);
+            net.router().complete_push(step);
+            clean.reconcile_if_due();
+            net.router().reconcile_if_due();
+        }
+        clean.drain();
+        net.router().drain();
+        assert_eq!(
+            net.router().snapshot_params(),
+            clean.snapshot_params(),
+            "dropped replies must not double-apply gradients"
+        );
+        let stats = net.router().stats();
+        assert!(stats.retries > 0, "fault plan injected no faults");
+    }
+
+    #[test]
+    fn per_server_snapshot_and_restore_round_trip() {
+        let initial: Vec<f32> = (0..24).map(|i| i as f32 * 0.2).collect();
+        let net = NetPort::launch(
+            &initial,
+            4,
+            ServerTopology::new(2, 1).with_transport(TransportKind::Channel),
+        );
+        let r = net.router();
+        for g in 0..r.shard_count() {
+            let (_, l) = r.shard_range(g);
+            net.apply_shard_update(g, &vec![1.0; l], 0.1, 0.9);
+        }
+        r.ping_server(0).expect("server 0 alive");
+        r.ping_server(1).expect("server 1 alive");
+        let p1 = r.snapshot_server(1, false).expect("snapshot params");
+        let v1 = r.snapshot_server(1, true).expect("snapshot velocity");
+        for g in 0..r.shard_count() {
+            let (_, l) = r.shard_range(g);
+            net.apply_shard_update(g, &vec![9.0; l], 0.1, 0.9);
+        }
+        r.restore_server(1, &p1, &v1).expect("restore server 1");
+        let full = r.snapshot_params();
+        let (po, pl) = (r.param_count() / 2, p1.len());
+        assert_eq!(&full[po..po + pl], &p1[..], "server 1 restored");
+        let mut buf = RouterBuffer::new();
+        net.pull_into(&mut buf);
+        assert_eq!(
+            &buf.params()[po..po + pl],
+            &p1[..],
+            "per-server restore must commit"
+        );
     }
 
     #[test]

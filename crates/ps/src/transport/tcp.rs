@@ -13,19 +13,38 @@
 //! contention profile as the in-process tier, plus the socket hop.
 
 use std::io::{self, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
 use super::{wire, Conn, Handled, ServerEndpoint, Transport};
 use crate::server::PsServer;
 
+/// Per-server serving state, shared between the transport handle and the
+/// server's accept loop. The indirection is what makes crash/restart
+/// possible without tearing the transport down: the listener stays bound
+/// while the server instance behind it is swapped.
+struct ServerSlot {
+    /// The live server instance; replaced wholesale by a revive.
+    server: Mutex<Arc<PsServer>>,
+    /// Set by a kill: the accept loop drops incoming connections (clients
+    /// observe EOF) until a revive clears it.
+    dead: AtomicBool,
+    /// Handler-side clones of every live accepted stream, keyed by a
+    /// connection id. A kill shuts them down to unblock handler threads
+    /// parked in a blocking read on an idle connection.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    next_conn: AtomicU64,
+}
+
 /// The TCP transport: one loopback listener per server.
 pub struct TcpTransport {
     addrs: Vec<SocketAddr>,
+    slots: Vec<Arc<ServerSlot>>,
     stop: Arc<AtomicBool>,
     /// Accept-loop threads (one per server) followed by any handler threads
     /// they spawned, all joined on drop.
@@ -51,6 +70,7 @@ impl TcpTransport {
         let stop = Arc::new(AtomicBool::new(false));
         let handlers = Arc::new(Mutex::new(Vec::new()));
         let mut addrs = Vec::with_capacity(servers.len());
+        let mut slots = Vec::with_capacity(servers.len());
         let mut accept_threads = Vec::with_capacity(servers.len());
         for server in servers {
             let listener = TcpListener::bind("127.0.0.1:0")?;
@@ -58,15 +78,23 @@ impl TcpTransport {
             let stop = Arc::clone(&stop);
             let handlers = Arc::clone(&handlers);
             let id = server.id();
+            let slot = Arc::new(ServerSlot {
+                server: Mutex::new(server),
+                dead: AtomicBool::new(false),
+                conns: Mutex::new(Vec::new()),
+                next_conn: AtomicU64::new(0),
+            });
+            slots.push(Arc::clone(&slot));
             accept_threads.push(
                 std::thread::Builder::new()
                     .name(format!("ps-listen-{id}"))
-                    .spawn(move || accept_loop(&listener, &server, &stop, &handlers))
+                    .spawn(move || accept_loop(&listener, &slot, &stop, &handlers))
                     .expect("spawn ps tcp accept loop"),
             );
         }
         Ok(TcpTransport {
             addrs,
+            slots,
             stop,
             accept_threads: Mutex::new(accept_threads),
             handlers,
@@ -76,7 +104,7 @@ impl TcpTransport {
 
 fn accept_loop(
     listener: &TcpListener,
-    server: &Arc<PsServer>,
+    slot: &Arc<ServerSlot>,
     stop: &Arc<AtomicBool>,
     handlers: &Mutex<Vec<JoinHandle<()>>>,
 ) {
@@ -89,10 +117,19 @@ fn accept_loop(
             // The wake-up connection from shutdown (or a late client).
             return;
         }
-        let mut endpoint = ServerEndpoint::new(Arc::clone(server));
+        if slot.dead.load(Ordering::Acquire) {
+            // A killed server refuses service (the client observes EOF on
+            // its next read) but the listener stays bound, so a revive
+            // resumes on the same address without re-launching.
+            continue;
+        }
+        let server = Arc::clone(&slot.server.lock());
+        let id = server.id();
+        let mut endpoint = ServerEndpoint::new(server);
+        let slot = Arc::clone(slot);
         let handle = std::thread::Builder::new()
-            .name(format!("ps-conn-{}", server.id()))
-            .spawn(move || handle_conn(stream, &mut endpoint))
+            .name(format!("ps-conn-{id}"))
+            .spawn(move || handle_conn(stream, &mut endpoint, &slot))
             .expect("spawn ps tcp connection handler");
         let mut guard = handlers.lock();
         // Reap handlers whose clients already hung up, so a long-lived
@@ -110,9 +147,27 @@ fn accept_loop(
     }
 }
 
-/// Serves one client connection until EOF, a `Shutdown` frame, or an error.
-fn handle_conn(mut stream: TcpStream, endpoint: &mut ServerEndpoint) {
+/// Serves one client connection until EOF, a `Shutdown` frame, an error, or
+/// a server kill. An abrupt client disconnect — EOF at a frame boundary or
+/// a broken stream mid-frame — exits the handler cleanly rather than
+/// leaving it parked in a blocking read.
+fn handle_conn(stream: TcpStream, endpoint: &mut ServerEndpoint, slot: &ServerSlot) {
     let _ = stream.set_nodelay(true);
+    // Register a clone so a kill can force this handler's blocking read to
+    // return even while the client keeps its end open but idle.
+    let id = slot.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(clone) = stream.try_clone() {
+        slot.conns.lock().push((id, clone));
+    }
+    // Re-check after registering: a kill that raced the accept has already
+    // drained the registry and would never reach this clone.
+    if !slot.dead.load(Ordering::Acquire) {
+        serve_conn(stream, endpoint);
+    }
+    slot.conns.lock().retain(|&(i, _)| i != id);
+}
+
+fn serve_conn(mut stream: TcpStream, endpoint: &mut ServerEndpoint) {
     let mut request = Vec::new();
     // Reply frame laid out as [len][payload]; the prefix is patched after
     // encoding so the whole frame goes out in one write.
@@ -155,6 +210,24 @@ impl Transport for TcpTransport {
             send: Vec::new(),
             reply: Vec::new(),
         }))
+    }
+
+    fn kill_server(&self, server: usize) -> io::Result<()> {
+        let slot = &self.slots[server];
+        slot.dead.store(true, Ordering::Release);
+        // Sever every live connection: handlers parked in a blocking read
+        // on an idle-but-open client conn wake with an error and exit.
+        for (_, stream) in slot.conns.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        Ok(())
+    }
+
+    fn revive_server(&self, server: usize, fresh: Arc<PsServer>) -> io::Result<()> {
+        let slot = &self.slots[server];
+        *slot.server.lock() = fresh;
+        slot.dead.store(false, Ordering::Release);
+        Ok(())
     }
 }
 
@@ -215,6 +288,17 @@ impl Conn for TcpConn {
         }
         Ok(&self.reply)
     }
+
+    fn set_op_timeout(&mut self, timeout: Option<Duration>) {
+        let _ = self.stream.set_read_timeout(timeout);
+        let _ = self.stream.set_write_timeout(timeout);
+    }
+
+    fn inject_torn(&mut self) -> io::Result<()> {
+        // A frame whose length prefix promises 8 payload bytes delivers
+        // only 3 — what a client crashing mid-write leaves on the stream.
+        self.stream.write_all(&[8, 0, 0, 0, 1, 2, 3])
+    }
 }
 
 #[cfg(test)]
@@ -274,6 +358,52 @@ mod tests {
         let mut clocks = [0u64; 2];
         wire::decode_pulled_into(reply, &mut params, &mut clocks).unwrap();
         assert_eq!(clocks[1], 120);
+    }
+
+    #[test]
+    fn kill_severs_idle_conns_and_revive_restores_service() {
+        let t = launch(12, 4, 2);
+        // An idle, open connection whose handler is parked in a read.
+        let mut idle = t.connect(1).unwrap();
+        wire::encode_push_shard(idle.request_buf(), 0, 0.5, 0.0, &[1.0; 3]);
+        idle.call().unwrap();
+        t.kill_server(1).unwrap();
+        // The severed conn fails its next call instead of hanging.
+        wire::encode_bodyless(idle.request_buf(), op::CHECK_FINITE);
+        assert!(idle.call().is_err());
+        // While dead, fresh conns are accepted then dropped: EOF on call.
+        let mut probe = t.connect(1).unwrap();
+        wire::encode_bodyless(probe.request_buf(), op::CHECK_FINITE);
+        assert!(probe.call().is_err());
+        // Revive with a fresh instance; service resumes on the same
+        // address, with the restarted server's (blank) state.
+        let initial: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        let layout = ShardLayout::new(12, 4);
+        let fresh = Arc::new(PsServer::new(1, &layout, 2, 2, &initial));
+        t.revive_server(1, fresh).unwrap();
+        let mut conn = t.connect(1).unwrap();
+        wire::encode_bodyless(conn.request_buf(), op::CHECK_FINITE);
+        conn.call().unwrap();
+        // Server 0 was untouched throughout.
+        let mut other = t.connect(0).unwrap();
+        wire::encode_bodyless(other.request_buf(), op::CHECK_FINITE);
+        other.call().unwrap();
+    }
+
+    #[test]
+    fn abrupt_client_disconnect_frees_the_handler() {
+        let t = launch(8, 2, 1);
+        {
+            let mut conn = t.connect(0).unwrap();
+            wire::encode_bodyless(conn.request_buf(), op::CHECK_FINITE);
+            conn.call().unwrap();
+            // A torn frame followed by an abrupt close: the handler must
+            // treat the mid-frame EOF as a closed conn and exit.
+            conn.inject_torn().unwrap();
+        }
+        // Drop joins every handler thread — it would hang here if the
+        // handler stayed parked after the disconnect.
+        drop(t);
     }
 
     #[test]

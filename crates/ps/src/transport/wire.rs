@@ -25,6 +25,11 @@ use std::fmt;
 /// corrupted length prefix must not trigger a multi-gigabyte allocation.
 pub const MAX_FRAME_BYTES: usize = 1 << 28;
 
+/// Version byte of the [`op::SEQUENCED`] wrapper header. Bumped if the
+/// sequencing header layout ever changes; a server seeing a newer version
+/// rejects the frame with [`WireError::BadVersion`] instead of misparsing.
+pub const SEQ_WIRE_VERSION: u8 = 1;
+
 /// Decode/framing errors. These indicate protocol corruption (or a version
 /// skew that cannot happen in-process), never ordinary data.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +44,8 @@ pub enum WireError {
     Oversize(usize),
     /// The reply opcode did not match the request that was sent.
     UnexpectedReply(u8),
+    /// A sequencing header carried an unsupported version byte.
+    BadVersion(u8),
 }
 
 impl fmt::Display for WireError {
@@ -49,6 +56,7 @@ impl fmt::Display for WireError {
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
             WireError::Oversize(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME_BYTES}"),
             WireError::UnexpectedReply(op) => write!(f, "unexpected reply opcode {op:#04x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported sequencing header version {v}"),
         }
     }
 }
@@ -79,6 +87,12 @@ pub mod op {
     /// Stage-1 apply of a *sparse* gradient — only the touched segments of
     /// the shard travel, the ASP payload saver for embedding workloads.
     pub const PUSH_SHARD_SPARSE: u8 = 0x0a;
+    /// Wrapper for idempotent re-send: the body is
+    /// `[u8 version][u64 client][u32 seq][inner request payload]`. The
+    /// server deduplicates on `(client, seq)` and replays the cached reply
+    /// for a duplicate, so a retried mutating request is applied at most
+    /// once (see [`crate::transport::ServerEndpoint`]).
+    pub const SEQUENCED: u8 = 0x0b;
 
     /// Reply to [`PUSH_SHARD`]: the pre-apply shard clock.
     pub const PUSH_ACK: u8 = 0x81;
@@ -277,6 +291,42 @@ pub fn encode_restore(buf: &mut Vec<u8>, params: &[f32], velocity: &[f32]) {
     buf.push(op::RESTORE);
     put_f32s(buf, params);
     put_f32s(buf, velocity);
+}
+
+/// Appends the [`op::SEQUENCED`] wrapper header; the caller encodes the
+/// inner request payload immediately after it. `client` identifies the
+/// sending connection-slot process-wide; `seq` is its per-slot request
+/// sequence number, re-used verbatim when the request is re-sent.
+pub fn encode_sequenced_prefix(buf: &mut Vec<u8>, client: u64, seq: u32) {
+    buf.push(op::SEQUENCED);
+    buf.push(SEQ_WIRE_VERSION);
+    put_u64(buf, client);
+    put_u32(buf, seq);
+}
+
+/// Splits a [`op::SEQUENCED`] payload into `(client, seq, inner payload)`.
+///
+/// The inner payload is *not* validated here — it is handed to the normal
+/// request dispatch, which performs its own decoding.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a sequenced wrapper, the
+/// version byte is unsupported, or the header is truncated.
+pub fn decode_sequenced_prefix(payload: &[u8]) -> Result<(u64, u32, &[u8]), WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::SEQUENCED => {}
+        other => return Err(WireError::UnknownOpcode(other)),
+    }
+    match c.u8()? {
+        SEQ_WIRE_VERSION => {}
+        v => return Err(WireError::BadVersion(v)),
+    }
+    let client = c.u64()?;
+    let seq = c.u32()?;
+    // No `finish()`: everything after the header is the inner request.
+    Ok((client, seq, &payload[c.pos..]))
 }
 
 impl Request {
@@ -877,6 +927,46 @@ mod tests {
         let mut buf = Vec::new();
         let err = read_frame(&mut r, &mut buf).unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn sequenced_prefix_round_trips() {
+        let mut buf = Vec::new();
+        encode_sequenced_prefix(&mut buf, 0xdead_beef_cafe, 42);
+        encode_push_shard(&mut buf, 3, 0.05, 0.9, &[1.0, -2.0]);
+        let (client, seq, inner) = decode_sequenced_prefix(&buf).unwrap();
+        assert_eq!(client, 0xdead_beef_cafe);
+        assert_eq!(seq, 42);
+        let mut grad = Vec::new();
+        let (shard, lr, mu) = decode_push_shard_into(inner, &mut grad).unwrap();
+        assert_eq!((shard, lr, mu), (3, 0.05, 0.9));
+        assert_eq!(grad, vec![1.0, -2.0]);
+        // An empty inner payload is the dispatcher's problem, not ours.
+        let mut bare = Vec::new();
+        encode_sequenced_prefix(&mut bare, 1, 2);
+        let (_, _, inner) = decode_sequenced_prefix(&bare).unwrap();
+        assert!(inner.is_empty());
+    }
+
+    #[test]
+    fn sequenced_prefix_rejects_bad_headers() {
+        let mut buf = Vec::new();
+        encode_sequenced_prefix(&mut buf, 7, 9);
+        for cut in 0..buf.len() {
+            assert!(decode_sequenced_prefix(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        // Wrong opcode.
+        assert_eq!(
+            decode_sequenced_prefix(&[op::PUSH_SHARD]),
+            Err(WireError::UnknownOpcode(op::PUSH_SHARD))
+        );
+        // Unsupported version byte.
+        let mut bad = buf.clone();
+        bad[1] = SEQ_WIRE_VERSION + 1;
+        assert_eq!(
+            decode_sequenced_prefix(&bad),
+            Err(WireError::BadVersion(SEQ_WIRE_VERSION + 1))
+        );
     }
 
     #[test]

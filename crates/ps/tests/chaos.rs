@@ -1,0 +1,163 @@
+//! Chaos suite: the fault-tolerance tier under injected faults.
+//!
+//! Every trainable workload trains under BSP and ASP on a **TCP tier
+//! behind a seeded [`FaultPlan`]** — dropped replies and straggler latency
+//! on every connection — with one server killed mid-run and healed from a
+//! [`ServerSupervisor`] checkpoint. Each run must complete without panic
+//! and still meet the workload's loss gate: the retry/re-send layer makes
+//! the faults invisible to convergence, not just to liveness.
+//!
+//! The divergence specimen rides along: the sparse-embedding workload at
+//! the lr the ASP preset had to back away from runs under the
+//! [`DivergenceWatchdog`], which must trip, demote to BSP, and still land
+//! under the loss gate.
+//!
+//! This file is the CI `chaos` stage (`./ci.sh --stage chaos`), run under
+//! a hard timeout.
+
+use sync_switch_ps::{
+    DivergenceWatchdog, FaultPlan, ServerSupervisor, ServerTopology, Trainer, TrainerConfig,
+    TransportKind, WatchdogConfig,
+};
+use sync_switch_workloads::{SyncProtocol, TrainableKind};
+
+const SEED: u64 = 42;
+const WORKERS: usize = 3;
+
+/// The standard chaos weather: enough dropped replies that every run
+/// exercises the retry path many times, plus occasional injected latency
+/// (a transient straggler). Kept within what the default 4-retry budget
+/// absorbs with margin — the point is fault *recovery*, not fault death.
+fn chaos_plan() -> FaultPlan {
+    let mut plan = FaultPlan::seeded(SEED);
+    plan.drop_reply_per_mille = 25;
+    plan.latency_per_mille = 10;
+    plan.latency_ms = 1;
+    plan
+}
+
+fn chaos_trainer(kind: TrainableKind) -> Trainer {
+    let (model, train, test) = kind.build(SEED);
+    let h = kind.hyper();
+    let cfg = TrainerConfig::new(WORKERS, h.batch_size, h.learning_rate, h.momentum)
+        .with_seed(SEED)
+        .with_topology(
+            ServerTopology::new(2, 1)
+                .with_transport(TransportKind::Tcp)
+                .with_faults(chaos_plan()),
+        );
+    Trainer::new(model, train, test, cfg)
+}
+
+/// Trains `kind` for its full budget under `protocol` on the faulty TCP
+/// tier, killing and healing server 1 at the halfway point, and returns
+/// the final probe loss.
+fn train_through_chaos(kind: TrainableKind, protocol: SyncProtocol) -> f32 {
+    let mut t = chaos_trainer(kind);
+    let budget = kind.hyper().total_steps;
+    let mut sup = ServerSupervisor::new(t.server_count());
+    let segment = 40;
+    let mut left = budget;
+    let mut killed = false;
+    while left > 0 {
+        let chunk = left.min(segment);
+        let r = t
+            .run_segment(protocol, chunk)
+            .unwrap_or_else(|e| panic!("{kind} {protocol} under faults: {e}"));
+        assert_eq!(r.steps, chunk);
+        assert!(r.finite, "{kind} {protocol} non-finite under faults");
+        left -= chunk;
+        if !killed && left <= budget / 2 {
+            // Mid-run crash at a segment boundary: quiesce, checkpoint
+            // every server, kill one, heal it from the checkpoint.
+            t.drain_sync();
+            let router = t.net_router().expect("chaos tier is transport-backed");
+            sup.checkpoint(router).expect("supervisor checkpoint");
+            router.kill_server(1).expect("kill hook");
+            assert!(router.ping_server(1).is_err(), "kill left server 1 alive");
+            assert_eq!(sup.heal(router).expect("heal"), 1, "one server healed");
+            killed = true;
+        }
+    }
+    assert!(killed, "budget too small to schedule the kill");
+    assert!(t.check_finite(), "{kind} {protocol} finished non-finite");
+    assert_eq!(t.global_step(), budget);
+    let stats = t.transport_stats();
+    assert!(
+        stats.retries > 0,
+        "{kind} {protocol}: fault plan injected no retries"
+    );
+    t.training_loss()
+}
+
+fn assert_chaos_converges(kind: TrainableKind) {
+    for protocol in [SyncProtocol::Bsp, SyncProtocol::Asp] {
+        let final_loss = train_through_chaos(kind, protocol);
+        assert!(
+            final_loss.is_finite() && final_loss < kind.loss_threshold(),
+            "{kind} {protocol} under chaos: loss {final_loss} above threshold {}",
+            kind.loss_threshold()
+        );
+    }
+}
+
+#[test]
+fn mlp_blobs_survives_chaos() {
+    assert_chaos_converges(TrainableKind::MlpBlobs);
+}
+
+#[test]
+fn conv_shifted_survives_chaos() {
+    assert_chaos_converges(TrainableKind::ConvShifted);
+}
+
+#[test]
+fn sparse_embedding_survives_chaos() {
+    assert_chaos_converges(TrainableKind::SparseEmbedding);
+}
+
+/// The paper's experiment-setup-3 failure mode, handled instead of fatal:
+/// the embedding workload at a hot learning rate (0.5 — more than 3× its
+/// preset, a regime where ASP's stale momentum blows up while BSP's
+/// synchronous averaged updates hold) diverges under ASP, the watchdog
+/// rolls back and demotes to BSP, and the run still finishes under the
+/// workload's loss gate instead of dying with [`PsError::Diverged`].
+#[test]
+fn embedding_hot_lr_asp_trips_watchdog_and_finishes_under_bsp() {
+    let kind = TrainableKind::SparseEmbedding;
+    let (model, train, test) = kind.build(SEED);
+    let h = kind.hyper();
+    let cfg = TrainerConfig::new(WORKERS, h.batch_size, 0.5, h.momentum).with_seed(SEED);
+    let mut t = Trainer::new(model, train, test, cfg);
+    let mut dog = DivergenceWatchdog::new(WatchdogConfig::default());
+    let budget = h.total_steps;
+    let segment = 40;
+    let mut left = budget;
+    while left > 0 {
+        let chunk = left.min(segment);
+        let r = dog
+            .run_segment(&mut t, SyncProtocol::Asp, chunk)
+            .expect("watchdog must absorb the hot-lr divergence");
+        assert!(r.finite, "watchdog returned a non-finite segment");
+        left -= chunk;
+    }
+    assert!(dog.demoted(), "lr 0.5 ASP never tripped the watchdog");
+    assert!(dog.trips() >= 1);
+    // A trip rolls back to the last good checkpoint, discarding the
+    // diverged steps; grant the demoted run up to one extra budget of
+    // recovery steps in their place — the step cost of surviving a
+    // divergence instead of dying with it.
+    let mut extra = budget;
+    while extra > 0 && t.training_loss() >= kind.loss_threshold() {
+        let chunk = extra.min(segment);
+        dog.run_segment(&mut t, SyncProtocol::Asp, chunk)
+            .expect("recovery segment");
+        extra -= chunk;
+    }
+    let final_loss = t.training_loss();
+    assert!(
+        final_loss.is_finite() && final_loss < kind.loss_threshold(),
+        "demoted BSP run missed the loss gate: {final_loss} vs {}",
+        kind.loss_threshold()
+    );
+}

@@ -4,8 +4,8 @@ use proptest::prelude::*;
 use sync_switch_nn::{Dataset, Network};
 use sync_switch_ps::transport::{wire, Reply, Request};
 use sync_switch_ps::{
-    Checkpoint, PullBuffer, RouterBuffer, ServerTopology, ShardRouter, ShardedStore, Trainer,
-    TrainerConfig, UpdateData,
+    Checkpoint, FaultPlan, NetPort, PullBuffer, RouterBuffer, ServerTopology, ShardRouter,
+    ShardedStore, Trainer, TrainerConfig, TransportKind, UpdateData,
 };
 use sync_switch_workloads::SyncProtocol;
 
@@ -296,6 +296,68 @@ proptest! {
         prop_assert_eq!(a.params(), b.params());
         prop_assert_eq!(a.shard_versions(), b.shard_versions());
         prop_assert_eq!(dense.sync_rounds(), sparse.sync_rounds());
+    }
+
+    /// At-most-once under duplication: a wire tier whose fault plan
+    /// duplicates **every** request frame (and drops some replies, so the
+    /// retry layer re-sends on top) ends up bitwise-identical — params,
+    /// velocity, per-shard clocks, committed view — to the in-process
+    /// router applying each push exactly once. Gradients are arbitrary f32
+    /// bit patterns (NaNs included), so equality is compared on bits.
+    #[test]
+    fn duplicated_push_frames_apply_exactly_once(
+        n in 2usize..64,
+        shards in 2usize..6,
+        pushes in 1u64..5,
+        bits in proptest::collection::vec(any::<u32>(), 64),
+    ) {
+        let plan = FaultPlan {
+            duplicate_per_mille: 1000,
+            drop_reply_per_mille: 120,
+            ..FaultPlan::seeded(17)
+        };
+        let initial: Vec<f32> = (0..n).map(|i| (i as f32 * 0.23).sin()).collect();
+        let clean = ShardRouter::new(&initial, shards, ServerTopology::new(2, 1));
+        let net = NetPort::launch(
+            &initial,
+            shards,
+            ServerTopology::new(2, 1)
+                .with_transport(TransportKind::Channel)
+                .with_faults(plan),
+        );
+        for p in 0..pushes {
+            let grad: Vec<f32> = (0..n)
+                .map(|i| f32::from_bits(bits[(i + p as usize * 7) % bits.len()]))
+                .collect();
+            for g in 0..clean.shard_count() {
+                let (o, l) = clean.shard_range(g);
+                let a = clean.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                let b = net.apply_shard_update(g, &grad[o..o + l], 0.05, 0.9);
+                prop_assert_eq!(a, b, "clock skew at push {} shard {}", p, g);
+            }
+            prop_assert_eq!(clean.complete_push(p), net.router().complete_push(p));
+            clean.reconcile_if_due();
+            net.router().reconcile_if_due();
+        }
+        clean.drain();
+        net.router().drain();
+        let key = |v: Vec<f32>| v.into_iter().map(f32::to_bits).collect::<Vec<_>>();
+        prop_assert_eq!(
+            key(clean.snapshot_params()),
+            key(net.router().snapshot_params()),
+            "params diverged under duplication"
+        );
+        prop_assert_eq!(
+            key(clean.snapshot_velocity()),
+            key(net.router().snapshot_velocity()),
+            "velocity diverged under duplication"
+        );
+        let mut a = RouterBuffer::new();
+        let mut b = RouterBuffer::new();
+        clean.pull_committed_into(&mut a);
+        net.pull_into(&mut b);
+        prop_assert_eq!(key(a.params().to_vec()), key(b.params().to_vec()));
+        prop_assert_eq!(a.shard_versions(), b.shard_versions());
     }
 
     /// Checkpoints round-trip through bytes for arbitrary contents.

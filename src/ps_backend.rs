@@ -158,6 +158,8 @@ impl TrainingBackend for PsBackend {
                         .collect(),
                     mean_staleness: report.staleness.mean(),
                     wire_time_s: report.transport.total_wire_s(),
+                    wire_retries: report.transport.retries,
+                    wire_reconnects: report.transport.reconnects,
                 })
             }
             Err(PsError::Diverged { step }) => {
