@@ -6,18 +6,82 @@
 #   ./ci.sh                   # every stage in order
 #   ./ci.sh --fast            # debug-profile stages only (fmt, test,
 #                             # clippy, examples) — skips everything that
-#                             # would trigger a release/bench-profile build
+#                             # would trigger a release/bench-profile build,
+#                             # including the multi-process cluster stage
 #   ./ci.sh --stage <name>    # run one stage (repeatable)
 #   ./ci.sh --list            # print stage names
+#
+# On any stage failure the EXIT trap collects diagnostics (cluster child
+# logs, bench JSON, golden exhibits, tree diff) into ci-artifacts/, which
+# the hosted workflow uploads.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(fmt build test transport workloads chaos clippy bench-compile bench-smoke exhibits examples)
+STAGES=(fmt build test transport workloads chaos clippy bench-compile bench-smoke exhibits examples cluster)
 # Stages skipped by --fast: each of these compiles the release or bench
 # profile, which dwarfs the debug stages' wall time.
-RELEASE_STAGES=(build bench-compile bench-smoke exhibits)
+RELEASE_STAGES=(build bench-compile bench-smoke exhibits cluster)
 
 step() { printf '\n==> %s\n' "$*"; }
+
+# Matches the cluster binaries spawned out of this repo's target dir (and
+# nothing else — not this script, not cargo).
+CLUSTER_PROC_RE='target/(debug|release)/ps-(serve|worker)'
+
+# ---- failure artifacts ----------------------------------------------------
+
+CURRENT_STAGE=""
+SMOKE_JSON=""
+
+# Collects whatever a post-mortem needs into ci-artifacts/ (uploaded by the
+# hosted workflow on failure): the failed stage name, every cluster child
+# log/spec/report under target/tmp, the committed and freshly measured
+# bench JSON, the golden exhibits, and any tree drift a stage left behind.
+collect_artifacts() {
+    local stage="$1" dest="ci-artifacts"
+    rm -rf "$dest"
+    mkdir -p "$dest"
+    {
+        echo "failed stage: $stage"
+        echo "commit: $(git rev-parse HEAD 2>/dev/null || echo unknown)"
+        date -u +"when: %Y-%m-%dT%H:%M:%SZ"
+    } > "$dest/FAILURE.txt"
+    # Cluster harness run dirs: per-child logs, spec, worker reports.
+    if [[ -d target/tmp ]]; then
+        while IFS= read -r f; do
+            local rel="${f#target/tmp/}"
+            mkdir -p "$dest/cluster/$(dirname "$rel")"
+            cp "$f" "$dest/cluster/$rel"
+        done < <(find target/tmp -type f \( -name '*.log' -o -name '*.json' \) 2>/dev/null)
+    fi
+    # Bench baseline + the smoke sweep that was measured against it.
+    cp BENCH_*.json "$dest"/ 2>/dev/null || true
+    if [[ -n "$SMOKE_JSON" && -s "$SMOKE_JSON" ]]; then
+        cp "$SMOKE_JSON" "$dest/ps_throughput_smoke.json"
+    fi
+    # Golden exhibits plus any drift a stage left in the working tree
+    # (e.g. a --update someone forgot to commit).
+    cp -r goldens "$dest/goldens" 2>/dev/null || true
+    git status --short > "$dest/git-status.txt" 2>/dev/null || true
+    git diff > "$dest/git-diff.patch" 2>/dev/null || true
+    echo "collected failure artifacts into $dest/" >&2
+}
+
+on_exit() {
+    local code=$?
+    # Reap any cluster child that outlived its harness — a leaked ps-serve
+    # squats on its spec port and poisons the next run.
+    pkill -9 -f "$CLUSTER_PROC_RE" 2>/dev/null || true
+    if [[ -n "$SMOKE_JSON" ]]; then
+        rm -f "$SMOKE_JSON"
+    fi
+    if [[ $code -ne 0 && -n "$CURRENT_STAGE" ]]; then
+        collect_artifacts "$CURRENT_STAGE"
+    fi
+}
+trap on_exit EXIT
+
+# ---- stages ---------------------------------------------------------------
 
 # cargo fmt --check: formatting drift fails fast, before any compilation.
 stage_fmt() {
@@ -89,27 +153,42 @@ stage_bench_compile() {
 }
 
 # Machine-readable bench JSON must emit, parse, and not regress the
-# committed trajectory. The regression check runs in report-only mode: the
-# smoke sweep is short and CI boxes are noisy, so it warns rather than
-# failing the gate (tighten to a hard failure once box-to-box variance is
-# understood).
-stage_bench_smoke() {
-    local smoke_json
-    smoke_json="$(mktemp -t ps_throughput_smoke.XXXXXX.json)"
-    # EXIT (not RETURN): under set -e a failing command exits the whole
-    # script, and RETURN traps do not run on shell exit.
-    # shellcheck disable=SC2064  # expand now: the name is fixed at mktemp time
-    trap "rm -f '$smoke_json'" EXIT
-    rm -f "$smoke_json"
-    PS_BENCH_FAST=1 PS_BENCH_OUT="$smoke_json" \
+# committed trajectory beyond 30% — generous enough to absorb CI-box
+# noise, tight enough to catch a real transport/engine regression.
+# Escape hatch for known-slow boxes (throttled laptops, saturated CI):
+#   BENCH_BASELINE_SKIP=1 ./ci.sh --stage bench-smoke   # report-only
+bench_smoke_measure() {
+    rm -f "$SMOKE_JSON"
+    PS_BENCH_FAST=1 PS_BENCH_OUT="$SMOKE_JSON" \
         cargo bench -p sync-switch-bench --bench ps_throughput
-    [[ -s "$smoke_json" ]] || {
-        echo "ps_throughput smoke did not write $smoke_json" >&2
+    [[ -s "$SMOKE_JSON" ]] || {
+        echo "ps_throughput smoke did not write $SMOKE_JSON" >&2
         return 1
     }
-    cargo run -q -p sync-switch-bench --bin bench_json_check -- "$smoke_json"
-    cargo run -q -p sync-switch-bench --bin bench_json_check -- "$smoke_json" \
-        --baseline BENCH_ps_throughput.json --tolerance-pct 30 --report-only
+    cargo run -q -p sync-switch-bench --bin bench_json_check -- "$SMOKE_JSON"
+}
+
+bench_smoke_baseline() {
+    cargo run -q -p sync-switch-bench --bin bench_json_check -- "$SMOKE_JSON" \
+        --baseline BENCH_ps_throughput.json --tolerance-pct 30 "$@"
+}
+
+stage_bench_smoke() {
+    SMOKE_JSON="$(mktemp -t ps_throughput_smoke.XXXXXX.json)"
+    bench_smoke_measure
+    if [[ "${BENCH_BASELINE_SKIP:-0}" == "1" ]]; then
+        echo "BENCH_BASELINE_SKIP=1: baseline comparison is report-only" >&2
+        bench_smoke_baseline --report-only
+        return 0
+    fi
+    # The FAST-profile micro-configs are scheduler-sensitive; a single
+    # re-measure absorbs transient CPU-contention noise, while a real
+    # regression fails both measurements.
+    if ! bench_smoke_baseline; then
+        echo "baseline regression — re-measuring once to rule out scheduler noise" >&2
+        bench_smoke_measure
+        bench_smoke_baseline
+    fi
 }
 
 # Exhibit golden gate: fig5 (knee) and table2 (search costs) regenerated
@@ -124,6 +203,34 @@ stage_examples() {
     cargo build --examples
 }
 
+# Multi-process cluster: real `ps-serve` + `ps-worker` OS processes over
+# real TCP (spawned by tests/cluster.rs via the ClusterHarness), driven to
+# the convergence gate under BSP and ASP, including a mid-run server
+# SIGKILL healed through the supervisor respawn path. Release profile —
+# the crash-timing windows in the test assume release-speed training.
+# Hard KILL timeout: a wedged handshake or heal loop must fail the gate,
+# not hang it; the EXIT trap reaps any orphaned child processes.
+stage_cluster() {
+    cargo test -q --release --test cluster --no-run
+    PS_CLUSTER_TEST=1 timeout -sKILL 180 \
+        cargo test -q --release --test cluster || {
+        echo "cluster suite failed or timed out (180s budget)" >&2
+        return 1
+    }
+    # Zero tolerance for leaked children: the harness guarantees teardown,
+    # and this pins that guarantee at the process table.
+    if pgrep -f "$CLUSTER_PROC_RE" >/dev/null 2>&1; then
+        echo "orphaned cluster processes left behind:" >&2
+        pgrep -af "$CLUSTER_PROC_RE" >&2 || true
+        return 1
+    fi
+}
+
+# ---- driver ---------------------------------------------------------------
+
+RAN_STAGES=()
+RAN_TIMES=()
+
 run_stage() {
     local name="$1"
     local fn="stage_${name//-/_}"
@@ -132,7 +239,23 @@ run_stage() {
         exit 2
     fi
     step "stage: $name"
+    CURRENT_STAGE="$name"
+    local t0=$SECONDS
     "$fn"
+    RAN_STAGES+=("$name")
+    RAN_TIMES+=("$((SECONDS - t0))")
+    CURRENT_STAGE=""
+}
+
+print_timing_summary() {
+    [[ ${#RAN_STAGES[@]} -gt 0 ]] || return 0
+    local total=0 i
+    printf '\n%-16s %8s\n' "stage" "wall (s)"
+    for i in "${!RAN_STAGES[@]}"; do
+        printf '%-16s %8s\n' "${RAN_STAGES[$i]}" "${RAN_TIMES[$i]}"
+        total=$((total + RAN_TIMES[i]))
+    done
+    printf '%-16s %8s\n' "total" "$total"
 }
 
 fast=0
@@ -171,4 +294,5 @@ else
     done
 fi
 
+print_timing_summary
 printf '\nCI gate passed.\n'

@@ -32,7 +32,6 @@ pub(crate) type WorkerResult = (
     StalenessHistogram,
     ServerShardStaleness,
 );
-
 /// Pushes a full gradient shard-by-shard against the clocks captured in
 /// `buf`, recording one per-shard staleness observation per shard (under
 /// the owning server), then completes the push, runs any stage-2 round the
@@ -434,6 +433,51 @@ impl Trainer {
         }
     }
 
+    /// Creates a trainer on an *existing* data plane instead of building
+    /// one from the config — the cross-process entry point: a `ps-worker`
+    /// process connects a [`NetPort`] to its `ps-serve` tier (which already
+    /// holds the initial parameters, every process having built the same
+    /// seeded model) and drives the same BSP/ASP/SSP loops over it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid, the dataset is smaller than
+    /// the worker count, or the port's parameter count differs from the
+    /// model's — the one cross-process layout disagreement a worker can
+    /// detect locally.
+    pub fn with_port(
+        model: Network,
+        train: Dataset,
+        test: Dataset,
+        cfg: TrainerConfig,
+        port: WorkerPort,
+    ) -> Self {
+        if let Err(msg) = cfg.validate() {
+            panic!("invalid trainer config: {msg}");
+        }
+        let plane = DataPlane(port);
+        assert_eq!(
+            plane.param_count(),
+            model.params_flat().len(),
+            "data plane parameter count does not match the model"
+        );
+        let shards: Vec<Dataset> = (0..cfg.workers)
+            .map(|k| train.shard(k, cfg.workers))
+            .collect();
+        let probe_n = shards[0].len().min(64);
+        let probe_idx: Vec<usize> = (0..probe_n).collect();
+        let probe_batch = shards[0].batch(&probe_idx);
+        Trainer {
+            template: model,
+            shards,
+            test,
+            cfg,
+            plane,
+            global_step: 0,
+            probe_batch,
+        }
+    }
+
     /// The current configuration.
     pub fn config(&self) -> &TrainerConfig {
         &self.cfg
@@ -641,8 +685,14 @@ impl Trainer {
     /// # Errors
     ///
     /// Returns [`PsError::Diverged`] if any worker observes a non-finite or
-    /// above-threshold loss (all workers are aborted), and
-    /// [`PsError::InvalidConfig`] for impossible configurations.
+    /// above-threshold loss (all workers are aborted),
+    /// [`PsError::InvalidConfig`] for impossible configurations, and
+    /// [`PsError::WorkerPanicked`] if a worker thread died mid-segment —
+    /// on a transport-backed plane that is how an unreachable server
+    /// surfaces (the infallible data-path ops panic once retries are
+    /// exhausted), so a `ps-worker` catches it, waits out the respawn via
+    /// [`crate::ServerSupervisor::heal_respawned`], restores its segment
+    /// checkpoint, and re-runs the segment.
     pub fn run_segment(
         &mut self,
         protocol: SyncProtocol,
@@ -684,8 +734,8 @@ impl Trainer {
         let wire_before = self.plane.transport_stats();
         let start = Instant::now();
         let results: Vec<WorkerResult> = match protocol {
-            SyncProtocol::Bsp => self.run_bsp(&ctx, &active, steps),
-            SyncProtocol::Asp => self.run_asp(&ctx, &active, steps),
+            SyncProtocol::Bsp => self.run_bsp(&ctx, &active, steps)?,
+            SyncProtocol::Asp => self.run_asp(&ctx, &active, steps)?,
         };
         let wall_time = start.elapsed();
 
@@ -748,7 +798,12 @@ impl Trainer {
     /// (per-stripe sums commute across workers exactly like the global sum
     /// did), so BSP keeps its bit-for-bit agreement with sequential
     /// large-batch SGD up to f32 summation order.
-    fn run_bsp(&self, ctx: &WorkerCtx, active: &[usize], rounds: u64) -> Vec<WorkerResult> {
+    fn run_bsp(
+        &self,
+        ctx: &WorkerCtx,
+        active: &[usize],
+        rounds: u64,
+    ) -> Result<Vec<WorkerResult>, PsError> {
         let n_active = active.len();
         let n_stripes = self.plane.shard_count();
         let n_servers = self.plane.server_count();
@@ -789,104 +844,125 @@ impl Trainer {
                     let mut hist = StalenessHistogram::new();
                     let mut shard_hist = ServerShardStaleness::new(n_servers, n_stripes);
                     let mut buf = port.new_buffer();
-                    for r in 0..rounds {
-                        // Relaxed: abort is a latest-wins flag; the data it
-                        // guards (diverged_at) is read after thread join.
-                        if abort.load(Ordering::Relaxed) {
-                            break;
-                        }
-                        let t0 = Instant::now();
-                        let version = port.pull_into(&mut buf);
-                        model.set_params_flat(buf.params());
-                        let mut rng = step_rng(seed, worker, base_step + r);
-                        let (x, y) = shard.sample_batch(batch, &mut rng);
-                        if let Some(d) = delay {
-                            std::thread::sleep(d);
-                        }
-                        let (loss, grad) = model.loss_and_grad(&x, &y);
-                        let compute_time = t0.elapsed();
-                        if !loss.is_finite() || loss > threshold {
-                            // Relaxed: both reads happen after join (or
-                            // behind the round mutex below).
-                            diverged_at.store(base_step + r, Ordering::Relaxed);
-                            abort.store(true, Ordering::Relaxed);
-                            // Lock-then-notify so a waiter cannot check the
-                            // abort flag, miss it, and park after this
-                            // notification (the classic lost-wakeup race).
-                            let _round = shared.round.lock();
-                            shared.cv.notify_all();
-                            break;
-                        }
-                        profile.step_durations.push(compute_time);
-                        profile.losses.push(loss);
-                        hist.record(0); // BSP gradients are fresh by construction
-
-                        // Striped barrier: contribute each stripe, starting
-                        // at this worker's offset so concurrent workers sum
-                        // into disjoint stripes. Last contributor per
-                        // stripe averages and applies it.
-                        for k in 0..n_stripes {
-                            let i = (rank + k) % n_stripes;
-                            let (offset, len) = port.shard_range(i);
-                            let mut stripe = shared.stripes[i].lock();
-                            let state = &mut *stripe;
-                            for (a, g) in state.accum.iter_mut().zip(&grad[offset..offset + len]) {
-                                *a += g;
+                    // Panics here are a dying data plane (the infallible
+                    // data-path ops panic once wire retries are exhausted,
+                    // e.g. against a SIGKILLed `ps-serve`). Catch them so
+                    // the segment returns `WorkerPanicked` instead of
+                    // tearing the process down — and set abort + notify so
+                    // peers parked at the round barrier wake up and exit
+                    // instead of waiting for a round that will never
+                    // complete.
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        for r in 0..rounds {
+                            // Relaxed: abort is a latest-wins flag; the data it
+                            // guards (diverged_at) is read after thread join.
+                            if abort.load(Ordering::Relaxed) {
+                                break;
                             }
-                            state.count += 1;
-                            if state.count == n_active {
-                                let scale = 1.0 / n_active as f32;
-                                state.accum.iter_mut().for_each(|a| *a *= scale);
-                                let prev = port.apply_shard_update(i, &state.accum, lr, mu);
-                                shard_hist.record(
-                                    port.owner_of(i),
-                                    i,
-                                    prev.saturating_sub(buf.shard_version(i)),
-                                );
-                                state.accum.iter_mut().for_each(|a| *a = 0.0);
-                                state.count = 0;
-                                drop(stripe);
-                                // AcqRel: the final applier must observe the
-                                // other appliers' increments (Acquire) and
-                                // publish its own apply before the round
-                                // advance (Release); the shard data itself
-                                // is ordered by the shard mutexes.
-                                if shared.applied.fetch_add(1, Ordering::AcqRel) + 1 == n_stripes {
-                                    port.complete_push(version);
-                                    // Stage-2 drain: publish this round's
-                                    // applies to every server's committed
-                                    // view before any worker can pull the
-                                    // next round (everyone else is parked
-                                    // at the barrier below, so the commit
-                                    // cannot race a pull).
-                                    port.end_round();
-                                    let mut round = shared.round.lock();
-                                    // Relaxed: reset is published to the
-                                    // next round's appliers by the round
-                                    // mutex they must pass through first.
-                                    shared.applied.store(0, Ordering::Relaxed);
-                                    *round += 1;
-                                    shared.cv.notify_all();
+                            let t0 = Instant::now();
+                            let version = port.pull_into(&mut buf);
+                            model.set_params_flat(buf.params());
+                            let mut rng = step_rng(seed, worker, base_step + r);
+                            let (x, y) = shard.sample_batch(batch, &mut rng);
+                            if let Some(d) = delay {
+                                std::thread::sleep(d);
+                            }
+                            let (loss, grad) = model.loss_and_grad(&x, &y);
+                            let compute_time = t0.elapsed();
+                            if !loss.is_finite() || loss > threshold {
+                                // Relaxed: both reads happen after join (or
+                                // behind the round mutex below).
+                                diverged_at.store(base_step + r, Ordering::Relaxed);
+                                abort.store(true, Ordering::Relaxed);
+                                // Lock-then-notify so a waiter cannot check the
+                                // abort flag, miss it, and park after this
+                                // notification (the classic lost-wakeup race).
+                                let _round = shared.round.lock();
+                                shared.cv.notify_all();
+                                break;
+                            }
+                            profile.step_durations.push(compute_time);
+                            profile.losses.push(loss);
+                            hist.record(0); // BSP gradients are fresh by construction
+
+                            // Striped barrier: contribute each stripe, starting
+                            // at this worker's offset so concurrent workers sum
+                            // into disjoint stripes. Last contributor per
+                            // stripe averages and applies it.
+                            for k in 0..n_stripes {
+                                let i = (rank + k) % n_stripes;
+                                let (offset, len) = port.shard_range(i);
+                                let mut stripe = shared.stripes[i].lock();
+                                let state = &mut *stripe;
+                                for (a, g) in
+                                    state.accum.iter_mut().zip(&grad[offset..offset + len])
+                                {
+                                    *a += g;
+                                }
+                                state.count += 1;
+                                if state.count == n_active {
+                                    let scale = 1.0 / n_active as f32;
+                                    state.accum.iter_mut().for_each(|a| *a *= scale);
+                                    let prev = port.apply_shard_update(i, &state.accum, lr, mu);
+                                    shard_hist.record(
+                                        port.owner_of(i),
+                                        i,
+                                        prev.saturating_sub(buf.shard_version(i)),
+                                    );
+                                    state.accum.iter_mut().for_each(|a| *a = 0.0);
+                                    state.count = 0;
+                                    drop(stripe);
+                                    // AcqRel: the final applier must observe the
+                                    // other appliers' increments (Acquire) and
+                                    // publish its own apply before the round
+                                    // advance (Release); the shard data itself
+                                    // is ordered by the shard mutexes.
+                                    if shared.applied.fetch_add(1, Ordering::AcqRel) + 1
+                                        == n_stripes
+                                    {
+                                        port.complete_push(version);
+                                        // Stage-2 drain: publish this round's
+                                        // applies to every server's committed
+                                        // view before any worker can pull the
+                                        // next round (everyone else is parked
+                                        // at the barrier below, so the commit
+                                        // cannot race a pull).
+                                        port.end_round();
+                                        let mut round = shared.round.lock();
+                                        // Relaxed: reset is published to the
+                                        // next round's appliers by the round
+                                        // mutex they must pass through first.
+                                        shared.applied.store(0, Ordering::Relaxed);
+                                        *round += 1;
+                                        shared.cv.notify_all();
+                                    }
                                 }
                             }
-                        }
 
-                        // Barrier wait: every pull of round r completes
-                        // before any stripe of round r is applied (a stripe
-                        // needs all contributions, and contributing implies
-                        // having pulled), so BSP pulls are never torn.
-                        let mut round = shared.round.lock();
-                        while *round <= r && !abort.load(Ordering::Relaxed) {
-                            shared.cv.wait(&mut round);
+                            // Barrier wait: every pull of round r completes
+                            // before any stripe of round r is applied (a stripe
+                            // needs all contributions, and contributing implies
+                            // having pulled), so BSP pulls are never torn.
+                            let mut round = shared.round.lock();
+                            while *round <= r && !abort.load(Ordering::Relaxed) {
+                                shared.cv.wait(&mut round);
+                            }
+                        }
+                    }));
+                    match run {
+                        Ok(()) => Ok((worker, profile, hist, shard_hist)),
+                        Err(_payload) => {
+                            abort.store(true, Ordering::Relaxed);
+                            // Lock-then-notify, as in the divergence path,
+                            // so a waiter cannot miss the wakeup.
+                            let _round = shared.round.lock();
+                            shared.cv.notify_all();
+                            Err(worker)
                         }
                     }
-                    (worker, profile, hist, shard_hist)
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("bsp worker panicked"))
-                .collect()
+            collect_worker_results(handles)
         })
     }
 
@@ -897,7 +973,12 @@ impl Trainer {
     /// shard-by-shard, measuring per-shard staleness against the clocks
     /// captured at pull time instead of sweeping all shard locks inside one
     /// monolithic `apply_update` call.
-    fn run_asp(&self, ctx: &WorkerCtx, active: &[usize], steps: u64) -> Vec<WorkerResult> {
+    fn run_asp(
+        &self,
+        ctx: &WorkerCtx,
+        active: &[usize],
+        steps: u64,
+    ) -> Result<Vec<WorkerResult>, PsError> {
         let claimed = Arc::new(AtomicU64::new(0));
         let cfg = &self.cfg;
         let base_step = self.global_step;
@@ -925,61 +1006,92 @@ impl Trainer {
                     let mut shard_hist = ServerShardStaleness::new(n_servers, n_shards);
                     let mut buf = port.new_buffer();
                     let mut scratch = SparseScratch::default();
-                    loop {
-                        // Relaxed: latest-wins flag; diverged_at is read
-                        // after thread join, which synchronizes.
-                        if abort.load(Ordering::Relaxed) {
-                            break;
+                    // Same panic containment as the BSP loop (no barrier
+                    // to release here — peers notice the abort flag at
+                    // their next step claim, or panic on the same dead
+                    // server themselves).
+                    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        loop {
+                            // Relaxed: latest-wins flag; diverged_at is read
+                            // after thread join, which synchronizes.
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // Relaxed: a pure ticket counter — atomicity alone
+                            // guarantees each step id is claimed exactly once;
+                            // no other data is published through it.
+                            let s = claimed.fetch_add(1, Ordering::Relaxed);
+                            if s >= steps {
+                                break;
+                            }
+                            let t0 = Instant::now();
+                            port.pull_into(&mut buf);
+                            model.set_params_flat(buf.params());
+                            let mut rng = step_rng(seed, worker, base_step + s);
+                            let (x, y) = shard.sample_batch(batch, &mut rng);
+                            if let Some(d) = delay {
+                                std::thread::sleep(d);
+                            }
+                            let (loss, grad) = model.loss_and_grad(&x, &y);
+                            if !loss.is_finite() || loss > threshold {
+                                // Relaxed: read back only after thread join.
+                                diverged_at.store(base_step + s, Ordering::Relaxed);
+                                abort.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                            // Shard-granular push: per-shard staleness comes
+                            // from each shard clock's pre-apply value versus
+                            // the clock captured at pull time. Sparse-gradient
+                            // models ship only their touched rows.
+                            let staleness = push_maybe_sparse(
+                                &port,
+                                &model,
+                                &grad,
+                                sparse_enabled,
+                                &mut scratch,
+                                &buf,
+                                lr,
+                                mu,
+                                &mut shard_hist,
+                            );
+                            profile.step_durations.push(t0.elapsed());
+                            profile.losses.push(loss);
+                            hist.record(staleness);
                         }
-                        // Relaxed: a pure ticket counter — atomicity alone
-                        // guarantees each step id is claimed exactly once;
-                        // no other data is published through it.
-                        let s = claimed.fetch_add(1, Ordering::Relaxed);
-                        if s >= steps {
-                            break;
-                        }
-                        let t0 = Instant::now();
-                        port.pull_into(&mut buf);
-                        model.set_params_flat(buf.params());
-                        let mut rng = step_rng(seed, worker, base_step + s);
-                        let (x, y) = shard.sample_batch(batch, &mut rng);
-                        if let Some(d) = delay {
-                            std::thread::sleep(d);
-                        }
-                        let (loss, grad) = model.loss_and_grad(&x, &y);
-                        if !loss.is_finite() || loss > threshold {
-                            // Relaxed: read back only after thread join.
-                            diverged_at.store(base_step + s, Ordering::Relaxed);
+                    }));
+                    match run {
+                        Ok(()) => Ok((worker, profile, hist, shard_hist)),
+                        Err(_payload) => {
                             abort.store(true, Ordering::Relaxed);
-                            break;
+                            Err(worker)
                         }
-                        // Shard-granular push: per-shard staleness comes
-                        // from each shard clock's pre-apply value versus
-                        // the clock captured at pull time. Sparse-gradient
-                        // models ship only their touched rows.
-                        let staleness = push_maybe_sparse(
-                            &port,
-                            &model,
-                            &grad,
-                            sparse_enabled,
-                            &mut scratch,
-                            &buf,
-                            lr,
-                            mu,
-                            &mut shard_hist,
-                        );
-                        profile.step_durations.push(t0.elapsed());
-                        profile.losses.push(loss);
-                        hist.record(staleness);
                     }
-                    (worker, profile, hist, shard_hist)
                 }));
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("asp worker panicked"))
-                .collect()
+            collect_worker_results(handles)
         })
+    }
+}
+
+/// Joins a segment's worker threads, separating clean results from caught
+/// panics: the first dead worker (lowest join order) wins and the segment
+/// fails with [`PsError::WorkerPanicked`]. The threads caught their own
+/// unwinds, so `join` itself cannot fail; the panic payload was already
+/// printed to stderr by the default hook when the thread panicked.
+fn collect_worker_results(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Result<WorkerResult, usize>>>,
+) -> Result<Vec<WorkerResult>, PsError> {
+    let mut out = Vec::with_capacity(handles.len());
+    let mut died: Option<usize> = None;
+    for h in handles {
+        match h.join().expect("worker threads catch their own panics") {
+            Ok(r) => out.push(r),
+            Err(worker) => died = died.or(Some(worker)),
+        }
+    }
+    match died {
+        None => Ok(out),
+        Some(worker) => Err(PsError::WorkerPanicked { worker }),
     }
 }
 

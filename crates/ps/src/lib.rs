@@ -58,5 +58,7 @@ pub use server::PsServer;
 pub use store::{PullBuffer, ShardLayout, ShardedStore, UpdateData};
 pub use supervisor::ServerSupervisor;
 pub use switcher::{execute_switch, SwitchOutcome, SwitchPlan};
-pub use transport::{FaultPlan, FaultyTransport, NetPort, NetRouter};
+pub use transport::{
+    FaultPlan, FaultyTransport, NetPort, NetRouter, RemoteTcpTransport, ServerInfo, TcpServerHost,
+};
 pub use watchdog::{DivergenceWatchdog, WatchdogConfig};

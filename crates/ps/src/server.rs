@@ -19,11 +19,33 @@
 //! `sync_every` pushes (BSP drains it at every barrier round).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
 
 use crate::store::{ShardLayout, ShardedStore, UpdateData};
+
+/// Allocator for per-instance nonces. Seeded from wall-clock nanos XOR the
+/// pid so two *processes* constructing their first server get different
+/// nonces, then bumped per construction so an in-process revive does too.
+static NONCES: AtomicU64 = AtomicU64::new(0);
+
+fn next_nonce() -> u64 {
+    let seeded = NONCES.load(Ordering::Relaxed);
+    if seeded == 0 {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        let seed = (nanos ^ (u64::from(std::process::id()) << 32)) | 1;
+        // A racing first construction just means both threads try the CAS;
+        // whichever wins seeds the counter, the loser re-reads it.
+        let _ = NONCES.compare_exchange(0, seed, Ordering::Relaxed, Ordering::Relaxed);
+    }
+    NONCES.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Per-client deduplication state for sequenced (idempotent re-send)
 /// requests: the last sequence number executed and the reply it produced,
@@ -45,6 +67,10 @@ pub struct PsServer {
     shard_offset: usize,
     /// `(offset, len)` of the owned slice of the flat parameter vector.
     param_range: (usize, usize),
+    /// Instance identity: unique per constructed server, across processes.
+    /// A client seeing the nonce change at a fixed address knows the server
+    /// was replaced (respawn or revive) and its state reset.
+    nonce: u64,
     /// Stage-1 state: applies land here immediately.
     live: ShardedStore,
     /// Stage-2 state: the committed view workers pull.
@@ -94,6 +120,7 @@ impl PsServer {
             id,
             shard_offset,
             param_range: (param_offset, param_len),
+            nonce: next_nonce(),
             committed: ShardedStore::new(slice, owned_shards),
             live,
             seq_dedup: Mutex::new(HashMap::new()),
@@ -111,6 +138,13 @@ impl PsServer {
     /// This server's id (its index in the router's server list).
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// This instance's nonce (see [`crate::transport::wire::ServerInfo`]):
+    /// distinct for every constructed server, including a revived or
+    /// respawned replacement at the same address.
+    pub fn nonce(&self) -> u64 {
+        self.nonce
     }
 
     /// Number of shards this server owns.

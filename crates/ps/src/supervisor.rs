@@ -9,6 +9,8 @@
 //! probe: a killed server's listener answers the dial but drops the
 //! connection, which the short-budget ping reports as an error.
 
+use std::time::{Duration, Instant};
+
 use crate::error::PsError;
 use crate::transport::NetRouter;
 
@@ -29,6 +31,11 @@ pub struct ServerSupervisor {
     /// Last checkpointed `(params, velocity)` slice per server; `None`
     /// until the first [`checkpoint`](Self::checkpoint).
     snapshots: Vec<Option<(Vec<f32>, Vec<f32>)>>,
+    /// Instance nonce observed at the last checkpoint, per server. A later
+    /// probe answering with a *different* nonce is a respawned process with
+    /// reset state — the cross-process crash signal, since a respawned
+    /// `ps-serve` answers probes happily.
+    nonces: Vec<Option<u64>>,
 }
 
 impl ServerSupervisor {
@@ -36,6 +43,7 @@ impl ServerSupervisor {
     pub fn new(servers: usize) -> Self {
         ServerSupervisor {
             snapshots: (0..servers).map(|_| None).collect(),
+            nonces: (0..servers).map(|_| None).collect(),
         }
     }
 
@@ -49,11 +57,16 @@ impl ServerSupervisor {
     pub fn checkpoint(&mut self, router: &NetRouter) -> Result<(), PsError> {
         if self.snapshots.len() != router.server_count() {
             self.snapshots = (0..router.server_count()).map(|_| None).collect();
+            self.nonces = (0..router.server_count()).map(|_| None).collect();
         }
         for s in 0..router.server_count() {
             let params = router.snapshot_server(s, false)?;
             let velocity = router.snapshot_server(s, true)?;
             self.snapshots[s] = Some((params, velocity));
+            // Record who we checkpointed, so a later heal can tell this
+            // instance from a respawned replacement. Best-effort: a tier
+            // predating HELLO (or a faulty link) just skips the record.
+            self.nonces[s] = router.server_info(s).ok().map(|i| i.nonce);
         }
         Ok(())
     }
@@ -79,6 +92,54 @@ impl ServerSupervisor {
                 router.restore_server(s, params, velocity)?;
             }
             router.ping_server(s)?;
+            // The revived instance has a fresh nonce; record it so a later
+            // nonce comparison does not mistake it for a second respawn.
+            self.nonces[s] = router.server_info(s).ok().map(|i| i.nonce);
+            healed += 1;
+        }
+        Ok(healed)
+    }
+
+    /// The cross-process counterpart of [`heal`](Self::heal), for a tier of
+    /// `ps-serve` *processes* reached through [`NetRouter::connect`] — where
+    /// the transport cannot revive a server in place, and a crashed server
+    /// comes back only when something respawns its process at the same
+    /// address.
+    ///
+    /// For each server this waits (up to `wait`, shared across servers) for
+    /// a `Hello` answer, then compares the answering instance's nonce with
+    /// the one recorded at the last [`checkpoint`](Self::checkpoint): a
+    /// changed (or never-recorded) nonce means a fresh instance holding
+    /// reset state, so its snapshot is replayed and committed. Returns the
+    /// number of servers healed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::ConnLost`] for a server nobody respawned within
+    /// `wait`, or the restore failure of a server that answered but could
+    /// not be re-seeded.
+    pub fn heal_respawned(&mut self, router: &NetRouter, wait: Duration) -> Result<usize, PsError> {
+        let start = Instant::now();
+        let mut healed = 0;
+        for s in 0..router.server_count() {
+            let info = loop {
+                match router.server_info(s) {
+                    Ok(info) => break info,
+                    Err(_) => {
+                        if start.elapsed() >= wait {
+                            return Err(PsError::ConnLost { server: s });
+                        }
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                }
+            };
+            if self.nonces.get(s).copied().flatten() == Some(info.nonce) {
+                continue; // same instance we checkpointed — state intact
+            }
+            if let Some(Some((params, velocity))) = self.snapshots.get(s) {
+                router.restore_server(s, params, velocity)?;
+            }
+            self.nonces[s] = Some(info.nonce);
             healed += 1;
         }
         Ok(healed)

@@ -31,12 +31,15 @@
 pub mod channel;
 pub mod faulty;
 mod net_router;
+pub mod remote;
 pub mod tcp;
 pub mod wire;
 
 pub use faulty::{FaultPlan, FaultyTransport};
 pub use net_router::{NetPort, NetRouter};
-pub use wire::{Reply, Request, WireError};
+pub use remote::RemoteTcpTransport;
+pub use tcp::TcpServerHost;
+pub use wire::{Reply, Request, ServerInfo, WireError};
 
 use std::fmt;
 use std::io;
@@ -278,6 +281,20 @@ impl ServerEndpoint {
                 reply.push(op::FINITE);
                 reply.push(u8::from(self.server.live().is_finite()));
             }
+            op::HELLO => {
+                let (param_offset, param_len) = self.server.param_range();
+                wire::encode_server_info(
+                    reply,
+                    &wire::ServerInfo {
+                        nonce: self.server.nonce(),
+                        server: self.server.id() as u32,
+                        first_shard: self.server.shard_offset() as u32,
+                        shard_count: self.server.shard_count() as u32,
+                        param_offset: param_offset as u64,
+                        param_len: param_len as u64,
+                    },
+                );
+            }
             op::SHUTDOWN => return Ok(Handled::Shutdown),
             other => return Err(WireError::UnknownOpcode(other)),
         }
@@ -451,6 +468,33 @@ mod tests {
         wire::encode_push_shard(&mut req, 1, 0.5, 0.0, &[1.0; 5]);
         ep.handle(&req, &mut reply).unwrap();
         assert_eq!(wire::decode_push_ack(&reply), Ok(2));
+    }
+
+    #[test]
+    fn hello_reports_identity_and_nonce_changes_on_replacement() {
+        let initial: Vec<f32> = (0..10).map(|i| i as f32 * 0.1).collect();
+        let layout = ShardLayout::new(10, 2);
+        let server = Arc::new(PsServer::new(0, &layout, 0, 2, &initial));
+        let mut ep = ServerEndpoint::new(server.clone());
+        let mut req = Vec::new();
+        let mut reply = Vec::new();
+        wire::encode_bodyless(&mut req, op::HELLO);
+        assert_eq!(ep.handle(&req, &mut reply), Ok(Handled::Reply));
+        let info = wire::decode_server_info(&reply).unwrap();
+        assert_eq!(info.nonce, server.nonce());
+        assert_eq!(info.server, 0);
+        assert_eq!(info.first_shard, 0);
+        assert_eq!(info.shard_count, 2);
+        assert_eq!(info.param_offset, 0);
+        assert_eq!(info.param_len, 10);
+        // A replacement instance — same slice, fresh construction — answers
+        // with a different nonce: how respawns are detected on the wire.
+        let fresh = Arc::new(PsServer::new(0, &layout, 0, 2, &initial));
+        let mut ep2 = ServerEndpoint::new(fresh);
+        ep2.handle(&req, &mut reply).unwrap();
+        let info2 = wire::decode_server_info(&reply).unwrap();
+        assert_ne!(info2.nonce, info.nonce);
+        assert_eq!(info2.first_shard, info.first_shard);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! worker threads never share a socket or contend on a connection lock.
 
 use std::io;
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -25,8 +26,9 @@ use parking_lot::Mutex;
 
 use super::channel::ChannelTransport;
 use super::faulty::FaultyTransport;
+use super::remote::RemoteTcpTransport;
 use super::tcp::TcpTransport;
-use super::wire::{self, op, WireError};
+use super::wire::{self, op, ServerInfo, WireError};
 use super::{Conn, Transport};
 use crate::config::{RetryPolicy, ServerTopology, TransportKind};
 use crate::error::PsError;
@@ -268,6 +270,77 @@ impl NetRouter {
             sync: Mutex::new(ConnSet::with_capacity(server_count)),
             transport,
         }
+    }
+
+    /// Connects to an *already-running* tier of `ps-serve` processes at
+    /// `addrs` — the cross-process counterpart of [`NetRouter::launch`].
+    /// Nothing is spawned and no I/O happens here: the ownership map is
+    /// derived from the same pure `(param_count, shards, servers)` layout
+    /// math every `ps-serve` process runs, and connections open lazily.
+    /// Call [`NetRouter::handshake`] afterwards to wait for the servers to
+    /// bind and to verify they agree on the layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] if the shape is inconsistent —
+    /// zero parameters/shards/addresses, or more servers than shards
+    /// (a remote tier is never silently clamped: the spec says `ps-serve`
+    /// processes exist, so a shape that cannot give each one shards is a
+    /// misconfiguration, not a request to ignore some).
+    pub fn connect(
+        param_count: usize,
+        shards: usize,
+        addrs: &[SocketAddr],
+        sync_every: u64,
+        retry: RetryPolicy,
+    ) -> Result<Self, PsError> {
+        if param_count == 0 {
+            return Err(PsError::InvalidConfig("zero parameters".into()));
+        }
+        if shards == 0 {
+            return Err(PsError::InvalidConfig("zero shards".into()));
+        }
+        if addrs.is_empty() {
+            return Err(PsError::InvalidConfig("no server addresses".into()));
+        }
+        let layout = ShardLayout::new(param_count, shards);
+        if addrs.len() > layout.len() {
+            return Err(PsError::InvalidConfig(format!(
+                "{} servers but only {} shards — a remote tier is not clamped",
+                addrs.len(),
+                layout.len()
+            )));
+        }
+        let ownership = ShardLayout::new(layout.len(), addrs.len());
+        let mut owner = vec![0usize; layout.len()];
+        let metas: Vec<ServerMeta> = (0..ownership.len())
+            .map(|s| {
+                let (first, count) = ownership.range(s);
+                owner[first..first + count].iter_mut().for_each(|o| *o = s);
+                let param_offset = layout.range(first).0;
+                let param_len: usize = (first..first + count).map(|g| layout.range(g).1).sum();
+                ServerMeta {
+                    shard_offset: first,
+                    shard_count: count,
+                    param_range: (param_offset, param_len),
+                }
+            })
+            .collect();
+        let server_count = metas.len();
+        Ok(NetRouter {
+            kind: TransportKind::Tcp,
+            layout,
+            owner,
+            servers: metas,
+            version: AtomicU64::new(0),
+            sync_every: sync_every.max(1),
+            rounds: AtomicU64::new(0),
+            synced_version: AtomicU64::new(0),
+            retry,
+            stats: WireCounters::default(),
+            sync: Mutex::new(ConnSet::with_capacity(server_count)),
+            transport: Box::new(RemoteTcpTransport::new(addrs.to_vec())),
+        })
     }
 
     /// The transport backend kind.
@@ -775,6 +848,87 @@ impl NetRouter {
         .map(|_| ())
     }
 
+    /// One `Hello` round trip to server `s`: returns its self-description
+    /// (identity nonce, owned slice) under the short probe policy of
+    /// [`Self::ping_server`]. A changed nonce at the same address means the
+    /// instance was replaced (revived in-process, or its process respawned)
+    /// and holds reset state.
+    ///
+    /// # Errors
+    ///
+    /// Returns the wire error if the server did not answer within the probe
+    /// budget.
+    pub fn server_info(&self, s: usize) -> Result<ServerInfo, PsError> {
+        let probe = RetryPolicy {
+            max_retries: 2,
+            op_timeout_ms: self.retry.op_timeout_ms.min(1000),
+            ..self.retry
+        };
+        let mut conns = self.sync.lock();
+        conns.invalidate(s);
+        self.call_resilient(
+            &mut conns,
+            s,
+            probe,
+            None,
+            false,
+            &|buf| wire::encode_bodyless(buf, op::HELLO),
+            &mut wire::decode_server_info,
+        )
+    }
+
+    /// The readiness handshake: probes every server with `Hello` until each
+    /// has answered or `deadline` elapses, then cross-checks the answers
+    /// against the locally derived layout. This is what lets a `ps-worker`
+    /// process be started before (or concurrently with) its `ps-serve`
+    /// processes: the worker retries until the listeners bind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last wire error if a server stays unreachable past the
+    /// deadline, or [`PsError::InvalidConfig`] if a server answers with an
+    /// identity or slice that contradicts the spec (wrong index at an
+    /// address, or a different `(param_count, shards, servers)` triple).
+    pub fn handshake(&self, deadline: Duration) -> Result<Vec<ServerInfo>, PsError> {
+        let start = Instant::now();
+        let mut infos = Vec::with_capacity(self.servers.len());
+        for (s, meta) in self.servers.iter().enumerate() {
+            let info = loop {
+                match self.server_info(s) {
+                    Ok(info) => break info,
+                    Err(e) => {
+                        if start.elapsed() >= deadline {
+                            return Err(e);
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            };
+            let expect = (
+                s as u32,
+                meta.shard_offset as u32,
+                meta.shard_count as u32,
+                meta.param_range.0 as u64,
+                meta.param_range.1 as u64,
+            );
+            let got = (
+                info.server,
+                info.first_shard,
+                info.shard_count,
+                info.param_offset,
+                info.param_len,
+            );
+            if got != expect {
+                return Err(PsError::InvalidConfig(format!(
+                    "server {s} answered with identity/slice {got:?}, spec says {expect:?} — \
+                     address list and (params, shards, servers) must match across the cluster"
+                )));
+            }
+            infos.push(info);
+        }
+        Ok(infos)
+    }
+
     /// Kills server `s`'s serving loop through the transport's
     /// fault-injection hook (TCP backend; chaos testing). In-flight and
     /// cached connections are severed; this router's control-plane slot is
@@ -827,6 +981,31 @@ impl NetPort {
             conns: Mutex::new(ConnSet::default()),
             router: Arc::new(NetRouter::launch(initial, shards, topology)),
         }
+    }
+
+    /// Connects to an already-running cross-process tier (see
+    /// [`NetRouter::connect`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PsError::InvalidConfig`] on an inconsistent shape.
+    pub fn connect(
+        param_count: usize,
+        shards: usize,
+        addrs: &[SocketAddr],
+        sync_every: u64,
+        retry: RetryPolicy,
+    ) -> Result<Self, PsError> {
+        Ok(NetPort {
+            conns: Mutex::new(ConnSet::default()),
+            router: Arc::new(NetRouter::connect(
+                param_count,
+                shards,
+                addrs,
+                sync_every,
+                retry,
+            )?),
+        })
     }
 
     /// The shared router.

@@ -1,5 +1,5 @@
-//! The loopback TCP backend: one listener per server, blocking I/O, one
-//! connection (and one handler thread) per worker.
+//! The TCP backend: one listener per server, blocking I/O, one connection
+//! (and one handler thread) per worker.
 //!
 //! This is the "real sockets" end of the transport tier: every push, pull,
 //! and sync round crosses the kernel's TCP stack, so the wire cost the
@@ -11,9 +11,16 @@
 //! (`ShardedStore` is internally locked per shard), so two workers pushing
 //! to different shards of one server proceed concurrently — the same
 //! contention profile as the in-process tier, plus the socket hop.
+//!
+//! The serving side is factored as [`TcpServerHost`] — one listener, one
+//! server instance, its accept loop and handler threads — so it can be
+//! hosted two ways: [`TcpTransport`] embeds N hosts on loopback ephemeral
+//! ports for in-process tests, while the `ps-serve` binary embeds exactly
+//! one, bound to a configured address, to put each server in its own OS
+//! process.
 
 use std::io::{self, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -23,10 +30,11 @@ use parking_lot::Mutex;
 
 use super::{wire, Conn, Handled, ServerEndpoint, Transport};
 use crate::server::PsServer;
+use crate::store::ShardLayout;
 
-/// Per-server serving state, shared between the transport handle and the
+/// Per-server serving state, shared between the host handle and the
 /// server's accept loop. The indirection is what makes crash/restart
-/// possible without tearing the transport down: the listener stays bound
+/// possible without tearing the host down: the listener stays bound
 /// while the server instance behind it is swapped.
 struct ServerSlot {
     /// The live server instance; replaced wholesale by a revive.
@@ -41,21 +49,179 @@ struct ServerSlot {
     next_conn: AtomicU64,
 }
 
-/// The TCP transport: one loopback listener per server.
-pub struct TcpTransport {
-    addrs: Vec<SocketAddr>,
-    slots: Vec<Arc<ServerSlot>>,
+/// One served [`PsServer`]: a bound TCP listener, the accept loop thread,
+/// and the per-connection handler threads. Dropping the host stops the
+/// accept loop and joins every thread.
+///
+/// This is the unit the `ps-serve` binary runs one of per process; the
+/// in-process [`TcpTransport`] is simply a vector of these on loopback.
+pub struct TcpServerHost {
+    addr: SocketAddr,
+    slot: Arc<ServerSlot>,
     stop: Arc<AtomicBool>,
-    /// Accept-loop threads (one per server) followed by any handler threads
-    /// they spawned, all joined on drop.
-    accept_threads: Mutex<Vec<JoinHandle<()>>>,
+    accept_thread: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for TcpServerHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServerHost")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl TcpServerHost {
+    /// Binds `addr` and serves server `index` of an `servers`-way tier over
+    /// `param_count` flat parameters split into `shards` shards, initialized
+    /// from `initial`. This is the cross-process entry point: every process
+    /// of a cluster derives the same [`ShardLayout`] from the same
+    /// `(param_count, shards, servers)` triple, so the slice this host owns
+    /// is agreed on without any coordination traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidInput`] if the tier shape is
+    /// inconsistent (no servers, more servers than shards, `index` out of
+    /// range, or `initial` not matching `param_count`), or the bind error.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        initial: &[f32],
+        shards: usize,
+        servers: usize,
+        index: usize,
+    ) -> io::Result<Self> {
+        let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        if servers == 0 {
+            return Err(invalid("cluster has zero servers".into()));
+        }
+        if index >= servers {
+            return Err(invalid(format!(
+                "server index {index} out of range for {servers} servers"
+            )));
+        }
+        if initial.is_empty() {
+            return Err(invalid("model has zero parameters".into()));
+        }
+        let layout = ShardLayout::new(initial.len(), shards);
+        if servers > layout.len() {
+            return Err(invalid(format!(
+                "{servers} servers but only {} shards",
+                layout.len()
+            )));
+        }
+        let ownership = ShardLayout::new(layout.len(), servers);
+        let (first, count) = ownership.range(index);
+        let server = Arc::new(PsServer::new(index, &layout, first, count, initial));
+        Self::bind_instance(addr, server)
+    }
+
+    /// Binds `addr` and serves an already-constructed instance.
+    pub(crate) fn bind_instance(
+        addr: impl ToSocketAddrs,
+        server: Arc<PsServer>,
+    ) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handlers = Arc::new(Mutex::new(Vec::new()));
+        let id = server.id();
+        let slot = Arc::new(ServerSlot {
+            server: Mutex::new(server),
+            dead: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        });
+        let accept_thread = {
+            let slot = Arc::clone(&slot);
+            let stop = Arc::clone(&stop);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name(format!("ps-listen-{id}"))
+                .spawn(move || accept_loop(&listener, &slot, &stop, &handlers))
+                .expect("spawn ps tcp accept loop")
+        };
+        Ok(TcpServerHost {
+            addr,
+            slot,
+            stop,
+            accept_thread: Some(accept_thread),
+            handlers,
+        })
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The hosted instance's nonce (what a [`wire::ServerInfo`] reply
+    /// carries).
+    pub fn nonce(&self) -> u64 {
+        self.slot.server.lock().nonce()
+    }
+
+    /// Blocks until the accept loop exits — which it only does when the
+    /// host is stopped, so for the `ps-serve` binary this is "serve until
+    /// the process is killed".
+    pub fn wait(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Crash-testing hook: refuse service and sever open connections while
+    /// keeping the listener bound (see [`Transport::kill_server`]).
+    pub(crate) fn kill(&self) {
+        self.slot.dead.store(true, Ordering::Release);
+        // Sever every live connection: handlers parked in a blocking read
+        // on an idle-but-open client conn wake with an error and exit.
+        for (_, stream) in self.slot.conns.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Installs `fresh` behind the same listener and resumes service.
+    pub(crate) fn revive(&self, fresh: Arc<PsServer>) {
+        *self.slot.server.lock() = fresh;
+        self.slot.dead.store(false, Ordering::Release);
+    }
+}
+
+impl Drop for TcpServerHost {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the accept loop with a throwaway connection; it observes
+        // the stop flag and returns, dropping the listener.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Sever every registered connection so handler threads parked in a
+        // blocking read wake and exit even while their clients keep the
+        // other end open — a standalone host (unlike the embedded
+        // transport) cannot assume its clients dropped their conns first.
+        for (_, stream) in self.slot.conns.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for t in self.handlers.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The in-process TCP transport: one loopback [`TcpServerHost`] per server.
+pub struct TcpTransport {
+    hosts: Vec<TcpServerHost>,
 }
 
 impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
-            .field("addrs", &self.addrs)
+            .field(
+                "addrs",
+                &self.hosts.iter().map(|h| h.addr).collect::<Vec<_>>(),
+            )
             .finish()
     }
 }
@@ -67,38 +233,11 @@ impl TcpTransport {
     ///
     /// Returns an I/O error if a listener cannot bind.
     pub(crate) fn launch(servers: Vec<Arc<PsServer>>) -> io::Result<Self> {
-        let stop = Arc::new(AtomicBool::new(false));
-        let handlers = Arc::new(Mutex::new(Vec::new()));
-        let mut addrs = Vec::with_capacity(servers.len());
-        let mut slots = Vec::with_capacity(servers.len());
-        let mut accept_threads = Vec::with_capacity(servers.len());
-        for server in servers {
-            let listener = TcpListener::bind("127.0.0.1:0")?;
-            addrs.push(listener.local_addr()?);
-            let stop = Arc::clone(&stop);
-            let handlers = Arc::clone(&handlers);
-            let id = server.id();
-            let slot = Arc::new(ServerSlot {
-                server: Mutex::new(server),
-                dead: AtomicBool::new(false),
-                conns: Mutex::new(Vec::new()),
-                next_conn: AtomicU64::new(0),
-            });
-            slots.push(Arc::clone(&slot));
-            accept_threads.push(
-                std::thread::Builder::new()
-                    .name(format!("ps-listen-{id}"))
-                    .spawn(move || accept_loop(&listener, &slot, &stop, &handlers))
-                    .expect("spawn ps tcp accept loop"),
-            );
-        }
-        Ok(TcpTransport {
-            addrs,
-            slots,
-            stop,
-            accept_threads: Mutex::new(accept_threads),
-            handlers,
-        })
+        let hosts = servers
+            .into_iter()
+            .map(|server| TcpServerHost::bind_instance("127.0.0.1:0", server))
+            .collect::<io::Result<Vec<_>>>()?;
+        Ok(TcpTransport { hosts })
     }
 }
 
@@ -199,65 +338,46 @@ impl Transport for TcpTransport {
     }
 
     fn server_count(&self) -> usize {
-        self.addrs.len()
+        self.hosts.len()
     }
 
     fn connect(&self, server: usize) -> io::Result<Box<dyn Conn>> {
-        let stream = TcpStream::connect(self.addrs[server])?;
-        stream.set_nodelay(true)?;
-        Ok(Box::new(TcpConn {
-            stream,
-            send: Vec::new(),
-            reply: Vec::new(),
-        }))
+        Ok(Box::new(TcpConn::connect(self.hosts[server].addr)?))
     }
 
     fn kill_server(&self, server: usize) -> io::Result<()> {
-        let slot = &self.slots[server];
-        slot.dead.store(true, Ordering::Release);
-        // Sever every live connection: handlers parked in a blocking read
-        // on an idle-but-open client conn wake with an error and exit.
-        for (_, stream) in slot.conns.lock().drain(..) {
-            let _ = stream.shutdown(Shutdown::Both);
-        }
+        self.hosts[server].kill();
         Ok(())
     }
 
     fn revive_server(&self, server: usize, fresh: Arc<PsServer>) -> io::Result<()> {
-        let slot = &self.slots[server];
-        *slot.server.lock() = fresh;
-        slot.dead.store(false, Ordering::Release);
+        self.hosts[server].revive(fresh);
         Ok(())
     }
 }
 
-impl Drop for TcpTransport {
-    fn drop(&mut self) {
-        self.stop.store(true, Ordering::Release);
-        // Wake each accept loop with a throwaway connection; it observes
-        // the stop flag and returns, dropping the listener.
-        for addr in &self.addrs {
-            let _ = TcpStream::connect(addr);
-        }
-        for t in self.accept_threads.lock().drain(..) {
-            let _ = t.join();
-        }
-        // Handler threads exit when their client streams close; every conn
-        // this process opened is dropped before the transport (NetRouter
-        // drops its conn caches first), so these joins cannot hang.
-        for t in self.handlers.lock().drain(..) {
-            let _ = t.join();
-        }
-    }
-}
-
-/// A client connection on the TCP backend.
-struct TcpConn {
+/// A client connection on the TCP backend — shared by the in-process
+/// [`TcpTransport`] and the cross-process
+/// [`crate::transport::RemoteTcpTransport`].
+pub(crate) struct TcpConn {
     stream: TcpStream,
     /// Outgoing frame: `[4-byte length placeholder][payload]`.
     send: Vec<u8>,
     /// Last reply payload.
     reply: Vec<u8>,
+}
+
+impl TcpConn {
+    /// Connects to a serving host and disables Nagle.
+    pub(crate) fn connect(addr: SocketAddr) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpConn {
+            stream,
+            send: Vec::new(),
+            reply: Vec::new(),
+        })
+    }
 }
 
 impl std::fmt::Debug for TcpConn {
@@ -409,7 +529,7 @@ mod tests {
     #[test]
     fn drop_closes_listeners() {
         let t = launch(4, 2, 1);
-        let addr = t.addrs[0];
+        let addr = t.hosts[0].addr;
         drop(t);
         // The listener is gone: either the connect fails outright or the
         // socket is closed without serving.
@@ -421,6 +541,33 @@ mod tests {
             assert!(
                 write.is_err() || matches!(s.read(&mut buf), Ok(0) | Err(_)),
                 "dropped transport still serving"
+            );
+        }
+    }
+
+    #[test]
+    fn standalone_host_serves_hello_on_a_configured_addr() {
+        let initial: Vec<f32> = (0..24).map(|i| i as f32 * 0.5).collect();
+        // Server 1 of a 3-server × 6-shard tier.
+        let host = TcpServerHost::bind("127.0.0.1:0", &initial, 6, 3, 1).unwrap();
+        let mut conn = TcpConn::connect(host.local_addr()).unwrap();
+        wire::encode_bodyless(conn.request_buf(), op::HELLO);
+        let info = wire::decode_server_info(conn.call().unwrap()).unwrap();
+        assert_eq!(info.server, 1);
+        assert_eq!(info.first_shard, 2);
+        assert_eq!(info.shard_count, 2);
+        assert_eq!(info.nonce, host.nonce());
+        // Param slice: 24 params / 6 shards = 4 per shard; shards 2..4.
+        assert_eq!(info.param_offset, 8);
+        assert_eq!(info.param_len, 8);
+        // Misconfigured specs are rejected before binding threads.
+        for (shards, servers, index) in [(6, 0, 0), (6, 3, 3), (2, 3, 0)] {
+            let err =
+                TcpServerHost::bind("127.0.0.1:0", &initial, shards, servers, index).unwrap_err();
+            assert_eq!(
+                err.kind(),
+                io::ErrorKind::InvalidInput,
+                "{shards} {servers} {index}"
             );
         }
     }

@@ -93,6 +93,11 @@ pub mod op {
     /// for a duplicate, so a retried mutating request is applied at most
     /// once (see [`crate::transport::ServerEndpoint`]).
     pub const SEQUENCED: u8 = 0x0b;
+    /// Readiness/identity probe: "who are you, and what do you own?". A
+    /// bodyless request; the reply is [`INFO`]. Sent by workers to wait for
+    /// a server to come up and to validate a cluster spec, and by the
+    /// supervisor to detect a *respawned* server (its nonce changes).
+    pub const HELLO: u8 = 0x0c;
 
     /// Reply to [`PUSH_SHARD`]: the pre-apply shard clock.
     pub const PUSH_ACK: u8 = 0x81;
@@ -106,6 +111,32 @@ pub mod op {
     pub const OK: u8 = 0x85;
     /// Reply to [`CHECK_FINITE`].
     pub const FINITE: u8 = 0x86;
+    /// Reply to [`HELLO`]: the server's identity and owned slice.
+    pub const INFO: u8 = 0x87;
+}
+
+/// A server's self-description, returned in reply to [`op::HELLO`].
+///
+/// Workers use it as the readiness handshake (a reply at all means the
+/// listener is up and serving) and to cross-check the cluster spec against
+/// what the server actually owns; the cross-process supervisor uses `nonce`
+/// to tell a *respawned* server (fresh store, needs a snapshot restore)
+/// from one that merely dropped a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Instance nonce: unique per constructed `PsServer`, across processes.
+    /// A changed nonce at the same address means the process was restarted.
+    pub nonce: u64,
+    /// The server's index in the tier.
+    pub server: u32,
+    /// First global shard index this server owns.
+    pub first_shard: u32,
+    /// Number of consecutive shards owned.
+    pub shard_count: u32,
+    /// First flat-parameter index of the owned slice.
+    pub param_offset: u64,
+    /// Length of the owned flat-parameter slice.
+    pub param_len: u64,
 }
 
 /// A decoded request frame (owned form — the hot paths use the streaming
@@ -161,6 +192,8 @@ pub enum Request {
     ResetVelocity,
     /// Ask whether every live parameter is finite.
     CheckFinite,
+    /// Readiness/identity probe; replied to with [`Reply::Info`].
+    Hello,
     /// Terminate the serving loop.
     Shutdown,
 }
@@ -194,6 +227,8 @@ pub enum Reply {
         /// Whether every live parameter is finite.
         finite: bool,
     },
+    /// The server's identity and owned slice, replying to [`Request::Hello`].
+    Info(ServerInfo),
 }
 
 // ---------------------------------------------------------------- encoding
@@ -293,6 +328,40 @@ pub fn encode_restore(buf: &mut Vec<u8>, params: &[f32], velocity: &[f32]) {
     put_f32s(buf, velocity);
 }
 
+/// Appends an `Info` reply payload.
+pub fn encode_server_info(buf: &mut Vec<u8>, info: &ServerInfo) {
+    buf.push(op::INFO);
+    put_u64(buf, info.nonce);
+    put_u32(buf, info.server);
+    put_u32(buf, info.first_shard);
+    put_u32(buf, info.shard_count);
+    put_u64(buf, info.param_offset);
+    put_u64(buf, info.param_len);
+}
+
+/// Decodes an `Info` reply payload.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed `Info`.
+pub fn decode_server_info(payload: &[u8]) -> Result<ServerInfo, WireError> {
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::INFO => {}
+        other => return Err(WireError::UnexpectedReply(other)),
+    }
+    let info = ServerInfo {
+        nonce: c.u64()?,
+        server: c.u32()?,
+        first_shard: c.u32()?,
+        shard_count: c.u32()?,
+        param_offset: c.u64()?,
+        param_len: c.u64()?,
+    };
+    c.finish()?;
+    Ok(info)
+}
+
 /// Appends the [`op::SEQUENCED`] wrapper header; the caller encodes the
 /// inner request payload immediately after it. `client` identifies the
 /// sending connection-slot process-wide; `seq` is its per-slot request
@@ -356,6 +425,7 @@ impl Request {
             Request::Restore { params, velocity } => encode_restore(buf, params, velocity),
             Request::ResetVelocity => encode_bodyless(buf, op::RESET_VELOCITY),
             Request::CheckFinite => encode_bodyless(buf, op::CHECK_FINITE),
+            Request::Hello => encode_bodyless(buf, op::HELLO),
             Request::Shutdown => encode_bodyless(buf, op::SHUTDOWN),
         }
     }
@@ -374,6 +444,7 @@ impl Reply {
                 buf.push(op::FINITE);
                 buf.push(u8::from(*finite));
             }
+            Reply::Info(info) => encode_server_info(buf, info),
         }
     }
 }
@@ -671,6 +742,7 @@ impl Request {
             }
             op::RESET_VELOCITY => Request::ResetVelocity,
             op::CHECK_FINITE => Request::CheckFinite,
+            op::HELLO => Request::Hello,
             op::SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::UnknownOpcode(other)),
         };
@@ -712,6 +784,14 @@ impl Reply {
             op::FINITE => Reply::Finite {
                 finite: c.u8()? != 0,
             },
+            op::INFO => Reply::Info(ServerInfo {
+                nonce: c.u64()?,
+                server: c.u32()?,
+                first_shard: c.u32()?,
+                shard_count: c.u32()?,
+                param_offset: c.u64()?,
+                param_len: c.u64()?,
+            }),
             other => return Err(WireError::UnknownOpcode(other)),
         };
         c.finish()?;
@@ -966,6 +1046,36 @@ mod tests {
         assert_eq!(
             decode_sequenced_prefix(&bad),
             Err(WireError::BadVersion(SEQ_WIRE_VERSION + 1))
+        );
+    }
+
+    #[test]
+    fn server_info_round_trips() {
+        let info = ServerInfo {
+            nonce: 0x1234_5678_9abc_def0,
+            server: 3,
+            first_shard: 12,
+            shard_count: 4,
+            param_offset: 1024,
+            param_len: 768,
+        };
+        let mut buf = Vec::new();
+        Reply::Info(info).encode(&mut buf);
+        assert_eq!(decode_server_info(&buf).unwrap(), info);
+        assert_eq!(Reply::decode(&buf).unwrap(), Reply::Info(info));
+        // Hello is bodyless and round-trips through the owned enum.
+        let mut req = Vec::new();
+        Request::Hello.encode(&mut req);
+        assert_eq!(req, [op::HELLO]);
+        assert_eq!(Request::decode(&req).unwrap(), Request::Hello);
+        // Truncations fail loudly.
+        for cut in 0..buf.len() {
+            assert!(decode_server_info(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        // Wrong opcode is an UnexpectedReply for the dedicated decoder.
+        assert_eq!(
+            decode_server_info(&[op::OK]),
+            Err(WireError::UnexpectedReply(op::OK))
         );
     }
 

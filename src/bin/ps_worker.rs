@@ -1,0 +1,220 @@
+//! `ps-worker` — one training-client process of a real Sync-Switch
+//! cluster.
+//!
+//! Reads the same [`ClusterSpec`] JSON file as the `ps-serve` tier, builds
+//! the seeded workload, dials every server, validates the tier layout with
+//! the wire `Hello` handshake (retrying until late-starting servers bind),
+//! then runs the spec's BSP/ASP/SSP segments in order over the remote tier
+//! and writes a [`WorkerReport`] JSON document on exit.
+//!
+//! Crash recovery: the worker checkpoints at every segment boundary (both
+//! its own trainer checkpoint and the per-server supervisor snapshots). If
+//! a segment dies on an unreachable server — surfacing as
+//! `PsError::WorkerPanicked`/`ConnLost`/`Timeout`/`RetriesExhausted` — the
+//! worker waits for the cluster manager to respawn the server
+//! (`ServerSupervisor::heal_respawned`, which detects the respawn by its
+//! changed instance nonce and replays the snapshot), rolls the tier back
+//! to the segment-start checkpoint, and re-runs the segment.
+//!
+//! ```text
+//! ps-worker --spec cluster.json --report worker-0.report.json
+//! ```
+
+use std::process::ExitCode;
+
+use sync_switch::deploy::{ClusterSpec, SegmentOutcome, WorkerReport};
+use sync_switch::ps::{NetPort, PsError, ServerSupervisor, Trainer, WorkerPort};
+
+/// Parsed command line of `ps-worker`.
+///
+/// As with `ps-serve`, everything about the run — workload, segments,
+/// server addresses, retry budgets — comes from the shared spec file; the
+/// command line only says where the spec is and where to leave the report.
+#[derive(Debug)]
+struct WorkerConfig {
+    /// Path of the [`ClusterSpec`] JSON file.
+    spec_path: String,
+    /// Path the [`WorkerReport`] JSON is written to on success.
+    report_path: String,
+}
+
+impl WorkerConfig {
+    /// Parses `--spec <path> --report <path>` (both required).
+    fn from_args(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut spec_path = None;
+        let mut report_path = None;
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--spec" => spec_path = Some(args.next().ok_or("--spec needs a path")?),
+                "--report" => report_path = Some(args.next().ok_or("--report needs a path")?),
+                other => {
+                    return Err(format!(
+                    "unknown argument {other:?} (usage: ps-worker --spec <file> --report <file>)"
+                ))
+                }
+            }
+        }
+        Ok(WorkerConfig {
+            spec_path: spec_path.ok_or("missing --spec <file>")?,
+            report_path: report_path.ok_or("missing --report <file>")?,
+        })
+    }
+}
+
+/// Whether a segment failure means "a server became unreachable" (worth
+/// waiting out a respawn and retrying) as opposed to a training failure
+/// like divergence (fatal).
+fn is_crash(e: &PsError) -> bool {
+    matches!(
+        e,
+        PsError::WorkerPanicked { .. }
+            | PsError::ConnLost { .. }
+            | PsError::Timeout { .. }
+            | PsError::RetriesExhausted { .. }
+    )
+}
+
+/// Crash-retry budget per segment: each retry already waits out a full
+/// respawn, so repeated exhaustion means the tier is not coming back.
+const MAX_CRASH_RETRIES: u64 = 3;
+
+fn run() -> Result<(), String> {
+    let cfg = WorkerConfig::from_args(std::env::args().skip(1))?;
+    let json = std::fs::read_to_string(&cfg.spec_path)
+        .map_err(|e| format!("cannot read spec {}: {e}", cfg.spec_path))?;
+    let spec = ClusterSpec::from_json(&json)?;
+    let kind = spec.workload_kind()?;
+    let (model, train, test) = kind.build(spec.seed);
+    let param_count = model.params_flat().len();
+    let addrs = spec.server_addrs()?;
+
+    let port = NetPort::connect(
+        param_count,
+        spec.shards,
+        &addrs,
+        spec.sync_every,
+        spec.retry(),
+    )
+    .map_err(|e| format!("connect: {e}"))?;
+    // Readiness handshake: keeps re-dialing servers that have not bound
+    // yet, then verifies every server's identity and shard slice against
+    // this spec before a single gradient moves.
+    let infos = port
+        .router()
+        .handshake(spec.handshake_deadline())
+        .map_err(|e| format!("handshake: {e}"))?;
+    for info in &infos {
+        println!(
+            "ps-worker connected server={} shards={}+{} nonce={:#018x}",
+            info.server, info.first_shard, info.shard_count, info.nonce
+        );
+    }
+
+    let trainer_cfg = spec.trainer_config()?;
+    let mut trainer = Trainer::with_port(model, train, test, trainer_cfg, WorkerPort::Net(port));
+    let mut sup = ServerSupervisor::new(addrs.len());
+    sup.checkpoint(trainer.net_router().expect("net data plane"))
+        .map_err(|e| format!("initial checkpoint: {e}"))?;
+    let mut ck = trainer.checkpoint();
+
+    let mut outcomes: Vec<SegmentOutcome> = Vec::new();
+    let mut healed_total = 0u64;
+    for seg in &spec.segments {
+        let protocol = seg.parse_protocol()?;
+        let mut crash_retries = 0u64;
+        let mut healed_seg = 0u64;
+        let report = loop {
+            let res = match protocol {
+                Some(p) => trainer.run_segment(p, seg.steps),
+                None => trainer.run_ssp_segment(seg.ssp_bound, seg.steps),
+            };
+            match res {
+                Ok(report) => break report,
+                Err(e) if is_crash(&e) && crash_retries < MAX_CRASH_RETRIES => {
+                    eprintln!(
+                        "ps-worker: segment {:?} hit {e}; waiting for the tier to heal",
+                        seg.protocol
+                    );
+                    let healed = sup
+                        .heal_respawned(
+                            trainer.net_router().expect("net data plane"),
+                            spec.heal_deadline(),
+                        )
+                        .map_err(|e| format!("tier did not heal: {e}"))?;
+                    // Roll the whole tier back to the segment-start
+                    // checkpoint so the re-run starts from a consistent
+                    // state (the heal itself only replays the respawned
+                    // server's snapshot).
+                    trainer.restore(&ck).map_err(|e| format!("rollback: {e}"))?;
+                    trainer.drain_sync();
+                    healed_seg += healed as u64;
+                    crash_retries += 1;
+                    eprintln!(
+                        "ps-worker: healed {healed} server(s), retrying segment {:?} \
+                         (attempt {})",
+                        seg.protocol,
+                        crash_retries + 1
+                    );
+                }
+                Err(e) => return Err(format!("segment {:?} failed: {e}", seg.protocol)),
+            }
+        };
+        println!(
+            "ps-worker segment {:?} done: {} steps in {:?} ({:.0} steps/s), final loss {:.4}",
+            seg.protocol,
+            report.steps,
+            report.wall_time,
+            report.steps_per_sec(),
+            report.final_loss
+        );
+        outcomes.push(SegmentOutcome {
+            protocol: seg.protocol.clone(),
+            steps: report.steps,
+            wall_time_ms: report.wall_time.as_millis() as u64,
+            steps_per_sec: report.steps_per_sec(),
+            final_loss: f64::from(report.final_loss),
+            sync_rounds: report.sync_rounds,
+            healed_servers: healed_seg,
+            crash_retries,
+        });
+        healed_total += healed_seg;
+        // Segment boundary: quiesce stage-2, then re-checkpoint both
+        // layers (trainer state for rollback, per-server snapshots +
+        // nonces for respawn detection).
+        trainer.drain_sync();
+        ck = trainer.checkpoint();
+        sup.checkpoint(trainer.net_router().expect("net data plane"))
+            .map_err(|e| format!("segment checkpoint: {e}"))?;
+    }
+
+    let final_loss = trainer.training_loss();
+    let threshold = kind.loss_threshold();
+    let report = WorkerReport {
+        workload: spec.workload.clone(),
+        segments: outcomes,
+        final_loss: f64::from(final_loss),
+        loss_threshold: f64::from(threshold),
+        converged: final_loss.is_finite() && final_loss < threshold,
+        accuracy: trainer.evaluate(),
+        finite: trainer.check_finite(),
+        healed_servers: healed_total,
+    };
+    std::fs::write(&cfg.report_path, report.to_json())
+        .map_err(|e| format!("cannot write report {}: {e}", cfg.report_path))?;
+    println!(
+        "ps-worker done: loss {:.4} (gate {threshold}), accuracy {:.3}, converged={}",
+        report.final_loss, report.accuracy, report.converged
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ps-worker: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

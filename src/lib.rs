@@ -30,6 +30,8 @@
 //! assert!(report.converged_accuracy.unwrap() > 0.90);
 //! ```
 
+pub mod deploy;
+pub mod harness;
 pub mod ps_backend;
 
 pub use sync_switch_cluster as cluster;

@@ -1,0 +1,183 @@
+//! Multi-process cluster tests: real `ps-serve` and `ps-worker` OS
+//! processes over real TCP, orchestrated by
+//! [`sync_switch::harness::ClusterHarness`].
+//!
+//! The process-spawning tests are gated behind `PS_CLUSTER_TEST=1` (the CI
+//! `cluster` stage sets it) so the tier-1 `cargo test` sweep stays fast and
+//! hermetic; without the variable they print a skip notice and pass. The
+//! spec round-trip tests always run.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use sync_switch::deploy::{ClusterSpec, SegmentSpec, WorkerReport};
+use sync_switch::harness::ClusterHarness;
+use sync_switch::workloads::TrainableKind;
+
+/// Whether the gated multi-process tests should run.
+fn cluster_tests_enabled(test: &str) -> bool {
+    if std::env::var("PS_CLUSTER_TEST").as_deref() == Ok("1") {
+        true
+    } else {
+        eprintln!("skipping {test}: set PS_CLUSTER_TEST=1 to run multi-process cluster tests");
+        false
+    }
+}
+
+/// `n` distinct loopback addresses that are free right now: bind them all
+/// simultaneously, record, release. A later `ps-serve` re-binds them
+/// (SO_REUSEADDR makes the quick re-bind safe); the race window against
+/// other processes grabbing a freed port is the standard price of
+/// ephemeral-port tests and fails loudly, not flakily silent.
+fn free_addrs(n: usize) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind probe"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("addr").to_string())
+        .collect()
+}
+
+fn harness(spec: ClusterSpec, dir_tag: &str) -> ClusterHarness {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(dir_tag);
+    let _ = std::fs::remove_dir_all(&dir);
+    ClusterHarness::new(
+        spec,
+        env!("CARGO_BIN_EXE_ps-serve"),
+        env!("CARGO_BIN_EXE_ps-worker"),
+        dir,
+    )
+    .expect("harness")
+}
+
+fn assert_all_converged(reports: &[WorkerReport], segments: usize) {
+    for (w, r) in reports.iter().enumerate() {
+        assert_eq!(r.segments.len(), segments, "worker {w} segment count");
+        assert!(r.finite, "worker {w} saw non-finite parameters");
+        assert!(
+            r.converged,
+            "worker {w} did not converge: loss {} vs gate {}",
+            r.final_loss, r.loss_threshold
+        );
+    }
+}
+
+/// The happy path *and* the readiness handshake in one scenario: workers
+/// are spawned before any server exists, keep re-dialing, and the run
+/// converges under BSP then ASP once the tier comes up late.
+#[test]
+fn cluster_converges_with_late_binding_servers() {
+    if !cluster_tests_enabled("cluster_converges_with_late_binding_servers") {
+        return;
+    }
+    let spec = ClusterSpec::standard(TrainableKind::MlpBlobs, free_addrs(2), 11);
+    let mut h = harness(spec, "late-bind");
+    // Workers first: nothing is listening yet.
+    h.spawn_workers(2).expect("spawn workers");
+    std::thread::sleep(Duration::from_millis(300));
+    h.spawn_servers().expect("spawn servers");
+    h.wait_servers_ready(Duration::from_secs(10))
+        .expect("servers ready");
+
+    // ≥2 ps-serve + ≥2 ps-worker real OS processes.
+    let pids = h.child_pids();
+    assert_eq!(pids.len(), 4);
+    for pid in &pids {
+        assert!(
+            PathBuf::from(format!("/proc/{pid}")).exists(),
+            "child {pid} is not a live OS process"
+        );
+    }
+
+    let reports = h.wait_workers(Duration::from_secs(120)).expect("reports");
+    assert_eq!(reports.len(), 2);
+    assert_all_converged(&reports, 2);
+    for r in &reports {
+        assert_eq!(r.segments[0].protocol, "bsp");
+        assert_eq!(r.segments[1].protocol, "asp");
+        assert!(r.segments.iter().all(|s| s.steps > 0));
+    }
+
+    // Leak-free teardown: shutdown reaps every child.
+    let server_pids = h.child_pids();
+    h.shutdown();
+    for pid in server_pids {
+        assert!(
+            !PathBuf::from(format!("/proc/{pid}")).exists(),
+            "child {pid} leaked past shutdown"
+        );
+    }
+}
+
+/// The crash drill: SIGKILL one server mid-run, respawn it (as a cluster
+/// manager would), and pin that the workers heal the fresh instance via
+/// the supervisor's nonce-change detection and still converge.
+#[test]
+fn cluster_survives_mid_run_server_sigkill() {
+    if !cluster_tests_enabled("cluster_survives_mid_run_server_sigkill") {
+        return;
+    }
+    let mut spec = ClusterSpec::standard(TrainableKind::MlpBlobs, free_addrs(2), 23);
+    // Stretch the run so the kill lands mid-training: ~15 ms per step puts
+    // the BSP segment alone around 3 s of wall time.
+    spec.step_delay_ms = 15;
+    spec.segments = vec![SegmentSpec::bsp(200), SegmentSpec::asp(150)];
+    let mut h = harness(spec, "sigkill");
+    h.spawn_servers().expect("spawn servers");
+    h.wait_servers_ready(Duration::from_secs(10))
+        .expect("servers ready");
+    h.spawn_workers(2).expect("spawn workers");
+
+    // Let training get well underway, then kill server 0 outright.
+    std::thread::sleep(Duration::from_millis(1_500));
+    h.sigkill_server(0);
+    std::thread::sleep(Duration::from_millis(750));
+    h.respawn_server(0).expect("respawn");
+
+    let reports = h.wait_workers(Duration::from_secs(150)).expect("reports");
+    assert_eq!(reports.len(), 2);
+    assert_all_converged(&reports, 2);
+    let healed: u64 = reports.iter().map(|r| r.healed_servers).sum();
+    assert!(
+        healed >= 1,
+        "no worker healed the respawned server — the kill missed the run"
+    );
+    let retried: u64 = reports
+        .iter()
+        .flat_map(|r| &r.segments)
+        .map(|s| s.crash_retries)
+        .sum();
+    assert!(retried >= 1, "no segment was rolled back and re-run");
+}
+
+// ---- always-on spec units (no processes) ----
+
+#[test]
+fn spec_json_round_trips_with_every_workload() {
+    for kind in TrainableKind::all() {
+        let spec = ClusterSpec::standard(kind, vec!["127.0.0.1:7701".into()], 3);
+        let parsed = ClusterSpec::from_json(&spec.to_json()).expect("round trip");
+        assert_eq!(parsed, spec);
+        assert_eq!(parsed.workload_kind().unwrap(), kind);
+    }
+}
+
+#[test]
+fn spec_rejects_malformed_json_and_bad_layouts() {
+    assert!(ClusterSpec::from_json("{not json").is_err());
+    assert!(ClusterSpec::from_json("{}").is_err());
+    let mut spec = ClusterSpec::standard(TrainableKind::MlpBlobs, free_addrs(1), 3);
+    spec.shards = 0;
+    assert!(ClusterSpec::from_json(&spec.to_json()).is_err());
+}
+
+#[test]
+fn harness_refuses_an_invalid_spec() {
+    let mut spec = ClusterSpec::standard(TrainableKind::MlpBlobs, vec!["bogus".into()], 3);
+    spec.workload = "mlp_blobs".into();
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("invalid-spec");
+    let err = ClusterHarness::new(spec, "ps-serve", "ps-worker", dir).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+}
