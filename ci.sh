@@ -46,7 +46,9 @@ collect_artifacts() {
         echo "commit: $(git rev-parse HEAD 2>/dev/null || echo unknown)"
         date -u +"when: %Y-%m-%dT%H:%M:%SZ"
     } > "$dest/FAILURE.txt"
-    # Cluster harness run dirs: per-child logs, spec, worker reports.
+    # Cluster harness run dirs: per-child logs, spec, worker reports, the
+    # ps-worker Chrome traces (*.trace.json), the per-server metrics
+    # snapshots (*.metrics.json), and the merged cluster-metrics.json.
     if [[ -d target/tmp ]]; then
         while IFS= read -r f; do
             local rel="${f#target/tmp/}"
@@ -175,15 +177,20 @@ bench_smoke_baseline() {
 
 stage_bench_smoke() {
     SMOKE_JSON="$(mktemp -t ps_throughput_smoke.XXXXXX.json)"
-    bench_smoke_measure
+    # The FAST-profile micro-configs are scheduler-sensitive; a single
+    # re-measure absorbs transient CPU-contention noise — both for the
+    # telemetry-overhead gate inside bench_json_check and for the
+    # baseline comparison below — while a real regression fails both
+    # measurements.
+    if ! bench_smoke_measure; then
+        echo "bench gate tripped — re-measuring once to rule out scheduler noise" >&2
+        bench_smoke_measure
+    fi
     if [[ "${BENCH_BASELINE_SKIP:-0}" == "1" ]]; then
         echo "BENCH_BASELINE_SKIP=1: baseline comparison is report-only" >&2
         bench_smoke_baseline --report-only
         return 0
     fi
-    # The FAST-profile micro-configs are scheduler-sensitive; a single
-    # re-measure absorbs transient CPU-contention noise, while a real
-    # regression fails both measurements.
     if ! bench_smoke_baseline; then
         echo "baseline regression — re-measuring once to rule out scheduler noise" >&2
         bench_smoke_measure
@@ -224,6 +231,31 @@ stage_cluster() {
         pgrep -af "$CLUSTER_PROC_RE" >&2 || true
         return 1
     fi
+    # Telemetry contract at the file level, independent of the in-test
+    # assertions: every harness run dir (identified by its spec.json) must
+    # hold a metrics snapshot from each ps-serve, a Chrome trace from each
+    # ps-worker, and worker reports embedding the scraped server stats.
+    local spec dir bad=0
+    while IFS= read -r spec; do
+        dir="$(dirname "$spec")"
+        if ! compgen -G "$dir/server-*.metrics.json" >/dev/null; then
+            echo "cluster run $dir: no ps-serve metrics snapshot" >&2
+            bad=1
+        fi
+        if ! compgen -G "$dir/worker-*.trace.json" >/dev/null; then
+            echo "cluster run $dir: no ps-worker trace file" >&2
+            bad=1
+        fi
+        local rep
+        for rep in "$dir"/worker-*.report.json; do
+            [[ -f "$rep" ]] || continue
+            if ! grep -q '"server_stats"' "$rep"; then
+                echo "cluster run $dir: $(basename "$rep") embeds no scraped server stats" >&2
+                bad=1
+            fi
+        done
+    done < <(find target/tmp -maxdepth 2 -name spec.json 2>/dev/null)
+    return "$bad"
 }
 
 # ---- driver ---------------------------------------------------------------

@@ -61,6 +61,22 @@ fn sparse_pair_trainer(sparse_push: bool) -> Trainer {
     Trainer::new(model, train, test, cfg)
 }
 
+/// The headline shape with the telemetry bus explicitly on or off — the
+/// overhead-control pair. Everything else is identical; the only variable
+/// is whether every step records counters/histograms/trace events.
+fn telemetry_trainer(telemetry: bool) -> Trainer {
+    let data = Dataset::gaussian_blobs(4, 100, 8, 0.35, 1);
+    let (train, test) = data.split(0.25);
+    Trainer::new(
+        Network::mlp(8, &[32], 4, 1),
+        train,
+        test,
+        TrainerConfig::new(4, 8, 0.05, 0.9)
+            .with_seed(1)
+            .with_telemetry(telemetry),
+    )
+}
+
 /// Sweep configuration: a larger MLP so sharding has parameters to split.
 /// `servers > 1` runs the shard-router data plane with OSP-style two-stage
 /// sync (reconciliation every 4 pushes); a non-in-process `transport` puts
@@ -275,6 +291,106 @@ fn main() {
         &sparse_rows,
     );
 
+    // Telemetry overhead pair: identical ASP runs with the bus on vs off.
+    // Samples are interleaved (on, off, on, off, …) so clock drift and
+    // cache warm-up hit both arms equally — the 5% overhead gate in
+    // bench_json_check compares the two means, and an unpaired measurement
+    // would gate on machine noise instead of recording cost.
+    // Long segments: each sample spawns and joins the worker threads, and
+    // that fixed cost is noisy enough to drown a sub-1% per-step signal in
+    // short runs — 32× the headline steps keeps the measured region
+    // dominated by actual steps.
+    let telemetry_steps = headline_steps * 32;
+    let telemetry_samples = (samples * 2).max(16);
+    // The first pairs are warm-up (allocator, branch predictors, thread
+    // pool) and are discarded; the reported "mean" is the interquartile
+    // mean of the rest — this box shows ±20% scheduler outliers even on
+    // identical arms, and a plain mean of a dozen samples would trip the
+    // 5% gate on noise alone.
+    let telemetry_warmup = 2usize;
+    let mut arm_durations = [Vec::new(), Vec::new()];
+    for pair in 0..telemetry_warmup + telemetry_samples {
+        // Alternate the arm order between pairs: whichever segment runs
+        // first in a pair inherits a different cache/frequency state than
+        // the second, and with a fixed order that systematic difference
+        // lands entirely on one arm and biases every pair ratio the same
+        // way. Alternating makes it cancel in the median.
+        let order = if pair % 2 == 0 {
+            [(0usize, true), (1usize, false)]
+        } else {
+            [(1usize, false), (0usize, true)]
+        };
+        for (arm, telemetry) in order {
+            let mut t = telemetry_trainer(telemetry);
+            let start = Instant::now();
+            t.run_segment(SyncProtocol::Asp, telemetry_steps)
+                .expect("telemetry-arm segment completes");
+            let took = start.elapsed();
+            if pair >= telemetry_warmup {
+                arm_durations[arm].push(took);
+            }
+        }
+    }
+    let interquartile_mean = |durations: &[Duration]| {
+        let mut sorted = durations.to_vec();
+        sorted.sort();
+        let trim = sorted.len() / 4;
+        let kept = &sorted[trim..sorted.len() - trim];
+        kept.iter().sum::<Duration>() / kept.len() as u32
+    };
+    // The gate statistic: per-pair on/off ratio, median across pairs. Each
+    // pair runs back to back, so the ratio cancels slow machine drift, and
+    // the median ignores the scheduler outliers that can blow either arm's
+    // mean up by ±20% on a shared box.
+    let mut pair_ratios: Vec<f64> = arm_durations[0]
+        .iter()
+        .zip(&arm_durations[1])
+        .map(|(on, off)| on.as_secs_f64() / off.as_secs_f64().max(1e-12))
+        .collect();
+    pair_ratios.sort_by(f64::total_cmp);
+    let paired_overhead_pct = (pair_ratios[pair_ratios.len() / 2] - 1.0) * 100.0;
+    println!("ps_ASP_telemetry paired-median overhead {paired_overhead_pct:+.2}%");
+    let mut telemetry_points = Vec::new();
+    for (arm, mode) in [(0usize, "on"), (1usize, "off")] {
+        let durations = &arm_durations[arm];
+        let mean = interquartile_mean(durations);
+        let min = *durations.iter().min().expect("at least one sample");
+        println!(
+            "ps_ASP_telemetry_{mode}                 mean {:>10.2} µs min {:>10.2} µs ({telemetry_samples} samples)",
+            fmt_us(mean),
+            fmt_us(min),
+        );
+        // The paired statistic rides on the "on" arm so the artifact stays
+        // a flat per-arm array the validator already understands.
+        let point = if mode == "on" {
+            serde_json::json!({
+                "name": format!("ps_ASP_telemetry_{mode}"),
+                "mode": mode,
+                "protocol": "ASP",
+                "workers": 4,
+                "shards": 4,
+                "steps": telemetry_steps,
+                "mean_us": fmt_us(mean),
+                "min_us": fmt_us(min),
+                "steps_per_sec": telemetry_steps as f64 / min.as_secs_f64().max(1e-12),
+                "paired_median_overhead_pct": paired_overhead_pct,
+            })
+        } else {
+            serde_json::json!({
+                "name": format!("ps_ASP_telemetry_{mode}"),
+                "mode": mode,
+                "protocol": "ASP",
+                "workers": 4,
+                "shards": 4,
+                "steps": telemetry_steps,
+                "mean_us": fmt_us(mean),
+                "min_us": fmt_us(min),
+                "steps_per_sec": telemetry_steps as f64 / min.as_secs_f64().max(1e-12),
+            })
+        };
+        telemetry_points.push(point);
+    }
+
     // Scaling sweep: workers × shards × servers under both protocols
     // (server counts above the shard count would just clamp — skipped),
     // plus the transport axis at the 4w/4s/2srv configuration.
@@ -358,6 +474,7 @@ fn main() {
         "headline": headline,
         "transport": transport_points,
         "sparse": sparse_points,
+        "telemetry": telemetry_points,
         "sweep": sweep,
         // Historical reference point, NOT re-measured: the headline
         // numbers recorded immediately before the shard-parallel

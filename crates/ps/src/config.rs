@@ -214,6 +214,12 @@ pub struct TrainerConfig {
     /// wire-byte comparisons. BSP ignores this (barrier aggregation is
     /// inherently dense).
     pub sparse_push: bool,
+    /// Whether the trainer carries a telemetry bus (metrics registry +
+    /// event tracer) for this segment. On by default — recording is a
+    /// handful of relaxed atomic ops per step, and the overhead gate in the
+    /// bench suite holds it under 5%. Disable for the control arm of that
+    /// comparison.
+    pub telemetry: bool,
     /// Base seed for batch sampling (combined with worker id and step).
     pub seed: u64,
     /// Abort the segment with [`crate::PsError::Diverged`] when a worker
@@ -241,6 +247,7 @@ impl TrainerConfig {
             straggler_delay: vec![None; workers],
             excluded_workers: Vec::new(),
             sparse_push: true,
+            telemetry: true,
             seed: 0,
             divergence_loss_threshold: 1e4,
         }
@@ -255,6 +262,12 @@ impl TrainerConfig {
     /// Enables or disables the sparse push path (enabled by default).
     pub fn with_sparse_push(mut self, sparse_push: bool) -> Self {
         self.sparse_push = sparse_push;
+        self
+    }
+
+    /// Enables or disables the telemetry bus (enabled by default).
+    pub fn with_telemetry(mut self, telemetry: bool) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -338,6 +351,15 @@ mod tests {
         assert!(cfg.sparse_push);
         let cfg = cfg.with_sparse_push(false);
         assert!(!cfg.sparse_push);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn telemetry_defaults_on_and_toggles() {
+        let cfg = TrainerConfig::new(2, 8, 0.1, 0.9);
+        assert!(cfg.telemetry);
+        let cfg = cfg.with_telemetry(false);
+        assert!(!cfg.telemetry);
         assert!(cfg.validate().is_ok());
     }
 

@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 
 use sync_switch_nn::{Dataset, Network, Tensor};
+use sync_switch_telemetry::{Counter, Histogram, LocalHistogram, Telemetry, TraceEvent, TraceKind};
 use sync_switch_workloads::SyncProtocol;
 
 use crate::checkpoint::Checkpoint;
@@ -32,6 +33,119 @@ pub(crate) type WorkerResult = (
     StalenessHistogram,
     ServerShardStaleness,
 );
+/// Per-worker-thread telemetry buffer for the hot step loops.
+///
+/// Looking an instrument up by name locks the registry map and tracing an
+/// event locks the ring — per step, across every worker thread, those two
+/// mutexes (plus the cache-line traffic of shared atomics) cost more than
+/// the bookkeeping they record. This buffer resolves the instruments once
+/// per segment, accumulates the counter and histogram samples in plain
+/// thread-local fields, and batches trace events, so between flushes the
+/// hot loop touches no shared telemetry state at all.
+pub(crate) struct WorkerTelemetry {
+    bus: Arc<Telemetry>,
+    steps_counter: Arc<Counter>,
+    step_hist: Arc<Histogram>,
+    staleness_hist: Arc<Histogram>,
+    barrier_hist: Arc<Histogram>,
+    steps: u64,
+    step_local: LocalHistogram,
+    staleness_local: LocalHistogram,
+    barrier_local: LocalHistogram,
+    events: Vec<TraceEvent>,
+}
+
+impl WorkerTelemetry {
+    /// Event-buffer flush threshold: large enough to amortize the ring
+    /// lock, small enough that a mid-segment scrape sees near-live events.
+    const FLUSH_EVERY: usize = 128;
+
+    pub(crate) fn new(bus: &Arc<Telemetry>) -> Self {
+        WorkerTelemetry {
+            steps_counter: bus.metrics.counter("engine.steps"),
+            step_hist: bus.metrics.histogram("engine.step_ns"),
+            staleness_hist: bus.metrics.histogram("engine.staleness"),
+            barrier_hist: bus.metrics.histogram("engine.barrier_wait_ns"),
+            bus: Arc::clone(bus),
+            steps: 0,
+            step_local: LocalHistogram::new(),
+            staleness_local: LocalHistogram::new(),
+            barrier_local: LocalHistogram::new(),
+            events: Vec::with_capacity(Self::FLUSH_EVERY),
+        }
+    }
+
+    /// Timestamp base for buffered spans, from the shared tracer's epoch.
+    #[inline]
+    pub(crate) fn now_ns(&self) -> u64 {
+        self.bus.trace.now_ns()
+    }
+
+    /// A finished step: bumps the step count, samples the busy duration,
+    /// and buffers a [`TraceKind::Step`] span that started at `start_ns`
+    /// and closes now.
+    #[inline]
+    pub(crate) fn step(&mut self, worker: usize, step: u64, start_ns: u64, busy: Duration) {
+        self.steps += 1;
+        self.step_local.record(busy.as_nanos() as u64);
+        let dur_ns = self.now_ns().saturating_sub(start_ns).max(1);
+        self.push(
+            TraceKind::Step {
+                worker: worker as u64,
+                step,
+            },
+            start_ns,
+            dur_ns,
+        );
+    }
+
+    /// One gradient-staleness observation (ASP/SSP steps).
+    #[inline]
+    pub(crate) fn staleness(&mut self, v: u64) {
+        self.staleness_local.record(v);
+    }
+
+    /// A barrier (or SSP gate) park that started at `start_ns`, ending now.
+    #[inline]
+    pub(crate) fn barrier_wait(&mut self, worker: usize, start_ns: u64) {
+        let dur_ns = self.now_ns().saturating_sub(start_ns).max(1);
+        self.barrier_local.record(dur_ns);
+        self.push(
+            TraceKind::BarrierWait {
+                worker: worker as u64,
+            },
+            start_ns,
+            dur_ns,
+        );
+    }
+
+    #[inline]
+    fn push(&mut self, kind: TraceKind, start_ns: u64, dur_ns: u64) {
+        self.events.push(TraceEvent {
+            kind,
+            start_ns,
+            dur_ns,
+        });
+        if self.events.len() >= Self::FLUSH_EVERY {
+            self.bus.trace.record_batch(&mut self.events);
+        }
+    }
+
+    /// Publishes everything accumulated since the last flush. Called once
+    /// per worker at segment end — a panicking worker flushes whatever it
+    /// buffered before the unwind, so post-mortem traces keep the tail.
+    pub(crate) fn flush(&mut self) {
+        if self.steps > 0 {
+            self.steps_counter.add(self.steps);
+            self.steps = 0;
+        }
+        self.step_local.flush_into(&self.step_hist);
+        self.staleness_local.flush_into(&self.staleness_hist);
+        self.barrier_local.flush_into(&self.barrier_hist);
+        self.bus.trace.record_batch(&mut self.events);
+    }
+}
+
 /// Pushes a full gradient shard-by-shard against the clocks captured in
 /// `buf`, recording one per-shard staleness observation per shard (under
 /// the owning server), then completes the push, runs any stage-2 round the
@@ -383,6 +497,12 @@ pub struct Trainer {
     test: Dataset,
     cfg: TrainerConfig,
     plane: DataPlane,
+    /// The telemetry bus (metrics + event trace) every layer of this
+    /// trainer records into, `None` when [`TrainerConfig::telemetry`] is
+    /// off. On a transport-backed plane the same bus is installed on the
+    /// [`NetRouter`], so wire retries and sync rounds land next to the
+    /// engine's step spans.
+    telemetry: Option<Arc<Telemetry>>,
     global_step: u64,
     /// Deterministic probe batch for [`Trainer::training_loss`] (first
     /// shard, fixed indices) — built once, because the switcher polls the
@@ -419,6 +539,7 @@ impl Trainer {
             .collect();
         let initial = model.params_flat();
         let plane = DataPlane::from_config(&initial, &cfg);
+        let telemetry = Self::build_telemetry(&cfg, &plane);
         let probe_n = shards[0].len().min(64);
         let probe_idx: Vec<usize> = (0..probe_n).collect();
         let probe_batch = shards[0].batch(&probe_idx);
@@ -428,6 +549,7 @@ impl Trainer {
             test,
             cfg,
             plane,
+            telemetry,
             global_step: 0,
             probe_batch,
         }
@@ -461,6 +583,7 @@ impl Trainer {
             model.params_flat().len(),
             "data plane parameter count does not match the model"
         );
+        let telemetry = Self::build_telemetry(&cfg, &plane);
         let shards: Vec<Dataset> = (0..cfg.workers)
             .map(|k| train.shard(k, cfg.workers))
             .collect();
@@ -473,9 +596,25 @@ impl Trainer {
             test,
             cfg,
             plane,
+            telemetry,
             global_step: 0,
             probe_batch,
         }
+    }
+
+    /// Builds the trainer's telemetry bus (if enabled) and installs it on
+    /// the data plane's wire router, so router-level events — push retries,
+    /// sync rounds, server kills/heals — share a clock and a trace with the
+    /// engine's step spans.
+    fn build_telemetry(cfg: &TrainerConfig, plane: &DataPlane) -> Option<Arc<Telemetry>> {
+        if !cfg.telemetry {
+            return None;
+        }
+        let telemetry = Arc::new(Telemetry::new());
+        if let WorkerPort::Net(p) = &plane.0 {
+            p.router().set_telemetry(Arc::clone(&telemetry));
+        }
+        Some(telemetry)
     }
 
     /// The current configuration.
@@ -568,6 +707,14 @@ impl Trainer {
             WorkerPort::Single(_) | WorkerPort::Routed(_) => None,
             WorkerPort::Net(p) => Some(p.router()),
         }
+    }
+
+    /// The telemetry bus this trainer records into (`None` when disabled
+    /// via [`TrainerConfig::telemetry`]). Harnesses read metrics snapshots
+    /// and export Chrome traces from here; the watchdog and supervisor
+    /// record their events into the same bus.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// Cumulative wire-cost counters of the data plane since construction
@@ -839,11 +986,17 @@ impl Trainer {
                 let (lr, mu) = (cfg.learning_rate, cfg.momentum);
                 let seed = cfg.seed;
                 let threshold = cfg.divergence_loss_threshold;
+                let telemetry = self.telemetry.clone();
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
                     let mut shard_hist = ServerShardStaleness::new(n_servers, n_stripes);
                     let mut buf = port.new_buffer();
+                    let mut wt = telemetry.as_ref().map(WorkerTelemetry::new);
+                    // First-step start, for the wall-clock throughput span
+                    // (barrier waits included — the busy-only rate hides
+                    // them; see `WorkerProfile::wall_steps_per_sec`).
+                    let mut wall_start: Option<Instant> = None;
                     // Panics here are a dying data plane (the infallible
                     // data-path ops panic once wire retries are exhausted,
                     // e.g. against a SIGKILLed `ps-serve`). Catch them so
@@ -860,6 +1013,8 @@ impl Trainer {
                                 break;
                             }
                             let t0 = Instant::now();
+                            wall_start.get_or_insert(t0);
+                            let step_ns = wt.as_ref().map_or(0, |w| w.now_ns());
                             let version = port.pull_into(&mut buf);
                             model.set_params_flat(buf.params());
                             let mut rng = step_rng(seed, worker, base_step + r);
@@ -939,16 +1094,37 @@ impl Trainer {
                                 }
                             }
 
+                            // The step span closes once this worker's
+                            // contributions (and any stripes it applied) are
+                            // in — the barrier wait is traced separately.
+                            if let Some(w) = wt.as_mut() {
+                                w.step(worker, base_step + r, step_ns, compute_time);
+                            }
+
                             // Barrier wait: every pull of round r completes
                             // before any stripe of round r is applied (a stripe
                             // needs all contributions, and contributing implies
                             // having pulled), so BSP pulls are never torn.
-                            let mut round = shared.round.lock();
-                            while *round <= r && !abort.load(Ordering::Relaxed) {
-                                shared.cv.wait(&mut round);
+                            let wait_ns = wt.as_ref().map_or(0, |w| w.now_ns());
+                            {
+                                let mut round = shared.round.lock();
+                                while *round <= r && !abort.load(Ordering::Relaxed) {
+                                    shared.cv.wait(&mut round);
+                                }
+                            }
+                            if let Some(w) = wt.as_mut() {
+                                w.barrier_wait(worker, wait_ns);
+                            }
+                            // The round is only delivered once the barrier
+                            // releases, so the wall span includes the wait.
+                            if let Some(ws) = wall_start {
+                                profile.wall_time = ws.elapsed();
                             }
                         }
                     }));
+                    if let Some(w) = wt.as_mut() {
+                        w.flush();
+                    }
                     match run {
                         Ok(()) => Ok((worker, profile, hist, shard_hist)),
                         Err(_payload) => {
@@ -1000,12 +1176,18 @@ impl Trainer {
                 let seed = cfg.seed;
                 let threshold = cfg.divergence_loss_threshold;
                 let sparse_enabled = cfg.sparse_push;
+                let telemetry = self.telemetry.clone();
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
                     let mut shard_hist = ServerShardStaleness::new(n_servers, n_shards);
                     let mut buf = port.new_buffer();
                     let mut scratch = SparseScratch::default();
+                    let mut wt = telemetry.as_ref().map(WorkerTelemetry::new);
+                    // First-step start for the wall-clock throughput span.
+                    // ASP has no barrier, so wall and busy time only differ
+                    // by straggler sleeps and scheduler preemption.
+                    let mut wall_start: Option<Instant> = None;
                     // Same panic containment as the BSP loop (no barrier
                     // to release here — peers notice the abort flag at
                     // their next step claim, or panic on the same dead
@@ -1025,6 +1207,8 @@ impl Trainer {
                                 break;
                             }
                             let t0 = Instant::now();
+                            wall_start.get_or_insert(t0);
+                            let step_ns = wt.as_ref().map_or(0, |w| w.now_ns());
                             port.pull_into(&mut buf);
                             model.set_params_flat(buf.params());
                             let mut rng = step_rng(seed, worker, base_step + s);
@@ -1054,11 +1238,22 @@ impl Trainer {
                                 mu,
                                 &mut shard_hist,
                             );
-                            profile.step_durations.push(t0.elapsed());
+                            let step_time = t0.elapsed();
+                            profile.step_durations.push(step_time);
                             profile.losses.push(loss);
                             hist.record(staleness);
+                            if let Some(ws) = wall_start {
+                                profile.wall_time = ws.elapsed();
+                            }
+                            if let Some(w) = wt.as_mut() {
+                                w.staleness(staleness);
+                                w.step(worker, base_step + s, step_ns, step_time);
+                            }
                         }
                     }));
+                    if let Some(w) = wt.as_mut() {
+                        w.flush();
+                    }
                     match run {
                         Ok(()) => Ok((worker, profile, hist, shard_hist)),
                         Err(_payload) => {
@@ -1550,5 +1745,77 @@ mod tests {
         let mut t = small_trainer(2, 14);
         let bad = TrainerConfig::new(3, 8, 0.05, 0.9);
         assert!(matches!(t.set_config(bad), Err(PsError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn segments_record_step_and_barrier_telemetry() {
+        let mut t = small_trainer(3, 21);
+        let asp_steps = 40;
+        let bsp_rounds = 10;
+        t.run_segment(SyncProtocol::Asp, asp_steps).unwrap();
+        t.run_segment(SyncProtocol::Bsp, bsp_rounds).unwrap();
+        let bus = t.telemetry().expect("telemetry defaults on");
+        // Every completed step incremented the counter and recorded a
+        // duration: 40 ASP steps plus one step per worker per BSP round.
+        let snap = bus.metrics.snapshot();
+        let expected = asp_steps + 3 * bsp_rounds;
+        assert_eq!(snap.counters.get("engine.steps"), Some(&expected));
+        let step_hist = snap.histograms.get("engine.step_ns").unwrap();
+        assert_eq!(step_hist.count, expected);
+        assert!(step_hist.sum > 0);
+        // ASP staleness observations: one per step.
+        assert_eq!(
+            snap.histograms.get("engine.staleness").unwrap().count,
+            asp_steps
+        );
+        // BSP parked each worker at the barrier each round.
+        assert_eq!(
+            snap.histograms.get("engine.barrier_wait_ns").unwrap().count,
+            3 * bsp_rounds
+        );
+        // The trace carries matching step and barrier-wait spans.
+        let counts = bus.trace.counts_by_name();
+        assert_eq!(counts.get("step"), Some(&expected));
+        assert_eq!(counts.get("barrier_wait"), Some(&(3 * bsp_rounds)));
+    }
+
+    #[test]
+    fn telemetry_off_means_no_bus() {
+        let data = Dataset::gaussian_blobs(3, 40, 5, 0.3, 22);
+        let (train, test) = data.split(0.25);
+        let cfg = TrainerConfig::new(2, 8, 0.05, 0.9)
+            .with_seed(22)
+            .with_telemetry(false);
+        let mut t = Trainer::new(Network::mlp(5, &[8], 3, 22), train, test, cfg);
+        assert!(t.telemetry().is_none());
+        // The loops still run — telemetry is strictly optional.
+        let r = t.run_segment(SyncProtocol::Asp, 10).unwrap();
+        assert_eq!(r.steps, 10);
+    }
+
+    #[test]
+    fn worker_profiles_record_wall_time() {
+        // One straggler: its *busy* rate collapses, but the fast worker's
+        // *wall* rate must collapse too under BSP, where it idles at the
+        // barrier waiting for the straggler — the distinction the wall
+        // clock exists to expose.
+        let data = Dataset::gaussian_blobs(3, 60, 4, 0.3, 23);
+        let (train, test) = data.split(0.2);
+        let cfg = TrainerConfig::new(2, 4, 0.05, 0.9)
+            .with_seed(23)
+            .with_straggler(1, Duration::from_millis(4));
+        let mut t = Trainer::new(Network::mlp(4, &[8], 3, 23), train, test, cfg);
+        let rounds = 15;
+        let r = t.run_segment(SyncProtocol::Bsp, rounds).unwrap();
+        let fast = &r.worker_profiles[0];
+        let slow = &r.worker_profiles[1];
+        assert!(!fast.wall_time.is_zero());
+        assert!(!slow.wall_time.is_zero());
+        // Both workers' wall spans cover the straggler's sleeps.
+        let floor = Duration::from_millis(4 * (rounds - 1));
+        assert!(fast.wall_time >= floor, "fast wall {:?}", fast.wall_time);
+        assert!(slow.wall_time >= floor, "slow wall {:?}", slow.wall_time);
+        // The fast worker looks fast on busy time and slow on wall time.
+        assert!(fast.steps_per_sec() > 2.0 * fast.wall_steps_per_sec());
     }
 }

@@ -62,3 +62,10 @@ pub use transport::{
     FaultPlan, FaultyTransport, NetPort, NetRouter, RemoteTcpTransport, ServerInfo, TcpServerHost,
 };
 pub use watchdog::{DivergenceWatchdog, WatchdogConfig};
+
+// The telemetry bus every layer above records into, re-exported so binaries
+// and harnesses don't need a separate dependency edge for the common types.
+pub use sync_switch_telemetry::{
+    HistogramSnapshot, MetricsRegistry, MetricsSnapshot, ServerStats, ServerStatsSnapshot,
+    Telemetry, TraceKind, Tracer, HIST_BUCKETS, OPCODE_SLOTS,
+};

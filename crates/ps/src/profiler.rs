@@ -16,6 +16,10 @@ pub struct WorkerProfile {
     pub step_durations: Vec<Duration>,
     /// Training losses observed by this worker (one per step).
     pub losses: Vec<f32>,
+    /// Wall-clock span from the start of the worker's first step to the end
+    /// of its last, *including* time spent parked at barriers or SSP gates.
+    /// Zero if the worker completed no steps.
+    pub wall_time: Duration,
 }
 
 impl WorkerProfile {
@@ -24,7 +28,10 @@ impl WorkerProfile {
         self.step_durations.len()
     }
 
-    /// Mean throughput in steps per second (0 if no steps).
+    /// Busy-time throughput in steps per second (0 if no steps): step count
+    /// over the *sum of step durations*. Under BSP a step duration excludes
+    /// the barrier wait, so this is the worker's compute rate, not its
+    /// delivered rate — compare with [`WorkerProfile::wall_steps_per_sec`].
     pub fn steps_per_sec(&self) -> f64 {
         let total: Duration = self.step_durations.iter().sum();
         if total.is_zero() {
@@ -33,7 +40,20 @@ impl WorkerProfile {
         self.steps() as f64 / total.as_secs_f64()
     }
 
-    /// Throughput in images per second at a given batch size.
+    /// Wall-clock throughput in steps per second (0 if no steps): step
+    /// count over the first-step-start → last-step-end span, idle barrier
+    /// waits included. This is the rate straggler detection should read — a
+    /// fast worker stalled behind a straggler has a high busy rate but a
+    /// low wall rate. Falls back to the busy rate when `wall_time` was not
+    /// recorded (hand-built profiles).
+    pub fn wall_steps_per_sec(&self) -> f64 {
+        if self.wall_time.is_zero() {
+            return self.steps_per_sec();
+        }
+        self.steps() as f64 / self.wall_time.as_secs_f64()
+    }
+
+    /// Throughput in images per second at a given batch size (busy-time).
     pub fn images_per_sec(&self, batch: usize) -> f64 {
         self.steps_per_sec() * batch as f64
     }
@@ -436,6 +456,7 @@ mod tests {
         let p = WorkerProfile {
             step_durations: vec![Duration::from_millis(10); 20],
             losses: vec![1.0; 20],
+            wall_time: Duration::from_millis(200),
         };
         assert_eq!(p.steps(), 20);
         assert!((p.steps_per_sec() - 100.0).abs() < 1.0);
@@ -444,9 +465,32 @@ mod tests {
     }
 
     #[test]
+    fn wall_rate_counts_idle_time_busy_rate_does_not() {
+        // 20 steps of 10ms compute, but the worker spent 400ms wall-clock:
+        // half its time parked at barriers. The busy rate says 100 steps/s;
+        // the wall rate says 50 — the delivered throughput a straggler
+        // detector must look at, since idle waits hide in the busy rate.
+        let p = WorkerProfile {
+            step_durations: vec![Duration::from_millis(10); 20],
+            losses: vec![1.0; 20],
+            wall_time: Duration::from_millis(400),
+        };
+        assert!((p.steps_per_sec() - 100.0).abs() < 1e-9);
+        assert!((p.wall_steps_per_sec() - 50.0).abs() < 1e-9);
+        // Without a recorded wall span the wall rate degrades to busy.
+        let p = WorkerProfile {
+            step_durations: vec![Duration::from_millis(10); 4],
+            losses: vec![1.0; 4],
+            wall_time: Duration::ZERO,
+        };
+        assert_eq!(p.wall_steps_per_sec(), p.steps_per_sec());
+    }
+
+    #[test]
     fn empty_profile() {
         let p = WorkerProfile::default();
         assert_eq!(p.steps_per_sec(), 0.0);
+        assert_eq!(p.wall_steps_per_sec(), 0.0);
         assert_eq!(p.mean_loss(), None);
         assert_eq!(p.last_loss(), None);
     }

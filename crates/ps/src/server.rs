@@ -24,6 +24,7 @@ use std::sync::Arc;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 use parking_lot::Mutex;
+use sync_switch_telemetry::{ServerStats, ServerStatsSnapshot};
 
 use crate::store::{ShardLayout, ShardedStore, UpdateData};
 
@@ -79,6 +80,11 @@ pub struct PsServer {
     /// server (not the per-connection endpoint) so a retry arriving on a
     /// *fresh* connection still deduplicates against the original send.
     seq_dedup: Mutex<HashMap<u64, Arc<Mutex<SeqEntry>>>>,
+    /// Request accounting (per-opcode counts, payload bytes, dedup hits,
+    /// apply timing), recorded by every connection handler and shipped to
+    /// scrapers over the `Stats` wire frame. Per instance: a revived
+    /// replacement starts counting from zero, like its state.
+    stats: ServerStats,
 }
 
 impl PsServer {
@@ -124,6 +130,7 @@ impl PsServer {
             committed: ShardedStore::new(slice, owned_shards),
             live,
             seq_dedup: Mutex::new(HashMap::new()),
+            stats: ServerStats::new(owned_shards),
         }
     }
 
@@ -166,6 +173,17 @@ impl PsServer {
     /// checkpoint restore, and divergence checks.
     pub fn live(&self) -> &ShardedStore {
         &self.live
+    }
+
+    /// This instance's request accounting.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// A point-in-time copy of the request accounting, stamped with this
+    /// server's id — what the `Stats` wire frame replies with.
+    pub fn stats_snapshot(&self) -> ServerStatsSnapshot {
+        self.stats.snapshot(self.id as u32)
     }
 
     /// Stage-1 apply: momentum-SGD update on owned shard `local` (this

@@ -82,6 +82,7 @@ impl Trainer {
         let n_servers = port.server_count();
         let rounds_before = self.sync_rounds();
         let wire_before = self.transport_stats();
+        let telemetry = self.telemetry().cloned();
 
         let start = Instant::now();
         let results: Vec<crate::engine::WorkerResult> = std::thread::scope(|scope| {
@@ -100,13 +101,19 @@ impl Trainer {
                 let seed = cfg.seed;
                 let threshold = cfg.divergence_loss_threshold;
                 let sparse_enabled = cfg.sparse_push;
+                let telemetry = telemetry.clone();
                 handles.push(scope.spawn(move || {
                     let mut profile = WorkerProfile::default();
                     let mut hist = StalenessHistogram::new();
                     let mut shard_hist = ServerShardStaleness::new(n_servers, n_shards);
                     let mut buf = port.new_buffer();
                     let mut scratch = crate::engine::SparseScratch::default();
+                    let mut wt = telemetry.as_ref().map(crate::engine::WorkerTelemetry::new);
                     let mut my_iter = 0u64;
+                    // First-step start for the wall-clock throughput span —
+                    // under SSP the wall rate absorbs the gate waits the
+                    // busy rate hides.
+                    let mut wall_start: Option<Instant> = None;
                     loop {
                         // Relaxed: latest-wins flag; diverged_at is
                         // read after thread join, which synchronizes.
@@ -127,6 +134,7 @@ impl Trainer {
                         // re-read under the gate mutex, so an aborter
                         // that stores the flag and then notifies under
                         // this mutex cannot lose the wakeup.
+                        let wait_ns = wt.as_ref().map_or(0, |w| w.now_ns());
                         {
                             let mut state = gate.state.lock();
                             while !abort.load(Ordering::Relaxed)
@@ -134,6 +142,12 @@ impl Trainer {
                             {
                                 gate.cv.wait(&mut state);
                             }
+                        }
+                        // The SSP gate is this protocol's barrier: trace the
+                        // park time under the same span kind so straggler
+                        // back-pressure is visible in one place.
+                        if let Some(w) = wt.as_mut() {
+                            w.barrier_wait(worker, wait_ns);
                         }
                         // Relaxed: pure ticket counter; atomicity alone
                         // guarantees unique step ids.
@@ -145,6 +159,8 @@ impl Trainer {
                             break;
                         }
                         let t0 = Instant::now();
+                        wall_start.get_or_insert(t0);
+                        let step_ns = wt.as_ref().map_or(0, |w| w.now_ns());
                         port.pull_into(&mut buf);
                         model.set_params_flat(buf.params());
                         let mut rng = crate::engine::step_rng(seed, worker, base_step + s);
@@ -179,13 +195,24 @@ impl Trainer {
                             mu,
                             &mut shard_hist,
                         );
-                        profile.step_durations.push(t0.elapsed());
+                        let step_time = t0.elapsed();
+                        profile.step_durations.push(step_time);
                         profile.losses.push(loss);
                         hist.record(staleness);
+                        if let Some(ws) = wall_start {
+                            profile.wall_time = ws.elapsed();
+                        }
+                        if let Some(w) = wt.as_mut() {
+                            w.staleness(staleness);
+                            w.step(worker, base_step + s, step_ns, step_time);
+                        }
                         my_iter += 1;
                         let mut state = gate.state.lock();
                         state.iterations[worker] = my_iter;
                         gate.cv.notify_all();
+                    }
+                    if let Some(w) = wt.as_mut() {
+                        w.flush();
                     }
                     (worker, profile, hist, shard_hist)
                 }));

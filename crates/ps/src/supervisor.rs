@@ -11,6 +11,8 @@
 
 use std::time::{Duration, Instant};
 
+use sync_switch_telemetry::TraceKind;
+
 use crate::error::PsError;
 use crate::transport::NetRouter;
 
@@ -119,6 +121,7 @@ impl ServerSupervisor {
     /// `wait`, or the restore failure of a server that answered but could
     /// not be re-seeded.
     pub fn heal_respawned(&mut self, router: &NetRouter, wait: Duration) -> Result<usize, PsError> {
+        let telemetry = router.telemetry();
         let start = Instant::now();
         let mut healed = 0;
         for s in 0..router.server_count() {
@@ -136,11 +139,22 @@ impl ServerSupervisor {
             if self.nonces.get(s).copied().flatten() == Some(info.nonce) {
                 continue; // same instance we checkpointed — state intact
             }
+            // A changed nonce is how a cross-process crash is *observed*:
+            // nobody on this side called kill/revive, so the supervisor is
+            // the only place the death and the re-seed can be recorded.
+            if let Some(t) = &telemetry {
+                t.metrics.counter("fault.server_kills").inc();
+                t.trace.instant(TraceKind::ServerKill { server: s as u64 });
+            }
             if let Some(Some((params, velocity))) = self.snapshots.get(s) {
                 router.restore_server(s, params, velocity)?;
             }
             self.nonces[s] = Some(info.nonce);
             healed += 1;
+            if let Some(t) = &telemetry {
+                t.metrics.counter("fault.server_heals").inc();
+                t.trace.instant(TraceKind::ServerHeal { server: s as u64 });
+            }
         }
         Ok(healed)
     }

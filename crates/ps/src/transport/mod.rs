@@ -44,7 +44,7 @@ pub use wire::{Reply, Request, ServerInfo, WireError};
 use std::fmt;
 use std::io;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::server::PsServer;
 use crate::store::UpdateData;
@@ -198,12 +198,18 @@ impl ServerEndpoint {
         let opcode = *request.first().ok_or(WireError::Truncated)?;
         if opcode == op::SEQUENCED {
             let (client, seq, inner) = wire::decode_sequenced_prefix(request)?;
+            let inner_op = *inner.first().ok_or(WireError::Truncated)?;
+            // Counted under the inner opcode (what the request does) with
+            // the wrapper's full size (what crossed the wire).
+            self.server.stats().record_request(inner_op, request.len());
             let entry = self.server.seq_entry(client);
             // Held across execution: a duplicate racing a still-running
             // original waits here and then sees the cached reply.
             let mut entry = entry.lock();
             if entry.last == Some(seq) {
+                self.server.stats().record_dedup_hit();
                 reply.extend_from_slice(&entry.reply);
+                self.server.stats().record_reply(reply.len());
                 return Ok(Handled::Reply);
             }
             let handled = self.handle_inner(inner, reply)?;
@@ -211,10 +217,16 @@ impl ServerEndpoint {
                 entry.last = Some(seq);
                 entry.reply.clear();
                 entry.reply.extend_from_slice(reply);
+                self.server.stats().record_reply(reply.len());
             }
             return Ok(handled);
         }
-        self.handle_inner(request, reply)
+        self.server.stats().record_request(opcode, request.len());
+        let handled = self.handle_inner(request, reply)?;
+        if handled == Handled::Reply {
+            self.server.stats().record_reply(reply.len());
+        }
+        Ok(handled)
     }
 
     fn handle_inner(&mut self, request: &[u8], reply: &mut Vec<u8>) -> Result<Handled, WireError> {
@@ -222,9 +234,13 @@ impl ServerEndpoint {
         match opcode {
             op::PUSH_SHARD => {
                 let (shard, lr, momentum) = wire::decode_push_shard_into(request, &mut self.grad)?;
+                let t0 = Instant::now();
                 let prev = self
                     .server
                     .apply_local(shard as usize, &self.grad, lr, momentum);
+                self.server
+                    .stats()
+                    .record_apply(shard as usize, t0.elapsed().as_nanos() as u64);
                 wire::encode_push_ack(reply, prev);
             }
             op::PUSH_SHARD_SPARSE => {
@@ -233,6 +249,7 @@ impl ServerEndpoint {
                     &mut self.segments,
                     &mut self.grad,
                 )?;
+                let t0 = Instant::now();
                 let prev = self.server.apply_local_data(
                     shard as usize,
                     UpdateData::Sparse {
@@ -242,6 +259,9 @@ impl ServerEndpoint {
                     lr,
                     momentum,
                 );
+                self.server
+                    .stats()
+                    .record_apply(shard as usize, t0.elapsed().as_nanos() as u64);
                 wire::encode_push_ack(reply, prev);
             }
             op::PULL_COMMITTED => {
@@ -294,6 +314,13 @@ impl ServerEndpoint {
                         param_len: param_len as u64,
                     },
                 );
+            }
+            op::STATS => {
+                // Snapshot taken after this request was counted, so a
+                // scrape sees itself — scrapers comparing against client
+                // counts use the push/pull/sync opcodes, which it never
+                // inflates.
+                wire::encode_stats_snapshot(reply, &self.server.stats_snapshot());
             }
             op::SHUTDOWN => return Ok(Handled::Shutdown),
             other => return Err(WireError::UnknownOpcode(other)),
@@ -495,6 +522,42 @@ mod tests {
         let info2 = wire::decode_server_info(&reply).unwrap();
         assert_ne!(info2.nonce, info.nonce);
         assert_eq!(info2.first_shard, info.first_shard);
+    }
+
+    #[test]
+    fn stats_frame_reports_request_accounting() {
+        let mut ep = endpoint(10, 2);
+        let mut req = Vec::new();
+        let mut reply = Vec::new();
+        wire::encode_push_shard(&mut req, 1, 0.5, 0.0, &[1.0; 5]);
+        let push_bytes = req.len();
+        ep.handle(&req, &mut reply).unwrap();
+        req.clear();
+        wire::encode_bodyless(&mut req, op::PULL_COMMITTED);
+        ep.handle(&req, &mut reply).unwrap();
+        // A duplicate sequenced push counts under PUSH_SHARD (the inner
+        // opcode) and as a dedup hit, without re-applying.
+        req.clear();
+        wire::encode_sequenced_prefix(&mut req, 3, 0);
+        wire::encode_push_shard(&mut req, 0, 0.5, 0.0, &[1.0; 5]);
+        ep.handle(&req, &mut reply).unwrap();
+        ep.handle(&req, &mut reply).unwrap();
+        req.clear();
+        wire::encode_bodyless(&mut req, op::STATS);
+        ep.handle(&req, &mut reply).unwrap();
+        let snap = match Reply::decode(&reply).unwrap() {
+            Reply::Stats(s) => s,
+            other => panic!("wrong reply {other:?}"),
+        };
+        assert_eq!(snap.requests_for(op::PUSH_SHARD), 3);
+        assert_eq!(snap.requests_for(op::PULL_COMMITTED), 1);
+        assert_eq!(snap.requests_for(op::STATS), 1, "scrape sees itself");
+        assert_eq!(snap.dedup_hits, 1);
+        assert!(snap.bytes_in >= push_bytes as u64);
+        assert!(snap.bytes_out > 0);
+        assert_eq!(snap.apply_ns.count, 2, "replay must not re-apply");
+        assert_eq!(snap.shard_applies, vec![1, 1]);
+        assert!(snap.shard_apply_ns.iter().all(|&ns| ns > 0));
     }
 
     #[test]

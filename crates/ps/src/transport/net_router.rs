@@ -23,6 +23,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use sync_switch_telemetry::{ServerStatsSnapshot, Telemetry, TraceKind};
 
 use super::channel::ChannelTransport;
 use super::faulty::FaultyTransport;
@@ -198,6 +199,12 @@ pub struct NetRouter {
     /// Timeout/retry/backoff budget for every wire operation.
     retry: RetryPolicy,
     stats: WireCounters,
+    /// Telemetry bus the router emits wire events on (retries, sync
+    /// rounds, kills, heals). Interior-mutable because the trainer
+    /// installs it after workers already share the router behind an
+    /// `Arc`; `None` means telemetry is off and costs one uncontended
+    /// read on the rare paths that check it.
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
     /// Serializes stage-2 rounds and the control plane; holds their
     /// dedicated connections.
     ///
@@ -267,6 +274,7 @@ impl NetRouter {
             synced_version: AtomicU64::new(0),
             retry: topology.retry,
             stats: WireCounters::default(),
+            telemetry: Mutex::new(None),
             sync: Mutex::new(ConnSet::with_capacity(server_count)),
             transport,
         }
@@ -338,9 +346,22 @@ impl NetRouter {
             synced_version: AtomicU64::new(0),
             retry,
             stats: WireCounters::default(),
+            telemetry: Mutex::new(None),
             sync: Mutex::new(ConnSet::with_capacity(server_count)),
             transport: Box::new(RemoteTcpTransport::new(addrs.to_vec())),
         })
+    }
+
+    /// Installs the telemetry bus this router emits wire events and
+    /// counters on. Callable at any point — workers sharing the router
+    /// pick it up on their next event.
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.telemetry.lock() = Some(telemetry);
+    }
+
+    /// The installed telemetry bus, if any.
+    pub fn telemetry(&self) -> Option<Arc<Telemetry>> {
+        self.telemetry.lock().clone()
     }
 
     /// The transport backend kind.
@@ -468,6 +489,13 @@ impl NetRouter {
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.telemetry.lock().as_ref() {
+                    t.metrics.counter("wire.retries").inc();
+                    t.trace.instant(TraceKind::PushRetry {
+                        server: server as u64,
+                        attempt: u64::from(attempt),
+                    });
+                }
                 let backoff = policy
                     .backoff_base_ms
                     .checked_shl(attempt - 1)
@@ -548,16 +576,22 @@ impl NetRouter {
     /// One stage-2 round, caller holding the round lock: a commit-all on
     /// every server, then the watermark advance.
     fn commit_round(&self, conns: &mut ConnSet, opcode: u8) {
+        let telemetry = self.telemetry.lock().clone();
+        let t0 = telemetry.as_ref().map_or(0, |t| t.trace.now_ns());
         let observed = self.version();
         for s in 0..self.servers.len() {
             self.sync_one(conns, s, opcode)
                 .unwrap_or_else(|e| panic!("sync round failed: {e}"));
         }
-        self.rounds.fetch_add(1, Ordering::Release);
+        let round = self.rounds.fetch_add(1, Ordering::Release) + 1;
         // Release: publishes the committed data (ordered by the servers'
         // shard locks and the request/reply round trips) with the
         // watermark, as the in-process router does.
         self.synced_version.store(observed, Ordering::Release);
+        if let Some(t) = &telemetry {
+            t.metrics.counter("wire.sync_rounds").inc();
+            t.trace.span(TraceKind::SyncRound { round }, t0);
+        }
     }
 
     /// One commit-all frame (`SyncRound` or `Drain`) to one server.
@@ -936,6 +970,10 @@ impl NetRouter {
     pub fn kill_server(&self, s: usize) -> io::Result<()> {
         self.transport.kill_server(s)?;
         self.sync.lock().invalidate(s);
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.metrics.counter("fault.server_kills").inc();
+            t.trace.instant(TraceKind::ServerKill { server: s as u64 });
+        }
         Ok(())
     }
 
@@ -948,7 +986,48 @@ impl NetRouter {
         let fresh = PsServer::new(s, &self.layout, meta.shard_offset, meta.shard_count, &zeros);
         self.transport.revive_server(s, Arc::new(fresh))?;
         self.sync.lock().invalidate(s);
+        if let Some(t) = self.telemetry.lock().as_ref() {
+            t.metrics.counter("fault.server_heals").inc();
+            t.trace.instant(TraceKind::ServerHeal { server: s as u64 });
+        }
         Ok(())
+    }
+
+    /// One `Stats` round trip to server `s`: a point-in-time copy of its
+    /// request accounting (per-opcode counts, payload bytes, dedup hits,
+    /// apply timing), under the short probe policy of
+    /// [`Self::ping_server`]. Unlike the probes it does *not* drop the
+    /// cached control-plane connection — a scrape is a read, not a
+    /// liveness verdict, and must not churn a healthy socket.
+    ///
+    /// # Errors
+    ///
+    /// Returns the wire error if the server did not answer within the
+    /// probe budget.
+    pub fn scrape_stats(&self, s: usize) -> Result<ServerStatsSnapshot, PsError> {
+        let probe = RetryPolicy {
+            max_retries: 2,
+            op_timeout_ms: self.retry.op_timeout_ms.min(1000),
+            ..self.retry
+        };
+        let mut conns = self.sync.lock();
+        self.call_resilient(
+            &mut conns,
+            s,
+            probe,
+            None,
+            false,
+            &|buf| wire::encode_bodyless(buf, op::STATS),
+            &mut wire::decode_stats_snapshot,
+        )
+    }
+
+    /// Scrapes every server (see [`Self::scrape_stats`]), yielding `None`
+    /// for servers that did not answer within the probe budget.
+    pub fn scrape_all_stats(&self) -> Vec<Option<ServerStatsSnapshot>> {
+        (0..self.servers.len())
+            .map(|s| self.scrape_stats(s).ok())
+            .collect()
     }
 }
 
@@ -1257,6 +1336,85 @@ mod tests {
             &buf.params()[po..po + pl],
             &p1[..],
             "per-server restore must commit"
+        );
+    }
+
+    #[test]
+    fn scraped_server_stats_match_client_round_trips() {
+        let net = NetPort::launch(
+            &[0.5f32; 16],
+            4,
+            ServerTopology::new(2, 2).with_transport(TransportKind::Channel),
+        );
+        let r = net.router();
+        let mut buf = RouterBuffer::new();
+        net.pull_into(&mut buf);
+        for g in 0..4 {
+            let (_, l) = r.shard_range(g);
+            net.apply_shard_update(g, &vec![1.0; l], 0.1, 0.0);
+        }
+        r.complete_push(0);
+        r.drain();
+        let client = r.stats();
+        let mut merged = ServerStatsSnapshot::default();
+        for snap in r.scrape_all_stats().into_iter().flatten() {
+            merged.merge(&snap);
+        }
+        // On a clean network the servers' per-opcode request counts equal
+        // the client's round-trip counts exactly — the consistency the
+        // cluster test asserts across processes.
+        assert_eq!(
+            merged.requests_for(op::PUSH_SHARD) + merged.requests_for(op::PUSH_SHARD_SPARSE),
+            client.push.ops
+        );
+        assert_eq!(merged.requests_for(op::PULL_COMMITTED), client.pull.ops);
+        assert_eq!(
+            merged.requests_for(op::SYNC_ROUND) + merged.requests_for(op::DRAIN),
+            client.sync.ops
+        );
+        assert_eq!(merged.dedup_hits, 0, "clean network replays nothing");
+        assert_eq!(merged.apply_ns.count, 4, "one apply per push");
+        assert_eq!(merged.shard_applies, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn router_emits_wire_events_on_the_installed_bus() {
+        let initial: Vec<f32> = (0..32).map(|i| i as f32 * 0.05).collect();
+        let mut plan = crate::transport::FaultPlan::seeded(11);
+        plan.drop_reply_per_mille = 200;
+        let net = NetPort::launch(
+            &initial,
+            4,
+            ServerTopology::new(2, 2)
+                .with_transport(TransportKind::Channel)
+                .with_faults(plan),
+        );
+        let telemetry = Arc::new(Telemetry::new());
+        net.router().set_telemetry(Arc::clone(&telemetry));
+        for step in 0..8 {
+            for g in 0..4 {
+                let (_, l) = net.router().shard_range(g);
+                net.apply_shard_update(g, &vec![1.0; l], 0.05, 0.9);
+            }
+            net.router().complete_push(step);
+            net.router().reconcile_if_due();
+        }
+        net.router().drain();
+        let counts = telemetry.trace.counts_by_name();
+        assert!(counts.get("sync_round").copied().unwrap_or(0) >= 1);
+        assert!(
+            counts.get("push_retry").copied().unwrap_or(0) >= 1,
+            "fault plan injected no retries: {counts:?}"
+        );
+        let snap = telemetry.metrics.snapshot();
+        assert_eq!(
+            snap.counters["wire.retries"],
+            net.router().stats().retries,
+            "telemetry counter must track the wire stat"
+        );
+        assert_eq!(
+            snap.counters["wire.sync_rounds"],
+            net.router().sync_rounds()
         );
     }
 

@@ -161,6 +161,13 @@ impl TcpServerHost {
         self.slot.server.lock().nonce()
     }
 
+    /// A point-in-time copy of the *current* instance's request accounting
+    /// — what `ps-serve` periodically dumps to its metrics file. Reads
+    /// through the slot, so it follows a revive to the fresh instance.
+    pub fn stats_snapshot(&self) -> sync_switch_telemetry::ServerStatsSnapshot {
+        self.slot.server.lock().stats_snapshot()
+    }
+
     /// Blocks until the accept loop exits — which it only does when the
     /// host is stopped, so for the `ps-serve` binary this is "serve until
     /// the process is killed".

@@ -21,6 +21,8 @@
 
 use std::fmt;
 
+use sync_switch_telemetry::{HistogramSnapshot, ServerStatsSnapshot, HIST_BUCKETS, OPCODE_SLOTS};
+
 /// Frames larger than this are rejected when reading from a stream — a
 /// corrupted length prefix must not trigger a multi-gigabyte allocation.
 pub const MAX_FRAME_BYTES: usize = 1 << 28;
@@ -98,6 +100,12 @@ pub mod op {
     /// a server to come up and to validate a cluster spec, and by the
     /// supervisor to detect a *respawned* server (its nonce changes).
     pub const HELLO: u8 = 0x0c;
+    /// Telemetry scrape: "hand over your request/apply accounting". A
+    /// bodyless request; the reply is [`STATS_DATA`]. Sent by
+    /// [`crate::transport::NetRouter::scrape_stats`] — from the
+    /// `ps-worker` binary, the supervisor, or any live monitor — without
+    /// perturbing the serving path beyond one cheap atomic snapshot.
+    pub const STATS: u8 = 0x0d;
 
     /// Reply to [`PUSH_SHARD`]: the pre-apply shard clock.
     pub const PUSH_ACK: u8 = 0x81;
@@ -113,6 +121,8 @@ pub mod op {
     pub const FINITE: u8 = 0x86;
     /// Reply to [`HELLO`]: the server's identity and owned slice.
     pub const INFO: u8 = 0x87;
+    /// Reply to [`STATS`]: the server's stats snapshot.
+    pub const STATS_DATA: u8 = 0x88;
 }
 
 /// A server's self-description, returned in reply to [`op::HELLO`].
@@ -194,6 +204,8 @@ pub enum Request {
     CheckFinite,
     /// Readiness/identity probe; replied to with [`Reply::Info`].
     Hello,
+    /// Telemetry scrape; replied to with [`Reply::Stats`].
+    Stats,
     /// Terminate the serving loop.
     Shutdown,
 }
@@ -229,6 +241,9 @@ pub enum Reply {
     },
     /// The server's identity and owned slice, replying to [`Request::Hello`].
     Info(ServerInfo),
+    /// The server's request/apply accounting, replying to
+    /// [`Request::Stats`].
+    Stats(ServerStatsSnapshot),
 }
 
 // ---------------------------------------------------------------- encoding
@@ -362,6 +377,86 @@ pub fn decode_server_info(payload: &[u8]) -> Result<ServerInfo, WireError> {
     Ok(info)
 }
 
+/// Appends a `Stats` reply payload: the stats snapshot in fixed order —
+/// `[server][requests][bytes_in][bytes_out][dedup_hits]` followed by the
+/// apply histogram (`[count][sum][max][buckets]`) and the per-shard apply
+/// vectors. Every vector is length-prefixed, but the decoder pins the
+/// fixed-size ones ([`OPCODE_SLOTS`] request slots, [`HIST_BUCKETS`]
+/// buckets) so a version-skewed peer fails loudly instead of misparsing.
+pub fn encode_stats_snapshot(buf: &mut Vec<u8>, stats: &ServerStatsSnapshot) {
+    buf.push(op::STATS_DATA);
+    put_u32(buf, stats.server);
+    put_u64s(buf, &stats.requests);
+    put_u64(buf, stats.bytes_in);
+    put_u64(buf, stats.bytes_out);
+    put_u64(buf, stats.dedup_hits);
+    put_u64(buf, stats.apply_ns.count);
+    put_u64(buf, stats.apply_ns.sum);
+    put_u64(buf, stats.apply_ns.max);
+    put_u64s(buf, &stats.apply_ns.buckets);
+    put_u64s(buf, &stats.shard_apply_ns);
+    put_u64s(buf, &stats.shard_applies);
+}
+
+/// Decodes a `Stats` reply payload.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] if the payload is not a well-formed `Stats`
+/// reply: truncated, trailing bytes, a request-slot or bucket vector of
+/// the wrong fixed size, or per-shard vectors of differing lengths.
+pub fn decode_stats_snapshot(payload: &[u8]) -> Result<ServerStatsSnapshot, WireError> {
+    fn u64_vec(c: &mut Cursor<'_>) -> Result<Vec<u64>, WireError> {
+        let n = c.u32()? as usize;
+        let bytes = c.take(n.checked_mul(8).ok_or(WireError::Truncated)?)?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+            .collect())
+    }
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        op::STATS_DATA => {}
+        other => return Err(WireError::UnexpectedReply(other)),
+    }
+    let server = c.u32()?;
+    let requests = u64_vec(&mut c)?;
+    if requests.len() != OPCODE_SLOTS {
+        return Err(WireError::Truncated);
+    }
+    let bytes_in = c.u64()?;
+    let bytes_out = c.u64()?;
+    let dedup_hits = c.u64()?;
+    let count = c.u64()?;
+    let sum = c.u64()?;
+    let max = c.u64()?;
+    let buckets = u64_vec(&mut c)?;
+    if buckets.len() != HIST_BUCKETS {
+        return Err(WireError::Truncated);
+    }
+    let shard_apply_ns = u64_vec(&mut c)?;
+    let shard_applies = u64_vec(&mut c)?;
+    if shard_apply_ns.len() != shard_applies.len() {
+        return Err(WireError::Truncated);
+    }
+    c.finish()?;
+    Ok(ServerStatsSnapshot {
+        server,
+        requests,
+        bytes_in,
+        bytes_out,
+        dedup_hits,
+        apply_ns: HistogramSnapshot {
+            count,
+            sum,
+            max,
+            buckets,
+        },
+        shard_apply_ns,
+        shard_applies,
+    })
+}
+
 /// Appends the [`op::SEQUENCED`] wrapper header; the caller encodes the
 /// inner request payload immediately after it. `client` identifies the
 /// sending connection-slot process-wide; `seq` is its per-slot request
@@ -426,6 +521,7 @@ impl Request {
             Request::ResetVelocity => encode_bodyless(buf, op::RESET_VELOCITY),
             Request::CheckFinite => encode_bodyless(buf, op::CHECK_FINITE),
             Request::Hello => encode_bodyless(buf, op::HELLO),
+            Request::Stats => encode_bodyless(buf, op::STATS),
             Request::Shutdown => encode_bodyless(buf, op::SHUTDOWN),
         }
     }
@@ -445,6 +541,7 @@ impl Reply {
                 buf.push(u8::from(*finite));
             }
             Reply::Info(info) => encode_server_info(buf, info),
+            Reply::Stats(stats) => encode_stats_snapshot(buf, stats),
         }
     }
 }
@@ -743,6 +840,7 @@ impl Request {
             op::RESET_VELOCITY => Request::ResetVelocity,
             op::CHECK_FINITE => Request::CheckFinite,
             op::HELLO => Request::Hello,
+            op::STATS => Request::Stats,
             op::SHUTDOWN => Request::Shutdown,
             other => return Err(WireError::UnknownOpcode(other)),
         };
@@ -792,6 +890,9 @@ impl Reply {
                 param_offset: c.u64()?,
                 param_len: c.u64()?,
             }),
+            // The dedicated decoder consumes the whole payload (including
+            // the trailing-bytes check), so delegate instead of re-parsing.
+            op::STATS_DATA => return decode_stats_snapshot(payload).map(Reply::Stats),
             other => return Err(WireError::UnknownOpcode(other)),
         };
         c.finish()?;
@@ -1077,6 +1178,56 @@ mod tests {
             decode_server_info(&[op::OK]),
             Err(WireError::UnexpectedReply(op::OK))
         );
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips() {
+        let mut stats = ServerStatsSnapshot {
+            server: 2,
+            shard_apply_ns: vec![120, 0, 77],
+            shard_applies: vec![3, 0, 1],
+            bytes_in: 4096,
+            bytes_out: 512,
+            dedup_hits: 5,
+            ..ServerStatsSnapshot::default()
+        };
+        stats.requests[op::PUSH_SHARD as usize] = 40;
+        stats.requests[op::PULL_COMMITTED as usize] = 7;
+        stats.apply_ns.count = 4;
+        stats.apply_ns.sum = 197;
+        stats.apply_ns.max = 120;
+        stats.apply_ns.buckets[7] = 4;
+        let mut buf = Vec::new();
+        Reply::Stats(stats.clone()).encode(&mut buf);
+        assert_eq!(decode_stats_snapshot(&buf).unwrap(), stats);
+        assert_eq!(Reply::decode(&buf).unwrap(), Reply::Stats(stats.clone()));
+        // Re-encode is byte-exact.
+        let mut again = Vec::new();
+        Reply::decode(&buf).unwrap().encode(&mut again);
+        assert_eq!(buf, again);
+        // The request side is bodyless.
+        let mut req = Vec::new();
+        Request::Stats.encode(&mut req);
+        assert_eq!(req, [op::STATS]);
+        assert_eq!(Request::decode(&req).unwrap(), Request::Stats);
+        // Truncations fail loudly.
+        for cut in 0..buf.len() {
+            assert!(decode_stats_snapshot(&buf[..cut]).is_err(), "cut {cut}");
+        }
+        // Wrong opcode is an UnexpectedReply for the dedicated decoder.
+        assert_eq!(
+            decode_stats_snapshot(&[op::OK]),
+            Err(WireError::UnexpectedReply(op::OK))
+        );
+        // Mismatched per-shard vector lengths are corruption.
+        let bad = ServerStatsSnapshot {
+            shard_apply_ns: vec![1, 2],
+            shard_applies: vec![1],
+            ..ServerStatsSnapshot::default()
+        };
+        let mut buf = Vec::new();
+        encode_stats_snapshot(&mut buf, &bad);
+        assert_eq!(decode_stats_snapshot(&buf), Err(WireError::Truncated));
     }
 
     #[test]

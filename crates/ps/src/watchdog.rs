@@ -8,6 +8,7 @@
 //! rollback plus a permanent demotion to the safe protocol, so training
 //! completes — at BSP speed — rather than dying.
 
+use sync_switch_telemetry::TraceKind;
 use sync_switch_workloads::SyncProtocol;
 
 use crate::checkpoint::Checkpoint;
@@ -113,7 +114,7 @@ impl DivergenceWatchdog {
         match trainer.run_segment(effective, steps) {
             Ok(report) => {
                 if self.blown(&report) {
-                    return self.demote_and_rerun(trainer, steps);
+                    return self.demote_and_rerun(trainer, effective, steps);
                 }
                 if report.steps > 0
                     && report.final_loss.is_finite()
@@ -124,7 +125,7 @@ impl DivergenceWatchdog {
                 }
                 Ok(report)
             }
-            Err(PsError::Diverged { .. }) => self.demote_and_rerun(trainer, steps),
+            Err(PsError::Diverged { .. }) => self.demote_and_rerun(trainer, effective, steps),
             Err(e) => Err(e),
         }
     }
@@ -146,10 +147,21 @@ impl DivergenceWatchdog {
     fn demote_and_rerun(
         &mut self,
         trainer: &mut Trainer,
+        from: SyncProtocol,
         steps: u64,
     ) -> Result<SegmentReport, PsError> {
         self.trips += 1;
         self.demoted = true;
+        if let Some(t) = trainer.telemetry() {
+            t.metrics.counter("watchdog.rollbacks").inc();
+            t.trace.instant(TraceKind::WatchdogRollback {
+                trips: u64::from(self.trips),
+            });
+            t.trace.instant(TraceKind::ProtocolSwitch {
+                from: from.to_string(),
+                to: SyncProtocol::Bsp.to_string(),
+            });
+        }
         if let Some(ck) = &self.last_good {
             trainer.restore(ck)?;
         }
@@ -227,5 +239,13 @@ mod tests {
         assert!(saw_trip, "lr 30 ASP never tripped the watchdog");
         assert!(dog.trips() >= 1);
         assert!(t.check_finite(), "final parameters must be finite");
+        // Every trip left a rollback + demotion event pair on the bus.
+        let bus = t.telemetry().expect("telemetry defaults on");
+        let counts = bus.trace.counts_by_name();
+        let trips = u64::from(dog.trips());
+        assert_eq!(counts.get("watchdog_rollback"), Some(&trips));
+        assert_eq!(counts.get("protocol_switch"), Some(&trips));
+        let snap = bus.metrics.snapshot();
+        assert_eq!(snap.counters.get("watchdog.rollbacks"), Some(&trips));
     }
 }

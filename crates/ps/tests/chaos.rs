@@ -15,9 +15,10 @@
 //! This file is the CI `chaos` stage (`./ci.sh --stage chaos`), run under
 //! a hard timeout.
 
+use sync_switch_ps::transport::wire::op;
 use sync_switch_ps::{
-    DivergenceWatchdog, FaultPlan, ServerSupervisor, ServerTopology, Trainer, TrainerConfig,
-    TransportKind, WatchdogConfig,
+    DivergenceWatchdog, FaultPlan, ServerStatsSnapshot, ServerSupervisor, ServerTopology, Trainer,
+    TrainerConfig, TransportKind, WatchdogConfig,
 };
 use sync_switch_workloads::{SyncProtocol, TrainableKind};
 
@@ -160,4 +161,122 @@ fn embedding_hot_lr_asp_trips_watchdog_and_finishes_under_bsp() {
         "demoted BSP run missed the loss gate: {final_loss} vs {}",
         kind.loss_threshold()
     );
+}
+
+/// The telemetry acceptance gate: one full chaos run — faulty TCP tier,
+/// BSP and hot-lr ASP segments, a mid-run kill/heal, a watchdog trip —
+/// must leave at least one trace event of **every** kind on the bus, and
+/// the resulting Chrome trace must load-ably name them all. The trace is
+/// written to `target/tmp` so CI keeps it as an artifact.
+#[test]
+fn chaos_run_traces_every_event_kind() {
+    let kind = TrainableKind::SparseEmbedding;
+    let (model, train, test) = kind.build(SEED);
+    let h = kind.hyper();
+    // The hot learning rate from the watchdog specimen, on the faulty TCP
+    // tier: a single run then produces worker events (steps, barrier
+    // waits), wire events (retries, sync rounds), fault events (the
+    // kill/heal below), and control events (the rollback + demotion).
+    let cfg = TrainerConfig::new(WORKERS, h.batch_size, 0.5, h.momentum)
+        .with_seed(SEED)
+        .with_topology(
+            ServerTopology::new(2, 1)
+                .with_transport(TransportKind::Tcp)
+                .with_faults(chaos_plan()),
+        );
+    let mut t = Trainer::new(model, train, test, cfg);
+    let mut dog = DivergenceWatchdog::new(WatchdogConfig::default());
+    dog.run_segment(&mut t, SyncProtocol::Bsp, 40)
+        .expect("BSP warm-up under faults");
+    t.drain_sync();
+    let mut sup = ServerSupervisor::new(t.server_count());
+    {
+        let router = t.net_router().expect("chaos tier is transport-backed");
+        sup.checkpoint(router).expect("supervisor checkpoint");
+        router.kill_server(1).expect("kill hook");
+        assert_eq!(sup.heal(router).expect("heal"), 1);
+    }
+    for _ in 0..8 {
+        if dog.demoted() {
+            break;
+        }
+        dog.run_segment(&mut t, SyncProtocol::Asp, 40)
+            .expect("watchdog must absorb the hot-lr divergence");
+    }
+    assert!(dog.demoted(), "lr 0.5 ASP never tripped the watchdog");
+
+    let bus = t.telemetry().expect("telemetry defaults on");
+    let counts = bus.trace.counts_by_name();
+    let every_kind = [
+        "step",
+        "barrier_wait",
+        "push_retry",
+        "sync_round",
+        "server_kill",
+        "server_heal",
+        "watchdog_rollback",
+        "protocol_switch",
+    ];
+    for name in every_kind {
+        assert!(
+            counts.get(name).copied().unwrap_or(0) >= 1,
+            "chaos run produced no {name:?} event; retained counts: {counts:?}"
+        );
+    }
+    let json = bus.trace.chrome_trace_json(0);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    for name in every_kind {
+        assert!(
+            json.contains(&format!("\"{name}\"")),
+            "trace JSON lacks {name:?}"
+        );
+    }
+    let path = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("chaos.trace.json");
+    std::fs::write(&path, &json).expect("write trace artifact");
+}
+
+/// Server-vs-client accounting reconciliation on a **clean** network: with
+/// no injected faults every request arrives exactly once, so the per-opcode
+/// counts scraped from the servers must match the client's
+/// [`TransportStats`](sync_switch_ps::TransportStats) exactly — pushes
+/// (dense + sparse) against push ops, committed pulls against pull ops,
+/// sync rounds + drains against sync ops, and zero dedup hits (the dedup
+/// cache only answers retransmissions).
+#[test]
+fn clean_tcp_server_counts_reconcile_with_client_stats() {
+    let kind = TrainableKind::MlpBlobs;
+    let (model, train, test) = kind.build(SEED);
+    let h = kind.hyper();
+    let cfg = TrainerConfig::new(WORKERS, h.batch_size, h.learning_rate, h.momentum)
+        .with_seed(SEED)
+        .with_topology(ServerTopology::new(2, 1).with_transport(TransportKind::Tcp));
+    let mut t = Trainer::new(model, train, test, cfg);
+    t.run_segment(SyncProtocol::Bsp, 40).expect("BSP segment");
+    t.run_segment(SyncProtocol::Asp, 40).expect("ASP segment");
+    t.drain_sync();
+
+    let stats = t.transport_stats();
+    assert_eq!(stats.retries, 0, "clean network must not retry");
+    let router = t.net_router().expect("transport-backed");
+    let mut merged = ServerStatsSnapshot::default();
+    for snap in router.scrape_all_stats().iter().flatten() {
+        merged.merge(snap);
+    }
+    assert_eq!(
+        merged.requests_for(op::PUSH_SHARD) + merged.requests_for(op::PUSH_SHARD_SPARSE),
+        stats.push.ops,
+        "server-side push count disagrees with the client"
+    );
+    assert_eq!(
+        merged.requests_for(op::PULL_COMMITTED),
+        stats.pull.ops,
+        "server-side pull count disagrees with the client"
+    );
+    assert_eq!(
+        merged.requests_for(op::SYNC_ROUND) + merged.requests_for(op::DRAIN),
+        stats.sync.ops,
+        "server-side sync count disagrees with the client"
+    );
+    assert_eq!(merged.dedup_hits, 0, "dedup hits on a clean network");
+    assert!(merged.apply_ns.count > 0, "servers timed no applies");
 }

@@ -6,9 +6,18 @@
 //! transport`), which runs it under a hard `timeout` so a hung socket
 //! fails fast instead of wedging the gate.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use proptest::prelude::*;
 use sync_switch_nn::{Dataset, Network, SgdMomentum};
 use sync_switch_ps::engine::step_rng;
-use sync_switch_ps::{PsError, ServerTopology, Trainer, TrainerConfig, TransportKind};
+use sync_switch_ps::transport::wire::{decode_stats_snapshot, encode_stats_snapshot};
+use sync_switch_ps::{
+    HistogramSnapshot, NetPort, PsError, RetryPolicy, ServerStatsSnapshot, ServerTopology,
+    TcpServerHost, Trainer, TrainerConfig, TransportKind, WorkerPort, HIST_BUCKETS, OPCODE_SLOTS,
+};
 use sync_switch_workloads::{SyncProtocol, TrainableKind};
 
 fn transport_trainer(kind: TransportKind, servers: usize, sync_every: u64, seed: u64) -> Trainer {
@@ -247,6 +256,159 @@ fn channel_sparse_workload_matches_dense_numerics_over_the_wire() {
     let b = run(false);
     assert_eq!(a.params, b.params, "sparse wire path changed the numerics");
     assert_eq!(a.velocity, b.velocity);
+}
+
+// ---- Stats wire frame: codec exactness and the live scrape path ----
+
+/// Encode → decode → re-encode must reproduce the snapshot *and* the
+/// bytes. Byte-exactness matters beyond equality: the dedup cache replays
+/// cached reply bytes verbatim, so two encodings of the same snapshot must
+/// never differ.
+fn assert_stats_round_trip(snap: &ServerStatsSnapshot) {
+    let mut bytes = Vec::new();
+    encode_stats_snapshot(&mut bytes, snap);
+    let decoded = decode_stats_snapshot(&bytes).expect("well-formed Stats payload");
+    assert_eq!(&decoded, snap, "decode changed the snapshot");
+    let mut again = Vec::new();
+    encode_stats_snapshot(&mut again, &decoded);
+    assert_eq!(again, bytes, "re-encode changed the bytes");
+}
+
+#[test]
+fn stats_frame_round_trips_empty_and_saturated_snapshots() {
+    // The two boundary snapshots: a fresh server that has served nothing,
+    // and a (synthetic) server whose every counter and bucket is pinned at
+    // u64::MAX — the codec must move both without loss.
+    assert_stats_round_trip(&ServerStatsSnapshot::default());
+    let saturated = ServerStatsSnapshot {
+        server: u32::MAX,
+        requests: vec![u64::MAX; OPCODE_SLOTS],
+        bytes_in: u64::MAX,
+        bytes_out: u64::MAX,
+        dedup_hits: u64::MAX,
+        apply_ns: HistogramSnapshot {
+            count: u64::MAX,
+            sum: u64::MAX,
+            max: u64::MAX,
+            buckets: vec![u64::MAX; HIST_BUCKETS],
+        },
+        shard_apply_ns: vec![u64::MAX; 9],
+        shard_applies: vec![u64::MAX; 9],
+    };
+    assert_stats_round_trip(&saturated);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary snapshots — any counter values, any per-shard vector
+    /// length — survive the wire byte-exactly.
+    #[test]
+    fn stats_frame_round_trips_arbitrary_snapshots(
+        server in any::<u32>(),
+        requests in proptest::collection::vec(any::<u64>(), OPCODE_SLOTS),
+        bytes_in in any::<u64>(),
+        bytes_out in any::<u64>(),
+        dedup_hits in any::<u64>(),
+        count in any::<u64>(),
+        sum in any::<u64>(),
+        max in any::<u64>(),
+        buckets in proptest::collection::vec(any::<u64>(), HIST_BUCKETS),
+        shard_ns in proptest::collection::vec(any::<u64>(), 0..12),
+    ) {
+        let snap = ServerStatsSnapshot {
+            server,
+            requests,
+            bytes_in,
+            bytes_out,
+            dedup_hits,
+            apply_ns: HistogramSnapshot { count, sum, max, buckets },
+            // Same length as shard_apply_ns (the codec pins the pairing),
+            // different values.
+            shard_applies: shard_ns.iter().map(|v| v >> 1).collect(),
+            shard_apply_ns: shard_ns,
+        };
+        assert_stats_round_trip(&snap);
+    }
+}
+
+#[test]
+fn stats_scrape_reads_a_live_tcp_server_mid_training() {
+    // A real ps-serve-shaped tier: one TcpServerHost on loopback, a
+    // training connection driving it, and a *second* independent
+    // connection scraping `Stats` frames while the segment runs — the
+    // live-monitor path, not a post-mortem read.
+    let seed = 31;
+    let shards = 4;
+    let data = Dataset::gaussian_blobs(4, 60, 6, 0.35, seed);
+    let (train, test) = data.split(0.25);
+    let model = Network::mlp(6, &[16], 4, seed);
+    let initial = model.params_flat();
+    let host = TcpServerHost::bind("127.0.0.1:0", &initial, shards, 1, 0).expect("bind");
+    let addrs = vec![host.local_addr()];
+
+    let mut cfg = TrainerConfig::new(2, 8, 0.05, 0.9).with_seed(seed);
+    cfg.shards = shards;
+    // Stretch the run so the scraper gets many genuinely mid-training
+    // samples.
+    for w in 0..2 {
+        cfg = cfg.with_straggler(w, Duration::from_millis(2));
+    }
+    let port = NetPort::connect(initial.len(), shards, &addrs, 4, RetryPolicy::default())
+        .expect("connect training port");
+    let mut trainer = Trainer::with_port(model, train, test, cfg, WorkerPort::Net(port));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let stop = Arc::clone(&stop);
+        let scrape_port =
+            NetPort::connect(initial.len(), shards, &addrs, 4, RetryPolicy::default())
+                .expect("connect scrape port");
+        std::thread::spawn(move || {
+            let mut totals = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                if let Ok(snap) = scrape_port.router().scrape_stats(0) {
+                    totals.push(snap.total_requests());
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            totals
+        })
+    };
+
+    let steps = 60;
+    let r = trainer
+        .run_segment(SyncProtocol::Asp, steps)
+        .expect("ASP over TCP");
+    assert_eq!(r.steps, steps);
+    stop.store(true, Ordering::Relaxed);
+    let totals = scraper.join().expect("scraper thread");
+
+    assert!(
+        totals.len() >= 2,
+        "scraper got only {} samples",
+        totals.len()
+    );
+    assert!(
+        totals.windows(2).all(|w| w[0] <= w[1]),
+        "scraped totals went backwards: {totals:?}"
+    );
+    let final_snap = trainer
+        .net_router()
+        .expect("net plane")
+        .scrape_stats(0)
+        .expect("final scrape");
+    let final_total = final_snap.total_requests();
+    assert!(
+        totals.iter().any(|&t| t > 0 && t < final_total),
+        "no scrape landed mid-training: totals {totals:?}, final {final_total}"
+    );
+    // The server really accounted the training: dense pushes are one
+    // request per shard per step.
+    assert_eq!(
+        final_snap.requests_for(sync_switch_ps::transport::wire::op::PUSH_SHARD),
+        steps * shards as u64
+    );
 }
 
 #[test]

@@ -1,0 +1,94 @@
+//! Property tests pinning the log2-bucket histogram: the bucket
+//! boundaries partition `u64` exactly, every recorded value lands in the
+//! bucket whose bounds contain it, and merging per-thread snapshots is
+//! indistinguishable from recording everything into one histogram.
+
+use proptest::prelude::*;
+use sync_switch_telemetry::{
+    bucket_bounds, bucket_index, Histogram, HistogramSnapshot, HIST_BUCKETS,
+};
+
+#[test]
+fn bucket_bounds_partition_u64_exactly() {
+    // Contiguity: each bucket starts one past the previous bucket's end.
+    let (lo0, hi0) = bucket_bounds(0);
+    assert_eq!((lo0, hi0), (0, 0));
+    let mut prev_hi = hi0;
+    for i in 1..HIST_BUCKETS {
+        let (lo, hi) = bucket_bounds(i);
+        assert_eq!(lo, prev_hi + 1, "gap or overlap before bucket {i}");
+        assert!(lo <= hi, "inverted bounds at bucket {i}");
+        prev_hi = hi;
+    }
+    // Coverage: the last bucket reaches the top of the domain.
+    assert_eq!(prev_hi, u64::MAX);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in exactly the bucket whose inclusive bounds
+    /// contain it.
+    #[test]
+    fn values_land_in_their_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < HIST_BUCKETS);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo},{hi}]");
+        // And in no other bucket: the partition test above makes buckets
+        // disjoint, so containment in one bucket is uniqueness.
+    }
+
+    /// Bucket edges are handled exactly: a bound's value indexes back to
+    /// the bucket that owns it.
+    #[test]
+    fn bucket_edges_round_trip(i in 0usize..HIST_BUCKETS) {
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert_eq!(bucket_index(lo), i);
+        prop_assert_eq!(bucket_index(hi), i);
+    }
+
+    /// Recording through the atomic histogram produces the same snapshot
+    /// as computing bucket counts by hand.
+    #[test]
+    fn recorded_values_are_counted_in_the_right_bucket(
+        values in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let h = Histogram::default();
+        let mut expect = vec![0u64; HIST_BUCKETS];
+        for &v in &values {
+            h.record(v);
+            expect[bucket_index(v)] += 1;
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(&snap.buckets, &expect);
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(
+            snap.sum,
+            values.iter().fold(0u64, |a, &v| a.wrapping_add(v))
+        );
+        prop_assert_eq!(snap.max, values.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Merging per-thread snapshots equals one histogram that saw every
+    /// sample — the invariant the cluster-wide rollup rests on.
+    #[test]
+    fn merged_snapshots_equal_the_sum_of_parts(
+        parts in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 0..50),
+            1..6,
+        ),
+    ) {
+        let combined = Histogram::default();
+        let mut merged = HistogramSnapshot::default();
+        for part in &parts {
+            let h = Histogram::default();
+            for &v in part {
+                h.record(v);
+                combined.record(v);
+            }
+            merged.merge(&h.snapshot());
+        }
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+}

@@ -22,7 +22,7 @@
 
 use std::process::ExitCode;
 
-use sync_switch::deploy::{ClusterSpec, SegmentOutcome, WorkerReport};
+use sync_switch::deploy::{ClusterSpec, SegmentOutcome, ServerStatsSummary, WorkerReport};
 use sync_switch::ps::{NetPort, PsError, ServerSupervisor, Trainer, WorkerPort};
 
 /// Parsed command line of `ps-worker`.
@@ -78,6 +78,16 @@ fn is_crash(e: &PsError) -> bool {
 /// Crash-retry budget per segment: each retry already waits out a full
 /// respawn, so repeated exhaustion means the tier is not coming back.
 const MAX_CRASH_RETRIES: u64 = 3;
+
+/// Where this worker's Chrome trace goes: `foo.report.json` →
+/// `foo.trace.json`, or `<report>.trace.json` when the report path does not
+/// follow the harness's naming.
+fn trace_path_for(report_path: &str) -> String {
+    match report_path.strip_suffix(".report.json") {
+        Some(stem) => format!("{stem}.trace.json"),
+        None => format!("{report_path}.trace.json"),
+    }
+}
 
 fn run() -> Result<(), String> {
     let cfg = WorkerConfig::from_args(std::env::args().skip(1))?;
@@ -188,6 +198,26 @@ fn run() -> Result<(), String> {
             .map_err(|e| format!("segment checkpoint: {e}"))?;
     }
 
+    // Final telemetry sweep: scrape every server's request accounting over
+    // the `Stats` wire frame (a crashed-and-gone server scrapes as `None`
+    // and is simply absent from the report) and dump this process's trace
+    // ring next to the report for chrome://tracing.
+    let server_stats: Vec<ServerStatsSummary> = trainer
+        .net_router()
+        .expect("net data plane")
+        .scrape_all_stats()
+        .iter()
+        .flatten()
+        .map(ServerStatsSummary::from_snapshot)
+        .collect();
+    if let Some(bus) = trainer.telemetry() {
+        let trace_path = trace_path_for(&cfg.report_path);
+        let trace = bus.trace.chrome_trace_json(u64::from(std::process::id()));
+        if let Err(e) = std::fs::write(&trace_path, trace) {
+            eprintln!("ps-worker: cannot write trace {trace_path}: {e}");
+        }
+    }
+
     let final_loss = trainer.training_loss();
     let threshold = kind.loss_threshold();
     let report = WorkerReport {
@@ -199,6 +229,7 @@ fn run() -> Result<(), String> {
         accuracy: trainer.evaluate(),
         finite: trainer.check_finite(),
         healed_servers: healed_total,
+        server_stats,
     };
     std::fs::write(&cfg.report_path, report.to_json())
         .map_err(|e| format!("cannot write report {}: {e}", cfg.report_path))?;

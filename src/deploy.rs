@@ -18,7 +18,8 @@ use std::net::SocketAddr;
 use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
-use sync_switch_ps::{RetryPolicy, TrainerConfig};
+use sync_switch_ps::transport::wire::op;
+use sync_switch_ps::{RetryPolicy, ServerStatsSnapshot, TrainerConfig};
 use sync_switch_workloads::{SyncProtocol, TrainableKind};
 
 /// One training segment of a cluster run: a synchronization discipline and
@@ -329,6 +330,63 @@ pub struct SegmentOutcome {
     pub crash_retries: u64,
 }
 
+/// A serializable digest of one server's [`ServerStatsSnapshot`], scraped
+/// over the `Stats` wire frame just before a `ps-worker` exits and embedded
+/// in its [`WorkerReport`].
+///
+/// This is the harness's cross-process consistency hook: the worker knows
+/// how many pushes/pulls/syncs *it* issued ([`TransportStats`]), the server
+/// knows how many it *served*, and on a clean network the two must agree.
+/// Only the aggregate numbers travel — the full snapshot (per-shard apply
+/// vectors, apply-latency histogram) stays in the server's own periodic
+/// metrics dump.
+///
+/// [`TransportStats`]: sync_switch_ps::TransportStats
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatsSummary {
+    /// The answering server's index.
+    pub server: u32,
+    /// Requests served across every opcode.
+    pub total_requests: u64,
+    /// Dense + sparse shard pushes served.
+    pub push_requests: u64,
+    /// Committed-view pulls served.
+    pub pull_requests: u64,
+    /// Stage-2 reconciliations served (periodic sync rounds + drains).
+    pub sync_requests: u64,
+    /// Cumulative inbound request payload bytes.
+    pub bytes_in: u64,
+    /// Cumulative outbound reply payload bytes.
+    pub bytes_out: u64,
+    /// Sequenced requests answered from the dedup cache — each one is a
+    /// retried mutation the server refused to apply twice.
+    pub dedup_hits: u64,
+    /// Gradient applies recorded by the server's apply histogram.
+    pub applies: u64,
+    /// Mean apply latency, nanoseconds (0 with no applies).
+    pub mean_apply_ns: u64,
+}
+
+impl ServerStatsSummary {
+    /// Digests a scraped snapshot into report form.
+    pub fn from_snapshot(snap: &ServerStatsSnapshot) -> Self {
+        let applies = snap.apply_ns.count;
+        ServerStatsSummary {
+            server: snap.server,
+            total_requests: snap.total_requests(),
+            push_requests: snap.requests_for(op::PUSH_SHARD)
+                + snap.requests_for(op::PUSH_SHARD_SPARSE),
+            pull_requests: snap.requests_for(op::PULL_COMMITTED),
+            sync_requests: snap.requests_for(op::SYNC_ROUND) + snap.requests_for(op::DRAIN),
+            bytes_in: snap.bytes_in,
+            bytes_out: snap.bytes_out,
+            dedup_hits: snap.dedup_hits,
+            applies,
+            mean_apply_ns: snap.apply_ns.sum.checked_div(applies).unwrap_or(0),
+        }
+    }
+}
+
 /// The JSON document a `ps-worker` process writes on exit — the harness's
 /// only window into what happened inside the worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -349,6 +407,10 @@ pub struct WorkerReport {
     pub finite: bool,
     /// Total servers healed across all segments.
     pub healed_servers: u64,
+    /// Per-server request accounting scraped over the `Stats` wire frame
+    /// just before exit, in server-index order. A server that could not be
+    /// scraped (crashed and never respawned) is simply absent.
+    pub server_stats: Vec<ServerStatsSummary>,
 }
 
 impl WorkerReport {
@@ -419,9 +481,51 @@ mod tests {
             accuracy: 0.85,
             finite: true,
             healed_servers: 1,
+            server_stats: vec![ServerStatsSummary {
+                server: 0,
+                total_requests: 310,
+                push_requests: 240,
+                pull_requests: 60,
+                sync_requests: 10,
+                bytes_in: 88_000,
+                bytes_out: 91_000,
+                dedup_hits: 2,
+                applies: 240,
+                mean_apply_ns: 1_450,
+            }],
         };
         let parsed = WorkerReport::from_json(&r.to_json()).expect("round trip");
         assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn summary_digests_a_snapshot() {
+        let mut snap = ServerStatsSnapshot {
+            server: 3,
+            bytes_in: 1_000,
+            bytes_out: 2_000,
+            dedup_hits: 5,
+            ..ServerStatsSnapshot::default()
+        };
+        snap.requests[op::PUSH_SHARD as usize] = 40;
+        snap.requests[op::PUSH_SHARD_SPARSE as usize] = 10;
+        snap.requests[op::PULL_COMMITTED as usize] = 25;
+        snap.requests[op::SYNC_ROUND as usize] = 7;
+        snap.requests[op::DRAIN as usize] = 3;
+        snap.requests[op::HELLO as usize] = 2;
+        snap.apply_ns.count = 50;
+        snap.apply_ns.sum = 5_000;
+        let s = ServerStatsSummary::from_snapshot(&snap);
+        assert_eq!(s.server, 3);
+        assert_eq!(s.total_requests, 87);
+        assert_eq!(s.push_requests, 50);
+        assert_eq!(s.pull_requests, 25);
+        assert_eq!(s.sync_requests, 10);
+        assert_eq!(s.bytes_in, 1_000);
+        assert_eq!(s.bytes_out, 2_000);
+        assert_eq!(s.dedup_hits, 5);
+        assert_eq!(s.applies, 50);
+        assert_eq!(s.mean_apply_ns, 100);
     }
 
     #[test]

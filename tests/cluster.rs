@@ -64,6 +64,70 @@ fn assert_all_converged(reports: &[WorkerReport], segments: usize) {
     }
 }
 
+/// The cluster-wide telemetry contract, asserted after a successful run:
+/// every `ps-serve` left its periodic metrics snapshot behind (the file
+/// that survives a SIGKILL), every worker embedded a live wire scrape of
+/// the full tier in its report and dumped its Chrome trace, and the
+/// harness can merge all of it into one `cluster-metrics.json`.
+fn assert_cluster_telemetry(h: &ClusterHarness, reports: &[WorkerReport]) {
+    let servers = h.spec().servers.len();
+    for i in 0..servers {
+        let path = h.metrics_path(i);
+        // The dump is periodic, so the file lags live state by up to one
+        // interval — a fast run can finish before the first post-traffic
+        // dump lands. Poll a few intervals before judging the content.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let snap = loop {
+            let snap = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("server {i} wrote no metrics snapshot at {path:?}: {e}")
+            });
+            // 0x01 is PUSH_SHARD — a server that served training must have
+            // counted pushes in its per-opcode table.
+            if snap.contains("\"0x01\"") {
+                break snap;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server {i} snapshot still counts no pushes: {snap}"
+            );
+            std::thread::sleep(Duration::from_millis(50));
+        };
+        assert!(
+            snap.contains(&format!("\"server\":{i}")),
+            "snapshot {path:?} is not server {i}'s: {snap}"
+        );
+    }
+    for (w, r) in reports.iter().enumerate() {
+        assert_eq!(
+            r.server_stats.len(),
+            servers,
+            "worker {w} scraped {} of {servers} servers",
+            r.server_stats.len()
+        );
+        for s in &r.server_stats {
+            assert!(
+                s.push_requests > 0 && s.total_requests > s.push_requests,
+                "worker {w} scraped an implausible summary from server {}: {s:?}",
+                s.server
+            );
+        }
+        let trace_path = h.worker_trace_path(w);
+        let trace = std::fs::read_to_string(&trace_path)
+            .unwrap_or_else(|e| panic!("worker {w} wrote no trace at {trace_path:?}: {e}"));
+        assert!(trace.contains("\"traceEvents\""), "not a Chrome trace");
+        assert!(
+            trace.contains("\"step\""),
+            "worker {w} trace records no training steps"
+        );
+    }
+    let merged_path = h
+        .write_cluster_metrics(reports)
+        .expect("merge cluster metrics");
+    let merged = std::fs::read_to_string(merged_path).expect("read merged metrics");
+    assert!(merged.contains("\"servers\"") && merged.contains("\"workers\""));
+    assert!(merged.contains("\"push_requests\""));
+}
+
 /// The happy path *and* the readiness handshake in one scenario: workers
 /// are spawned before any server exists, keep re-dialing, and the run
 /// converges under BSP then ASP once the tier comes up late.
@@ -99,6 +163,7 @@ fn cluster_converges_with_late_binding_servers() {
         assert_eq!(r.segments[1].protocol, "asp");
         assert!(r.segments.iter().all(|s| s.steps > 0));
     }
+    assert_cluster_telemetry(&h, &reports);
 
     // Leak-free teardown: shutdown reaps every child.
     let server_pids = h.child_pids();
@@ -150,6 +215,17 @@ fn cluster_survives_mid_run_server_sigkill() {
         .map(|s| s.crash_retries)
         .sum();
     assert!(retried >= 1, "no segment was rolled back and re-run");
+    assert_cluster_telemetry(&h, &reports);
+    // The crash itself must be visible in the telemetry: some worker's
+    // supervisor observed the respawned instance (nonce change) and traced
+    // the kill/heal pair.
+    let combined: String = (0..reports.len())
+        .map(|w| std::fs::read_to_string(h.worker_trace_path(w)).unwrap_or_default())
+        .collect();
+    assert!(
+        combined.contains("\"server_heal\""),
+        "no worker trace records the heal of the respawned server"
+    );
 }
 
 // ---- always-on spec units (no processes) ----
