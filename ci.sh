@@ -28,6 +28,35 @@ step() { printf '\n==> %s\n' "$*"; }
 # nothing else — not this script, not cargo).
 CLUSTER_PROC_RE='target/(debug|release)/ps-(serve|worker)'
 
+# PID ledger for cluster children: the ClusterHarness appends every child
+# PID it spawns when PS_CLUSTER_PID_FILE is set. Cleanup below is scoped to
+# these PIDs — a pattern `pkill` would also hit cluster processes belonging
+# to a concurrent run in another checkout of this repo.
+CLUSTER_PID_FILE="target/tmp/ci-cluster.$$.pids"
+mkdir -p "$(dirname "$CLUSTER_PID_FILE")"
+rm -f "$CLUSTER_PID_FILE"
+export PS_CLUSTER_PID_FILE="$PWD/$CLUSTER_PID_FILE"
+
+# Ledger PIDs that are still alive and still one of this repo's cluster
+# binaries — the /proc cmdline check guards against PID reuse by an
+# unrelated process after a child exited. Always exits 0: an exited child
+# (the normal case) is simply not listed, and under `set -e` a nonzero
+# return here would abort the caller's command substitution. The stderr
+# redirect precedes the input redirect so bash's own "No such file" open
+# error for a reaped PID is silenced too.
+live_cluster_pids() {
+    [[ -f "$CLUSTER_PID_FILE" ]] || return 0
+    local pid cmd
+    while IFS= read -r pid; do
+        [[ "$pid" =~ ^[0-9]+$ ]] || continue
+        cmd="$(tr '\0' ' ' 2>/dev/null < "/proc/$pid/cmdline" || true)"
+        if [[ "$cmd" =~ $CLUSTER_PROC_RE ]]; then
+            printf '%s\n' "$pid"
+        fi
+    done < "$CLUSTER_PID_FILE"
+    return 0
+}
+
 # ---- failure artifacts ----------------------------------------------------
 
 CURRENT_STAGE=""
@@ -72,8 +101,13 @@ collect_artifacts() {
 on_exit() {
     local code=$?
     # Reap any cluster child that outlived its harness — a leaked ps-serve
-    # squats on its spec port and poisons the next run.
-    pkill -9 -f "$CLUSTER_PROC_RE" 2>/dev/null || true
+    # squats on its spec port and poisons the next run. Only PIDs this
+    # run's harnesses recorded in the ledger are touched.
+    local pid
+    while IFS= read -r pid; do
+        kill -9 "$pid" 2>/dev/null || true
+    done < <(live_cluster_pids)
+    rm -f "$CLUSTER_PID_FILE"
     if [[ -n "$SMOKE_JSON" ]]; then
         rm -f "$SMOKE_JSON"
     fi
@@ -219,16 +253,23 @@ stage_examples() {
 # not hang it; the EXIT trap reaps any orphaned child processes.
 stage_cluster() {
     cargo test -q --release --test cluster --no-run
+    rm -f "$CLUSTER_PID_FILE"
     PS_CLUSTER_TEST=1 timeout -sKILL 180 \
         cargo test -q --release --test cluster || {
         echo "cluster suite failed or timed out (180s budget)" >&2
         return 1
     }
     # Zero tolerance for leaked children: the harness guarantees teardown,
-    # and this pins that guarantee at the process table.
-    if pgrep -f "$CLUSTER_PROC_RE" >/dev/null 2>&1; then
+    # and this pins that guarantee at the process table — judged against
+    # the PIDs this stage's harnesses actually spawned, so a concurrent
+    # run elsewhere on the machine cannot fail (or mask) the check.
+    local orphans pid
+    orphans="$(live_cluster_pids)"
+    if [[ -n "$orphans" ]]; then
         echo "orphaned cluster processes left behind:" >&2
-        pgrep -af "$CLUSTER_PROC_RE" >&2 || true
+        while IFS= read -r pid; do
+            ps -o pid=,args= -p "$pid" >&2 || true
+        done <<< "$orphans"
         return 1
     fi
     # Telemetry contract at the file level, independent of the in-test

@@ -50,6 +50,7 @@ pub struct ClusterSim {
     now: SimTime,
     units_done: u64,
     rngs: Vec<DetRng>,
+    committed_lag: f64,
 }
 
 impl ClusterSim {
@@ -68,6 +69,7 @@ impl ClusterSim {
             now: SimTime::ZERO,
             units_done: 0,
             rngs: (0..n).map(|w| root.derive("worker", w as u64)).collect(),
+            committed_lag: 0.0,
         }
     }
 
@@ -104,6 +106,33 @@ impl ClusterSim {
     pub fn set_batch(&mut self, batch: usize) {
         assert!(batch > 0, "batch must be positive");
         self.per_worker_batch = batch;
+    }
+
+    /// Sets the committed-view lag added to SSP staleness predictions.
+    ///
+    /// The real PS tier's two-stage sync means a worker's pull observes the
+    /// *committed* view, which trails the freshest pushes by a small,
+    /// roughly constant number of updates. The event simulator's gate alone
+    /// does not model that, so its SSP staleness under-predicts the real
+    /// tier at tight bounds. Feeding the measured real-minus-sim delta back
+    /// through this knob calibrates `run_ssp`'s reported `mean_staleness`;
+    /// the event schedule (and thus `elapsed`) is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lag` is negative or non-finite.
+    pub fn set_committed_view_lag(&mut self, lag: f64) {
+        assert!(
+            lag.is_finite() && lag >= 0.0,
+            "committed-view lag must be finite and non-negative, got {lag}"
+        );
+        self.committed_lag = lag;
+    }
+
+    /// The committed-view lag currently folded into SSP staleness (0 until
+    /// calibrated via [`ClusterSim::set_committed_view_lag`]).
+    pub fn committed_view_lag(&self) -> f64 {
+        self.committed_lag
     }
 
     /// Installs a straggler scenario.

@@ -105,7 +105,10 @@ impl ClusterSim {
             units,
             elapsed: self.now() - start,
             per_worker_images_per_sec: per_worker,
-            mean_staleness: staleness_sum as f64 / pushes as f64,
+            // The gate accounts for scheduling staleness only; the real
+            // tier's two-stage sync adds a committed-view lag on top, fed
+            // back here once measured (`set_committed_view_lag`).
+            mean_staleness: staleness_sum as f64 / pushes as f64 + self.committed_view_lag(),
         }
     }
 }
@@ -189,5 +192,24 @@ mod tests {
         let b = sim(6).run_ssp(1_500, 3);
         assert_eq!(a.elapsed, b.elapsed);
         assert_eq!(a.mean_staleness, b.mean_staleness);
+    }
+
+    #[test]
+    fn committed_view_lag_shifts_staleness_but_not_time() {
+        // Calibration is a pure reporting correction: the event schedule —
+        // and therefore elapsed time and determinism — must be untouched.
+        let base = sim(7).run_ssp(1_500, 2);
+        let mut calibrated = sim(7);
+        calibrated.set_committed_view_lag(1.75);
+        assert_eq!(calibrated.committed_view_lag(), 1.75);
+        let c = calibrated.run_ssp(1_500, 2);
+        assert_eq!(c.elapsed, base.elapsed, "lag must not change the schedule");
+        assert_eq!(c.mean_staleness, base.mean_staleness + 1.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "committed-view lag must be finite and non-negative")]
+    fn negative_committed_view_lag_is_refused() {
+        sim(8).set_committed_view_lag(-0.5);
     }
 }

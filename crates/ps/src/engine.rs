@@ -504,6 +504,13 @@ pub struct Trainer {
     /// engine's step spans.
     telemetry: Option<Arc<Telemetry>>,
     global_step: u64,
+    /// The synchronization protocol currently in effect: set at
+    /// construction (BSP — the safe default every run starts from), by
+    /// [`crate::switcher::execute_switch`] applying a plan's target, and by
+    /// every explicit [`Trainer::run_segment`] call (an implicit switch).
+    /// [`Trainer::run_current_segment`] runs whatever this records, so a
+    /// switch plan can never silently disagree with the segment after it.
+    protocol: SyncProtocol,
     /// Deterministic probe batch for [`Trainer::training_loss`] (first
     /// shard, fixed indices) — built once, because the switcher polls the
     /// probe loss inside its decision loop.
@@ -551,6 +558,7 @@ impl Trainer {
             plane,
             telemetry,
             global_step: 0,
+            protocol: SyncProtocol::Bsp,
             probe_batch,
         }
     }
@@ -598,6 +606,7 @@ impl Trainer {
             plane,
             telemetry,
             global_step: 0,
+            protocol: SyncProtocol::Bsp,
             probe_batch,
         }
     }
@@ -649,6 +658,32 @@ impl Trainer {
     /// Total global steps completed so far.
     pub fn global_step(&self) -> u64 {
         self.global_step
+    }
+
+    /// The synchronization protocol currently in effect — what
+    /// [`Trainer::run_current_segment`] would run. Updated by
+    /// [`crate::switcher::execute_switch`] (the plan's target) and by every
+    /// explicit [`Trainer::run_segment`] call.
+    pub fn protocol(&self) -> SyncProtocol {
+        self.protocol
+    }
+
+    /// Records a protocol change (crate-internal: the switcher applies a
+    /// plan's target here, the SSP runner tags itself as ASP).
+    pub(crate) fn set_protocol(&mut self, protocol: SyncProtocol) {
+        self.protocol = protocol;
+    }
+
+    /// Runs `steps` global steps under the protocol recorded on the
+    /// trainer (see [`Trainer::protocol`]) — the form switch-driven callers
+    /// should use, so an executed [`crate::switcher::SwitchPlan`] cannot
+    /// disagree with the segment that follows it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Trainer::run_segment`].
+    pub fn run_current_segment(&mut self, steps: u64) -> Result<SegmentReport, PsError> {
+        self.run_segment(self.protocol, steps)
     }
 
     /// The shared parameter store of a **single-server, in-process**
@@ -845,6 +880,9 @@ impl Trainer {
         protocol: SyncProtocol,
         steps: u64,
     ) -> Result<SegmentReport, PsError> {
+        // An explicit protocol argument is an implicit switch: record it so
+        // `Trainer::protocol()` always names the discipline that last ran.
+        self.protocol = protocol;
         if steps == 0 {
             return Ok(SegmentReport {
                 protocol,
@@ -1816,6 +1854,7 @@ mod tests {
         assert!(fast.wall_time >= floor, "fast wall {:?}", fast.wall_time);
         assert!(slow.wall_time >= floor, "slow wall {:?}", slow.wall_time);
         // The fast worker looks fast on busy time and slow on wall time.
-        assert!(fast.steps_per_sec() > 2.0 * fast.wall_steps_per_sec());
+        let wall_rate = fast.wall_steps_per_sec().expect("wall span recorded");
+        assert!(fast.steps_per_sec() > 2.0 * wall_rate);
     }
 }

@@ -34,6 +34,7 @@
 
 pub mod checkpoint;
 pub mod config;
+pub mod controller;
 pub mod engine;
 pub mod error;
 pub mod profiler;
@@ -48,6 +49,9 @@ pub mod watchdog;
 
 pub use checkpoint::Checkpoint;
 pub use config::{RetryPolicy, ServerTopology, TrainerConfig, TransportKind};
+pub use controller::{
+    ControllerConfig, DecisionRecord, ScrapedSignals, SyncController, SyncDecision,
+};
 pub use engine::{SegmentReport, Trainer};
 pub use error::PsError;
 pub use profiler::{

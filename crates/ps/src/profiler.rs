@@ -40,17 +40,22 @@ impl WorkerProfile {
         self.steps() as f64 / total.as_secs_f64()
     }
 
-    /// Wall-clock throughput in steps per second (0 if no steps): step
-    /// count over the first-step-start → last-step-end span, idle barrier
-    /// waits included. This is the rate straggler detection should read — a
-    /// fast worker stalled behind a straggler has a high busy rate but a
-    /// low wall rate. Falls back to the busy rate when `wall_time` was not
-    /// recorded (hand-built profiles).
-    pub fn wall_steps_per_sec(&self) -> f64 {
+    /// Wall-clock throughput in steps per second: step count over the
+    /// first-step-start → last-step-end span, idle barrier waits included.
+    /// This is the rate straggler detection should read — a fast worker
+    /// stalled behind a straggler has a high busy rate but a low wall
+    /// rate.
+    ///
+    /// Returns `None` when no wall span was recorded (a hand-built profile,
+    /// or a worker that completed no steps). It used to fall back to the
+    /// busy rate silently — handing straggler detection exactly the signal
+    /// it must not trust; a caller that wants that fallback now has to
+    /// spell it out with [`Option::unwrap_or_else`].
+    pub fn wall_steps_per_sec(&self) -> Option<f64> {
         if self.wall_time.is_zero() {
-            return self.steps_per_sec();
+            return None;
         }
-        self.steps() as f64 / self.wall_time.as_secs_f64()
+        Some(self.steps() as f64 / self.wall_time.as_secs_f64())
     }
 
     /// Throughput in images per second at a given batch size (busy-time).
@@ -476,21 +481,24 @@ mod tests {
             wall_time: Duration::from_millis(400),
         };
         assert!((p.steps_per_sec() - 100.0).abs() < 1e-9);
-        assert!((p.wall_steps_per_sec() - 50.0).abs() < 1e-9);
-        // Without a recorded wall span the wall rate degrades to busy.
+        assert!((p.wall_steps_per_sec().unwrap() - 50.0).abs() < 1e-9);
+        // Without a recorded wall span there is no wall rate — the old
+        // silent fall-back to the busy rate hid exactly the idle time a
+        // straggler detector needs to see.
         let p = WorkerProfile {
             step_durations: vec![Duration::from_millis(10); 4],
             losses: vec![1.0; 4],
             wall_time: Duration::ZERO,
         };
-        assert_eq!(p.wall_steps_per_sec(), p.steps_per_sec());
+        assert_eq!(p.wall_steps_per_sec(), None);
+        assert!(p.steps_per_sec() > 0.0, "busy rate still available");
     }
 
     #[test]
     fn empty_profile() {
         let p = WorkerProfile::default();
         assert_eq!(p.steps_per_sec(), 0.0);
-        assert_eq!(p.wall_steps_per_sec(), 0.0);
+        assert_eq!(p.wall_steps_per_sec(), None);
         assert_eq!(p.mean_loss(), None);
         assert_eq!(p.last_loss(), None);
     }

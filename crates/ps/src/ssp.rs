@@ -58,6 +58,9 @@ impl Trainer {
         if steps == 0 {
             return self.run_segment(SyncProtocol::Asp, 0);
         }
+        // SSP is asynchronous-with-a-leash: the trainer's recorded protocol
+        // carries the same ASP tag the returned report does.
+        self.set_protocol(SyncProtocol::Asp);
         let cfg = self.config().clone();
         let active = cfg.active_workers();
         if active.is_empty() {

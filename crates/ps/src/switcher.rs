@@ -35,6 +35,27 @@ pub struct SwitchPlan {
     pub reset_velocity: bool,
 }
 
+impl SwitchPlan {
+    /// A plan that changes only the protocol, keeping the configuration's
+    /// current hyper-parameters — the shape the divergence watchdog and the
+    /// adaptive controller both execute (their job is picking the
+    /// discipline; batch/learning-rate scaling is the configuration
+    /// policy's).
+    pub fn keep_hyper(
+        cfg: &crate::config::TrainerConfig,
+        to: SyncProtocol,
+        reset_velocity: bool,
+    ) -> Self {
+        SwitchPlan {
+            to,
+            per_worker_batch: cfg.per_worker_batch,
+            learning_rate: cfg.learning_rate,
+            momentum: cfg.momentum,
+            reset_velocity,
+        }
+    }
+}
+
 /// Measured timings of an executed switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwitchOutcome {
@@ -106,13 +127,18 @@ pub fn execute_switch(trainer: &mut Trainer, plan: &SwitchPlan) -> Result<Switch
     let ck = trainer.checkpoint();
     let checkpoint_time = t0.elapsed();
 
-    // 2. Propagate the updated configuration (the actuator).
+    // 2. Propagate the updated configuration (the actuator), including the
+    //    plan's target protocol: the trainer's recorded protocol is what
+    //    `run_current_segment` executes, so applying it here is what makes
+    //    the switch *happen* rather than depending on every caller to pass
+    //    the matching protocol to the next segment by hand.
     let t1 = Instant::now();
     let mut cfg = trainer.config().clone();
     cfg.per_worker_batch = plan.per_worker_batch;
     cfg.learning_rate = plan.learning_rate;
     cfg.momentum = plan.momentum;
     trainer.set_config(cfg)?;
+    trainer.set_protocol(plan.to);
     let reconfigure_time = t1.elapsed();
 
     // 3. Relaunch from the checkpoint.
@@ -165,11 +191,31 @@ mod tests {
         assert_eq!(t.store().unwrap().snapshot_params(), params_before);
         assert_eq!(t.config().per_worker_batch, 4);
         assert_eq!(t.config().learning_rate, 0.1);
+        assert_eq!(t.protocol(), SyncProtocol::Asp, "plan target not applied");
         assert!(outcome.total() >= outcome.checkpoint_time);
         // Training continues under the new protocol.
         let r = t.run_segment(SyncProtocol::Asp, 30).unwrap();
         assert_eq!(r.steps, 30);
         assert_eq!(t.global_step(), 45);
+    }
+
+    #[test]
+    fn executed_plan_drives_the_next_segment() {
+        // The regression this pins: execute_switch used to ignore
+        // `SwitchPlan::to`, so the protocol that actually ran was whatever
+        // the caller happened to pass next. With the plan applied to the
+        // trainer, `run_current_segment` runs the plan's target.
+        let mut t = trainer();
+        assert_eq!(t.protocol(), SyncProtocol::Bsp, "BSP is the safe default");
+        t.run_current_segment(10).unwrap();
+        let plan = SwitchPlan::keep_hyper(t.config(), SyncProtocol::Asp, false);
+        execute_switch(&mut t, &plan).unwrap();
+        let r = t.run_current_segment(12).unwrap();
+        assert_eq!(r.protocol, SyncProtocol::Asp);
+        assert_eq!(t.protocol(), SyncProtocol::Asp);
+        // An explicit run_segment is an implicit switch and re-records.
+        t.run_segment(SyncProtocol::Bsp, 5).unwrap();
+        assert_eq!(t.protocol(), SyncProtocol::Bsp);
     }
 
     #[test]

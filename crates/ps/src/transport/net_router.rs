@@ -1029,6 +1029,14 @@ impl NetRouter {
             .map(|s| self.scrape_stats(s).ok())
             .collect()
     }
+
+    /// How many servers answered a stats scrape just now — the tier-health
+    /// signal the adaptive sync controller folds into its demote decision
+    /// (a server that cannot answer a read probe is not one to run ASP
+    /// against).
+    pub fn reachable_servers(&self) -> usize {
+        self.scrape_all_stats().iter().flatten().count()
+    }
 }
 
 /// A worker's handle onto a [`NetRouter`]: the shared router plus this

@@ -116,13 +116,7 @@ impl DivergenceWatchdog {
                 if self.blown(&report) {
                     return self.demote_and_rerun(trainer, effective, steps);
                 }
-                if report.steps > 0
-                    && report.final_loss.is_finite()
-                    && report.final_loss <= self.best_loss
-                {
-                    self.best_loss = report.final_loss;
-                    self.last_good = Some(trainer.checkpoint());
-                }
+                self.adopt_if_best(trainer, &report);
                 Ok(report)
             }
             Err(PsError::Diverged { .. }) => self.demote_and_rerun(trainer, effective, steps),
@@ -144,6 +138,19 @@ impl DivergenceWatchdog {
             && report.final_loss > self.cfg.blowup_factor * self.best_loss.max(self.cfg.loss_floor)
     }
 
+    /// Adopts a passing segment's endpoint as the rollback target when its
+    /// tail loss is the new best (shared by the normal path and the
+    /// demoted re-run — the re-run used to skip this, leaving a later trip
+    /// to roll back to the stale pre-demotion checkpoint and replay every
+    /// post-demotion step).
+    fn adopt_if_best(&mut self, trainer: &Trainer, report: &SegmentReport) {
+        if report.steps > 0 && report.final_loss.is_finite() && report.final_loss <= self.best_loss
+        {
+            self.best_loss = report.final_loss;
+            self.last_good = Some(trainer.checkpoint());
+        }
+    }
+
     fn demote_and_rerun(
         &mut self,
         trainer: &mut Trainer,
@@ -160,21 +167,29 @@ impl DivergenceWatchdog {
             t.trace.instant(TraceKind::ProtocolSwitch {
                 from: from.to_string(),
                 to: SyncProtocol::Bsp.to_string(),
+                reason: format!(
+                    "watchdog trip #{}: divergence under {from}, rolling back to best loss {:.4}",
+                    self.trips, self.best_loss
+                ),
             });
         }
         if let Some(ck) = &self.last_good {
             trainer.restore(ck)?;
         }
-        let cfg = trainer.config();
-        let plan = SwitchPlan {
-            to: SyncProtocol::Bsp,
-            per_worker_batch: cfg.per_worker_batch,
-            learning_rate: cfg.learning_rate,
-            momentum: cfg.momentum,
-            reset_velocity: true,
-        };
+        // Same hyper-parameters, velocity reset — the stale momentum is
+        // part of what blew up.
+        let plan = SwitchPlan::keep_hyper(trainer.config(), SyncProtocol::Bsp, true);
         execute_switch(trainer, &plan)?;
-        trainer.run_segment(SyncProtocol::Bsp, steps)
+        // The re-run is judged like any other segment: a demoted BSP re-run
+        // that itself went non-finite is a divergence, not a success.
+        let report = trainer.run_segment(SyncProtocol::Bsp, steps)?;
+        if self.blown(&report) {
+            return Err(PsError::Diverged {
+                step: trainer.global_step(),
+            });
+        }
+        self.adopt_if_best(trainer, &report);
+        Ok(report)
     }
 }
 
@@ -239,6 +254,11 @@ mod tests {
         assert!(saw_trip, "lr 30 ASP never tripped the watchdog");
         assert!(dog.trips() >= 1);
         assert!(t.check_finite(), "final parameters must be finite");
+        assert_eq!(
+            t.protocol(),
+            SyncProtocol::Bsp,
+            "demotion must leave the trainer's recorded protocol at BSP"
+        );
         // Every trip left a rollback + demotion event pair on the bus.
         let bus = t.telemetry().expect("telemetry defaults on");
         let counts = bus.trace.counts_by_name();
@@ -247,5 +267,53 @@ mod tests {
         assert_eq!(counts.get("protocol_switch"), Some(&trips));
         let snap = bus.metrics.snapshot();
         assert_eq!(snap.counters.get("watchdog.rollbacks"), Some(&trips));
+    }
+
+    /// Poisons the live parameters with a NaN so the next segment returns
+    /// `PsError::Diverged` deterministically — the watchdog sees exactly
+    /// what a real blow-up produces, without needing a learning rate that
+    /// also destabilizes the BSP re-run.
+    fn poison(t: &mut Trainer) {
+        let mut ck = t.checkpoint();
+        ck.params[0] = f32::NAN;
+        t.restore(&ck).expect("poisoned restore");
+    }
+
+    #[test]
+    fn second_trip_rolls_back_to_the_post_demotion_checkpoint() {
+        // The regression this pins: the demoted BSP re-run was returned
+        // without being judged, and `best_loss`/`last_good` were never
+        // updated afterwards — so a second trip rolled back to the stale
+        // pre-demotion checkpoint and replayed every post-demotion step.
+        let mut t = trainer(0.05);
+        let mut dog = DivergenceWatchdog::new(WatchdogConfig::default());
+        dog.run_segment(&mut t, SyncProtocol::Asp, 30)
+            .expect("warm-up segment");
+        assert_eq!(t.global_step(), 30);
+
+        // Trip 1: rollback to the step-30 checkpoint, 40-step BSP re-run.
+        poison(&mut t);
+        let r = dog
+            .run_segment(&mut t, SyncProtocol::Asp, 40)
+            .expect("first trip absorbed");
+        assert_eq!(dog.trips(), 1);
+        assert!(dog.demoted());
+        assert!(r.finite, "re-run must be judged, not returned blind");
+        assert_eq!(t.global_step(), 70);
+
+        // Trip 2: the rollback target must be the judged re-run's endpoint
+        // (step 70, training at the healthy rate kept improving the loss),
+        // not the stale step-30 checkpoint.
+        poison(&mut t);
+        let r = dog
+            .run_segment(&mut t, SyncProtocol::Asp, 40)
+            .expect("second trip absorbed");
+        assert_eq!(dog.trips(), 2);
+        assert!(r.finite);
+        assert_eq!(
+            t.global_step(),
+            110,
+            "second trip replayed from the stale pre-demotion checkpoint"
+        );
     }
 }

@@ -17,8 +17,8 @@
 
 use sync_switch_ps::transport::wire::op;
 use sync_switch_ps::{
-    DivergenceWatchdog, FaultPlan, ServerStatsSnapshot, ServerSupervisor, ServerTopology, Trainer,
-    TrainerConfig, TransportKind, WatchdogConfig,
+    ControllerConfig, DivergenceWatchdog, FaultPlan, ServerStatsSnapshot, ServerSupervisor,
+    ServerTopology, SyncController, Trainer, TrainerConfig, TransportKind, WatchdogConfig,
 };
 use sync_switch_workloads::{SyncProtocol, TrainableKind};
 
@@ -233,6 +233,149 @@ fn chaos_run_traces_every_event_kind() {
     }
     let path = std::path::PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("chaos.trace.json");
     std::fs::write(&path, &json).expect("write trace artifact");
+}
+
+/// The controller policy the closed-loop chaos tests share: the barrier
+/// threshold is floored so the promote decision hinges on the gates the
+/// chaos weather actually stresses — loss stability and wire health — and
+/// the retry limit sits well below what the fault plan injects per segment.
+fn chaos_policy() -> ControllerConfig {
+    ControllerConfig {
+        promote_barrier_frac: 0.0,
+        demote_retry_limit: 3,
+        ..ControllerConfig::default()
+    }
+}
+
+/// The closed loop end-to-end on real TCP tiers: on a straggler-free clean
+/// tier the controller promotes BSP→ASP (stable loss, healthy wire), and on
+/// the faulty tier the same policy demotes ASP→BSP on wire distress —
+/// without the loss gates (the embedded watchdog) ever tripping.
+#[test]
+fn controller_promotes_on_clean_tier_then_demotes_under_faults() {
+    // Phase 1: clean TCP tier, BSP start. No faults → zero retries, loss
+    // improves monotonically enough to count as stable → promote.
+    let kind = TrainableKind::MlpBlobs;
+    let (model, train, test) = kind.build(SEED);
+    let h = kind.hyper();
+    let cfg = TrainerConfig::new(WORKERS, h.batch_size, h.learning_rate, h.momentum)
+        .with_seed(SEED)
+        .with_topology(ServerTopology::new(2, 1).with_transport(TransportKind::Tcp));
+    let mut t = Trainer::new(model, train, test, cfg);
+    let mut ctl = SyncController::new(chaos_policy());
+    for _ in 0..6 {
+        let r = ctl.run_segment(&mut t, 40).expect("clean-tier segment");
+        assert!(r.finite);
+        if t.protocol() == SyncProtocol::Asp {
+            break;
+        }
+    }
+    assert_eq!(
+        t.protocol(),
+        SyncProtocol::Asp,
+        "clean tier never promoted; decisions: {:?}",
+        ctl.decisions()
+    );
+    let promote = ctl
+        .decisions()
+        .iter()
+        .find(|d| d.switched())
+        .expect("promote decision recorded");
+    assert_eq!(promote.from, SyncProtocol::Bsp);
+    assert_eq!(promote.to, SyncProtocol::Asp);
+    assert!(
+        promote.reason.contains("barrier-wait fraction"),
+        "{}",
+        promote.reason
+    );
+    let bus = t.telemetry().expect("telemetry defaults on");
+    assert!(
+        bus.trace
+            .counts_by_name()
+            .get("protocol_switch")
+            .copied()
+            .unwrap_or(0)
+            >= 1,
+        "promotion left no protocol_switch trace event"
+    );
+
+    // Phase 2: the chaos tier under the same policy. Forced into ASP, the
+    // injected drop/latency weather drives wire.retries over the limit and
+    // the controller demotes back to BSP.
+    let mut t2 = chaos_trainer(TrainableKind::MlpBlobs);
+    t2.run_segment(SyncProtocol::Asp, 20).expect("enter ASP");
+    let mut ctl2 = SyncController::new(chaos_policy());
+    let mut demoted = false;
+    for _ in 0..6 {
+        let r = ctl2.run_segment(&mut t2, 40).expect("faulty-tier segment");
+        assert!(r.finite);
+        if t2.protocol() == SyncProtocol::Bsp {
+            demoted = true;
+            break;
+        }
+    }
+    assert!(
+        demoted,
+        "chaos-tier wire distress never demoted ASP; decisions: {:?}",
+        ctl2.decisions()
+    );
+    let demote = ctl2
+        .decisions()
+        .iter()
+        .find(|d| d.switched())
+        .expect("demote decision recorded");
+    assert_eq!(demote.to, SyncProtocol::Bsp);
+    assert!(
+        demote.reason.contains("wire.retries"),
+        "demotion must come from wire distress, got: {}",
+        demote.reason
+    );
+    // "Without tripping loss gates": the demotion was the controller's
+    // wire-health policy, not a watchdog rollback.
+    assert_eq!(ctl2.watchdog_trips(), 0, "loss gates tripped under chaos");
+    assert!(!ctl2.watchdog_demoted());
+}
+
+/// The watchdog specimen driven through the controller: ASP at the hot
+/// learning rate from a cold start (the regime where its stale momentum
+/// blows up), the embedded watchdog rolls back and demotes, and the
+/// controller pins BSP for the rest of the run — finishing finite instead
+/// of dying with `PsError::Diverged`. (A BSP warm-up would converge the
+/// tiny specimen before any promotion, so the run enters ASP directly,
+/// exactly like the standalone watchdog specimen above.)
+#[test]
+fn controller_absorbs_hot_lr_divergence_and_pins_bsp() {
+    let kind = TrainableKind::SparseEmbedding;
+    let (model, train, test) = kind.build(SEED);
+    let h = kind.hyper();
+    let cfg = TrainerConfig::new(WORKERS, h.batch_size, 0.5, h.momentum).with_seed(SEED);
+    let mut t = Trainer::new(model, train, test, cfg);
+    // A zero-step segment records ASP as the current protocol without
+    // training; the controller then drives every real segment.
+    t.run_segment(SyncProtocol::Asp, 0).expect("enter ASP");
+    let mut ctl = SyncController::new(chaos_policy());
+    for _ in 0..12 {
+        let r = ctl.run_segment(&mut t, 40).expect("controller segment");
+        assert!(r.finite, "controller returned a non-finite segment");
+        if ctl.watchdog_demoted() {
+            break;
+        }
+    }
+    assert!(
+        ctl.watchdog_demoted(),
+        "lr 0.5 ASP never tripped the embedded watchdog; decisions: {:?}",
+        ctl.decisions()
+    );
+    assert!(ctl.watchdog_trips() >= 1);
+    assert_eq!(t.protocol(), SyncProtocol::Bsp);
+    // Post-demotion decisions hold BSP with the watchdog named.
+    let r = ctl.run_segment(&mut t, 40).expect("post-demotion segment");
+    assert!(r.finite);
+    assert_eq!(t.protocol(), SyncProtocol::Bsp);
+    let last = ctl.decisions().last().expect("decisions recorded");
+    assert!(!last.switched());
+    assert!(last.reason.contains("watchdog"), "{}", last.reason);
+    assert!(t.check_finite(), "final parameters must be finite");
 }
 
 /// Server-vs-client accounting reconciliation on a **clean** network: with

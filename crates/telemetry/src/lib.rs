@@ -506,8 +506,15 @@ pub enum TraceKind {
     /// The divergence watchdog rolled the tier back to a checkpoint
     /// (instant).
     WatchdogRollback { trips: u64 },
-    /// A protocol switch was executed (instant).
-    ProtocolSwitch { from: String, to: String },
+    /// A protocol switch was executed (instant). `reason` names the
+    /// decision that drove it — the watchdog's rollback, or one of the
+    /// adaptive controller's scraped-signal predicates — so a trace reader
+    /// can tell *why* the tier changed discipline, not just that it did.
+    ProtocolSwitch {
+        from: String,
+        to: String,
+        reason: String,
+    },
 }
 
 impl TraceKind {
@@ -567,11 +574,13 @@ impl TraceKind {
             TraceKind::WatchdogRollback { trips } => {
                 out.push_str(&format!("{{\"trips\":{trips}}}"));
             }
-            TraceKind::ProtocolSwitch { from, to } => {
+            TraceKind::ProtocolSwitch { from, to, reason } => {
                 out.push_str("{\"from\":");
                 push_json_str(out, from);
                 out.push_str(",\"to\":");
                 push_json_str(out, to);
+                out.push_str(",\"reason\":");
+                push_json_str(out, reason);
                 out.push('}');
             }
         }
@@ -1092,6 +1101,7 @@ mod tests {
         t.instant(TraceKind::ProtocolSwitch {
             from: "Bsp".into(),
             to: "Asp".into(),
+            reason: "barrier-wait fraction 0.41 over threshold".into(),
         });
         let json = t.chrome_trace_json(7);
         assert!(json.starts_with("{\"traceEvents\":["));
@@ -1100,7 +1110,9 @@ mod tests {
         assert!(json.contains("\"name\":\"server_kill\""));
         assert!(json.contains("\"ph\":\"i\""), "instant phase: {json}");
         assert!(json.contains("\"pid\":7"));
-        assert!(json.contains("\"from\":\"Bsp\",\"to\":\"Asp\""));
+        assert!(json.contains(
+            "\"from\":\"Bsp\",\"to\":\"Asp\",\"reason\":\"barrier-wait fraction 0.41 over threshold\""
+        ));
         let counts = t.counts_by_name();
         assert_eq!(counts["step"], 1);
         assert_eq!(counts["server_kill"], 1);

@@ -81,6 +81,7 @@ fn main() {
     let data = Dataset::gaussian_blobs(4, 100, 8, 0.35, 7);
     let (train, test) = data.split(0.25);
     let mut wire = sync_switch_ps::TransportStats::default();
+    let mut rows: Vec<(u64, f64, f64)> = Vec::new();
     for bound in [0u64, 1, 2, 4, 1_000] {
         // Simulated mean staleness at this bound (same cluster shape, the
         // sim's 10 ms straggler standing in for the 3 ms thread delay).
@@ -110,6 +111,7 @@ fn main() {
             real - sim_staleness,
             per_worker
         );
+        rows.push((bound, sim_staleness, real));
         wire = seg.transport;
     }
     println!("\nTighter bounds equalize worker progress (throttling to the straggler);");
@@ -117,6 +119,37 @@ fn main() {
     println!("The sim caps staleness at the bound; the real tier adds the committed-");
     println!("view lag of two-stage sync on top of the gate (delta > 0 at tight bounds),");
     println!("while at loose bounds real thread scheduling stays below the sim's cap.");
+
+    // Close the loop on that lag: the tightest bound isolates it (the gate
+    // contributes nothing at s=0, so whatever staleness the real tier still
+    // measures *is* the committed-view lag). Feed it back into the
+    // simulator and re-predict the sweep with the calibrated model.
+    let (tight_bound, tight_sim, tight_real) = rows[0];
+    let lag = (tight_real - tight_sim).max(0.0);
+    println!("\nCommitted-view lag measured at bound {tight_bound}: {lag:.2} updates; feeding it");
+    println!("back through ClusterSim::set_committed_view_lag and re-predicting:");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "bound", "sim+lag", "real", "delta"
+    );
+    for &(bound, _, real) in &rows {
+        let mut sim = ClusterSim::new(&setup, 7);
+        sim.set_scenario(scenario.clone());
+        sim.set_committed_view_lag(lag);
+        // The cap shifts with the lag: the gate still bounds the scheduling
+        // term at `bound`, and the committed view trails by `lag` on top.
+        let corrected = sim
+            .run_ssp(total, bound)
+            .mean_staleness
+            .min(bound as f64 + lag);
+        println!(
+            "{:<8} {:>10.2} {:>10.2} {:>+10.2}",
+            bound,
+            corrected,
+            real,
+            real - corrected
+        );
+    }
 
     // Calibration hook: fit the simulator's network model to the wire
     // latencies the transport tier just measured (push acks are tiny, pull

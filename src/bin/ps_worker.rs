@@ -22,8 +22,10 @@
 
 use std::process::ExitCode;
 
-use sync_switch::deploy::{ClusterSpec, SegmentOutcome, ServerStatsSummary, WorkerReport};
-use sync_switch::ps::{NetPort, PsError, ServerSupervisor, Trainer, WorkerPort};
+use sync_switch::deploy::{
+    ClusterSpec, ControllerDecision, SegmentOutcome, ServerStatsSummary, WorkerReport,
+};
+use sync_switch::ps::{NetPort, PsError, ServerSupervisor, SyncController, Trainer, WorkerPort};
 
 /// Parsed command line of `ps-worker`.
 ///
@@ -128,6 +130,26 @@ fn run() -> Result<(), String> {
         .map_err(|e| format!("initial checkpoint: {e}"))?;
     let mut ck = trainer.checkpoint();
 
+    // The adaptive controller, when the spec asks for one: BSP/ASP
+    // segments then run under whatever protocol the controller last
+    // decided on (the first segment's protocol seeds the discipline), and
+    // every decision is recorded into the report.
+    let mut controller = spec
+        .controller
+        .as_ref()
+        .map(|c| SyncController::new(c.to_config()));
+    if controller.is_some() {
+        if let Some(first) = spec.segments.first() {
+            if let Some(p) = first.parse_protocol()? {
+                // A zero-step segment records the starting protocol
+                // without training a step.
+                trainer
+                    .run_segment(p, 0)
+                    .map_err(|e| format!("seed protocol: {e}"))?;
+            }
+        }
+    }
+
     let mut outcomes: Vec<SegmentOutcome> = Vec::new();
     let mut healed_total = 0u64;
     for seg in &spec.segments {
@@ -135,9 +157,15 @@ fn run() -> Result<(), String> {
         let mut crash_retries = 0u64;
         let mut healed_seg = 0u64;
         let report = loop {
-            let res = match protocol {
-                Some(p) => trainer.run_segment(p, seg.steps),
-                None => trainer.run_ssp_segment(seg.ssp_bound, seg.steps),
+            let res = match (&mut controller, protocol) {
+                (Some(ctl), Some(_)) => ctl.run_segment(&mut trainer, seg.steps),
+                // An SSP segment under the controller uses the measured
+                // (retuned) bound, floored by the spec's.
+                (Some(ctl), None) => {
+                    trainer.run_ssp_segment(seg.ssp_bound.max(ctl.ssp_bound()), seg.steps)
+                }
+                (None, Some(p)) => trainer.run_segment(p, seg.steps),
+                (None, None) => trainer.run_ssp_segment(seg.ssp_bound, seg.steps),
             };
             match res {
                 Ok(report) => break report,
@@ -218,6 +246,22 @@ fn run() -> Result<(), String> {
         }
     }
 
+    let controller_decisions: Vec<ControllerDecision> = controller
+        .as_ref()
+        .map(|ctl| {
+            ctl.decisions()
+                .iter()
+                .map(ControllerDecision::from_record)
+                .collect()
+        })
+        .unwrap_or_default();
+    for d in &controller_decisions {
+        println!(
+            "ps-worker controller segment {}: {} -> {} (ssp bound {}): {}",
+            d.segment, d.from, d.to, d.ssp_bound, d.reason
+        );
+    }
+
     let final_loss = trainer.training_loss();
     let threshold = kind.loss_threshold();
     let report = WorkerReport {
@@ -230,6 +274,7 @@ fn run() -> Result<(), String> {
         finite: trainer.check_finite(),
         healed_servers: healed_total,
         server_stats,
+        controller_decisions,
     };
     std::fs::write(&cfg.report_path, report.to_json())
         .map_err(|e| format!("cannot write report {}: {e}", cfg.report_path))?;

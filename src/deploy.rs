@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 use sync_switch_ps::transport::wire::op;
-use sync_switch_ps::{RetryPolicy, ServerStatsSnapshot, TrainerConfig};
+use sync_switch_ps::{ControllerConfig, RetryPolicy, ServerStatsSnapshot, TrainerConfig};
 use sync_switch_workloads::{SyncProtocol, TrainableKind};
 
 /// One training segment of a cluster run: a synchronization discipline and
@@ -84,6 +84,101 @@ impl SegmentSpec {
     }
 }
 
+/// The policy block that puts a `ps-worker` under the online adaptive
+/// [`SyncController`] instead of blindly executing the spec's protocol
+/// strings.
+///
+/// When present, the spec's segment list still defines the step budgets
+/// (and the first segment's protocol seeds the starting discipline), but
+/// from then on each BSP/ASP segment runs under whatever protocol the
+/// controller last decided on: the worker scrapes the bus after every
+/// segment and may promote BSP→ASP, demote ASP→BSP, or retune the SSP
+/// bound, recording every decision (with its reason) in the
+/// [`WorkerReport`].
+///
+/// The thresholds mirror [`ControllerConfig`]; see that type for the named
+/// telemetry signal behind each one.
+///
+/// [`SyncController`]: sync_switch_ps::SyncController
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerSpec {
+    /// Segments observed before the first promote decision.
+    pub warmup_segments: u64,
+    /// Barrier-wait fraction at which BSP promotes to ASP.
+    pub promote_barrier_frac: f64,
+    /// Loss-stability slack factor required for promotion.
+    pub promote_loss_slack: f64,
+    /// `wire.retries` delta above which ASP demotes to BSP.
+    pub demote_retry_limit: u64,
+    /// Loss blow-up factor at which ASP demotes to BSP.
+    pub demote_loss_factor: f64,
+    /// Mean `engine.staleness` above which ASP demotes to BSP.
+    pub demote_staleness_limit: f64,
+}
+
+impl Default for ControllerSpec {
+    fn default() -> Self {
+        let cfg = ControllerConfig::default();
+        ControllerSpec {
+            warmup_segments: cfg.warmup_segments,
+            promote_barrier_frac: cfg.promote_barrier_frac,
+            promote_loss_slack: f64::from(cfg.promote_loss_slack),
+            demote_retry_limit: cfg.demote_retry_limit,
+            demote_loss_factor: f64::from(cfg.demote_loss_factor),
+            demote_staleness_limit: cfg.demote_staleness_limit,
+        }
+    }
+}
+
+impl ControllerSpec {
+    /// The in-process controller policy this spec block describes
+    /// (remaining [`ControllerConfig`] knobs keep their defaults).
+    pub fn to_config(&self) -> ControllerConfig {
+        ControllerConfig {
+            warmup_segments: self.warmup_segments,
+            promote_barrier_frac: self.promote_barrier_frac,
+            promote_loss_slack: self.promote_loss_slack as f32,
+            demote_retry_limit: self.demote_retry_limit,
+            demote_loss_factor: self.demote_loss_factor as f32,
+            demote_staleness_limit: self.demote_staleness_limit,
+            ..ControllerConfig::default()
+        }
+    }
+
+    /// Validates the thresholds.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.promote_barrier_frac) {
+            return Err(format!(
+                "promote_barrier_frac {} outside [0, 1]",
+                self.promote_barrier_frac
+            ));
+        }
+        if self.promote_loss_slack < 1.0 {
+            return Err(format!(
+                "promote_loss_slack {} below 1.0 would reject an improving loss",
+                self.promote_loss_slack
+            ));
+        }
+        if self.demote_loss_factor <= 1.0 {
+            return Err(format!(
+                "demote_loss_factor {} must exceed 1.0",
+                self.demote_loss_factor
+            ));
+        }
+        if self.demote_staleness_limit <= 0.0 {
+            return Err(format!(
+                "demote_staleness_limit {} must be positive",
+                self.demote_staleness_limit
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The complete, serializable description of a multi-process cluster run.
 ///
 /// Every process derives everything else it needs from this: a `ps-serve`
@@ -131,6 +226,9 @@ pub struct ClusterSpec {
     /// How long a worker waits for a crashed server to be respawned before
     /// giving up on healing, seconds.
     pub heal_secs: u64,
+    /// Optional adaptive-controller policy. Absent (or JSON `null`) means
+    /// the worker executes the spec's protocol strings verbatim, as before.
+    pub controller: Option<ControllerSpec>,
 }
 
 impl ClusterSpec {
@@ -158,7 +256,14 @@ impl ClusterSpec {
             backoff_max_ms: 100,
             handshake_secs: 20,
             heal_secs: 20,
+            controller: None,
         }
+    }
+
+    /// The same spec with the adaptive sync controller enabled.
+    pub fn with_controller(mut self, controller: ControllerSpec) -> Self {
+        self.controller = Some(controller);
+        self
     }
 
     /// Resolves the workload name to its [`TrainableKind`].
@@ -286,6 +391,9 @@ impl ClusterSpec {
         if train.len() < self.workers_per_proc {
             return Err("more worker threads than training examples".into());
         }
+        if let Some(controller) = &self.controller {
+            controller.validate()?;
+        }
         self.trainer_config()?;
         Ok(())
     }
@@ -387,6 +495,43 @@ impl ServerStatsSummary {
     }
 }
 
+/// One adaptive-controller decision, as serialized into a
+/// [`WorkerReport`]. Mirrors [`DecisionRecord`] with the protocols as
+/// strings so the document stays self-describing.
+///
+/// [`DecisionRecord`]: sync_switch_ps::DecisionRecord
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ControllerDecision {
+    /// Zero-based index of the controller-observed segment.
+    pub segment: u64,
+    /// Protocol the segment ran under.
+    pub from: String,
+    /// Protocol the next segment runs under.
+    pub to: String,
+    /// The SSP bound as retuned after this segment.
+    pub ssp_bound: u64,
+    /// Why the controller decided this.
+    pub reason: String,
+}
+
+impl ControllerDecision {
+    /// Report form of an in-process decision record.
+    pub fn from_record(d: &sync_switch_ps::DecisionRecord) -> Self {
+        ControllerDecision {
+            segment: d.segment,
+            from: d.from.to_string(),
+            to: d.to.to_string(),
+            ssp_bound: d.ssp_bound,
+            reason: d.reason.clone(),
+        }
+    }
+
+    /// Whether this decision changed the protocol.
+    pub fn switched(&self) -> bool {
+        self.from != self.to
+    }
+}
+
 /// The JSON document a `ps-worker` process writes on exit — the harness's
 /// only window into what happened inside the worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -411,6 +556,9 @@ pub struct WorkerReport {
     /// just before exit, in server-index order. A server that could not be
     /// scraped (crashed and never respawned) is simply absent.
     pub server_stats: Vec<ServerStatsSummary>,
+    /// Every adaptive-controller decision taken during the run, in order.
+    /// Empty when the spec carried no [`ControllerSpec`].
+    pub controller_decisions: Vec<ControllerDecision>,
 }
 
 impl WorkerReport {
@@ -493,9 +641,72 @@ mod tests {
                 applies: 240,
                 mean_apply_ns: 1_450,
             }],
+            controller_decisions: vec![ControllerDecision {
+                segment: 1,
+                from: "Bsp".into(),
+                to: "Asp".into(),
+                ssp_bound: 3,
+                reason: "barrier-wait fraction 0.41 >= 0.25 with stable loss".into(),
+            }],
         };
         let parsed = WorkerReport::from_json(&r.to_json()).expect("round trip");
         assert_eq!(parsed, r);
+        assert!(parsed.controller_decisions[0].switched());
+    }
+
+    #[test]
+    fn controller_spec_round_trips_and_maps_to_the_policy() {
+        let s = spec().with_controller(ControllerSpec {
+            promote_barrier_frac: 0.1,
+            demote_retry_limit: 2,
+            ..ControllerSpec::default()
+        });
+        assert!(s.validate().is_ok());
+        let parsed = ClusterSpec::from_json(&s.to_json()).expect("round trip");
+        assert_eq!(parsed, s);
+        let cfg = parsed.controller.as_ref().unwrap().to_config();
+        assert_eq!(cfg.promote_barrier_frac, 0.1);
+        assert_eq!(cfg.demote_retry_limit, 2);
+        assert_eq!(
+            cfg.warmup_segments,
+            sync_switch_ps::ControllerConfig::default().warmup_segments
+        );
+    }
+
+    #[test]
+    fn specs_without_a_controller_block_still_parse() {
+        // Backward compatibility: a spec JSON written before the controller
+        // existed has no "controller" key at all.
+        let s = spec();
+        let json = s.to_json();
+        let idx = json
+            .find("\"controller\"")
+            .expect("spec JSON names the key");
+        let comma = json[..idx].rfind(',').expect("a field precedes it");
+        let line_end = idx + json[idx..].find('\n').unwrap_or(json.len() - idx);
+        let stripped = format!("{}{}", &json[..comma], &json[line_end..]);
+        assert!(!stripped.contains("\"controller\""));
+        let parsed = ClusterSpec::from_json(&stripped).expect("legacy spec parses");
+        assert_eq!(parsed.controller, None);
+    }
+
+    #[test]
+    fn bad_controller_thresholds_are_refused() {
+        let mut s = spec().with_controller(ControllerSpec::default());
+        s.controller.as_mut().unwrap().promote_barrier_frac = 1.5;
+        assert!(s.validate().is_err());
+
+        let mut s = spec().with_controller(ControllerSpec::default());
+        s.controller.as_mut().unwrap().promote_loss_slack = 0.5;
+        assert!(s.validate().is_err());
+
+        let mut s = spec().with_controller(ControllerSpec::default());
+        s.controller.as_mut().unwrap().demote_loss_factor = 1.0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec().with_controller(ControllerSpec::default());
+        s.controller.as_mut().unwrap().demote_staleness_limit = 0.0;
+        assert!(s.validate().is_err());
     }
 
     #[test]

@@ -36,6 +36,11 @@ pub struct ChildGuard {
 
 impl ChildGuard {
     /// Spawns `cmd` with stdout and stderr appended to `log_path`.
+    ///
+    /// When `PS_CLUSTER_PID_FILE` names a file, the new child's PID is
+    /// appended to it (one per line). CI uses this ledger to scope its
+    /// exit-trap cleanup to processes *this* run spawned, instead of
+    /// pattern-killing every `ps-serve`/`ps-worker` on the machine.
     fn spawn(name: String, mut cmd: Command, log_path: PathBuf) -> io::Result<Self> {
         let log = File::create(&log_path)?;
         let log2 = log.try_clone()?;
@@ -44,6 +49,18 @@ impl ChildGuard {
             .stdout(Stdio::from(log))
             .stderr(Stdio::from(log2))
             .spawn()?;
+        if let Ok(ledger) = std::env::var("PS_CLUSTER_PID_FILE") {
+            if !ledger.is_empty() {
+                use std::io::Write;
+                if let Ok(mut f) = fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&ledger)
+                {
+                    let _ = writeln!(f, "{}", child.id());
+                }
+            }
+        }
         Ok(ChildGuard {
             name,
             child,

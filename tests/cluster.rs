@@ -11,7 +11,7 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use sync_switch::deploy::{ClusterSpec, SegmentSpec, WorkerReport};
+use sync_switch::deploy::{ClusterSpec, ControllerSpec, SegmentSpec, WorkerReport};
 use sync_switch::harness::ClusterHarness;
 use sync_switch::workloads::TrainableKind;
 
@@ -130,13 +130,22 @@ fn assert_cluster_telemetry(h: &ClusterHarness, reports: &[WorkerReport]) {
 
 /// The happy path *and* the readiness handshake in one scenario: workers
 /// are spawned before any server exists, keep re-dialing, and the run
-/// converges under BSP then ASP once the tier comes up late.
+/// converges under BSP then ASP once the tier comes up late. The adaptive
+/// sync controller rides along: every worker runs its segments through the
+/// controller and must record its decisions (with reasons) in the report.
 #[test]
 fn cluster_converges_with_late_binding_servers() {
     if !cluster_tests_enabled("cluster_converges_with_late_binding_servers") {
         return;
     }
-    let spec = ClusterSpec::standard(TrainableKind::MlpBlobs, free_addrs(2), 11);
+    let spec = ClusterSpec::standard(TrainableKind::MlpBlobs, free_addrs(2), 11)
+        // The barrier threshold is floored so on this homogeneous clean
+        // tier the promote decision hinges on loss stability and wire
+        // health — guaranteeing at least one decision fires per worker.
+        .with_controller(ControllerSpec {
+            promote_barrier_frac: 0.0,
+            ..ControllerSpec::default()
+        });
     let mut h = harness(spec, "late-bind");
     // Workers first: nothing is listening yet.
     h.spawn_workers(2).expect("spawn workers");
@@ -163,6 +172,35 @@ fn cluster_converges_with_late_binding_servers() {
         assert_eq!(r.segments[1].protocol, "asp");
         assert!(r.segments.iter().all(|s| s.steps > 0));
     }
+    // The controller closed the loop in every worker process: one decision
+    // per segment, each carrying a non-empty reason, and on this clean
+    // stable tier the post-warmup decision promotes BSP→ASP.
+    for (w, r) in reports.iter().enumerate() {
+        assert!(
+            !r.controller_decisions.is_empty(),
+            "worker {w} recorded no controller decisions"
+        );
+        for d in &r.controller_decisions {
+            assert!(
+                !d.reason.is_empty(),
+                "worker {w} decision {} has no reason",
+                d.segment
+            );
+        }
+        assert!(
+            r.controller_decisions.iter().any(|d| d.switched()),
+            "worker {w} never switched protocol; decisions: {:?}",
+            r.controller_decisions
+        );
+    }
+    // The switch landed in the worker traces as a protocol_switch event.
+    let combined: String = (0..reports.len())
+        .map(|w| std::fs::read_to_string(h.worker_trace_path(w)).unwrap_or_default())
+        .collect();
+    assert!(
+        combined.contains("\"protocol_switch\""),
+        "no worker trace records the controller's switch"
+    );
     assert_cluster_telemetry(&h, &reports);
 
     // Leak-free teardown: shutdown reaps every child.
